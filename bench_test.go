@@ -1,0 +1,376 @@
+// Benchmark harness: one benchmark per paper table/figure (quick-scale
+// presets; run cmd/quamax for full scale), plus component micro-benchmarks.
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark regenerates the table and reports its row count
+// as a custom metric; run with -v to see the rendered tables.
+package quamax_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"quamax"
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/coding"
+	"quamax/internal/detector"
+	"quamax/internal/embedding"
+	"quamax/internal/experiments"
+	"quamax/internal/linalg"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// sharedEnv reuses embeddings/decoders across experiment benchmarks.
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+)
+
+func sharedEnv() *experiments.Env {
+	envOnce.Do(func() { env = experiments.NewEnv() })
+	return env
+}
+
+func runExperiment(b *testing.B, fn func(*experiments.Env) (*experiments.Table, error)) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(sharedEnv())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+		if rows == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Table1(experiments.Table1Quick())
+	})
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Table2()
+	})
+}
+
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig4(e, experiments.Fig4Quick())
+	})
+}
+
+func BenchmarkFig5(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig5(e, experiments.Fig5Quick())
+	})
+}
+
+func BenchmarkFig6(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig6(e, experiments.Fig6Quick())
+	})
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig7(e, experiments.Fig7Quick())
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig8(e, experiments.Fig8Quick())
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig9(e, experiments.Fig9Quick())
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig10(e, experiments.Fig10Quick())
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig11(e, experiments.Fig11Quick())
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig12(e, experiments.Fig12Quick())
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig13(e, experiments.Fig13Quick())
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig14(e, experiments.Fig14Quick())
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Fig15(e, experiments.Fig15Quick())
+	})
+}
+
+// --- Component micro-benchmarks -------------------------------------------
+
+func benchInstance(b *testing.B, mod modulation.Modulation, nt int, snr float64) *mimo.Instance {
+	b.Helper()
+	in, err := mimo.Generate(rng.New(1), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: snr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkReduceToIsing measures the closed-form ML→Ising reduction the
+// paper calls "computationally insignificant" (48-user BPSK).
+func BenchmarkReduceToIsing(b *testing.B) {
+	in := benchInstance(b, modulation.BPSK, 48, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduction.ReduceToIsing(in.Mod, in.H, in.Y)
+	}
+}
+
+// BenchmarkReduceToQUBO measures the norm-expansion construction (oracle path).
+func BenchmarkReduceToQUBO(b *testing.B) {
+	in := benchInstance(b, modulation.QPSK, 18, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduction.ReduceToQUBO(in.Mod, in.H, in.Y)
+	}
+}
+
+// BenchmarkEmbed measures clique-embedding construction on the DW2Q model.
+func BenchmarkEmbed(b *testing.B) {
+	g := chimera.DW2Q()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embedding.Embed(g, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbedIsing measures compiling a 48-spin problem onto chains.
+func BenchmarkEmbedIsing(b *testing.B) {
+	g := chimera.DW2Q()
+	emb, err := embedding.Embed(g, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := benchInstance(b, modulation.BPSK, 48, 20)
+	logical := reduction.ReduceToIsing(in.Mod, in.H, in.Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emb.EmbedIsing(logical, 4, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnneal48BPSK measures one 100-anneal QA run of the paper's
+// headline 48-user BPSK problem (624 physical qubits).
+func BenchmarkAnneal48BPSK(b *testing.B) {
+	g := chimera.DW2Q()
+	emb, err := embedding.Embed(g, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := benchInstance(b, modulation.BPSK, 48, 20)
+	logical := reduction.ReduceToIsing(in.Mod, in.H, in.Y)
+	ep, err := emb.EmbedIsing(logical, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := anneal.NewMachine()
+	params := anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 100}
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(ep.Phys, params, true, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeEndToEnd measures the full QuAMax pipeline per channel use
+// (14-user QPSK at 20 dB, the paper's Fig. 13 fixed-user config).
+func BenchmarkDecodeEndToEnd(b *testing.B) {
+	dec, err := quamax.NewDecoder(quamax.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := benchInstance(b, modulation.QPSK, 14, 20)
+	src := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeInstance(in, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSphereDecoder measures the classical ML baseline at the Table 1
+// borderline size (21-user BPSK, 13 dB).
+func BenchmarkSphereDecoder(b *testing.B) {
+	in := benchInstance(b, modulation.BPSK, 21, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detector.SphereDecode(in.Mod, in.H, in.Y, detector.SphereOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZeroForcing measures the linear baseline at 48 users.
+func BenchmarkZeroForcing(b *testing.B) {
+	in := benchInstance(b, modulation.BPSK, 48, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detector.ZeroForcing(in.Mod, in.H, in.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQR measures the complex Householder QR on a 48×48 channel.
+func BenchmarkQR(b *testing.B) {
+	h := channel.Rayleigh{}.Generate(rng.New(4), 48, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.QRDecompose(h)
+	}
+}
+
+// BenchmarkExpectedBER measures the Eq. 9 evaluation over a large rank
+// distribution.
+func BenchmarkExpectedBER(b *testing.B) {
+	src := rng.New(5)
+	d := &metrics.Distribution{N: 48}
+	for r := 0; r < 2000; r++ {
+		cnt := 1 + src.Intn(50)
+		d.Total += cnt
+		d.Solutions = append(d.Solutions, metrics.RankedSolution{
+			Energy: float64(r), Count: cnt, BitErrors: src.Intn(10),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := d.ExpectedBER(50); math.IsNaN(v) {
+			b.Fatal("NaN")
+		}
+	}
+}
+
+// BenchmarkBruteForce20 measures the exhaustive Ising oracle at 20 spins.
+func BenchmarkBruteForce20(b *testing.B) {
+	src := rng.New(6)
+	p := qubo.NewIsing(20)
+	for i := 0; i < p.N; i++ {
+		p.H[i] = src.Gauss(0, 1)
+		for j := i + 1; j < p.N; j++ {
+			p.SetJ(i, j, src.Gauss(0, 1))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qubo.BruteForceIsing(p)
+	}
+}
+
+// BenchmarkFuture regenerates the §8 next-generation-chip projection table.
+func BenchmarkFuture(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.TableFuture()
+	})
+}
+
+// BenchmarkReverse regenerates the reverse-annealing ablation (§8 [68]).
+func BenchmarkReverse(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.AblationReverse(e, experiments.ReverseQuick())
+	})
+}
+
+// BenchmarkCoded regenerates the simulated coded-FER extension table.
+func BenchmarkCoded(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.Coded(e, experiments.CodedQuick())
+	})
+}
+
+// BenchmarkSAComparison regenerates the QA-vs-classical-SA table (§6).
+func BenchmarkSAComparison(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.SAComparison(e, experiments.SAQuick())
+	})
+}
+
+// BenchmarkClassicalSA measures the logical-space SA baseline per decode.
+func BenchmarkClassicalSA(b *testing.B) {
+	in := benchInstance(b, modulation.BPSK, 36, 20)
+	sa := detector.NewClassicalSA(128, 100)
+	src := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Decode(in.Mod, in.H, in.Y, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViterbi measures the FEC decoder at a 1,500-byte frame.
+func BenchmarkViterbi(b *testing.B) {
+	c := coding.NewWiFiCode()
+	src := rng.New(8)
+	data := src.Bits(12000)
+	coded := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQAOA regenerates the gate-model QAOA extension table (§6/§8).
+func BenchmarkQAOA(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) (*experiments.Table, error) {
+		return experiments.QAOAExperiment(e, experiments.QAOAQuick())
+	})
+}

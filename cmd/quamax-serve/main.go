@@ -1,0 +1,55 @@
+// Command quamax-serve runs the data-center side of the C-RAN architecture:
+// a QuAMax decoder pool behind the fronthaul TCP protocol (paper §1, §7).
+// Access points connect with internal/fronthaul.Dial (see examples/cran).
+//
+//	quamax-serve -listen :9370 -anneals 200 -jf 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"quamax"
+	"quamax/internal/anneal"
+	"quamax/internal/fronthaul"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9370", "TCP listen address")
+		anneals  = flag.Int("anneals", 100, "anneals per decode (Na)")
+		jf       = flag.Float64("jf", 4, "ferromagnetic chain strength |J_F|")
+		ta       = flag.Float64("ta", 1, "anneal time Ta (µs)")
+		tp       = flag.Float64("tp", 1, "pause time Tp (µs, 0 disables)")
+		sp       = flag.Float64("sp", 0.35, "pause position sp")
+		improved = flag.Bool("improved-range", true, "use the improved coupler dynamic range")
+		amortize = flag.Bool("amortize", true, "amortize compute time over parallel embedding slots")
+		seed     = flag.Int64("seed", 1, "annealer random seed")
+	)
+	flag.Parse()
+
+	dec, err := quamax.NewDecoder(quamax.Options{
+		JF:            *jf,
+		ImprovedRange: *improved,
+		Params: anneal.Params{
+			AnnealTimeMicros: *ta,
+			PauseTimeMicros:  *tp,
+			PausePosition:    *sp,
+			NumAnneals:       *anneals,
+		},
+		AmortizeParallel: *amortize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := fronthaul.NewServer(dec, *seed)
+	srv.Logf = log.Printf
+	log.Printf("quamax-serve: QPU pool on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
+		*listen, *anneals, *jf, *ta, *tp)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// C-RAN: the paper's deployment architecture end to end on one machine. A
+// data-center process exposes a QuAMax "QPU pool" over TCP; an access point
+// process estimates uplink channels and ships per-subcarrier decode requests
+// over the fronthaul, pipelining all subcarriers of an OFDM symbol in
+// flight at once (§1, §5.5, §7).
+//
+//	go run ./examples/cran
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"quamax"
+	"quamax/internal/channel"
+	"quamax/internal/fronthaul"
+	"quamax/internal/linalg"
+	"quamax/internal/rng"
+)
+
+const (
+	users       = 8
+	apAntennas  = 8
+	subcarriers = 16
+	snrDB       = 25
+)
+
+func main() {
+	// --- Data center: a QuAMax decoder behind a fronthaul server. ---
+	dec, err := quamax.NewDecoder(quamax.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := fronthaul.NewServer(dec, 99)
+	server.Logf = log.Printf
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go server.Serve(l)
+	fmt.Printf("data center: QPU pool listening on %s\n", l.Addr())
+
+	// --- Access point: connect over the fronthaul. ---
+	client, err := fronthaul.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// One OFDM symbol: a frequency-selective channel across subcarriers
+	// (4-tap exponential power-delay profile) carrying QPSK from 8 users.
+	src := rng.New(123)
+	tdl := channel.TappedDelayLine{NumTaps: 4, Decay: 0.6}
+	perSC := tdl.GenerateOFDM(src, apAntennas, users, subcarriers)
+	sigma := channel.NoiseSigma(quamax.QPSK, users, snrDB)
+
+	type job struct {
+		sc     int
+		h      *linalg.Mat
+		y      []complex128
+		txBits []byte
+	}
+	jobs := make([]job, subcarriers)
+	for sc := 0; sc < subcarriers; sc++ {
+		bits := src.Bits(users * quamax.QPSK.BitsPerSymbol())
+		v := quamax.QPSK.MapGrayVector(bits)
+		y := channel.AddAWGN(src, linalg.MulVec(perSC[sc], v), sigma)
+		jobs[sc] = job{sc: sc, h: perSC[sc], y: y, txBits: bits}
+	}
+
+	// Ship all subcarriers concurrently — the fronthaul client pipelines
+	// them on one TCP connection.
+	var wg sync.WaitGroup
+	type result struct {
+		sc      int
+		errs    int
+		compute float64
+	}
+	results := make([]result, subcarriers)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			resp, err := client.Decode(quamax.QPSK, j.h, j.y)
+			if err != nil {
+				log.Fatalf("subcarrier %d: %v", j.sc, err)
+			}
+			errs := 0
+			for i := range j.txBits {
+				if resp.Bits[i] != j.txBits[i] {
+					errs++
+				}
+			}
+			results[j.sc] = result{sc: j.sc, errs: errs, compute: resp.ComputeMicros}
+		}(j)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nAP: decoded %d subcarriers × %d users QPSK at %d dB\n\n", subcarriers, users, snrDB)
+	fmt.Printf("%4s  %10s  %14s\n", "sc", "bit errs", "QPU time (µs)")
+	totalErrs, totalBits := 0, 0
+	for _, r := range results {
+		fmt.Printf("%4d  %10d  %14.1f\n", r.sc, r.errs, r.compute)
+		totalErrs += r.errs
+		totalBits += users * quamax.QPSK.BitsPerSymbol()
+	}
+	fmt.Printf("\nsymbol BER: %d/%d = %.2e\n", totalErrs, totalBits,
+		float64(totalErrs)/float64(totalBits))
+}

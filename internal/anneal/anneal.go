@@ -1,0 +1,348 @@
+// Package anneal simulates the D-Wave 2000Q quantum annealer that QuAMax
+// runs on (paper §2.2, §4). It is the repository's substitute for the real
+// QPU (see DESIGN.md): problems arrive already embedded on the Chimera graph
+// as sparse physical Ising programs, and every device mechanism the paper's
+// evaluation manipulates is reproduced:
+//
+//   - Analog programming range. Fields are clipped to h ∈ [−2,2] and
+//     couplers to J ∈ [−1,+1]; the "improved coupling dynamic range" option
+//     (§4) extends valid negative couplers to −2. Out-of-range programs are
+//     auto-scaled down, which is what squeezes problem information when
+//     |J_F| is set too large.
+//   - ICE (intrinsic control error). Every anneal perturbs the programmed
+//     coefficients with Gaussian noise of the magnitude the paper measured:
+//     ⟨δf⟩ ≈ 0.008 ± 0.02 and ⟨δg⟩ ≈ −0.015 ± 0.025 (§4).
+//   - Annealing schedule. Each anneal performs Metropolis dynamics under an
+//     inverse-temperature ramp β(s) that mirrors the A(t)/B(t) signal swap,
+//     with the anneal time Ta setting the sweep budget and an optional
+//     mid-anneal pause of duration Tp at schedule position sp (§4, [43]).
+//   - Batching. A run executes Na anneals (one QA "job", §4) with fresh
+//     ICE noise and fresh initial states, parallelized across goroutines
+//     with independent deterministic random streams.
+//
+// The only non-reproduced aspect is the sampler's physics: Metropolis
+// dynamics replace quantum dynamics, so absolute success probabilities are
+// calibrated (sweeps-per-µs constant) rather than emergent. Every
+// experimental shape — J_F washout vs. chain breakage, pause thermalization
+// benefit, size scaling, SNR trends — comes out of the same code path the
+// paper exercised.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// Params are the per-run user knobs of §4 ("Annealer Parameter Setting").
+type Params struct {
+	AnnealTimeMicros float64 // Ta ∈ [1, 300] µs on the DW2Q
+	PauseTimeMicros  float64 // Tp; 0 disables the pause
+	PausePosition    float64 // sp ∈ (0,1), schedule fraction where the pause sits
+	NumAnneals       int     // Na, anneals per run (batch size)
+}
+
+// DefaultParams returns the paper's chosen operating point (§5.3.1/§5.3.2):
+// Ta = 1 µs with a 1 µs pause; the pause position default corresponds to the
+// red-circled optimum of Fig. 7.
+func DefaultParams() Params {
+	return Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 100}
+}
+
+// AnnealWallMicros returns the wall-clock compute time of ONE anneal,
+// Ta + Tp — the quantity TTB multiplies by Na (§5.3.2: "each anneal in the
+// former (Ta + Tp) takes twice as much time").
+func (p Params) AnnealWallMicros() float64 { return p.AnnealTimeMicros + p.PauseTimeMicros }
+
+// Validate checks the knobs against device limits.
+func (p Params) Validate() error {
+	if p.AnnealTimeMicros < 1 || p.AnnealTimeMicros > 300 {
+		return fmt.Errorf("anneal: Ta = %g µs outside the DW2Q range [1,300]", p.AnnealTimeMicros)
+	}
+	if p.PauseTimeMicros < 0 {
+		return errors.New("anneal: negative pause time")
+	}
+	if p.PauseTimeMicros > 0 && (p.PausePosition <= 0 || p.PausePosition >= 1) {
+		return fmt.Errorf("anneal: pause position %g outside (0,1)", p.PausePosition)
+	}
+	if p.NumAnneals < 1 {
+		return errors.New("anneal: need at least one anneal")
+	}
+	return nil
+}
+
+// ICEModel is the intrinsic-control-error noise of §4: per-anneal Gaussian
+// perturbation of the programmed coefficients.
+type ICEModel struct {
+	Enabled bool
+	HMean   float64 // ⟨δf⟩ mean
+	HStd    float64 // ⟨δf⟩ std
+	JMean   float64 // ⟨δg⟩ mean
+	JStd    float64 // ⟨δg⟩ std
+}
+
+// DefaultICE returns the noise magnitudes measured on the DW2Q
+// (§4 "Precision Issues"): δf ≈ 0.008 ± 0.02, δg ≈ −0.015 ± 0.025.
+func DefaultICE() ICEModel {
+	return ICEModel{Enabled: true, HMean: 0.008, HStd: 0.02, JMean: -0.015, JStd: 0.025}
+}
+
+// RangeSpec is the analog programming range of the device.
+type RangeSpec struct {
+	HMax    float64 // |h| limit (2 on the DW2Q)
+	JPosMax float64 // positive coupler limit (+1)
+	JNegMax float64 // negative coupler magnitude limit (1 standard, 2 improved)
+}
+
+// Range returns the device range for the given dynamic-range option.
+func Range(improved bool) RangeSpec {
+	r := RangeSpec{HMax: 2, JPosMax: 1, JNegMax: 1}
+	if improved {
+		r.JNegMax = 2
+	}
+	return r
+}
+
+// Machine is the simulated annealer. Fields are calibration constants; the
+// zero value is unusable — construct with NewMachine.
+type Machine struct {
+	// SweepsPerMicrosecond converts Ta/Tp into Metropolis sweep budgets.
+	// This is the single calibration constant of the simulator (DESIGN.md §5).
+	SweepsPerMicrosecond float64
+	// BetaInitial/BetaFinal bound the geometric inverse-temperature ramp,
+	// the classical analog of the A(t)/B(t) signal swap.
+	BetaInitial, BetaFinal float64
+	// ICE is the control-error model applied to every anneal.
+	ICE ICEModel
+	// Workers bounds run concurrency (≤ 0 means 1).
+	Workers int
+}
+
+// NewMachine returns a machine with the repository's calibrated constants
+// (see calibrate.go for how they were chosen).
+func NewMachine() *Machine {
+	return &Machine{
+		SweepsPerMicrosecond: CalibratedSweepsPerMicrosecond,
+		BetaInitial:          CalibratedBetaInitial,
+		BetaFinal:            CalibratedBetaFinal,
+		ICE:                  DefaultICE(),
+		Workers:              8,
+	}
+}
+
+// Sample is one anneal outcome: the final physical spin configuration.
+type Sample struct {
+	Spins []int8
+}
+
+// Run executes one QA job: Na anneals of the given physical program under
+// params, returning every sample. improvedRange selects the coupler range
+// used for the rescale step. The run is deterministic given src.
+func (m *Machine) Run(prog *qubo.Sparse, params Params, improvedRange bool, src *rng.Source) ([]Sample, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.N == 0 {
+		return nil, errors.New("anneal: empty program")
+	}
+	prepared := m.prepare(prog, improvedRange)
+
+	workers := m.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > params.NumAnneals {
+		workers = params.NumAnneals
+	}
+	sources := src.SplitN(workers)
+	samples := make([]Sample, params.NumAnneals)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := newAnnealState(prepared, m)
+			for a := w; a < params.NumAnneals; a += workers {
+				samples[a] = Sample{Spins: st.anneal(params, sources[w])}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return samples, nil
+}
+
+// prepared is the rescaled program plus CSR adjacency.
+type prepared struct {
+	n      int
+	h      []float64
+	edges  []qubo.SparseEdge // rescaled weights
+	adjIdx [][]int32         // per spin: indices into edges
+	adjNbr [][]int32         // per spin: the other endpoint
+	scale  float64           // the auto-scale divisor that was applied
+}
+
+// prepare applies the hardware auto-scaling (programs must fit the analog
+// range; out-of-range programs are scaled down globally, which is the
+// mechanism that erases problem information at large |J_F|) and builds the
+// adjacency structure.
+func (m *Machine) prepare(prog *qubo.Sparse, improvedRange bool) *prepared {
+	r := Range(improvedRange)
+	scale := 1.0
+	for _, h := range prog.H {
+		if s := math.Abs(h) / r.HMax; s > scale {
+			scale = s
+		}
+	}
+	for _, e := range prog.Edges {
+		var s float64
+		if e.W >= 0 {
+			s = e.W / r.JPosMax
+		} else {
+			s = -e.W / r.JNegMax
+		}
+		if s > scale {
+			scale = s
+		}
+	}
+	p := &prepared{
+		n:     prog.N,
+		h:     make([]float64, prog.N),
+		edges: make([]qubo.SparseEdge, len(prog.Edges)),
+		scale: scale,
+	}
+	for i, h := range prog.H {
+		p.h[i] = h / scale
+	}
+	deg := make([]int, prog.N)
+	for i, e := range prog.Edges {
+		p.edges[i] = qubo.SparseEdge{I: e.I, J: e.J, W: e.W / scale}
+		deg[e.I]++
+		deg[e.J]++
+	}
+	p.adjIdx = make([][]int32, prog.N)
+	p.adjNbr = make([][]int32, prog.N)
+	for i := range p.adjIdx {
+		p.adjIdx[i] = make([]int32, 0, deg[i])
+		p.adjNbr[i] = make([]int32, 0, deg[i])
+	}
+	for idx, e := range p.edges {
+		p.adjIdx[e.I] = append(p.adjIdx[e.I], int32(idx))
+		p.adjNbr[e.I] = append(p.adjNbr[e.I], int32(e.J))
+		p.adjIdx[e.J] = append(p.adjIdx[e.J], int32(idx))
+		p.adjNbr[e.J] = append(p.adjNbr[e.J], int32(e.I))
+	}
+	return p
+}
+
+// Scale exposes the auto-scale divisor prepare would apply — used by tests
+// and the J_F microbenchmarks.
+func (m *Machine) Scale(prog *qubo.Sparse, improvedRange bool) float64 {
+	return m.prepare(prog, improvedRange).scale
+}
+
+// annealState holds per-worker scratch buffers.
+type annealState struct {
+	p       *prepared
+	machine *Machine
+	spins   []int8
+	hPert   []float64 // ICE-perturbed fields for the current anneal
+	jPert   []float64 // ICE-perturbed edge weights
+}
+
+func newAnnealState(p *prepared, m *Machine) *annealState {
+	return &annealState{
+		p:       p,
+		machine: m,
+		spins:   make([]int8, p.n),
+		hPert:   make([]float64, p.n),
+		jPert:   make([]float64, len(p.edges)),
+	}
+}
+
+// anneal performs one full annealing cycle and returns a copy of the final
+// spins.
+func (st *annealState) anneal(params Params, src *rng.Source) []int8 {
+	p := st.p
+	m := st.machine
+
+	// ICE: fresh perturbation of the programmed values each anneal (§4:
+	// "noise fluctuating at a time scale of the order of the anneal time").
+	if m.ICE.Enabled {
+		for i := range p.h {
+			st.hPert[i] = p.h[i] + src.Gauss(m.ICE.HMean, m.ICE.HStd)
+		}
+		for i := range p.edges {
+			st.jPert[i] = p.edges[i].W + src.Gauss(m.ICE.JMean, m.ICE.JStd)
+		}
+	} else {
+		copy(st.hPert, p.h)
+		for i := range p.edges {
+			st.jPert[i] = p.edges[i].W
+		}
+	}
+
+	// Initial superposition analog: uniformly random state.
+	for i := range st.spins {
+		if src.Bool() {
+			st.spins[i] = 1
+		} else {
+			st.spins[i] = -1
+		}
+	}
+
+	rampSweeps := int(math.Round(m.SweepsPerMicrosecond * params.AnnealTimeMicros))
+	if rampSweeps < 1 {
+		rampSweeps = 1
+	}
+	pauseSweeps := 0
+	if params.PauseTimeMicros > 0 {
+		pauseSweeps = int(math.Round(m.SweepsPerMicrosecond * params.PauseTimeMicros))
+	}
+	pauseAt := int(params.PausePosition * float64(rampSweeps))
+
+	logRatio := math.Log(m.BetaFinal / m.BetaInitial)
+	beta := func(sweep int) float64 {
+		s := float64(sweep) / float64(rampSweeps-1)
+		if rampSweeps == 1 {
+			s = 1
+		}
+		return m.BetaInitial * math.Exp(logRatio*s)
+	}
+
+	for sweep := 0; sweep < rampSweeps; sweep++ {
+		st.sweep(beta(sweep), src)
+		if pauseSweeps > 0 && sweep == pauseAt {
+			// Anneal pause: hold the schedule (fixed temperature) to let the
+			// system thermalize [43].
+			bp := beta(sweep)
+			for k := 0; k < pauseSweeps; k++ {
+				st.sweep(bp, src)
+			}
+		}
+	}
+	out := make([]int8, p.n)
+	copy(out, st.spins)
+	return out
+}
+
+// sweep performs one Metropolis pass over all spins.
+func (st *annealState) sweep(beta float64, src *rng.Source) {
+	p := st.p
+	for i := 0; i < p.n; i++ {
+		local := st.hPert[i]
+		nbrs := p.adjNbr[i]
+		idxs := p.adjIdx[i]
+		for k, nb := range nbrs {
+			local += st.jPert[idxs[k]] * float64(st.spins[nb])
+		}
+		dE := -2 * float64(st.spins[i]) * local
+		if dE <= 0 || src.Float64() < math.Exp(-beta*dE) {
+			st.spins[i] = -st.spins[i]
+		}
+	}
+}

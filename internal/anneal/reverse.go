@@ -1,0 +1,119 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// RunReverse executes a batch of REVERSE anneals (paper §8 future work,
+// Venturelli & Kondratyev [68]): instead of starting each cycle in the
+// uniform superposition, the machine is initialized in a caller-supplied
+// classical state (e.g. a linear detector's decision), the schedule is run
+// backward from the cold end to the turning point sp, held there for the
+// pause time, and then run forward to the cold end again. This performs a
+// local quantum-assisted refinement around the initial state.
+//
+// In the simulator the analog is exact: each anneal starts from `initial`,
+// heats from β_final to β(sp) over half the Ta sweep budget, holds at β(sp)
+// for the Tp budget, and re-cools over the remaining half.
+//
+// params.PausePosition is the turning point (required, in (0,1));
+// params.PauseTimeMicros may be zero for a pure down-up ramp.
+func (m *Machine) RunReverse(prog *qubo.Sparse, params Params, improvedRange bool, initial []int8, src *rng.Source) ([]Sample, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.PausePosition <= 0 || params.PausePosition >= 1 {
+		return nil, errors.New("anneal: reverse annealing requires a turning point in (0,1)")
+	}
+	if prog.N == 0 {
+		return nil, errors.New("anneal: empty program")
+	}
+	if len(initial) != prog.N {
+		return nil, errors.New("anneal: initial state length mismatch")
+	}
+	prepared := m.prepare(prog, improvedRange)
+
+	workers := m.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > params.NumAnneals {
+		workers = params.NumAnneals
+	}
+	sources := src.SplitN(workers)
+	samples := make([]Sample, params.NumAnneals)
+
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			st := newAnnealState(prepared, m)
+			for a := w; a < params.NumAnneals; a += workers {
+				samples[a] = Sample{Spins: st.reverseAnneal(params, initial, sources[w])}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return samples, nil
+}
+
+// reverseAnneal performs one reverse annealing cycle.
+func (st *annealState) reverseAnneal(params Params, initial []int8, src *rng.Source) []int8 {
+	p := st.p
+	m := st.machine
+
+	if m.ICE.Enabled {
+		for i := range p.h {
+			st.hPert[i] = p.h[i] + src.Gauss(m.ICE.HMean, m.ICE.HStd)
+		}
+		for i := range p.edges {
+			st.jPert[i] = p.edges[i].W + src.Gauss(m.ICE.JMean, m.ICE.JStd)
+		}
+	} else {
+		copy(st.hPert, p.h)
+		for i := range p.edges {
+			st.jPert[i] = p.edges[i].W
+		}
+	}
+
+	copy(st.spins, initial)
+
+	rampSweeps := int(math.Round(m.SweepsPerMicrosecond * params.AnnealTimeMicros))
+	if rampSweeps < 2 {
+		rampSweeps = 2
+	}
+	half := rampSweeps / 2
+	pauseSweeps := 0
+	if params.PauseTimeMicros > 0 {
+		pauseSweeps = int(math.Round(m.SweepsPerMicrosecond * params.PauseTimeMicros))
+	}
+	// β at the turning point: the same geometric schedule position as the
+	// forward anneal's pause.
+	logRatio := math.Log(m.BetaFinal / m.BetaInitial)
+	betaAt := func(s float64) float64 { return m.BetaInitial * math.Exp(logRatio*s) }
+	betaTurn := betaAt(params.PausePosition)
+
+	// Heat: β_final → β_turn.
+	for k := 0; k < half; k++ {
+		f := float64(k) / float64(half)
+		st.sweep(m.BetaFinal+f*(betaTurn-m.BetaFinal), src)
+	}
+	// Hold at the turning point.
+	for k := 0; k < pauseSweeps; k++ {
+		st.sweep(betaTurn, src)
+	}
+	// Re-cool: β_turn → β_final.
+	for k := 0; k < rampSweeps-half; k++ {
+		f := float64(k) / float64(rampSweeps-half)
+		st.sweep(betaTurn+f*(m.BetaFinal-betaTurn), src)
+	}
+	out := make([]int8, p.n)
+	copy(out, st.spins)
+	return out
+}

@@ -1,0 +1,189 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+func TestRunReverseValidation(t *testing.T) {
+	m := NewMachine()
+	prog := qubo.NewSparse(4)
+	prog.AddEdge(0, 1, -1)
+	good := Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 2}
+	init := []int8{1, 1, 1, 1}
+	if _, err := m.RunReverse(prog, good, false, init, rng.New(1)); err != nil {
+		t.Fatalf("valid reverse run failed: %v", err)
+	}
+	noTurn := Params{AnnealTimeMicros: 1, NumAnneals: 2}
+	if _, err := m.RunReverse(prog, noTurn, false, init, rng.New(1)); err == nil {
+		t.Fatal("missing turning point accepted")
+	}
+	if _, err := m.RunReverse(prog, good, false, []int8{1}, rng.New(1)); err == nil {
+		t.Fatal("wrong init length accepted")
+	}
+	if _, err := m.RunReverse(qubo.NewSparse(0), good, false, nil, rng.New(1)); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+// Reverse annealing seeded AT the ground state of an easy problem must
+// mostly stay there (local refinement, not a restart).
+func TestRunReverseStaysNearGoodSeed(t *testing.T) {
+	m := NewMachine()
+	m.ICE.Enabled = false
+	prog := qubo.NewSparse(12)
+	for i := 0; i < 11; i++ {
+		prog.AddEdge(i, i+1, -1)
+	}
+	prog.H[0] = -0.5 // ground state all +1
+	init := make([]int8, 12)
+	for i := range init {
+		init[i] = 1
+	}
+	params := Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 60}
+	samples, err := m.RunReverse(prog, params, false, init, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := 0
+	for _, s := range samples {
+		ok := true
+		for _, v := range s.Spins {
+			if v != 1 {
+				ok = false
+			}
+		}
+		if ok {
+			stay++
+		}
+	}
+	if stay < 40 {
+		t.Fatalf("reverse annealing kept the perfect seed only %d/60 times", stay)
+	}
+}
+
+// Reverse annealing must be deterministic given the seed.
+func TestRunReverseDeterministic(t *testing.T) {
+	m := NewMachine()
+	prog := qubo.NewSparse(6)
+	for i := 0; i < 5; i++ {
+		prog.AddEdge(i, i+1, -0.7)
+	}
+	init := []int8{1, -1, 1, -1, 1, -1}
+	params := Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.3, NumAnneals: 10}
+	a, err := m.RunReverse(prog, params, false, init, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.RunReverse(prog, params, false, init, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for k := range a[i].Spins {
+			if a[i].Spins[k] != b[i].Spins[k] {
+				t.Fatal("reverse run not deterministic")
+			}
+		}
+	}
+}
+
+// Rescaling a program by a constant must not change which configuration is
+// the ground state the annealer prefers (the auto-scale invariance the
+// hardware relies on).
+func TestScaleInvarianceOfPreferredState(t *testing.T) {
+	src := rng.New(4)
+	base := qubo.NewSparse(10)
+	for i := 0; i < 10; i++ {
+		base.H[i] = src.Gauss(0, 0.3)
+		for j := i + 1; j < 10 && j < i+3; j++ {
+			base.AddEdge(i, j, src.Gauss(0, 0.3))
+		}
+	}
+	scaled := base.Clone()
+	for i := range scaled.H {
+		scaled.H[i] *= 7
+	}
+	for i := range scaled.Edges {
+		scaled.Edges[i].W *= 7
+	}
+	m := NewMachine()
+	m.ICE.Enabled = false
+	params := Params{AnnealTimeMicros: 2, NumAnneals: 200}
+
+	count := func(p *qubo.Sparse) map[string]int {
+		samples, err := m.Run(p, params, false, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := map[string]int{}
+		for _, s := range samples {
+			key := make([]byte, len(s.Spins))
+			for i, v := range s.Spins {
+				if v > 0 {
+					key[i] = 1
+				}
+			}
+			c[string(key)]++
+		}
+		return c
+	}
+	a := count(base)
+	b := count(scaled)
+	bestOf := func(c map[string]int) string {
+		bk, bv := "", -1
+		for k, v := range c {
+			if v > bv {
+				bk, bv = k, v
+			}
+		}
+		return bk
+	}
+	// The modal configuration must agree: the auto-scale divides the scaled
+	// program back into range, leaving identical dynamics.
+	if bestOf(a) != bestOf(b) {
+		t.Fatal("auto-scaling changed the preferred configuration")
+	}
+}
+
+// ICE noise must measurably perturb outcomes relative to a noiseless run on
+// a precision-sensitive program (the §4 precision-squeeze mechanism).
+func TestICEPerturbsOutcomes(t *testing.T) {
+	src := rng.New(6)
+	prog := qubo.NewSparse(16)
+	for i := 0; i < 16; i++ {
+		// Coefficients ~10× the ICE magnitudes: solvable when clean, but
+		// each anneal's perturbation visibly erodes the success rate.
+		prog.H[i] = src.Gauss(0, 0.1)
+		if i > 0 {
+			prog.AddEdge(i-1, i, -0.2)
+		}
+	}
+	params := Params{AnnealTimeMicros: 1, NumAnneals: 600}
+	groundRate := func(ice bool, seed int64) float64 {
+		m := NewMachine()
+		m.ICE.Enabled = ice
+		samples, err := m.Run(prog, params, false, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := prog.ToDense()
+		gs, ge := qubo.BruteForceIsing(dense)
+		_ = gs
+		hits := 0
+		for _, s := range samples {
+			if math.Abs(dense.Energy(s.Spins)-ge) < 1e-9 {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(samples))
+	}
+	clean := groundRate(false, 7)
+	noisy := groundRate(true, 7)
+	if noisy >= clean {
+		t.Fatalf("ICE should reduce ground-state rate on a precision-limited program: %.3f (ICE) vs %.3f (clean)", noisy, clean)
+	}
+}

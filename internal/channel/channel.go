@@ -1,0 +1,201 @@
+// Package channel provides the wireless channel models used by the QuAMax
+// evaluation: the unit-gain random-phase channel of paper §5.3, i.i.d.
+// Rayleigh fading (Table 1), AWGN generation at a target SNR (§5.4), and an
+// OFDM container with frequency-correlated subcarriers generated from a
+// tapped delay line (§3.2: the ML-to-QA reduction runs per subcarrier).
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Model generates channel matrices.
+type Model interface {
+	// Generate draws an Nr×Nt channel matrix.
+	Generate(src *rng.Source, nr, nt int) *linalg.Mat
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// RandomPhase is the paper §5.3 channel: every entry has unit magnitude and
+// uniformly random phase, isolating annealer behaviour from fading depth.
+type RandomPhase struct{}
+
+// Generate draws H with H[i][j] = e^{jθ}, θ ~ U[0,2π).
+func (RandomPhase) Generate(src *rng.Source, nr, nt int) *linalg.Mat {
+	h := linalg.NewMat(nr, nt)
+	for i := range h.Data {
+		h.Data[i] = src.UnitPhase()
+	}
+	return h
+}
+
+// Name implements Model.
+func (RandomPhase) Name() string { return "random-phase" }
+
+// Rayleigh is i.i.d. Rayleigh fading: entries CN(0,1).
+type Rayleigh struct{}
+
+// Generate draws H with independent CN(0,1) entries.
+func (Rayleigh) Generate(src *rng.Source, nr, nt int) *linalg.Mat {
+	h := linalg.NewMat(nr, nt)
+	for i := range h.Data {
+		h.Data[i] = src.ComplexNorm()
+	}
+	return h
+}
+
+// Name implements Model.
+func (Rayleigh) Name() string { return "rayleigh" }
+
+// Fixed replays a pre-drawn matrix (trace playback, §5.4's fixed-channel
+// noise study). Generate panics if the requested shape disagrees.
+type Fixed struct {
+	H     *linalg.Mat
+	Label string
+}
+
+// Generate returns a copy of the stored matrix.
+func (f Fixed) Generate(_ *rng.Source, nr, nt int) *linalg.Mat {
+	if f.H.Rows != nr || f.H.Cols != nt {
+		panic(fmt.Sprintf("channel: Fixed is %dx%d, requested %dx%d", f.H.Rows, f.H.Cols, nr, nt))
+	}
+	return f.H.Clone()
+}
+
+// Name implements Model.
+func (f Fixed) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fixed"
+}
+
+// SNRdBToLinear converts decibels to a linear power ratio.
+func SNRdBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// SNRLinearToDB converts a linear power ratio to decibels.
+func SNRLinearToDB(lin float64) float64 { return 10 * math.Log10(lin) }
+
+// NoiseSigma returns the per-receive-antenna complex noise standard deviation
+// σ such that n_i = σ·CN(0,1) yields the requested receive SNR
+//
+//	SNR = E‖Hv‖² / E‖n‖²
+//
+// under the unit-average-gain channel convention (E|h_ij|² = 1, both for the
+// random-phase and Rayleigh models) and i.i.d. symbols with energy
+// Es = mod.AvgSymbolEnergy(): E‖Hv‖² = Nr·Nt·Es and E‖n‖² = Nr·σ².
+func NoiseSigma(mod modulation.Modulation, nt int, snrDB float64) float64 {
+	if nt <= 0 {
+		panic("channel: NoiseSigma requires nt > 0")
+	}
+	es := mod.AvgSymbolEnergy()
+	return math.Sqrt(float64(nt) * es / SNRdBToLinear(snrDB))
+}
+
+// AddAWGN returns y + σ·CN(0,1) element-wise as a new slice.
+func AddAWGN(src *rng.Source, y []complex128, sigma float64) []complex128 {
+	out := make([]complex128, len(y))
+	for i, v := range y {
+		out[i] = v + complex(sigma, 0)*src.ComplexNorm()
+	}
+	return out
+}
+
+// MeasureSNR estimates the realized SNR (dB) of a received vector given the
+// noiseless signal — a test/diagnostic helper.
+func MeasureSNR(signal, received []complex128) float64 {
+	sig := linalg.Norm2(signal)
+	noise := linalg.Norm2(linalg.VecSub(received, signal))
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return SNRLinearToDB(sig / noise)
+}
+
+// TappedDelayLine models a frequency-selective channel as L taps with an
+// exponential power-delay profile, producing correlated per-subcarrier
+// responses via a DFT. With NumTaps = 1 all subcarriers are identical
+// (flat fading); as NumTaps grows subcarriers decorrelate.
+type TappedDelayLine struct {
+	NumTaps int     // L ≥ 1
+	Decay   float64 // per-tap power decay factor in (0,1]; 1 = uniform profile
+}
+
+// tapPowers returns the normalized exponential power-delay profile.
+func (t TappedDelayLine) tapPowers() []float64 {
+	l := t.NumTaps
+	if l < 1 {
+		l = 1
+	}
+	d := t.Decay
+	if d <= 0 || d > 1 {
+		d = 1
+	}
+	p := make([]float64, l)
+	sum := 0.0
+	for i := range p {
+		p[i] = math.Pow(d, float64(i))
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// GenerateOFDM draws one channel use across numSC subcarriers: each antenna
+// pair gets independent taps, and subcarrier k's response is the DFT of the
+// tap vector at frequency k/numSC. Every returned matrix has unit average
+// entry power.
+func (t TappedDelayLine) GenerateOFDM(src *rng.Source, nr, nt, numSC int) []*linalg.Mat {
+	p := t.tapPowers()
+	out := make([]*linalg.Mat, numSC)
+	for k := range out {
+		out[k] = linalg.NewMat(nr, nt)
+	}
+	taps := make([]complex128, len(p))
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nt; j++ {
+			for l := range taps {
+				taps[l] = complex(math.Sqrt(p[l]), 0) * src.ComplexNorm()
+			}
+			for k := 0; k < numSC; k++ {
+				var h complex128
+				for l := range taps {
+					angle := -2 * math.Pi * float64(k*l) / float64(numSC)
+					h += taps[l] * complex(math.Cos(angle), math.Sin(angle))
+				}
+				out[k].Set(i, j, h)
+			}
+		}
+	}
+	return out
+}
+
+// SubcarrierCorrelation estimates the magnitude correlation between
+// subcarriers 0 and sep over many draws — used in tests to confirm the
+// delay-line model produces the intended frequency selectivity.
+func SubcarrierCorrelation(t TappedDelayLine, src *rng.Source, sep, numSC, draws int) float64 {
+	var num, d0, d1 complex128
+	for i := 0; i < draws; i++ {
+		sc := t.GenerateOFDM(src, 1, 1, numSC)
+		a := sc[0].At(0, 0)
+		b := sc[sep].At(0, 0)
+		num += a * conj(b)
+		d0 += a * conj(a)
+		d1 += b * conj(b)
+	}
+	den := math.Sqrt(real(d0) * real(d1))
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(real(num)*real(num)+imag(num)*imag(num)) / den
+}
+
+func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }

@@ -1,0 +1,160 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func TestRandomPhaseUnitMagnitude(t *testing.T) {
+	src := rng.New(31)
+	h := RandomPhase{}.Generate(src, 8, 8)
+	for i, v := range h.Data {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Fatalf("entry %d has magnitude %g", i, cmplx.Abs(v))
+		}
+	}
+}
+
+func TestRayleighUnitAveragePower(t *testing.T) {
+	src := rng.New(32)
+	var p float64
+	n := 0
+	for trial := 0; trial < 200; trial++ {
+		h := Rayleigh{}.Generate(src, 4, 4)
+		for _, v := range h.Data {
+			p += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	p /= float64(n)
+	if math.Abs(p-1) > 0.05 {
+		t.Fatalf("average entry power %g, want ≈1", p)
+	}
+}
+
+func TestFixedReplays(t *testing.T) {
+	h := linalg.Identity(3)
+	f := Fixed{H: h, Label: "trace-7"}
+	got := f.Generate(nil, 3, 3)
+	if linalg.MaxAbsDiff(h, got) != 0 {
+		t.Fatal("Fixed did not replay the stored matrix")
+	}
+	if f.Name() != "trace-7" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	got.Set(0, 0, 99)
+	if h.At(0, 0) == 99 {
+		t.Fatal("Fixed returned an aliased matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	f.Generate(nil, 2, 2)
+}
+
+func TestSNRConversions(t *testing.T) {
+	if got := SNRdBToLinear(20); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("20 dB = %g", got)
+	}
+	if got := SNRLinearToDB(1000); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("1000x = %g dB", got)
+	}
+}
+
+// Realized SNR of a large random system must be close to the requested SNR.
+func TestNoiseSigmaRealizesTargetSNR(t *testing.T) {
+	src := rng.New(33)
+	const (
+		nr, nt = 16, 16
+		snrDB  = 20.0
+	)
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+		sigma := NoiseSigma(mod, nt, snrDB)
+		var sig, noise float64
+		for trial := 0; trial < 300; trial++ {
+			h := RandomPhase{}.Generate(src, nr, nt)
+			bits := src.Bits(nt * mod.BitsPerSymbol())
+			v := mod.MapGrayVector(bits)
+			y := linalg.MulVec(h, v)
+			r := AddAWGN(src, y, sigma)
+			sig += linalg.Norm2(y)
+			noise += linalg.Norm2(linalg.VecSub(r, y))
+		}
+		got := SNRLinearToDB(sig / noise)
+		if math.Abs(got-snrDB) > 0.5 {
+			t.Errorf("%v: realized SNR %.2f dB, want %.2f", mod, got, snrDB)
+		}
+	}
+}
+
+func TestMeasureSNR(t *testing.T) {
+	signal := []complex128{10, 10}
+	received := []complex128{11, 10} // noise power 1, signal power 200
+	got := MeasureSNR(signal, received)
+	want := SNRLinearToDB(200)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MeasureSNR = %g, want %g", got, want)
+	}
+	if !math.IsInf(MeasureSNR(signal, signal), 1) {
+		t.Fatal("noise-free SNR should be +Inf")
+	}
+}
+
+func TestTappedDelayLineFlatWhenOneTap(t *testing.T) {
+	src := rng.New(34)
+	tdl := TappedDelayLine{NumTaps: 1, Decay: 1}
+	sc := tdl.GenerateOFDM(src, 2, 2, 8)
+	for k := 1; k < len(sc); k++ {
+		if linalg.MaxAbsDiff(sc[0], sc[k]) > 1e-12 {
+			t.Fatalf("subcarrier %d differs under flat fading", k)
+		}
+	}
+}
+
+func TestTappedDelayLineUnitPower(t *testing.T) {
+	src := rng.New(35)
+	tdl := TappedDelayLine{NumTaps: 4, Decay: 0.5}
+	var p float64
+	n := 0
+	for trial := 0; trial < 200; trial++ {
+		sc := tdl.GenerateOFDM(src, 1, 1, 16)
+		for _, m := range sc {
+			v := m.At(0, 0)
+			p += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	p /= float64(n)
+	if math.Abs(p-1) > 0.07 {
+		t.Fatalf("average subcarrier power %g, want ≈1", p)
+	}
+}
+
+func TestSubcarrierCorrelationDecays(t *testing.T) {
+	src := rng.New(36)
+	tdl := TappedDelayLine{NumTaps: 8, Decay: 0.8}
+	near := SubcarrierCorrelation(tdl, src, 1, 64, 300)
+	far := SubcarrierCorrelation(tdl, src, 32, 64, 300)
+	if near < far {
+		t.Fatalf("adjacent subcarriers (%.3f) should correlate more than distant ones (%.3f)", near, far)
+	}
+	if near < 0.8 {
+		t.Fatalf("adjacent correlation %.3f unexpectedly low", near)
+	}
+}
+
+func TestNoiseSigmaPanicsOnBadNt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nt=0")
+		}
+	}()
+	NoiseSigma(modulation.BPSK, 0, 10)
+}

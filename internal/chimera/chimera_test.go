@@ -1,0 +1,192 @@
+package chimera
+
+import "testing"
+
+func TestQubitIDRoundTrip(t *testing.T) {
+	g := New(4)
+	seen := make(map[int]bool)
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			for _, side := range []Side{Vertical, Horizontal} {
+				for k := 0; k < CellSize; k++ {
+					id := g.QubitID(row, col, side, k)
+					if seen[id] {
+						t.Fatalf("duplicate id %d", id)
+					}
+					seen[id] = true
+					r, c, s, kk := g.Coordinates(id)
+					if r != row || c != col || s != side || kk != k {
+						t.Fatalf("round trip failed for id %d", id)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != g.NumQubits() {
+		t.Fatalf("enumerated %d ids, want %d", len(seen), g.NumQubits())
+	}
+}
+
+func TestIntraCellK44(t *testing.T) {
+	g := New(2)
+	for kv := 0; kv < 4; kv++ {
+		for kh := 0; kh < 4; kh++ {
+			a := g.QubitID(1, 1, Vertical, kv)
+			b := g.QubitID(1, 1, Horizontal, kh)
+			if !g.HasEdge(a, b) {
+				t.Fatalf("missing K44 edge v%d-h%d", kv, kh)
+			}
+		}
+	}
+	// Same-side qubits within a cell are NOT coupled.
+	if g.HasEdge(g.QubitID(0, 0, Vertical, 0), g.QubitID(0, 0, Vertical, 1)) {
+		t.Fatal("vertical qubits in one cell must not couple")
+	}
+}
+
+func TestInterCellCouplers(t *testing.T) {
+	g := New(3)
+	// Vertical qubits couple to the same index in the cell below.
+	if !g.HasEdge(g.QubitID(0, 1, Vertical, 2), g.QubitID(1, 1, Vertical, 2)) {
+		t.Fatal("missing vertical inter-cell edge")
+	}
+	if g.HasEdge(g.QubitID(0, 1, Vertical, 2), g.QubitID(1, 1, Vertical, 3)) {
+		t.Fatal("vertical inter-cell edge must preserve index")
+	}
+	if g.HasEdge(g.QubitID(0, 1, Vertical, 2), g.QubitID(2, 1, Vertical, 2)) {
+		t.Fatal("vertical inter-cell edges only join adjacent rows")
+	}
+	// Horizontal qubits couple to the same index in the cell to the right.
+	if !g.HasEdge(g.QubitID(1, 0, Horizontal, 0), g.QubitID(1, 1, Horizontal, 0)) {
+		t.Fatal("missing horizontal inter-cell edge")
+	}
+	if g.HasEdge(g.QubitID(1, 0, Horizontal, 0), g.QubitID(0, 1, Horizontal, 0)) {
+		t.Fatal("horizontal edges must stay within a row")
+	}
+	// Vertical–horizontal across cells never couple.
+	if g.HasEdge(g.QubitID(0, 0, Vertical, 0), g.QubitID(1, 0, Horizontal, 0)) {
+		t.Fatal("cross-side inter-cell edge must not exist")
+	}
+}
+
+func TestNeighborsDegree(t *testing.T) {
+	g := New(3)
+	// Interior vertical qubit: 4 intra-cell + 2 inter-cell = 6.
+	if got := len(g.Neighbors(g.QubitID(1, 1, Vertical, 0))); got != 6 {
+		t.Fatalf("interior degree = %d, want 6", got)
+	}
+	// Corner-row vertical qubit: 4 + 1 = 5.
+	if got := len(g.Neighbors(g.QubitID(0, 0, Vertical, 0))); got != 5 {
+		t.Fatalf("edge degree = %d, want 5", got)
+	}
+}
+
+func TestTotalCouplers(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 16} {
+		g := New(m)
+		if got := g.NumWorkingCouplers(); got != TotalCouplers(m) {
+			t.Fatalf("C_%d: %d couplers, want %d", m, got, TotalCouplers(m))
+		}
+	}
+	// C16 manufactured inventory: 4096 intra + 1920 inter = 6016.
+	if TotalCouplers(16) != 6016 {
+		t.Fatalf("C16 should have 6016 couplers, got %d", TotalCouplers(16))
+	}
+}
+
+func TestDefectsRemoveQubitsAndEdges(t *testing.T) {
+	deadQ := 8*1 + 0 // cell (0,1), vertical 0
+	g := NewWithDefects(2, []int{deadQ}, nil)
+	if g.HasQubit(deadQ) {
+		t.Fatal("dead qubit reported working")
+	}
+	if g.NumWorkingQubits() != g.NumQubits()-1 {
+		t.Fatal("working qubit count wrong")
+	}
+	if len(g.Neighbors(deadQ)) != 0 {
+		t.Fatal("dead qubit should have no neighbours")
+	}
+	for _, nb := range New(2).Neighbors(deadQ) {
+		if g.HasEdge(deadQ, nb) {
+			t.Fatal("edge incident to dead qubit survived")
+		}
+		found := false
+		for _, x := range g.Neighbors(nb) {
+			if x == deadQ {
+				found = true
+			}
+		}
+		if found {
+			t.Fatal("dead qubit still appears in neighbour list")
+		}
+	}
+}
+
+func TestCouplerDefect(t *testing.T) {
+	a, b := 0, 4                                  // cell (0,0) vertical 0 – horizontal 0
+	g := NewWithDefects(2, nil, [][2]int{{b, a}}) // reversed order accepted
+	if g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Fatal("dead coupler reported working")
+	}
+	if g.NumWorkingCouplers() != TotalCouplers(2)-1 {
+		t.Fatal("working coupler count wrong")
+	}
+	if g.HasQubit(a) != true || g.HasQubit(b) != true {
+		t.Fatal("coupler defect must not kill qubits")
+	}
+}
+
+func TestDW2QInventory(t *testing.T) {
+	g := DW2Q()
+	if g.M != DW2QGridSize {
+		t.Fatalf("grid %d, want 16", g.M)
+	}
+	if g.NumQubits() != 2048 {
+		t.Fatalf("manufactured qubits %d, want 2048", g.NumQubits())
+	}
+	if got := g.NumWorkingQubits(); got != DW2QWorkingQubits {
+		t.Fatalf("working qubits %d, want %d", got, DW2QWorkingQubits)
+	}
+	// Coupler inventory: at most the manufactured count, and at least the
+	// figure-caption count (we do not force 5,019 exactly; see DW2Q docs).
+	if got := g.NumWorkingCouplers(); got > TotalCouplers(16) || got < 5019 {
+		t.Fatalf("working couplers %d outside plausible range", got)
+	}
+	// Every defect lies in the reserved upper-right corner so that the
+	// paper's largest lower-triangle clique embedding stays feasible.
+	for id := 0; id < g.NumQubits(); id++ {
+		if g.HasQubit(id) {
+			continue
+		}
+		row, col, _, _ := g.Coordinates(id)
+		if row >= 4 || col < 12 {
+			t.Fatalf("defect %d at cell (%d,%d) outside reserved corner", id, row, col)
+		}
+	}
+}
+
+func TestDW2QDeterministic(t *testing.T) {
+	a, b := DW2Q(), DW2Q()
+	for id := 0; id < a.NumQubits(); id++ {
+		if a.HasQubit(id) != b.HasQubit(id) {
+			t.Fatal("DW2Q defect pattern is not deterministic")
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g := DW2Q()
+	for id := 0; id < g.NumQubits(); id += 37 { // sample
+		for _, nb := range g.Neighbors(id) {
+			back := false
+			for _, x := range g.Neighbors(nb) {
+				if x == id {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("edge %d-%d not symmetric", id, nb)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package coding implements the error-control layer the paper assumes above
+// MIMO detection (§5.2.2: "error control coding operates above MIMO
+// detection", and §5.3.3: QuAMax "discards bits, relying on forward error
+// correction to drive BER down").
+//
+// It provides the classic rate-1/2, constraint-length-7 convolutional code
+// with generators (133, 171)₈ — the 802.11/LTE workhorse — with a
+// hard-decision Viterbi decoder, a block interleaver to break up the bursty
+// errors a wrong annealer solution produces, and a frame abstraction that
+// measures *coded* frame error rates, complementing the paper's analytic
+// FER = 1−(1−BER)^bits.
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Convolutional is a rate-1/n feed-forward convolutional code.
+type Convolutional struct {
+	// K is the constraint length (memory = K−1).
+	K int
+	// Generators are the octal-style generator polynomials given as binary
+	// masks over the K most recent input bits (LSB = oldest).
+	Generators []uint32
+}
+
+// NewWiFiCode returns the (133,171)₈ K=7 rate-1/2 code.
+func NewWiFiCode() *Convolutional {
+	return &Convolutional{K: 7, Generators: []uint32{0o133, 0o171}}
+}
+
+// Rate returns the code rate 1/len(Generators).
+func (c *Convolutional) Rate() float64 { return 1 / float64(len(c.Generators)) }
+
+// numStates returns 2^(K−1).
+func (c *Convolutional) numStates() int { return 1 << (c.K - 1) }
+
+// Encode convolutionally encodes data bits (0/1 bytes) and terminates the
+// trellis with K−1 zero tail bits. Output length = (len(data)+K−1)·n.
+func (c *Convolutional) Encode(data []byte) []byte {
+	n := len(c.Generators)
+	out := make([]byte, 0, (len(data)+c.K-1)*n)
+	var shift uint32 // bit i holds input from i steps ago; bit 0 = newest
+	emit := func(b byte) {
+		shift = (shift << 1) | uint32(b&1)
+		for _, g := range c.Generators {
+			out = append(out, byte(parity32(shift&g)))
+		}
+	}
+	for _, b := range data {
+		emit(b)
+	}
+	for i := 0; i < c.K-1; i++ { // trellis termination
+		emit(0)
+	}
+	return out
+}
+
+func parity32(x uint32) int {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return int(x & 1)
+}
+
+// Decode runs hard-decision Viterbi over the received coded bits, assuming
+// the trellis was terminated (as Encode does). It returns the decoded data
+// bits. The coded length must be a multiple of n and at least (K−1)·n.
+func (c *Convolutional) Decode(coded []byte) ([]byte, error) {
+	n := len(c.Generators)
+	if len(coded)%n != 0 {
+		return nil, fmt.Errorf("coding: coded length %d not a multiple of %d", len(coded), n)
+	}
+	steps := len(coded) / n
+	if steps < c.K-1 {
+		return nil, errors.New("coding: frame shorter than the termination tail")
+	}
+	states := c.numStates()
+	const inf = math.MaxInt32 / 2
+
+	// Precompute per-state, per-input expected outputs.
+	// state encodes the previous K−1 input bits (bit 0 = newest).
+	expected := make([][2]uint32, states*2)
+	for s := 0; s < states; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (uint32(s) << 1) | uint32(in) // shift register after input
+			var bits uint32
+			for gi, g := range c.Generators {
+				bits |= uint32(parity32(reg&g)) << gi
+			}
+			next := reg & uint32(states-1)
+			expected[s*2+in] = [2]uint32{bits, next}
+		}
+	}
+
+	metric := make([]int32, states)
+	next := make([]int32, states)
+	for s := 1; s < states; s++ {
+		metric[s] = inf // encoder starts in the zero state
+	}
+	// Backpointers: step × state → previous state and input bit.
+	back := make([]uint32, steps*states)
+
+	for t := 0; t < steps; t++ {
+		var rx uint32
+		for gi := 0; gi < n; gi++ {
+			rx |= uint32(coded[t*n+gi]&1) << gi
+		}
+		for s := range next {
+			next[s] = inf
+		}
+		for s := 0; s < states; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				e := expected[s*2+in]
+				d := metric[s] + int32(popcount(e[0]^rx))
+				ns := int(e[1])
+				if d < next[ns] {
+					next[ns] = d
+					back[t*states+ns] = uint32(s)<<1 | uint32(in)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Terminated trellis: trace back from state 0.
+	data := make([]byte, steps)
+	state := 0
+	for t := steps - 1; t >= 0; t-- {
+		bp := back[t*states+state]
+		data[t] = byte(bp & 1)
+		state = int(bp >> 1)
+	}
+	// Strip the K−1 tail bits.
+	return data[:steps-(c.K-1)], nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// BlockInterleaver permutes bits by writing row-wise into a rows×cols block
+// and reading column-wise, dispersing the bursty errors a single wrong
+// MIMO solution causes across the codeword.
+type BlockInterleaver struct {
+	Rows, Cols int
+}
+
+// Size returns the block size.
+func (b BlockInterleaver) Size() int { return b.Rows * b.Cols }
+
+// Interleave permutes a block (length must equal Size).
+func (b BlockInterleaver) Interleave(bits []byte) ([]byte, error) {
+	if len(bits) != b.Size() {
+		return nil, fmt.Errorf("coding: interleaver got %d bits, want %d", len(bits), b.Size())
+	}
+	out := make([]byte, len(bits))
+	k := 0
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < b.Rows; r++ {
+			out[k] = bits[r*b.Cols+c]
+			k++
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (b BlockInterleaver) Deinterleave(bits []byte) ([]byte, error) {
+	if len(bits) != b.Size() {
+		return nil, fmt.Errorf("coding: deinterleaver got %d bits, want %d", len(bits), b.Size())
+	}
+	out := make([]byte, len(bits))
+	k := 0
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < b.Rows; r++ {
+			out[r*b.Cols+c] = bits[k]
+			k++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quamax/internal/rng"
+)
+
+func TestEncodeLengthAndRate(t *testing.T) {
+	c := NewWiFiCode()
+	if c.Rate() != 0.5 {
+		t.Fatalf("rate = %g", c.Rate())
+	}
+	data := make([]byte, 100)
+	coded := c.Encode(data)
+	if len(coded) != (100+6)*2 {
+		t.Fatalf("coded length %d, want %d", len(coded), (100+6)*2)
+	}
+	// All-zero input through a feed-forward code yields all-zero output.
+	for i, b := range coded {
+		if b != 0 {
+			t.Fatalf("all-zero input produced 1 at %d", i)
+		}
+	}
+}
+
+func TestEncodeKnownImpulse(t *testing.T) {
+	// A single 1 followed by zeros reads out the generator taps in order.
+	c := NewWiFiCode()
+	coded := c.Encode([]byte{1, 0, 0, 0, 0, 0, 0})
+	// g0 = 133₈ = 1011011₂, g1 = 171₈ = 1111001₂ (bit i = tap on input i
+	// steps ago). The impulse response over 7 steps reads the taps LSB→MSB.
+	g0 := []byte{1, 1, 0, 1, 1, 0, 1}
+	g1 := []byte{1, 0, 0, 1, 1, 1, 1}
+	for i := 0; i < 7; i++ {
+		if coded[2*i] != g0[i] || coded[2*i+1] != g1[i] {
+			t.Fatalf("impulse response wrong at step %d: got (%d,%d), want (%d,%d)",
+				i, coded[2*i], coded[2*i+1], g0[i], g1[i])
+		}
+	}
+}
+
+func TestDecodeCleanRoundTrip(t *testing.T) {
+	c := NewWiFiCode()
+	src := rng.New(131)
+	for trial := 0; trial < 20; trial++ {
+		data := src.Bits(1 + src.Intn(200))
+		decoded, err := c.Decode(c.Encode(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(decoded) != len(data) {
+			t.Fatalf("decoded %d bits, want %d", len(decoded), len(data))
+		}
+		for i := range data {
+			if decoded[i] != data[i] {
+				t.Fatalf("trial %d: bit %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+// K=7 rate-1/2 has free distance 10: any ≤4 scattered coded-bit errors must
+// be corrected.
+func TestDecodeCorrectsScatteredErrors(t *testing.T) {
+	c := NewWiFiCode()
+	src := rng.New(132)
+	for trial := 0; trial < 30; trial++ {
+		data := src.Bits(120)
+		coded := c.Encode(data)
+		// Flip 4 well-separated bits.
+		for k := 0; k < 4; k++ {
+			coded[10+k*50] ^= 1
+		}
+		decoded, err := c.Decode(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if decoded[i] != data[i] {
+				t.Fatalf("trial %d: 4 scattered errors not corrected", trial)
+			}
+		}
+	}
+}
+
+func TestDecodeReducesRandomErrors(t *testing.T) {
+	// At 3% coded BER the Viterbi output must be much cleaner than the input.
+	c := NewWiFiCode()
+	src := rng.New(133)
+	var inErr, outErr, total int
+	for trial := 0; trial < 20; trial++ {
+		data := src.Bits(300)
+		coded := c.Encode(data)
+		for i := range coded {
+			if src.Float64() < 0.03 {
+				coded[i] ^= 1
+				inErr++
+			}
+		}
+		decoded, err := c.Decode(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if decoded[i] != data[i] {
+				outErr++
+			}
+			total++
+		}
+	}
+	if outErr*20 > inErr {
+		t.Fatalf("Viterbi barely helped: %d output errors vs %d channel errors over %d bits", outErr, inErr, total)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := NewWiFiCode()
+	if _, err := c.Decode(make([]byte, 3)); err == nil {
+		t.Fatal("odd coded length accepted")
+	}
+	if _, err := c.Decode(make([]byte, 4)); err == nil {
+		t.Fatal("frame shorter than tail accepted")
+	}
+}
+
+func TestInterleaverRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		b := BlockInterleaver{Rows: 1 + src.Intn(8), Cols: 1 + src.Intn(8)}
+		bits := src.Bits(b.Size())
+		il, err := b.Interleave(bits)
+		if err != nil {
+			return false
+		}
+		back, err := b.Deinterleave(il)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaverDispersesBursts(t *testing.T) {
+	b := BlockInterleaver{Rows: 8, Cols: 16}
+	bits := make([]byte, b.Size())
+	il, _ := b.Interleave(bits)
+	_ = il
+	// A burst of 8 consecutive positions post-interleave maps back to
+	// positions spread across ≥ 4 distinct rows of the original block.
+	marked := make([]byte, b.Size())
+	for i := 40; i < 48; i++ {
+		marked[i] = 1
+	}
+	orig, _ := b.Deinterleave(marked)
+	rows := map[int]bool{}
+	for i, v := range orig {
+		if v == 1 {
+			rows[i/b.Cols] = true
+		}
+	}
+	if len(rows) < 4 {
+		t.Fatalf("burst only covers %d rows after deinterleave", len(rows))
+	}
+}
+
+func TestInterleaverValidation(t *testing.T) {
+	b := BlockInterleaver{Rows: 2, Cols: 3}
+	if _, err := b.Interleave(make([]byte, 5)); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+	if _, err := b.Deinterleave(make([]byte, 7)); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+}

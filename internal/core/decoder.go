@@ -1,0 +1,206 @@
+// Package core is QuAMax itself: the quantum-annealing ML MIMO decoder that
+// ties the reduction, embedding, annealer and post-translation together
+// (paper §3–§4). One Decode call performs the paper's full receive pipeline:
+//
+//	H, y ──ReduceToIsing──▶ logical Ising ──EmbedIsing──▶ physical program
+//	      ──Machine.Run (Na anneals)──▶ samples ──Unembed + majority vote──▶
+//	      logical solutions ──min energy──▶ QUBO bits ──PostTranslate──▶ b̂
+//
+// The decoder caches clique embeddings and parallel-slot packings per
+// problem size, mirroring a deployment where the C-RAN data center programs
+// the same embedding template for every subcarrier of a given user count.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"quamax/internal/anneal"
+	"quamax/internal/chimera"
+	"quamax/internal/embedding"
+	"quamax/internal/linalg"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// Options configure a Decoder. The zero value is completed by New with the
+// paper's defaults.
+type Options struct {
+	// Graph is the QPU topology (default: the DW2Q chip model).
+	Graph *chimera.Graph
+	// Machine simulates the QPU (default: anneal.NewMachine()).
+	Machine *anneal.Machine
+	// JF is the ferromagnetic chain strength |J_F| (default 4, a robust
+	// improved-range setting per Fig. 5).
+	JF float64
+	// ImprovedRange enables the doubled negative coupler range (§4); the
+	// paper selects it as the default operating point (§5.3.1).
+	ImprovedRange bool
+	// Params are the per-run annealer knobs (default anneal.DefaultParams()).
+	Params anneal.Params
+	// AmortizeParallel enables the §4 parallelization accounting: TTB/TTF
+	// are divided by the geometric slot count Pf.
+	AmortizeParallel bool
+}
+
+// Decoder is a reusable QuAMax decoder. It is safe for concurrent use.
+type Decoder struct {
+	opts Options
+
+	mu    sync.Mutex
+	embs  map[int]*embedding.Embedding // by logical size N
+	slots map[int]int                  // geometric Pf by N
+}
+
+// New returns a Decoder, filling unset options with the paper's defaults.
+func New(opts Options) (*Decoder, error) {
+	if opts.Graph == nil {
+		opts.Graph = chimera.DW2Q()
+	}
+	if opts.Machine == nil {
+		opts.Machine = anneal.NewMachine()
+	}
+	if opts.JF == 0 {
+		opts.JF = 4
+		opts.ImprovedRange = true
+	}
+	if opts.JF < 0 {
+		return nil, errors.New("core: |J_F| must be positive")
+	}
+	if opts.Params == (anneal.Params{}) {
+		opts.Params = anneal.DefaultParams()
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		opts:  opts,
+		embs:  make(map[int]*embedding.Embedding),
+		slots: make(map[int]int),
+	}, nil
+}
+
+// Options returns the decoder's effective configuration.
+func (d *Decoder) Options() Options { return d.opts }
+
+// embeddingFor returns (and caches) the clique embedding for N logical spins.
+func (d *Decoder) embeddingFor(n int) (*embedding.Embedding, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.embs[n]; ok {
+		return e, d.slots[n], nil
+	}
+	e, err := embedding.Embed(d.opts.Graph, n)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: %d logical spins: %w", n, err)
+	}
+	slots := len(embedding.PackSlots(d.opts.Graph, n))
+	if slots < 1 {
+		slots = 1
+	}
+	d.embs[n] = e
+	d.slots[n] = slots
+	return e, slots, nil
+}
+
+// Outcome is the result of one decode (one channel use).
+type Outcome struct {
+	// Bits are the decoded, post-translated (Gray) data bits.
+	Bits []byte
+	// Symbols are the decoded constellation points.
+	Symbols []complex128
+	// Energy is the logical Ising energy of the best sample; by
+	// construction it equals the ML metric ‖y − H·Symbols‖².
+	Energy float64
+	// BrokenChains totals broken logical chains across all anneals
+	// (annealer health diagnostic).
+	BrokenChains int
+	// Pf is the parallelization factor used for time amortization
+	// (1 when AmortizeParallel is off).
+	Pf float64
+	// WallMicrosPerAnneal is Ta+Tp.
+	WallMicrosPerAnneal float64
+	// Distribution is the rank-ordered solution distribution with bit
+	// errors against ground truth. Populated only by DecodeInstance (bit
+	// errors need the transmitted bits — footnote 7); Decode leaves it nil.
+	Distribution *metrics.Distribution
+	// TxEnergy is the logical energy of the transmitted configuration
+	// (DecodeInstance only); on a noise-free channel this is the ground
+	// energy 0.
+	TxEnergy float64
+}
+
+// Decode runs the QuAMax pipeline on a raw channel use. src drives the
+// annealer and tie-breaking; reuse one source across calls for independent
+// randomness.
+func (d *Decoder) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, src *rng.Source) (*Outcome, error) {
+	return d.decode(mod, h, y, nil, src)
+}
+
+// DecodeInstance decodes a generated instance and additionally fills the
+// evaluation fields (Distribution, TxEnergy) using the instance's ground
+// truth.
+func (d *Decoder) DecodeInstance(in *mimo.Instance, src *rng.Source) (*Outcome, error) {
+	return d.decode(in.Mod, in.H, in.Y, in, src)
+}
+
+func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, src *rng.Source) (*Outcome, error) {
+	if src == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	logical := reduction.ReduceToIsing(mod, h, y)
+	emb, slots, err := d.embeddingFor(logical.N)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := emb.EmbedIsing(logical, d.opts.JF, d.opts.ImprovedRange)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := d.opts.Machine.Run(ep.Phys, d.opts.Params, d.opts.ImprovedRange, src)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Pf:                  1,
+		WallMicrosPerAnneal: d.opts.Params.AnnealWallMicros(),
+	}
+	if d.opts.AmortizeParallel {
+		out.Pf = float64(slots)
+	}
+
+	var acc *metrics.Accumulator
+	if truth != nil {
+		acc = metrics.NewAccumulator(logical.N)
+		out.TxEnergy = logical.Energy(qubo.SpinsFromBits(truth.TxQUBOBits()))
+	}
+
+	bestE := 0.0
+	var bestBits []byte
+	for _, s := range samples {
+		energy, spins, broken := ep.UnembeddedEnergy(s.Spins, src)
+		out.BrokenChains += broken
+		qbits := qubo.BitsFromSpins(spins)
+		if bestBits == nil || energy < bestE {
+			bestE = energy
+			bestBits = qbits
+		}
+		if acc != nil {
+			rx := mod.PostTranslate(qbits)
+			acc.Add(string(qbits), energy, truth.BitErrors(rx))
+		}
+	}
+	out.Energy = bestE
+	out.Bits = mod.PostTranslate(bestBits)
+	out.Symbols = reduction.BitsToSymbols(mod, bestBits)
+	if acc != nil {
+		out.Distribution = acc.Distribution()
+	}
+	return out, nil
+}

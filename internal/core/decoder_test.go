@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func smallDecoder(t *testing.T, params anneal.Params) *Decoder {
+	t.Helper()
+	d, err := New(Options{
+		Graph:  chimera.New(8),
+		Params: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func genInstance(t *testing.T, src *rng.Source, mod modulation.Modulation, nt int, snr float64) *mimo.Instance {
+	t.Helper()
+	in, err := mimo.Generate(src, mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: snr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewDefaults(t *testing.T) {
+	d, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := d.Options()
+	if o.Graph == nil || o.Machine == nil {
+		t.Fatal("defaults not filled")
+	}
+	if o.JF != 4 || !o.ImprovedRange {
+		t.Fatalf("default JF/range: %+v", o)
+	}
+	if o.Params.NumAnneals < 1 {
+		t.Fatal("default params missing")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{JF: -1}); err == nil {
+		t.Fatal("negative JF accepted")
+	}
+	if _, err := New(Options{Params: anneal.Params{AnnealTimeMicros: 0.1, NumAnneals: 1}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+// Noise-free decode of paper-relevant sizes must recover the transmitted
+// bits exactly (the §5.3 scenario where the annealer's own noise is the only
+// impairment).
+func TestDecodeNoiseFreeRecoversBits(t *testing.T) {
+	src := rng.New(101)
+	d := smallDecoder(t, anneal.Params{
+		AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 60,
+	})
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 12},
+		{modulation.QPSK, 6},
+		{modulation.QAM16, 3},
+	}
+	for _, c := range cases {
+		in := genInstance(t, src, c.mod, c.nt, math.Inf(1))
+		out, err := d.DecodeInstance(in, src)
+		if err != nil {
+			t.Fatalf("%v: %v", c.mod, err)
+		}
+		if errs := in.BitErrors(out.Bits); errs != 0 {
+			t.Fatalf("%v %d users: %d bit errors on noise-free channel (energy %g)",
+				c.mod, c.nt, errs, out.Energy)
+		}
+		if out.TxEnergy > 1e-9 {
+			t.Fatalf("%v: TxEnergy = %g, want 0 on noise-free channel", c.mod, out.TxEnergy)
+		}
+		if math.Abs(out.Energy-out.TxEnergy) > 1e-9 {
+			t.Fatalf("%v: best energy %g should reach ground 0", c.mod, out.Energy)
+		}
+		if out.Distribution == nil || out.Distribution.Total != 60 {
+			t.Fatalf("%v: distribution missing or wrong total", c.mod)
+		}
+		if out.Distribution.Solutions[0].BitErrors != 0 {
+			t.Fatalf("%v: rank-1 solution has bit errors on noise-free channel", c.mod)
+		}
+	}
+}
+
+// Energy of the decoded solution must equal its ML metric ‖y − H·v̂‖².
+func TestOutcomeEnergyIsMLMetric(t *testing.T) {
+	src := rng.New(102)
+	d := smallDecoder(t, anneal.Params{AnnealTimeMicros: 1, NumAnneals: 30})
+	in := genInstance(t, src, modulation.QPSK, 4, 18)
+	out, err := d.DecodeInstance(in, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metric float64
+	yHat := make([]complex128, in.Nr)
+	for r := 0; r < in.Nr; r++ {
+		var s complex128
+		for c := 0; c < in.Nt; c++ {
+			s += in.H.At(r, c) * out.Symbols[c]
+		}
+		yHat[r] = s
+		dd := in.Y[r] - s
+		metric += real(dd)*real(dd) + imag(dd)*imag(dd)
+	}
+	if math.Abs(metric-out.Energy) > 1e-6*(1+metric) {
+		t.Fatalf("energy %g != metric %g", out.Energy, metric)
+	}
+}
+
+// Decode (without ground truth) must agree with DecodeInstance given the
+// same randomness, and must not populate evaluation-only fields.
+func TestDecodeWithoutTruth(t *testing.T) {
+	d := smallDecoder(t, anneal.Params{AnnealTimeMicros: 1, NumAnneals: 20})
+	in := genInstance(t, rng.New(103), modulation.BPSK, 8, math.Inf(1))
+	a, err := d.Decode(in.Mod, in.H, in.Y, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Distribution != nil {
+		t.Fatal("Decode should not build a distribution")
+	}
+	b, err := d.DecodeInstance(in, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			t.Fatal("Decode and DecodeInstance disagree under identical randomness")
+		}
+	}
+}
+
+func TestDecoderRejectsNilSource(t *testing.T) {
+	d := smallDecoder(t, anneal.Params{AnnealTimeMicros: 1, NumAnneals: 1})
+	in := genInstance(t, rng.New(104), modulation.BPSK, 4, 20)
+	if _, err := d.DecodeInstance(in, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestDecoderRejectsOversizedProblem(t *testing.T) {
+	d := smallDecoder(t, anneal.Params{AnnealTimeMicros: 1, NumAnneals: 1})
+	// C8 fits at most 32 logical spins; 40-user BPSK needs M=10.
+	in := genInstance(t, rng.New(105), modulation.BPSK, 40, 20)
+	if _, err := d.DecodeInstance(in, rng.New(1)); err == nil {
+		t.Fatal("oversized problem accepted")
+	}
+}
+
+func TestEmbeddingCacheReuse(t *testing.T) {
+	d := smallDecoder(t, anneal.Params{AnnealTimeMicros: 1, NumAnneals: 5})
+	src := rng.New(106)
+	for i := 0; i < 3; i++ {
+		in := genInstance(t, src, modulation.BPSK, 8, 20)
+		if _, err := d.DecodeInstance(in, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.embs) != 1 {
+		t.Fatalf("expected one cached embedding, have %d", len(d.embs))
+	}
+}
+
+func TestAmortizeParallel(t *testing.T) {
+	d, err := New(Options{
+		Graph:            chimera.New(16),
+		Params:           anneal.Params{AnnealTimeMicros: 1, NumAnneals: 5},
+		AmortizeParallel: true,
+		JF:               4, ImprovedRange: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := genInstance(t, rng.New(107), modulation.BPSK, 16, 20)
+	out, err := d.DecodeInstance(in, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pf < 20 {
+		t.Fatalf("Pf = %g, expected ≥ 20 for 16-spin problems on C16 (paper §4)", out.Pf)
+	}
+	if out.WallMicrosPerAnneal != 1 {
+		t.Fatalf("wall = %g", out.WallMicrosPerAnneal)
+	}
+}
+
+// At 20 dB SNR a moderate run must reach BER 0 on most instances for small
+// systems — the sanity anchor for the TTB experiments.
+func TestDecodeAtModerateSNR(t *testing.T) {
+	src := rng.New(108)
+	d := smallDecoder(t, anneal.Params{
+		AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 50,
+	})
+	perfect := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		in := genInstance(t, src, modulation.QPSK, 6, 20)
+		out, err := d.DecodeInstance(in, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.BitErrors(out.Bits) == 0 {
+			perfect++
+		}
+	}
+	if perfect < trials-2 {
+		t.Fatalf("only %d/%d instances decoded perfectly at 20 dB", perfect, trials)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"quamax/internal/detector"
+	"quamax/internal/linalg"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// DecodeInstanceReverse runs the paper's §8 future-work refinement: seed the
+// annealer with a linear detector's decision and REVERSE-anneal around it
+// (Venturelli & Kondratyev [68]). The zero-forcing solution provides the
+// initial classical state; if the channel is singular, MMSE with the
+// instance's noise variance is used; if both fail, the call errors.
+//
+// The returned Outcome is shaped exactly like DecodeInstance's, so the Fix /
+// Opt / TTB machinery applies unchanged.
+func (d *Decoder) DecodeInstanceReverse(in *mimo.Instance, src *rng.Source) (*Outcome, error) {
+	if src == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	seed, err := linearSeed(in)
+	if err != nil {
+		return nil, err
+	}
+	logical := reduction.ReduceToIsing(in.Mod, in.H, in.Y)
+	emb, slots, err := d.embeddingFor(logical.N)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := emb.EmbedIsing(logical, d.opts.JF, d.opts.ImprovedRange)
+	if err != nil {
+		return nil, err
+	}
+	init := emb.PhysicalInit(seed)
+	samples, err := d.opts.Machine.RunReverse(ep.Phys, d.opts.Params, d.opts.ImprovedRange, init, src)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Pf: 1, WallMicrosPerAnneal: d.opts.Params.AnnealWallMicros()}
+	if d.opts.AmortizeParallel {
+		out.Pf = float64(slots)
+	}
+	out.TxEnergy = logical.Energy(qubo.SpinsFromBits(in.TxQUBOBits()))
+	acc := metrics.NewAccumulator(logical.N)
+
+	// Include the seed itself as a candidate: reverse annealing never does
+	// worse than its linear starting point.
+	seedBits := qubo.BitsFromSpins(seed)
+	bestE := logical.Energy(seed)
+	bestBits := seedBits
+	acc.Add(string(seedBits), bestE, in.BitErrors(in.Mod.PostTranslate(seedBits)))
+
+	for _, s := range samples {
+		energy, spins, broken := ep.UnembeddedEnergy(s.Spins, src)
+		out.BrokenChains += broken
+		qbits := qubo.BitsFromSpins(spins)
+		if energy < bestE {
+			bestE = energy
+			bestBits = qbits
+		}
+		rx := in.Mod.PostTranslate(qbits)
+		acc.Add(string(qbits), energy, in.BitErrors(rx))
+	}
+	out.Energy = bestE
+	out.Bits = in.Mod.PostTranslate(bestBits)
+	out.Symbols = reduction.BitsToSymbols(in.Mod, bestBits)
+	out.Distribution = acc.Distribution()
+	return out, nil
+}
+
+// linearSeed produces the reverse-annealing start state from a linear
+// detector: detected symbols → QuAMax-transform bits → spins.
+func linearSeed(in *mimo.Instance) ([]int8, error) {
+	res, err := detector.ZeroForcing(in.Mod, in.H, in.Y)
+	if err != nil {
+		res, err = detector.MMSE(in.Mod, in.H, in.Y, in.NoiseVariance())
+		if err != nil {
+			return nil, err
+		}
+	}
+	qbits := in.Mod.GrayToQuAMaxBits(res.Bits)
+	return qubo.SpinsFromBits(qbits), nil
+}
+
+// BatchResult pairs a subcarrier index with its decode result.
+type BatchResult struct {
+	Index   int
+	Outcome *Outcome
+	Err     error
+}
+
+// DecodeBatch decodes many channel uses (e.g. all subcarriers of an OFDM
+// symbol, §3.2: "this ML-to-QA reduction is required at each subcarrier")
+// concurrently, mirroring the §5.5 opportunity to parallelize different
+// subcarriers' problems. Each element of hs/ys is one subcarrier; results
+// arrive indexed. src seeds one independent stream per subcarrier.
+func (d *Decoder) DecodeBatch(mod modulation.Modulation, hs []*linalg.Mat, ys [][]complex128, src *rng.Source) []BatchResult {
+	if len(hs) != len(ys) {
+		panic("core: DecodeBatch length mismatch")
+	}
+	results := make([]BatchResult, len(hs))
+	sources := src.SplitN(len(hs))
+	var wg sync.WaitGroup
+	for i := range hs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := d.Decode(mod, hs[i], ys[i], sources[i])
+			results[i] = BatchResult{Index: i, Outcome: out, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

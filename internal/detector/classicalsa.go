@@ -1,0 +1,90 @@
+package detector
+
+import (
+	"errors"
+	"math"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// ClassicalSA solves the SAME logical Ising problem QuAMax builds, with
+// plain simulated annealing on a conventional CPU — the "best classical
+// competition to QPUs" the paper cites (§2.2, §6: QA performance "could
+// match the most highly optimized simulated annealing code run on the
+// latest Intel processors"). Unlike the annealer simulator it needs no
+// embedding, chains, ICE or hardware ranges: it is the software baseline a
+// data center could run today.
+type ClassicalSA struct {
+	// Sweeps per restart over the N logical spins.
+	Sweeps int
+	// Restarts of the annealing schedule; the best energy wins.
+	Restarts int
+	// BetaInitial/BetaFinal bound the geometric cooling schedule.
+	BetaInitial, BetaFinal float64
+}
+
+// NewClassicalSA returns a configuration comparable to the QPU simulator's
+// per-run effort (Restarts ≈ Na).
+func NewClassicalSA(sweeps, restarts int) *ClassicalSA {
+	return &ClassicalSA{Sweeps: sweeps, Restarts: restarts, BetaInitial: 0.05, BetaFinal: 5}
+}
+
+// Decode reduces (H, y) to Ising form and anneals it directly, returning
+// the Gray bits of the best configuration found.
+func (c *ClassicalSA) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, src *rng.Source) (Result, error) {
+	if c.Sweeps < 1 || c.Restarts < 1 {
+		return Result{}, errors.New("detector: ClassicalSA needs positive sweeps and restarts")
+	}
+	p := reduction.ReduceToIsing(mod, h, y)
+	// Scale β to the problem's coefficient magnitude so the schedule is
+	// size-independent.
+	scale := p.MaxAbsCoefficient()
+	if scale == 0 {
+		scale = 1
+	}
+	bi, bf := c.BetaInitial/scale*4, c.BetaFinal/scale*4
+	logRatio := math.Log(bf / bi)
+
+	spins := make([]int8, p.N)
+	best := make([]int8, p.N)
+	bestE := math.Inf(1)
+
+	for r := 0; r < c.Restarts; r++ {
+		for i := range spins {
+			if src.Bool() {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		for sweep := 0; sweep < c.Sweeps; sweep++ {
+			s := float64(sweep) / math.Max(1, float64(c.Sweeps-1))
+			beta := bi * math.Exp(logRatio*s)
+			for i := 0; i < p.N; i++ {
+				f := p.H[i]
+				for j := 0; j < p.N; j++ {
+					if j != i {
+						f += p.GetJ(i, j) * float64(spins[j])
+					}
+				}
+				dE := -2 * float64(spins[i]) * f
+				if dE <= 0 || src.Float64() < math.Exp(-beta*dE) {
+					spins[i] = -spins[i]
+				}
+			}
+		}
+		if e := p.Energy(spins); e < bestE {
+			bestE = e
+			copy(best, spins)
+		}
+	}
+	qbits := qubo.BitsFromSpins(best)
+	symbols := reduction.BitsToSymbols(mod, qbits)
+	res := finish(mod, h, y, symbols, 0)
+	res.Bits = mod.PostTranslate(qbits)
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func instance(src *rng.Source, mod modulation.Modulation, nt, nr int, snrDB float64) (*linalg.Mat, []complex128, []byte, float64) {
+	h := channel.Rayleigh{}.Generate(src, nr, nt)
+	bits := src.Bits(nt * mod.BitsPerSymbol())
+	v := mod.MapGrayVector(bits)
+	y := linalg.MulVec(h, v)
+	sigma := 0.0
+	if !math.IsInf(snrDB, 1) {
+		sigma = channel.NoiseSigma(mod, nt, snrDB)
+		y = channel.AddAWGN(src, y, sigma)
+	}
+	return h, y, bits, sigma * sigma
+}
+
+func bitErrors(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestZeroForcingNoiseFree(t *testing.T) {
+	src := rng.New(71)
+	for _, mod := range modulation.All() {
+		h, y, bits, _ := instance(src, mod, 4, 6, math.Inf(1))
+		res, err := ZeroForcing(mod, h, y)
+		if err != nil {
+			t.Fatalf("%v: %v", mod, err)
+		}
+		if bitErrors(bits, res.Bits) != 0 {
+			t.Fatalf("%v: ZF failed on noise-free channel", mod)
+		}
+		if res.Metric > 1e-9 {
+			t.Fatalf("%v: metric %g, want ≈0", mod, res.Metric)
+		}
+	}
+}
+
+func TestZeroForcingSingularChannel(t *testing.T) {
+	h := linalg.MatFromRows([][]complex128{{1, 1}, {1, 1}})
+	if _, err := ZeroForcing(modulation.BPSK, h, []complex128{1, 1}); err == nil {
+		t.Fatal("expected error on singular channel")
+	}
+}
+
+func TestMMSENoiseFreeAndSingular(t *testing.T) {
+	src := rng.New(72)
+	h, y, bits, _ := instance(src, modulation.QPSK, 4, 6, math.Inf(1))
+	res, err := MMSE(modulation.QPSK, h, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitErrors(bits, res.Bits) != 0 {
+		t.Fatal("MMSE failed on noise-free channel")
+	}
+	// MMSE stays defined where ZF is singular.
+	hs := linalg.MatFromRows([][]complex128{{1, 1}, {1, 1}})
+	if _, err := MMSE(modulation.BPSK, hs, []complex128{2, 2}, 0.5); err != nil {
+		t.Fatalf("MMSE should regularize singular channels: %v", err)
+	}
+	if _, err := MMSE(modulation.BPSK, hs, []complex128{2, 2}, -1); err == nil {
+		t.Fatal("negative noise variance must error")
+	}
+}
+
+func TestExhaustiveMLEqualsSphere(t *testing.T) {
+	src := rng.New(73)
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 6}, {modulation.QPSK, 4}, {modulation.QAM16, 2},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 10; trial++ {
+			h, y, _, _ := instance(src, c.mod, c.nt, c.nt, 10)
+			ml, err := ExhaustiveML(c.mod, h, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := SphereDecode(c.mod, h, y, SphereOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ml.Metric-sp.Metric) > 1e-7*(1+ml.Metric) {
+				t.Fatalf("%v nt=%d: sphere metric %g != ML metric %g", c.mod, c.nt, sp.Metric, ml.Metric)
+			}
+			if bitErrors(ml.Bits, sp.Bits) != 0 && math.Abs(ml.Metric-sp.Metric) > 1e-9 {
+				t.Fatalf("%v: sphere bits differ from ML bits with different metric", c.mod)
+			}
+		}
+	}
+}
+
+func TestExhaustiveMLTooLarge(t *testing.T) {
+	src := rng.New(74)
+	h, y, _, _ := instance(src, modulation.QAM64, 5, 5, 20)
+	if _, err := ExhaustiveML(modulation.QAM64, h, y); err == nil {
+		t.Fatal("expected size guard to trip")
+	}
+}
+
+func TestSphereNoiseFreeZeroMetric(t *testing.T) {
+	src := rng.New(75)
+	for _, mod := range modulation.All() {
+		h, y, bits, _ := instance(src, mod, 3, 3, math.Inf(1))
+		res, err := SphereDecode(mod, h, y, SphereOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", mod, err)
+		}
+		if res.Metric > 1e-8 {
+			t.Fatalf("%v: noise-free sphere metric %g", mod, res.Metric)
+		}
+		if bitErrors(bits, res.Bits) != 0 {
+			t.Fatalf("%v: wrong bits", mod)
+		}
+	}
+}
+
+func TestSphereRadiusExcludesEverything(t *testing.T) {
+	src := rng.New(76)
+	h, y, _, _ := instance(src, modulation.BPSK, 4, 4, 10)
+	_, err := SphereDecode(modulation.BPSK, h, y, SphereOptions{InitialRadius2: 1e-12})
+	if err != ErrNoLeafFound {
+		t.Fatalf("expected ErrNoLeafFound, got %v", err)
+	}
+}
+
+func TestSphereNodeBudget(t *testing.T) {
+	src := rng.New(77)
+	h, y, _, _ := instance(src, modulation.QAM16, 6, 6, 5)
+	res, err := SphereDecode(modulation.QAM16, h, y, SphereOptions{MaxVisitedNodes: 10})
+	if err == nil && !res.Exhausted {
+		t.Fatal("tiny budget should exhaust or fail")
+	}
+	if res.VisitedNodes > 11 {
+		t.Fatalf("visited %d nodes with budget 10", res.VisitedNodes)
+	}
+}
+
+// Visited-node counts must grow with system size (the Table 1 story).
+func TestSphereComplexityGrowsWithSize(t *testing.T) {
+	src := rng.New(78)
+	avg := func(nt int) float64 {
+		var total float64
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			h, y, _, _ := instance(src, modulation.BPSK, nt, nt, 13)
+			res, err := SphereDecode(modulation.BPSK, h, y, SphereOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(res.VisitedNodes)
+		}
+		return total / trials
+	}
+	small, large := avg(4), avg(12)
+	if large <= small {
+		t.Fatalf("visited nodes should grow: %g (4 users) vs %g (12 users)", small, large)
+	}
+}
+
+// ZF must hit a BER floor at Nt=Nr while ML-grade detection does not —
+// the Fig. 14 phenomenon.
+func TestZFWorseThanMLOnSquareChannels(t *testing.T) {
+	src := rng.New(79)
+	var zfErrs, mlErrs, total int
+	for trial := 0; trial < 60; trial++ {
+		h, y, bits, _ := instance(src, modulation.BPSK, 8, 8, 11)
+		zf, err := ZeroForcing(modulation.BPSK, h, y)
+		if err != nil {
+			continue // rare singular draw
+		}
+		ml, err := SphereDecode(modulation.BPSK, h, y, SphereOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zfErrs += bitErrors(bits, zf.Bits)
+		mlErrs += bitErrors(bits, ml.Bits)
+		total += len(bits)
+	}
+	if zfErrs <= mlErrs {
+		t.Fatalf("expected ZF (%d/%d errors) to underperform ML (%d/%d)", zfErrs, total, mlErrs, total)
+	}
+}

@@ -1,0 +1,79 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// SIC performs ordered successive interference cancellation (V-BLAST style):
+// repeatedly detect the strongest remaining user with an MMSE filter, slice,
+// subtract its contribution, and continue. It sits between the linear
+// filters and ML in both complexity and BER, and serves as an additional
+// classical baseline for the Fig. 14-style comparisons.
+//
+// noiseVar is the per-antenna complex noise power σ² (0 degenerates to
+// ordered zero-forcing cancellation).
+func SIC(mod modulation.Modulation, h *linalg.Mat, y []complex128, noiseVar float64) (Result, error) {
+	if noiseVar < 0 {
+		return Result{}, fmt.Errorf("detector: negative noise variance")
+	}
+	nt := h.Cols
+	remaining := make([]int, nt) // original column index per active position
+	for i := range remaining {
+		remaining[i] = i
+	}
+	cur := h.Clone()
+	res := make([]complex128, len(y))
+	copy(res, y)
+	symbols := make([]complex128, nt)
+	reg := noiseVar / mod.AvgSymbolEnergy()
+
+	for len(remaining) > 0 {
+		// MMSE pseudo-inverse of the remaining columns.
+		g := linalg.Gram(cur)
+		for i := 0; i < g.Rows; i++ {
+			g.Set(i, i, g.At(i, i)+complex(reg, 0))
+		}
+		gi, err := linalg.Inverse(g)
+		if err != nil {
+			return Result{}, fmt.Errorf("detector: SIC: %w", err)
+		}
+		w := linalg.Mul(gi, linalg.ConjTranspose(cur))
+		x := linalg.MulVec(w, res)
+
+		// Order: pick the stream with the highest post-filter SINR proxy
+		// (smallest diagonal of the regularized inverse Gram).
+		best, bestVal := 0, math.Inf(1)
+		for i := 0; i < gi.Rows; i++ {
+			if v := real(gi.At(i, i)); v < bestVal {
+				best, bestVal = i, v
+			}
+		}
+		user := remaining[best]
+		sym := mod.Slice(x[best])
+		symbols[user] = sym
+
+		// Cancel: res −= h_user · sym.
+		for r := 0; r < h.Rows; r++ {
+			res[r] -= cur.At(r, best) * sym
+		}
+		// Drop the detected column.
+		next := linalg.NewMat(cur.Rows, cur.Cols-1)
+		col := 0
+		for c := 0; c < cur.Cols; c++ {
+			if c == best {
+				continue
+			}
+			for r := 0; r < cur.Rows; r++ {
+				next.Set(r, col, cur.At(r, c))
+			}
+			col++
+		}
+		cur = next
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return finish(mod, h, y, symbols, 0), nil
+}

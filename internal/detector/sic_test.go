@@ -1,0 +1,113 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func TestSICNoiseFree(t *testing.T) {
+	src := rng.New(151)
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+		h, y, bits, _ := instance(src, mod, 4, 6, math.Inf(1))
+		res, err := SIC(mod, h, y, 0.01)
+		if err != nil {
+			t.Fatalf("%v: %v", mod, err)
+		}
+		if bitErrors(bits, res.Bits) != 0 {
+			t.Fatalf("%v: SIC failed noise-free", mod)
+		}
+	}
+}
+
+// SIC must beat plain MMSE on square channels at moderate SNR (cancellation
+// gain) while remaining below ML.
+func TestSICBetweenMMSEAndML(t *testing.T) {
+	src := rng.New(152)
+	var sicErrs, mmseErrs, mlErrs, total int
+	for trial := 0; trial < 60; trial++ {
+		h, y, bits, nv := instance(src, modulation.BPSK, 8, 8, 12)
+		sic, err := SIC(modulation.BPSK, h, y, nv)
+		if err != nil {
+			continue
+		}
+		mmse, err := MMSE(modulation.BPSK, h, y, nv)
+		if err != nil {
+			continue
+		}
+		ml, err := SphereDecode(modulation.BPSK, h, y, SphereOptions{})
+		if err != nil {
+			continue
+		}
+		sicErrs += bitErrors(bits, sic.Bits)
+		mmseErrs += bitErrors(bits, mmse.Bits)
+		mlErrs += bitErrors(bits, ml.Bits)
+		total += len(bits)
+	}
+	if sicErrs >= mmseErrs {
+		t.Fatalf("SIC (%d/%d) should beat MMSE (%d/%d)", sicErrs, total, mmseErrs, total)
+	}
+	if mlErrs > sicErrs {
+		t.Logf("note: ML %d vs SIC %d (ML should win or tie)", mlErrs, sicErrs)
+	}
+}
+
+func TestSICValidation(t *testing.T) {
+	src := rng.New(153)
+	h, y, _, _ := instance(src, modulation.BPSK, 2, 2, 10)
+	if _, err := SIC(modulation.BPSK, h, y, -1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+}
+
+func TestClassicalSADecodesNoiseFree(t *testing.T) {
+	src := rng.New(154)
+	sa := NewClassicalSA(200, 20)
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK} {
+		h, y, bits, _ := instance(src, mod, 8, 8, math.Inf(1))
+		res, err := sa.Decode(mod, h, y, src)
+		if err != nil {
+			t.Fatalf("%v: %v", mod, err)
+		}
+		if bitErrors(bits, res.Bits) != 0 {
+			t.Fatalf("%v: classical SA failed noise-free (metric %g)", mod, res.Metric)
+		}
+	}
+}
+
+// Classical SA on the logical problem must find the ML solution of moderate
+// instances (cross-check against the sphere decoder).
+func TestClassicalSAMatchesML(t *testing.T) {
+	src := rng.New(155)
+	sa := NewClassicalSA(300, 30)
+	hits := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		h, y, _, _ := instance(src, modulation.BPSK, 12, 12, 15)
+		res, err := sa.Decode(modulation.BPSK, h, y, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := SphereDecode(modulation.BPSK, h, y, SphereOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Metric-ml.Metric) < 1e-6*(1+ml.Metric) {
+			hits++
+		}
+	}
+	if hits < trials-1 {
+		t.Fatalf("classical SA matched ML on only %d/%d instances", hits, trials)
+	}
+}
+
+func TestClassicalSAValidation(t *testing.T) {
+	src := rng.New(156)
+	h, y, _, _ := instance(src, modulation.BPSK, 2, 2, 10)
+	bad := &ClassicalSA{Sweeps: 0, Restarts: 1, BetaInitial: 0.1, BetaFinal: 5}
+	if _, err := bad.Decode(modulation.BPSK, h, y, src); err == nil {
+		t.Fatal("zero sweeps accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package detector
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// SphereOptions tune the sphere decoder.
+type SphereOptions struct {
+	// InitialRadius2 is the squared search radius C (Eq. 1 constraint
+	// ‖y−Hv‖² ≤ C). Zero or negative means unbounded (∞): the first leaf
+	// then sets the radius, which is the usual Schnorr–Euchner operation.
+	InitialRadius2 float64
+	// MaxVisitedNodes aborts runaway searches (0 = unlimited). When the
+	// budget is exhausted the best leaf so far (if any) is returned with
+	// Exhausted set.
+	MaxVisitedNodes int
+}
+
+// ErrNoLeafFound is returned when the radius (or node budget) excluded every
+// candidate.
+var ErrNoLeafFound = errors.New("detector: sphere decoder found no candidate within the radius")
+
+// SphereResult extends Result with search diagnostics.
+type SphereResult struct {
+	Result
+	// Exhausted reports that MaxVisitedNodes stopped the search early.
+	Exhausted bool
+}
+
+// SphereDecode runs a depth-first Schnorr–Euchner sphere decoder (§2.1) on
+// the real-valued decomposition of the channel: QR-decompose, then walk the
+// tree from the last dimension with children ordered by distance from the
+// zigzag center, pruning branches whose partial metric exceeds the current
+// radius, and shrinking the radius at each improving leaf.
+//
+// VisitedNodes counts every tree node whose partial metric was evaluated —
+// the complexity measure of Table 1.
+func SphereDecode(mod modulation.Modulation, h *linalg.Mat, y []complex128, opts SphereOptions) (SphereResult, error) {
+	nt := h.Cols
+	// Real-valued system: BPSK keeps Nt real dimensions, QAM uses 2Nt.
+	var hr *linalg.Mat
+	if mod.HasQuadrature() {
+		hr = linalg.RealDecomposition(h)
+	} else {
+		hr = linalg.RealDecompositionI(h)
+	}
+	yr := linalg.StackReal(y)
+	n := hr.Cols
+
+	f := linalg.QRDecompose(hr)
+	ybar := f.RotateReceived(yr)
+
+	// Real triangular system.
+	r := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = make([]float64, n)
+		for j := i; j < n; j++ {
+			r[i][j] = real(f.R.At(i, j))
+		}
+		if r[i][i] == 0 {
+			return SphereResult{}, errors.New("detector: sphere decoder needs a full-rank channel")
+		}
+	}
+	yb := make([]float64, n)
+	for i := range yb {
+		yb[i] = real(ybar[i])
+	}
+	// The rotated residual ‖yr‖²−‖ybar‖² is constant (Q thin); account for it
+	// so returned metrics match ‖y−Hv‖² exactly.
+	residual := linalg.Norm2(yr) - linalg.Norm2(ybar)
+	if residual < 0 {
+		residual = 0
+	}
+
+	levels := mod.Levels()
+	radius2 := math.Inf(1)
+	if opts.InitialRadius2 > 0 {
+		radius2 = opts.InitialRadius2 - residual
+	}
+
+	best := make([]float64, n)
+	bestMetric := math.Inf(1)
+	found := false
+	visited := 0
+	exhausted := false
+	x := make([]float64, n)
+
+	// candidate ordering scratch.
+	type cand struct {
+		val  float64
+		dist float64
+	}
+	cands := make([][]cand, n)
+	for i := range cands {
+		cands[i] = make([]cand, len(levels))
+	}
+
+	var dfs func(level int, partial float64)
+	dfs = func(level int, partial float64) {
+		if exhausted {
+			return
+		}
+		// Schnorr–Euchner: order this level's alphabet by distance to the
+		// unconstrained center.
+		var proj float64
+		for j := level + 1; j < n; j++ {
+			proj += r[level][j] * x[j]
+		}
+		center := (yb[level] - proj) / r[level][level]
+		cs := cands[level]
+		for k, lvl := range levels {
+			d := r[level][level] * (lvl - center)
+			cs[k] = cand{val: lvl, dist: d * d}
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].dist < cs[b].dist })
+
+		for _, c := range cs {
+			visited++
+			if opts.MaxVisitedNodes > 0 && visited > opts.MaxVisitedNodes {
+				exhausted = true
+				return
+			}
+			m := partial + c.dist
+			if m >= radius2 || m >= bestMetric {
+				// Children are distance-ordered: all remaining are worse.
+				break
+			}
+			x[level] = c.val
+			if level == 0 {
+				bestMetric = m
+				radius2 = m
+				copy(best, x)
+				found = true
+				continue
+			}
+			dfs(level-1, m)
+			if exhausted {
+				return
+			}
+		}
+	}
+	dfs(n-1, 0)
+
+	if !found {
+		return SphereResult{Result: Result{VisitedNodes: visited}, Exhausted: exhausted}, ErrNoLeafFound
+	}
+	// Reassemble complex symbols from the RVD solution.
+	symbols := make([]complex128, nt)
+	for i := 0; i < nt; i++ {
+		if mod.HasQuadrature() {
+			symbols[i] = complex(best[i], best[i+nt])
+		} else {
+			symbols[i] = complex(best[i], 0)
+		}
+	}
+	res := finish(mod, h, y, symbols, visited)
+	return SphereResult{Result: res, Exhausted: exhausted}, nil
+}

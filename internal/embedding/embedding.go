@@ -1,0 +1,335 @@
+// Package embedding compiles fully-connected Ising problems onto the Chimera
+// hardware graph (paper §3.3 and Appendix B).
+//
+// The construction is the triangle clique embedding of Venturelli et al.
+// [69]: each of the N logical spins becomes a ferromagnetically coupled
+// chain of ⌈N/4⌉+1 physical qubits laid out as an L of horizontal qubits
+// (row g, columns 0…g) and vertical qubits (column g, rows g…M−1), with four
+// logical spins per diagonal unit cell. Every pair of logical spins then
+// meets at exactly one unit cell (two K_{4,4} edges for same-cell pairs, one
+// otherwise), which is where the problem coupling g_ij is programmed.
+//
+// EmbedIsing produces the Appendix-B objective: chain couplers at the
+// maximum negative value (−1, or −2 with the improved dynamic range of §4),
+// problem couplings g_ij/|J_F| split equally over the available physical
+// edges, and fields f_i/(|J_F|·chainLen) spread along each chain. Unembed
+// recovers logical spins by majority vote with randomized ties (§3.3).
+package embedding
+
+import (
+	"errors"
+	"fmt"
+
+	"quamax/internal/chimera"
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// ChainLength returns ⌈N/4⌉+1, the physical qubits per logical spin (§3.3).
+func ChainLength(n int) int {
+	if n <= 0 {
+		panic("embedding: need at least one logical spin")
+	}
+	return (n+3)/4 + 1
+}
+
+// PhysicalQubits returns N·(⌈N/4⌉+1), the total footprint (Table 2).
+func PhysicalQubits(n int) int { return n * ChainLength(n) }
+
+// Embedding is a placed triangle clique embedding.
+type Embedding struct {
+	Graph  *chimera.Graph
+	N      int     // logical spins
+	M      int     // diagonal cells = ⌈N/4⌉
+	Chains [][]int // Chains[i] lists physical qubit graph-IDs of logical i, in path order
+
+	// RowOff, ColOff, Flipped record the placement that was used.
+	RowOff, ColOff int
+	Flipped        bool
+
+	physIndex map[int]int // graph qubit ID → dense physical index
+	physID    []int       // dense physical index → graph qubit ID
+}
+
+// NumPhysical returns the number of physical qubits used.
+func (e *Embedding) NumPhysical() int { return len(e.physID) }
+
+// PhysicalID maps a dense physical index back to the Chimera qubit ID.
+func (e *Embedding) PhysicalID(i int) int { return e.physID[i] }
+
+// ErrNoPlacement is returned when no defect-free placement exists.
+var ErrNoPlacement = errors.New("embedding: no defect-free placement found")
+
+// Embed places an N-spin clique on g, scanning placements (all offsets, both
+// triangle orientations) until one avoids every defect.
+func Embed(g *chimera.Graph, n int) (*Embedding, error) {
+	m := (n + 3) / 4
+	if m > g.M {
+		return nil, fmt.Errorf("embedding: %d logical spins need a C_%d grid, have C_%d", n, m, g.M)
+	}
+	for _, flipped := range []bool{false, true} {
+		for rowOff := 0; rowOff+m <= g.M; rowOff++ {
+			for colOff := 0; colOff+m <= g.M; colOff++ {
+				e, err := embedTriangle(g, n, rowOff, colOff, flipped)
+				if err == nil {
+					return e, nil
+				}
+			}
+		}
+	}
+	return nil, ErrNoPlacement
+}
+
+// embedTriangle attempts one concrete placement. flipped selects the
+// upper-triangle mirror (vertical qubits above the diagonal) used to pack
+// two instances per M×(M+1) block.
+func embedTriangle(g *chimera.Graph, n, rowOff, colOff int, flipped bool) (*Embedding, error) {
+	m := (n + 3) / 4
+	e := &Embedding{
+		Graph: g, N: n, M: m,
+		RowOff: rowOff, ColOff: colOff, Flipped: flipped,
+		Chains:    make([][]int, n),
+		physIndex: make(map[int]int),
+	}
+	for i := 0; i < n; i++ {
+		grp, off := i/4, i%4
+		chain := make([]int, 0, m+1)
+		if !flipped {
+			// Horizontal run: row grp, columns 0..grp; then vertical run:
+			// column grp, rows grp..m−1.
+			for c := 0; c <= grp; c++ {
+				chain = append(chain, g.QubitID(rowOff+grp, colOff+c, chimera.Horizontal, off))
+			}
+			for r := grp; r < m; r++ {
+				chain = append(chain, g.QubitID(rowOff+r, colOff+grp, chimera.Vertical, off))
+			}
+		} else {
+			// Mirror: vertical run rows 0..grp in column grp; horizontal run
+			// row grp, columns grp..m−1.
+			for r := 0; r <= grp; r++ {
+				chain = append(chain, g.QubitID(rowOff+r, colOff+grp, chimera.Vertical, off))
+			}
+			for c := grp; c < m; c++ {
+				chain = append(chain, g.QubitID(rowOff+grp, colOff+c, chimera.Horizontal, off))
+			}
+		}
+		// Validate qubits and chain edges against defects.
+		for k, q := range chain {
+			if !g.HasQubit(q) {
+				return nil, fmt.Errorf("embedding: chain %d hits dead qubit %d", i, q)
+			}
+			if k > 0 && !g.HasEdge(chain[k-1], chain[k]) {
+				return nil, fmt.Errorf("embedding: chain %d missing edge %d-%d", i, chain[k-1], chain[k])
+			}
+		}
+		e.Chains[i] = chain
+	}
+	// Validate that every logical pair has at least one physical coupler.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(e.couplerEdges(i, j)) == 0 {
+				return nil, fmt.Errorf("embedding: no working coupler between logical %d and %d", i, j)
+			}
+		}
+	}
+	// Dense physical indexing in chain order.
+	for _, chain := range e.Chains {
+		for _, q := range chain {
+			if _, ok := e.physIndex[q]; ok {
+				return nil, fmt.Errorf("embedding: qubit %d assigned to two chains", q)
+			}
+			e.physIndex[q] = len(e.physID)
+			e.physID = append(e.physID, q)
+		}
+	}
+	return e, nil
+}
+
+// couplerEdges returns the working physical edges joining chains i and j
+// (δ_ij of Eq. 12).
+func (e *Embedding) couplerEdges(i, j int) [][2]int {
+	var out [][2]int
+	// Chains meet inside one unit cell; scan pairs cheaply since chains are
+	// short (≤ M+1).
+	for _, a := range e.Chains[i] {
+		for _, b := range e.Chains[j] {
+			if e.Graph.HasEdge(a, b) {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// EmbeddedProblem is a compiled physical Ising program plus the metadata
+// needed to interpret annealer samples.
+type EmbeddedProblem struct {
+	Emb           *Embedding
+	Logical       *qubo.Ising
+	JF            float64
+	ImprovedRange bool
+	Phys          *qubo.Sparse // over dense physical indices 0..NumPhysical−1
+	ChainEdges    int          // number of intra-chain couplers
+}
+
+// EmbedIsing compiles the logical problem onto the placement per Appendix B:
+//
+//	chain couplers: −1 (standard range) or −2 (improved range)   (Eq. 10)
+//	fields:         f_i/(|J_F|·chainLen) on every chain qubit     (Eq. 11)
+//	couplings:      g_ij/(|J_F|·|δ_ij|) on each physical edge     (Eq. 12)
+//
+// Splitting g_ij over |δ_ij| edges preserves the logical objective exactly
+// (Eq. 12 as printed places the full coefficient on every edge of δ_ij,
+// which would double same-cell couplings; the split is the standard fix).
+// jf must be positive. The physical offset is chosen so that a sample with
+// all chains intact has energy E_logical/|J_F| − ChainEdges·|chainCoupler|
+// + offset bookkeeping; see UnembeddedEnergy.
+func (e *Embedding) EmbedIsing(p *qubo.Ising, jf float64, improvedRange bool) (*EmbeddedProblem, error) {
+	if p.N != e.N {
+		return nil, fmt.Errorf("embedding: problem has %d spins, embedding has %d", p.N, e.N)
+	}
+	if jf <= 0 {
+		return nil, errors.New("embedding: |J_F| must be positive")
+	}
+	phys := qubo.NewSparse(e.NumPhysical())
+	chainCoupler := -1.0
+	if improvedRange {
+		chainCoupler = -2.0
+	}
+	ep := &EmbeddedProblem{Emb: e, Logical: p, JF: jf, ImprovedRange: improvedRange, Phys: phys}
+
+	chainLen := ChainLength(e.N)
+	for i, chain := range e.Chains {
+		f := p.H[i] / (jf * float64(chainLen))
+		for k, q := range chain {
+			phys.H[e.physIndex[q]] += f
+			if k > 0 {
+				phys.AddEdge(e.physIndex[chain[k-1]], e.physIndex[q], chainCoupler)
+				ep.ChainEdges++
+			}
+		}
+	}
+	for i := 0; i < e.N; i++ {
+		for j := i + 1; j < e.N; j++ {
+			gij := p.GetJ(i, j)
+			if gij == 0 {
+				continue
+			}
+			edges := e.couplerEdges(i, j)
+			w := gij / (jf * float64(len(edges)))
+			for _, ed := range edges {
+				phys.AddEdge(e.physIndex[ed[0]], e.physIndex[ed[1]], w)
+			}
+		}
+	}
+	return ep, nil
+}
+
+// Unembed majority-votes each chain of a physical sample into a logical spin
+// (±1). Vote ties are randomized via src (paper §3.3). It returns the
+// logical spins and the number of broken chains (chains whose qubits
+// disagreed).
+func (e *Embedding) Unembed(phys []int8, src *rng.Source) (logical []int8, broken int) {
+	if len(phys) != e.NumPhysical() {
+		panic("embedding: physical sample length mismatch")
+	}
+	logical = make([]int8, e.N)
+	for i, chain := range e.Chains {
+		sum := 0
+		for _, q := range chain {
+			sum += int(phys[e.physIndex[q]])
+		}
+		switch {
+		case sum > 0:
+			logical[i] = 1
+		case sum < 0:
+			logical[i] = -1
+		default:
+			if src != nil && src.Bool() {
+				logical[i] = 1
+			} else {
+				logical[i] = -1
+			}
+		}
+		if sum != len(chain) && sum != -len(chain) {
+			broken++
+		}
+	}
+	return logical, broken
+}
+
+// UnembeddedEnergy evaluates the ORIGINAL logical Ising objective for a
+// physical sample: unembed, then substitute into Eq. 2 — exactly the
+// post-processing the paper describes ("each configuration yields the
+// corresponding energy of the Ising objective function by substituting it
+// into the original Ising spin glass equation").
+func (ep *EmbeddedProblem) UnembeddedEnergy(phys []int8, src *rng.Source) (float64, []int8, int) {
+	logical, broken := ep.Emb.Unembed(phys, src)
+	return ep.Logical.Energy(logical), logical, broken
+}
+
+// ParallelFactorFormula is the paper §4 parallelization factor
+// Pf ≃ Ntot/(N(⌈N/4⌉+1)) — the asymptotic count of problem copies that fit.
+func ParallelFactorFormula(g *chimera.Graph, n int) float64 {
+	return float64(g.NumWorkingQubits()) / float64(PhysicalQubits(n))
+}
+
+// PackSlots places as many disjoint copies of an N-spin clique embedding as
+// the chip geometry allows: the grid is tiled with M×(M+1)-cell blocks, each
+// holding a lower triangle and a column-shifted mirrored triangle. Slots
+// whose region contains defects are dropped. The result length is the
+// geometric parallelization factor used to amortize TTB (§4 footnote: "in
+// finite-size chips, chip geometry comes into play").
+func PackSlots(g *chimera.Graph, n int) []*Embedding {
+	m := (n + 3) / 4
+	var out []*Embedding
+	for rowOff := 0; rowOff+m <= g.M; rowOff += m {
+		for colOff := 0; colOff+m+1 <= g.M; colOff += m + 1 {
+			if e, err := embedTriangle(g, n, rowOff, colOff, false); err == nil {
+				out = append(out, e)
+			}
+			if e, err := embedTriangle(g, n, rowOff, colOff+1, true); err == nil {
+				out = append(out, e)
+			}
+		}
+		// A final column block of exactly M cells fits one unflipped triangle.
+		rem := g.M % (m + 1)
+		if rem >= m {
+			colOff := g.M - rem
+			if e, err := embedTriangle(g, n, rowOff, colOff, false); err == nil {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// PhysicalInit expands a logical spin assignment into the physical initial
+// state used by reverse annealing: every qubit of chain i takes logical spin
+// i's value.
+func (e *Embedding) PhysicalInit(logical []int8) []int8 {
+	if len(logical) != e.N {
+		panic("embedding: logical state length mismatch")
+	}
+	out := make([]int8, e.NumPhysical())
+	for i, chain := range e.Chains {
+		for _, q := range chain {
+			out[e.physIndex[q]] = logical[i]
+		}
+	}
+	return out
+}
+
+// PegasusChainLength is the paper §8 projection for the next-generation
+// annealer topology (Pegasus, double the Chimera degree with longer-range
+// couplers): clique chains shrink to N/12 + 1 qubits.
+func PegasusChainLength(n int) int {
+	if n <= 0 {
+		panic("embedding: need at least one logical spin")
+	}
+	return n/12 + 1
+}
+
+// PegasusPhysicalQubits is the projected clique footprint on a Pegasus-era
+// chip.
+func PegasusPhysicalQubits(n int) int { return n * PegasusChainLength(n) }

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"quamax/internal/modulation"
+)
+
+// Tiny presets so the whole suite smoke-tests in seconds; the scientific
+// shape checks live in the bench harness and EXPERIMENTS.md.
+
+func tinyEnv() *Env { return NewEnv() }
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bee"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2,3")
+	s := tab.String()
+	for _, want := range []string{"## T", "a", "bee", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,bee") || !strings.Contains(csv, "1,2;3") {
+		t.Fatalf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	cfg := Table1Quick()
+	cfg.Instances = 3
+	tab, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	s := tab.String()
+	// Spot-check paper entries: 10x10 BPSK = 10 (40); 60x60 64-QAM infeasible.
+	if !strings.Contains(s, "10 (40)") {
+		t.Fatalf("missing 10x10 BPSK footprint:\n%s", s)
+	}
+	if !strings.Contains(tab.Rows[3][4], "INFEASIBLE") {
+		t.Fatalf("60x60 64-QAM should be infeasible: %v", tab.Rows[3])
+	}
+	// 60x60 BPSK (960 qubits) feasible — the paper's headline size.
+	if strings.Contains(tab.Rows[3][1], "INFEASIBLE") {
+		t.Fatalf("60x60 BPSK should be feasible: %v", tab.Rows[3])
+	}
+	// 20x20 16-QAM (80 logical, M=20) infeasible.
+	if !strings.Contains(tab.Rows[1][3], "INFEASIBLE") {
+		t.Fatalf("20x20 16-QAM should be infeasible: %v", tab.Rows[1])
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig4Quick()
+	cfg.Anneals = 60
+	cfg.TopRanks = 2
+	tab, err := Fig4(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig5Quick()
+	cfg.JFs = []float64{2, 8}
+	cfg.BPSKUsers = []int{8}
+	cfg.QPSKUsers = []int{4}
+	cfg.Instances = 2
+	cfg.Anneals = 50
+	tab, err := Fig5(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 mods × 1 size × 2 ranges × 2 JFs.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig6Quick()
+	cfg.AnnealTimes = []float64{1, 10}
+	cfg.JFs = []float64{4}
+	cfg.QPSKUsers = []int{4}
+	cfg.Instances = 2
+	cfg.Anneals = 40
+	tab, err := Fig6(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 1 size × 2 ranges × 2 Ta × 1 JF
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig7Quick()
+	cfg.PauseTimes = []float64{1}
+	cfg.PausePositions = []float64{0.35}
+	cfg.JFs = []float64{4}
+	cfg.Users = 8
+	cfg.Instances = 2
+	cfg.Anneals = 40
+	tab, err := Fig7(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // ICE on + off
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !e.Machine.ICE.Enabled {
+		t.Fatal("Fig7 must restore the ICE setting")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig8Quick()
+	cfg.Users = 6
+	cfg.Instances = 2
+	cfg.Anneals = 50
+	cfg.NaGrid = []int{1, 10}
+	cfg.OptJFs = []float64{4}
+	cfg.OptSps = []float64{0.35}
+	tab, err := Fig8(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // 4 strategies × 2 Na
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig12Quick()
+	cfg.Users = 6
+	cfg.SNRs = []float64{10, 30}
+	cfg.Anneals = 60
+	cfg.Ranks = 2
+	tab, err := Fig12(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig14Quick()
+	cfg.BPSKUsers = []int{12}
+	cfg.QPSKUsers = []int{6}
+	cfg.Instances = 2
+	cfg.Anneals = 50
+	tab, err := Fig14(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig15Quick()
+	cfg.Uses = 2
+	cfg.Anneals = 50
+	cfg.Grid = OptGrid{JFs: []float64{4}, PausePositions: []float64{0.35}}
+	tab, err := Fig15(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 2 mods × {TTB, TTF}
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestEdgeConfigsCoverPaperSizes(t *testing.T) {
+	full := edgeConfigs(false)
+	want := map[modulation.Modulation]int{
+		modulation.BPSK: 60, modulation.QPSK: 18, modulation.QAM16: 9,
+	}
+	for _, ec := range full {
+		max := 0
+		for _, u := range ec.users {
+			if u > max {
+				max = u
+			}
+		}
+		if max != want[ec.mod] {
+			t.Errorf("%v: max users %d, want %d", ec.mod, max, want[ec.mod])
+		}
+	}
+}
+
+func TestFig9Fig10Fig11Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg9 := Fig9Quick()
+	cfg9.Instances = 2
+	cfg9.Anneals = 40
+	cfg9.NaGrid = []int{1, 10}
+	cfg9.Grid = OptGrid{JFs: []float64{4}, PausePositions: []float64{0.35}}
+	tab, err := Fig9(e, cfg9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig9: no rows")
+	}
+
+	cfg10 := Fig10Quick()
+	cfg10.Instances = 2
+	cfg10.Anneals = 40
+	cfg10.Grid = OptGrid{JFs: []float64{4}, PausePositions: []float64{0.35}}
+	tab, err = Fig10(e, cfg10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig10: no rows")
+	}
+
+	cfg11 := Fig11Quick()
+	cfg11.Instances = 2
+	cfg11.Anneals = 40
+	cfg11.Grid = OptGrid{JFs: []float64{4}, PausePositions: []float64{0.35}}
+	cfg11.FrameBytes = []int{50}
+	tab, err = Fig11(e, cfg11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig11: no rows")
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := Fig13Quick()
+	cfg.LeftUsers = map[modulation.Modulation][]int{
+		modulation.BPSK:  {8},
+		modulation.QPSK:  {4},
+		modulation.QAM16: {2},
+	}
+	cfg.RightUsers = map[modulation.Modulation]int{
+		modulation.BPSK: 8, modulation.QPSK: 4, modulation.QAM16: 2,
+	}
+	cfg.RightSNRs = []float64{20}
+	cfg.Instances = 1
+	cfg.Anneals = 40
+	cfg.Grid = OptGrid{JFs: []float64{4}, PausePositions: []float64{0.35}}
+	tab, err := Fig13(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 left + 3 right
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTableFutureProjection(t *testing.T) {
+	tab, err := TableFuture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The 60x60 BPSK footprint must shrink dramatically under Pegasus chains.
+	if tab.Rows[0][3] != "960" || tab.Rows[0][5] != "360" {
+		t.Fatalf("unexpected 60x60 BPSK projection row: %v", tab.Rows[0])
+	}
+}
+
+func TestAblationReverseSmoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := ReverseQuick()
+	cfg.BPSKUsers = []int{8}
+	cfg.QPSKUsers = []int{4}
+	cfg.Instances = 2
+	cfg.Anneals = 50
+	tab, err := AblationReverse(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestCodedSmoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := CodedQuick()
+	cfg.Subcarriers = 4
+	cfg.Symbols = 2
+	cfg.SNRs = []float64{14}
+	cfg.Frames = 2
+	cfg.Anneals = 30
+	tab, err := Coded(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // 1 SNR × 3 front ends
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSAComparisonSmoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := SAQuick()
+	cfg.BPSKUsers = []int{8}
+	cfg.Instances = 2
+	cfg.Anneals = 30
+	cfg.SASweeps = 50
+	tab, err := SAComparison(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestQAOAExperimentSmoke(t *testing.T) {
+	e := tinyEnv()
+	cfg := QAOAQuick()
+	cfg.Instances = 2
+	cfg.Shots = 16
+	cfg.GridResolution = 8
+	tab, err := QAOAExperiment(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/metrics"
+	"quamax/internal/rng"
+)
+
+// Fig10Config drives the TTB box plots (paper Fig. 10): the distribution of
+// TTB at target BER 1e-6 across instances, per edge configuration, for
+// QuAMax (Fix) with the Opt oracle for reference.
+type Fig10Config struct {
+	Quick     bool
+	Instances int
+	Anneals   int
+	Grid      OptGrid
+	TargetBER float64
+	Seed      int64
+}
+
+// Fig10Quick is the bench-scale preset (paper: 20 instances).
+func Fig10Quick() Fig10Config {
+	return Fig10Config{
+		Quick:     true,
+		Instances: 4,
+		Anneals:   200,
+		Grid:      QuickOptGrid(),
+		TargetBER: 1e-6,
+		Seed:      10,
+	}
+}
+
+// Fig10Full matches the paper's statistics.
+func Fig10Full() Fig10Config {
+	return Fig10Config{
+		Instances: 20,
+		Anneals:   2000,
+		Grid:      DefaultOptGrid(),
+		TargetBER: 1e-6,
+		Seed:      10,
+	}
+}
+
+// Fig10 reports the TTB five-number summaries.
+func Fig10(e *Env, cfg Fig10Config) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10: TTB to BER %.0e (boxes across instances)", cfg.TargetBER),
+		Columns: []string{"config", "strategy", "p5", "q1", "median", "q3", "p95", "mean", "reached"},
+		Notes: []string{
+			"instances that cannot reach the target within the run appear in reached=k/n and inflate the mean (paper: mean TTB dominates median)",
+		},
+	}
+	for _, ec := range edgeConfigs(cfg.Quick) {
+		for _, users := range ec.users {
+			ins, err := instancesForConfig(ec.mod, users, cfg.Instances, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			src := rng.New(cfg.Seed + int64(users))
+			var fixTTB, optTTB []float64
+			for _, in := range ins {
+				fp := ClassFix(ec.mod, cfg.Anneals)
+				d, wall, pf, err := e.decodeDist(in, fp, true, src)
+				if err != nil {
+					return nil, err
+				}
+				fixTTB = append(fixTTB, d.TTB(cfg.TargetBER, wall, pf))
+				best, _, err := e.bestTTB(in, cfg.Grid, cfg.Anneals, cfg.TargetBER, true, src)
+				if err != nil {
+					return nil, err
+				}
+				optTTB = append(optTTB, best)
+			}
+			name := fmt.Sprintf("%v %dx%d", ec.mod, users, users)
+			for _, strat := range []struct {
+				label string
+				ttbs  []float64
+			}{{"Opt", optTTB}, {"Fix", fixTTB}} {
+				b := metrics.Box(strat.ttbs)
+				t.AddRow(
+					name, strat.label,
+					fmtMicros(b.P5), fmtMicros(b.Q1), fmtMicros(b.Median),
+					fmtMicros(b.Q3), fmtMicros(b.P95), fmtMicros(b.Mean),
+					fmt.Sprintf("%d/%d", b.Finite, b.Total),
+				)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/metrics"
+	"quamax/internal/rng"
+)
+
+// Fig11Config drives the Time-to-FER study (paper Fig. 11): the time to
+// reach a target frame error rate for maximal internet frames down to
+// TCP-ACK-sized frames.
+type Fig11Config struct {
+	Quick      bool
+	Instances  int
+	Anneals    int
+	Grid       OptGrid
+	FrameBytes []int
+	TargetFER  float64
+	Seed       int64
+}
+
+// Fig11Quick is the bench-scale preset.
+func Fig11Quick() Fig11Config {
+	return Fig11Config{
+		Quick:      true,
+		Instances:  4,
+		Anneals:    200,
+		Grid:       QuickOptGrid(),
+		FrameBytes: []int{50, 1500},
+		TargetFER:  1e-4,
+		Seed:       11,
+	}
+}
+
+// Fig11Full matches the paper's frame-size sweep.
+func Fig11Full() Fig11Config {
+	cfg := Fig11Quick()
+	cfg.Quick = false
+	cfg.Instances = 20
+	cfg.Anneals = 2000
+	cfg.Grid = DefaultOptGrid()
+	cfg.FrameBytes = []int{50, 200, 1500}
+	return cfg
+}
+
+// Fig11 reports median-Opt (idealized) and mean-Fix (QuAMax) Time-to-FER.
+func Fig11(e *Env, cfg Fig11Config) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 11: Time-to-FER %.0e vs frame size", cfg.TargetFER),
+		Columns: []string{"config", "frame(B)", "TTF median Opt", "TTF mean Fix", "reached Fix"},
+		Notes: []string{
+			"expected shape: low sensitivity to frame size (50 B vs 1500 B), tens of microseconds at the edge sizes",
+		},
+	}
+	for _, ec := range edgeConfigs(cfg.Quick) {
+		for _, users := range ec.users {
+			ins, err := instancesForConfig(ec.mod, users, cfg.Instances, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			src := rng.New(cfg.Seed + int64(users)*7)
+			// Distributions once per instance per strategy; TTF per frame size.
+			type pair struct{ fix, opt *metrics.Distribution }
+			dists := make([]pair, len(ins))
+			var wall, pf float64
+			for i, in := range ins {
+				fp := ClassFix(ec.mod, cfg.Anneals)
+				d, w, p, err := e.decodeDist(in, fp, true, src)
+				if err != nil {
+					return nil, err
+				}
+				wall, pf = w, p
+				_, od, err := e.bestTTB(in, cfg.Grid, cfg.Anneals, 1e-6, true, src)
+				if err != nil {
+					return nil, err
+				}
+				dists[i] = pair{fix: d, opt: od}
+			}
+			name := fmt.Sprintf("%v %dx%d", ec.mod, users, users)
+			for _, fb := range cfg.FrameBytes {
+				frameBits := fb * 8
+				var fixTTF, optTTF []float64
+				reached := 0
+				for _, d := range dists {
+					f := d.fix.TTF(cfg.TargetFER, frameBits, wall, pf)
+					fixTTF = append(fixTTF, f)
+					if !isInf(f) {
+						reached++
+					}
+					optTTF = append(optTTF, d.opt.TTF(cfg.TargetFER, frameBits, wall, pf))
+				}
+				t.AddRow(
+					name, fmt.Sprintf("%d", fb),
+					fmtMicros(metrics.Median(optTTF)),
+					fmtMicros(metrics.Mean(fixTTF)),
+					fmt.Sprintf("%d/%d", reached, len(fixTTF)),
+				)
+			}
+		}
+	}
+	return t, nil
+}
+
+func isInf(f float64) bool { return f > 1e300 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/channel"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Fig13Config drives the AWGN TTB study (paper Fig. 13): left panel sweeps
+// the number of users at 20 dB SNR; right panel sweeps SNR at a fixed user
+// count per modulation (48 BPSK, 14 QPSK, 4 16-QAM).
+type Fig13Config struct {
+	LeftSNR    float64
+	LeftUsers  map[modulation.Modulation][]int
+	RightUsers map[modulation.Modulation]int
+	RightSNRs  []float64
+	Instances  int
+	Anneals    int
+	Grid       OptGrid
+	TargetBER  float64
+	Seed       int64
+}
+
+// Fig13Quick is the bench-scale preset.
+func Fig13Quick() Fig13Config {
+	return Fig13Config{
+		LeftSNR: 20,
+		LeftUsers: map[modulation.Modulation][]int{
+			modulation.BPSK:  {24, 48, 60},
+			modulation.QPSK:  {6, 12, 18},
+			modulation.QAM16: {3, 6, 9},
+		},
+		RightUsers: map[modulation.Modulation]int{
+			modulation.BPSK: 48, modulation.QPSK: 14, modulation.QAM16: 4,
+		},
+		RightSNRs: []float64{10, 20, 30, 40},
+		Instances: 3,
+		Anneals:   200,
+		Grid:      QuickOptGrid(),
+		TargetBER: 1e-6,
+		Seed:      13,
+	}
+}
+
+// Fig13Full widens the sweeps.
+func Fig13Full() Fig13Config {
+	cfg := Fig13Quick()
+	cfg.LeftUsers = map[modulation.Modulation][]int{
+		modulation.BPSK:  {12, 24, 36, 48, 60},
+		modulation.QPSK:  {6, 10, 14, 18},
+		modulation.QAM16: {3, 6, 9},
+	}
+	cfg.RightSNRs = []float64{10, 15, 20, 25, 30, 40}
+	cfg.Instances = 10
+	cfg.Anneals = 2000
+	cfg.Grid = DefaultOptGrid()
+	return cfg
+}
+
+// fig13Measure returns mean-Fix and median-Opt TTB for one configuration.
+func fig13Measure(e *Env, mod modulation.Modulation, users int, snr float64, cfg Fig13Config) (meanFix, medianOpt float64, err error) {
+	src := rng.New(cfg.Seed + int64(users)*11 + int64(snr*3) + int64(mod)*101)
+	var fixTTB, optTTB []float64
+	for i := 0; i < cfg.Instances; i++ {
+		in, err := mimo.Generate(src, mimo.Config{
+			Mod: mod, Nt: users, Nr: users, Channel: channel.RandomPhase{}, SNRdB: snr,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		fp := ClassFix(mod, cfg.Anneals)
+		d, wall, pf, err := e.decodeDist(in, fp, true, src)
+		if err != nil {
+			return 0, 0, err
+		}
+		fixTTB = append(fixTTB, d.TTB(cfg.TargetBER, wall, pf))
+		best, _, err := e.bestTTB(in, cfg.Grid, cfg.Anneals, cfg.TargetBER, true, src)
+		if err != nil {
+			return 0, 0, err
+		}
+		optTTB = append(optTTB, best)
+	}
+	return metrics.Mean(fixTTB), metrics.Median(optTTB), nil
+}
+
+// Fig13 emits both panels.
+func Fig13(e *Env, cfg Fig13Config) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 13: TTB to BER %.0e under AWGN", cfg.TargetBER),
+		Columns: []string{"panel", "mod", "users", "SNR(dB)", "TTB mean Fix", "TTB median Opt"},
+		Notes: []string{
+			"expected shape: graceful TTB degradation with more users at fixed SNR; improvement with SNR at fixed users; Opt shows little SNR sensitivity",
+		},
+	}
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+		for _, users := range cfg.LeftUsers[mod] {
+			mf, mo, err := fig13Measure(e, mod, users, cfg.LeftSNR, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("left", mod.String(), fmt.Sprintf("%d", users),
+				fmt.Sprintf("%g", cfg.LeftSNR), fmtMicros(mf), fmtMicros(mo))
+		}
+	}
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+		users := cfg.RightUsers[mod]
+		for _, snr := range cfg.RightSNRs {
+			mf, mo, err := fig13Measure(e, mod, users, snr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("right", mod.String(), fmt.Sprintf("%d", users),
+				fmt.Sprintf("%g", snr), fmtMicros(mf), fmtMicros(mo))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"quamax/internal/channel"
+	"quamax/internal/detector"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Fig14Config drives the zero-forcing comparison (paper Fig. 14): at poor
+// SNR and Nt = Nr, measure the zero-forcing decoder's BER and processing
+// time, then the time QuAMax needs to reach the same (or better) BER.
+//
+// The paper infers ZF processing time from BigStation's single-core
+// numbers; we measure our own zero-forcing implementation's wall time on
+// the host CPU (same role: a concrete classical baseline) and report both
+// the measurement and the BER floor. See DESIGN.md §2.
+type Fig14Config struct {
+	BPSKUsers []int
+	QPSKUsers []int
+	SNRdB     float64
+	Instances int
+	Anneals   int
+	Seed      int64
+}
+
+// Fig14Quick is the bench-scale preset.
+func Fig14Quick() Fig14Config {
+	return Fig14Config{
+		BPSKUsers: []int{36, 48, 60},
+		QPSKUsers: []int{12, 14, 16},
+		SNRdB:     10,
+		Instances: 6,
+		Anneals:   200,
+		Seed:      14,
+	}
+}
+
+// Fig14Full widens the statistics.
+func Fig14Full() Fig14Config {
+	cfg := Fig14Quick()
+	cfg.Instances = 50
+	cfg.Anneals = 2000
+	return cfg
+}
+
+// Fig14 compares QuAMax TTB against the zero-forcing baseline.
+func Fig14(e *Env, cfg Fig14Config) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 14: QuAMax vs zero-forcing at %g dB SNR (Nt=Nr)", cfg.SNRdB),
+		Columns: []string{"mod", "users", "ZF BER", "ZF time", "QuAMax TTB to ZF BER", "speedup"},
+		Notes: []string{
+			"ZF time is the measured wall time of this repository's zero-forcing (pseudo-inverse + slice) per channel use",
+			"expected shape: ZF hits a BER floor at Nt=Nr; QuAMax reaches that BER 10-1000x faster (paper)",
+		},
+	}
+	type group struct {
+		mod   modulation.Modulation
+		users []int
+	}
+	for _, g := range []group{
+		{modulation.BPSK, cfg.BPSKUsers},
+		{modulation.QPSK, cfg.QPSKUsers},
+	} {
+		for _, users := range g.users {
+			src := rng.New(cfg.Seed + int64(users)*13 + int64(g.mod))
+			var (
+				zfErrs, zfBits int
+				zfElapsed      time.Duration
+				ttbs           []float64
+			)
+			for i := 0; i < cfg.Instances; i++ {
+				in, err := mimo.Generate(src, mimo.Config{
+					Mod: g.mod, Nt: users, Nr: users, Channel: channel.RandomPhase{}, SNRdB: cfg.SNRdB,
+				})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				zf, err := detector.ZeroForcing(g.mod, in.H, in.Y)
+				zfElapsed += time.Since(start)
+				if err != nil {
+					continue // singular draw: skip (rare for random phase)
+				}
+				zfErrs += in.BitErrors(zf.Bits)
+				zfBits += len(in.TxBits)
+
+				fp := DefaultFix(cfg.Anneals)
+				d, wall, pf, err := e.decodeDist(in, fp, true, src)
+				if err != nil {
+					return nil, err
+				}
+				// Time for QuAMax to reach this instance's ZF BER (at least
+				// one anneal).
+				target := in.BER(zf.Bits)
+				ttbs = append(ttbs, d.TTB(target, wall, pf))
+			}
+			if zfBits == 0 {
+				continue
+			}
+			zfBER := float64(zfErrs) / float64(zfBits)
+			zfMicros := float64(zfElapsed.Microseconds()) / float64(cfg.Instances)
+			qm := metrics.Median(ttbs)
+			speedup := zfMicros / qm
+			t.AddRow(
+				g.mod.String(), fmt.Sprintf("%d", users),
+				fmtBER(zfBER), fmtMicros(zfMicros), fmtMicros(qm),
+				fmt.Sprintf("%.0fx", speedup),
+			)
+		}
+	}
+	return t, nil
+}

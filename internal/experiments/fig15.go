@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+	"quamax/internal/trace"
+
+	"quamax/internal/channel"
+)
+
+// Fig15Config drives the trace-driven evaluation (paper Fig. 15 / §5.5):
+// 8×8 channel uses sampled from a 96-antenna many-antenna trace at
+// 25–35 dB SNR, BPSK and QPSK, reporting TTB and TTF for Fix and Opt.
+type Fig15Config struct {
+	// TracePath loads a trace file; empty generates the synthetic Argos-like
+	// dataset (see internal/trace).
+	TracePath  string
+	Uses       int
+	PickAnt    int
+	SNRLow     float64
+	SNRHigh    float64
+	Anneals    int
+	Grid       OptGrid
+	TargetBER  float64
+	TargetFER  float64
+	FrameBytes int
+	Seed       int64
+}
+
+// Fig15Quick is the bench-scale preset.
+func Fig15Quick() Fig15Config {
+	return Fig15Config{
+		Uses: 6, PickAnt: 8,
+		SNRLow: 25, SNRHigh: 35,
+		Anneals:   200,
+		Grid:      QuickOptGrid(),
+		TargetBER: 1e-6, TargetFER: 1e-4, FrameBytes: 1500,
+		Seed: 15,
+	}
+}
+
+// Fig15Full matches the paper's channel-use count more closely.
+func Fig15Full() Fig15Config {
+	cfg := Fig15Quick()
+	cfg.Uses = 50
+	cfg.Anneals = 2000
+	cfg.Grid = DefaultOptGrid()
+	return cfg
+}
+
+// Fig15 runs the trace-driven decode.
+func Fig15(e *Env, cfg Fig15Config) (*Table, error) {
+	src := rng.New(cfg.Seed)
+	var ds *trace.Dataset
+	var err error
+	if cfg.TracePath != "" {
+		ds, err = trace.Load(cfg.TracePath)
+	} else {
+		gen := trace.DefaultGeneratorConfig()
+		gen.Uses = cfg.Uses
+		ds, err = trace.Generate(src, gen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ds.NormalizeAveragePower()
+
+	t := &Table{
+		Title:   "Figure 15: trace-driven 8x8 performance (25-35 dB)",
+		Columns: []string{"mod", "metric", "median Opt", "mean Fix", "reached Fix"},
+		Notes: []string{
+			fmt.Sprintf("%d channel uses, %d of %d antennas sampled per use", cfg.Uses, cfg.PickAnt, ds.Antennas),
+			"expected shape: 1e-6 BER / 1e-4 FER within ~10us for QPSK, amortized ~2us for BPSK (paper)",
+		},
+	}
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QPSK} {
+		var fixTTB, optTTB, fixTTF, optTTF []float64
+		reachedB, reachedF := 0, 0
+		for use := 0; use < cfg.Uses; use++ {
+			h, err := ds.Sample(src, use, cfg.PickAnt)
+			if err != nil {
+				return nil, err
+			}
+			snr := cfg.SNRLow + src.Float64()*(cfg.SNRHigh-cfg.SNRLow)
+			bits := src.Bits(ds.Users * mod.BitsPerSymbol())
+			in, err := mimo.FromParts(src, mimo.Config{
+				Mod: mod, Nt: ds.Users, Nr: cfg.PickAnt,
+				Channel: channel.Fixed{H: h, Label: "argos-synth"}, SNRdB: snr,
+			}, h, bits)
+			if err != nil {
+				return nil, err
+			}
+			fp := ClassFix(mod, cfg.Anneals)
+			d, wall, pf, err := e.decodeDist(in, fp, true, src)
+			if err != nil {
+				return nil, err
+			}
+			ttb := d.TTB(cfg.TargetBER, wall, pf)
+			ttf := d.TTF(cfg.TargetFER, cfg.FrameBytes*8, wall, pf)
+			fixTTB = append(fixTTB, ttb)
+			fixTTF = append(fixTTF, ttf)
+			if !isInf(ttb) {
+				reachedB++
+			}
+			if !isInf(ttf) {
+				reachedF++
+			}
+			best, bd, err := e.bestTTB(in, cfg.Grid, cfg.Anneals, cfg.TargetBER, true, src)
+			if err != nil {
+				return nil, err
+			}
+			optTTB = append(optTTB, best)
+			optTTF = append(optTTF, bd.TTF(cfg.TargetFER, cfg.FrameBytes*8, wall, pf))
+		}
+		t.AddRow(mod.String(), fmt.Sprintf("TTB %.0e", cfg.TargetBER),
+			fmtMicros(metrics.Median(optTTB)), fmtMicros(metrics.Mean(fixTTB)),
+			fmt.Sprintf("%d/%d", reachedB, cfg.Uses))
+		t.AddRow(mod.String(), fmt.Sprintf("TTF %.0e (%dB)", cfg.TargetFER, cfg.FrameBytes),
+			fmtMicros(metrics.Median(optTTF)), fmtMicros(metrics.Mean(fixTTF)),
+			fmt.Sprintf("%d/%d", reachedF, cfg.Uses))
+	}
+	return t, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/rng"
+
+	"quamax/internal/modulation"
+)
+
+// Fig4Config drives the empirical-QA-results detail (paper Fig. 4): six
+// 36-logical-qubit decoding problems — 36×36 BPSK, 18×18 QPSK, 9×9 16-QAM,
+// two channel uses each — showing, per energy rank, the relative energy gap
+// ΔE, the occurrence frequency, and the rank's bit errors.
+type Fig4Config struct {
+	Anneals  int
+	TopRanks int // ranks to print per panel
+	Seed     int64
+}
+
+// Fig4Quick is the bench-scale preset (the paper post-processes 50,000
+// anneals per panel).
+func Fig4Quick() Fig4Config { return Fig4Config{Anneals: 400, TopRanks: 5, Seed: 4} }
+
+// Fig4Full approaches the paper's statistics.
+func Fig4Full() Fig4Config { return Fig4Config{Anneals: 20000, TopRanks: 10, Seed: 4} }
+
+// Fig4 runs the six panels.
+func Fig4(e *Env, cfg Fig4Config) (*Table, error) {
+	type panel struct {
+		mod   modulation.Modulation
+		users int
+		use   int
+	}
+	var panels []panel
+	for _, p := range []struct {
+		mod   modulation.Modulation
+		users int
+	}{
+		{modulation.BPSK, 36}, {modulation.QPSK, 18}, {modulation.QAM16, 9},
+	} {
+		for use := 0; use < 2; use++ {
+			panels = append(panels, panel{p.mod, p.users, use})
+		}
+	}
+
+	t := &Table{
+		Title:   "Figure 4: Ising energy rank vs occurrence vs bit errors (36 logical qubits, noise-free)",
+		Columns: []string{"panel", "P0", "rank", "dE%", "freq", "bit errs"},
+		Notes: []string{
+			fmt.Sprintf("%d anneals per panel at the Fix operating point", cfg.Anneals),
+			"expected shape: P0 decreases left to right (BPSK 36 > QPSK 18 > 16-QAM 9)",
+		},
+	}
+	fix := DefaultFix(cfg.Anneals)
+	src := rng.New(cfg.Seed)
+	for _, p := range panels {
+		ins, err := noiseFreeInstances(p.mod, p.users, p.use+1, cfg.Seed+int64(p.use)*100+int64(p.mod))
+		if err != nil {
+			return nil, err
+		}
+		in := ins[p.use] // distinct channel uses per panel
+		dist, _, _, err := e.decodeDist(in, fix, false, src)
+		if err != nil {
+			return nil, err
+		}
+		p0 := dist.GroundProbability(0, groundTol)
+		name := fmt.Sprintf("%v %dx%d use%d", p.mod, p.users, p.users, p.use+1)
+		minE := dist.Solutions[0].Energy
+		for r, s := range dist.Solutions {
+			if r >= cfg.TopRanks {
+				break
+			}
+			dE := 0.0
+			if minE > groundTol {
+				dE = (s.Energy - minE) / minE * 100
+			} else if r > 0 {
+				dE = s.Energy // ground is 0: report absolute energy
+			}
+			t.AddRow(
+				name,
+				fmt.Sprintf("%.3f", p0),
+				fmt.Sprintf("%d", r+1),
+				fmt.Sprintf("%.2f", dE),
+				fmt.Sprintf("%.4f", float64(s.Count)/float64(dist.Total)),
+				fmt.Sprintf("%d", s.BitErrors),
+			)
+		}
+	}
+	return t, nil
+}

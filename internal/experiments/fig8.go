@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Fig8Config drives the pause-vs-no-pause BER study (paper Fig. 8): median
+// BER of 18×18 QPSK as a function of the number of anneals and of wall-clock
+// time, for the four strategies {pause, no pause} × {Fix, Opt}.
+type Fig8Config struct {
+	Users     int
+	Instances int
+	Anneals   int
+	NaGrid    []int
+	OptJFs    []float64
+	OptSps    []float64
+	Seed      int64
+}
+
+// Fig8Quick is the bench-scale preset (paper: 20 instances).
+func Fig8Quick() Fig8Config {
+	return Fig8Config{
+		Users:     18,
+		Instances: 4,
+		Anneals:   300,
+		NaGrid:    []int{1, 2, 5, 10, 20, 50, 100},
+		OptJFs:    []float64{2, 4, 8},
+		OptSps:    []float64{0.25, 0.45},
+		Seed:      8,
+	}
+}
+
+// Fig8Full matches the paper's instance count.
+func Fig8Full() Fig8Config {
+	cfg := Fig8Quick()
+	cfg.Instances = 20
+	cfg.Anneals = 2000
+	cfg.NaGrid = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	cfg.OptJFs = []float64{1, 2, 4, 6, 8, 10}
+	cfg.OptSps = []float64{0.15, 0.25, 0.35, 0.45, 0.55}
+	return cfg
+}
+
+// fig8Strategy is one plotted line.
+type fig8Strategy struct {
+	name  string
+	pause bool
+	opt   bool
+}
+
+// Fig8 reports median expected BER (Eq. 9) against Na and against time.
+func Fig8(e *Env, cfg Fig8Config) (*Table, error) {
+	strategies := []fig8Strategy{
+		{"no-pause Fix", false, false},
+		{"no-pause Opt", false, true},
+		{"pause Fix", true, false},
+		{"pause Opt", true, true},
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8: BER vs anneals and time (%dx%d QPSK, median of %d instances)", cfg.Users, cfg.Users, cfg.Instances),
+		Columns: []string{"strategy", "Na", "time", "BER p50", "BER p15", "BER p85"},
+		Notes: []string{
+			"expected shape: the pausing strategies dominate at equal TIME despite each anneal costing 2x (paper §5.3.2)",
+		},
+	}
+	src := rng.New(cfg.Seed)
+	ins := make([]*mimo.Instance, 0, cfg.Instances)
+	list, err := noiseFreeInstances(modulation.QPSK, cfg.Users, cfg.Instances, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ins = append(ins, list...)
+
+	for _, s := range strategies {
+		// Per-instance distribution under this strategy.
+		dists := make([]*metrics.Distribution, len(ins))
+		wall := 1.0
+		if s.pause {
+			wall = 2.0
+		}
+		for i, in := range ins {
+			if !s.opt {
+				fp := DefaultFix(cfg.Anneals)
+				if !s.pause {
+					fp.Params = paramsTa(1, cfg.Anneals)
+				}
+				d, _, _, err := e.decodeDist(in, fp, false, src)
+				if err != nil {
+					return nil, err
+				}
+				dists[i] = d
+				continue
+			}
+			// Opt oracle: best combination per instance by required anneals
+			// to reach BER 1e-6.
+			bestNa := math.Inf(1)
+			for _, jf := range cfg.OptJFs {
+				sps := cfg.OptSps
+				if !s.pause {
+					sps = []float64{0.35} // sp unused without pause
+				}
+				for _, sp := range sps {
+					fp := FixParams{JF: jf, Improved: true}
+					if s.pause {
+						fp.Params = paramsPause(1, 1, sp, cfg.Anneals)
+					} else {
+						fp.Params = paramsTa(1, cfg.Anneals)
+					}
+					d, _, _, err := e.decodeDist(in, fp, false, src)
+					if err != nil {
+						return nil, err
+					}
+					na, ok := d.RequiredAnneals(1e-6)
+					score := math.Inf(1)
+					if ok {
+						score = float64(na)
+					}
+					if dists[i] == nil || score < bestNa {
+						bestNa = score
+						dists[i] = d
+					}
+				}
+			}
+		}
+		for _, na := range cfg.NaGrid {
+			bers := make([]float64, len(dists))
+			for i, d := range dists {
+				bers[i] = d.ExpectedBER(na)
+			}
+			t.AddRow(
+				s.name,
+				fmt.Sprintf("%d", na),
+				fmtMicros(float64(na)*wall),
+				fmtBER(metrics.Median(bers)),
+				fmtBER(metrics.Percentile(bers, 15)),
+				fmtBER(metrics.Percentile(bers, 85)),
+			)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// edgeConfigs are the "edge of QuAMax's performance capabilities" systems of
+// Figs. 9–11: the largest sizes that embed on the DW2Q per modulation.
+type edgeConfig struct {
+	mod   modulation.Modulation
+	users []int
+}
+
+func edgeConfigs(quick bool) []edgeConfig {
+	if quick {
+		return []edgeConfig{
+			{modulation.BPSK, []int{36, 48, 60}},
+			{modulation.QPSK, []int{12, 18}},
+			{modulation.QAM16, []int{6, 9}},
+		}
+	}
+	return []edgeConfig{
+		{modulation.BPSK, []int{36, 48, 60}},
+		{modulation.QPSK, []int{12, 15, 18}},
+		{modulation.QAM16, []int{6, 8, 9}},
+	}
+}
+
+// Fig9Config drives the TTB curves (paper Fig. 9): BER vs wall-clock time
+// for the edge configurations, idealized Opt (upper panel) vs QuAMax Fix
+// (lower panel).
+type Fig9Config struct {
+	Quick     bool
+	Instances int
+	Anneals   int
+	NaGrid    []int
+	Grid      OptGrid
+	Seed      int64
+}
+
+// Fig9Quick is the bench-scale preset (paper: 20 instances).
+func Fig9Quick() Fig9Config {
+	return Fig9Config{
+		Quick:     true,
+		Instances: 3,
+		Anneals:   200,
+		NaGrid:    []int{1, 2, 5, 10, 20, 50, 100},
+		Grid:      QuickOptGrid(),
+		Seed:      9,
+	}
+}
+
+// Fig9Full approaches the paper's statistics.
+func Fig9Full() Fig9Config {
+	return Fig9Config{
+		Instances: 20,
+		Anneals:   2000,
+		NaGrid:    []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+		Grid:      DefaultOptGrid(),
+		Seed:      9,
+	}
+}
+
+// fig9Dists computes per-instance distributions for Fix and Opt (by TTB to
+// BER 1e-6) with parallel amortization, returning also wall and Pf.
+func fig9Dists(e *Env, mod modulation.Modulation, users int, cfg Fig9Config) (fix, opt []*metrics.Distribution, wall, pf float64, err error) {
+	src := rng.New(cfg.Seed + int64(users) + int64(mod)*1000)
+	ins, err := noiseFreeInstances(mod, users, cfg.Instances, cfg.Seed+int64(users)*3+int64(mod))
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	for _, in := range ins {
+		fp := ClassFix(mod, cfg.Anneals)
+		d, w, p, err := e.decodeDist(in, fp, true, src)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		wall, pf = w, p
+		fix = append(fix, d)
+		_, bd, err := e.bestTTB(in, cfg.Grid, cfg.Anneals, 1e-6, true, src)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		opt = append(opt, bd)
+	}
+	return fix, opt, wall, pf, nil
+}
+
+// Fig9 emits the BER-vs-time series for every edge configuration.
+func Fig9(e *Env, cfg Fig9Config) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 9: Time-to-BER curves (noise-free, parallelization-amortized)",
+		Columns: []string{"config", "strategy", "time", "BER p50", "BER mean", "BER p10", "BER p90"},
+		Notes: []string{
+			fmt.Sprintf("%d instances per configuration; Opt oracle over |J_F|×sp grid", cfg.Instances),
+			"expected shape: larger users/higher modulation push curves right; mean lags median (outliers)",
+		},
+	}
+	for _, ec := range edgeConfigs(cfg.Quick) {
+		for _, users := range ec.users {
+			fix, opt, wall, pf, err := fig9Dists(e, ec.mod, users, cfg)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("%v %dx%d", ec.mod, users, users)
+			for _, strat := range []struct {
+				label string
+				dists []*metrics.Distribution
+			}{{"Opt", opt}, {"Fix", fix}} {
+				for _, na := range cfg.NaGrid {
+					bers := make([]float64, len(strat.dists))
+					for i, d := range strat.dists {
+						bers[i] = d.ExpectedBER(na)
+					}
+					t.AddRow(
+						name, strat.label,
+						fmtMicros(float64(na)*wall/math.Max(pf, 1)),
+						fmtBER(metrics.Median(bers)),
+						fmtBER(metrics.Mean(bers)),
+						fmtBER(metrics.Percentile(bers, 10)),
+						fmtBER(metrics.Percentile(bers, 90)),
+					)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// instancesForConfig is shared by Figs. 10/11.
+func instancesForConfig(mod modulation.Modulation, users, count int, seed int64) ([]*mimo.Instance, error) {
+	return noiseFreeInstances(mod, users, count, seed+int64(users)*3+int64(mod))
+}

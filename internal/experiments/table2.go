@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quamax/internal/chimera"
+	"quamax/internal/embedding"
+	"quamax/internal/modulation"
+	"quamax/internal/reduction"
+)
+
+// Table2 reproduces the qubit-footprint table (paper Table 2): logical and
+// physical qubit counts for Nt×Nt systems across modulations, with
+// feasibility against the 2,031-working-qubit, C16 DW2Q. A configuration is
+// feasible when its clique fits the 16-cell grid (⌈N/4⌉ ≤ 16) and its
+// footprint fits the working qubits — the paper's bold font marks the
+// complement.
+func Table2() (*Table, error) {
+	configs := []int{10, 20, 40, 60}
+	mods := []modulation.Modulation{modulation.BPSK, modulation.QPSK, modulation.QAM16, modulation.QAM64}
+
+	t := &Table{
+		Title:   "Table 2: logical (physical) qubits per configuration",
+		Columns: []string{"config"},
+		Notes: []string{
+			"INFEASIBLE marks configurations exceeding the DW2Q (2,031 working qubits, C16 grid) — the paper's bold entries",
+		},
+	}
+	for _, m := range mods {
+		t.Columns = append(t.Columns, m.String())
+	}
+	for _, nt := range configs {
+		row := []string{fmt.Sprintf("%dx%d", nt, nt)}
+		for _, m := range mods {
+			n := reduction.NumVariables(m, nt)
+			phys := embedding.PhysicalQubits(n)
+			feasible := (n+3)/4 <= chimera.DW2QGridSize && phys <= chimera.DW2QWorkingQubits
+			cell := fmt.Sprintf("%d (%d)", n, phys)
+			if !feasible {
+				cell += " INFEASIBLE"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

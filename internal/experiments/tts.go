@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Helpers shared by the TTS microbenchmark figures (Figs. 5–7): all run
+// noise-free random-phase instances (paper §5.3, "unit fixed channel gain
+// ... random-phase channel") so the ground energy is exactly 0 and P0 is
+// measured directly.
+
+// groundTol is the energy tolerance for counting a sample as the ground
+// state of a noise-free instance.
+const groundTol = 1e-6
+
+// noiseFreeInstances draws `count` instances of users×users mod at infinite
+// SNR.
+func noiseFreeInstances(mod modulation.Modulation, users, count int, seed int64) ([]*mimo.Instance, error) {
+	src := rng.New(seed)
+	out := make([]*mimo.Instance, 0, count)
+	for i := 0; i < count; i++ {
+		in, err := mimo.Generate(src, mimo.Config{
+			Mod: mod, Nt: users, Nr: users, Channel: channel.RandomPhase{}, SNRdB: math.Inf(1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// ttsPerInstance measures TTS(0.99) for each instance under the given
+// parameters. The per-anneal wall time includes the pause.
+func (e *Env) ttsPerInstance(ins []*mimo.Instance, fp FixParams, seed int64) ([]float64, error) {
+	src := rng.New(seed)
+	out := make([]float64, 0, len(ins))
+	for _, in := range ins {
+		dist, wall, _, err := e.decodeDist(in, fp, false, src)
+		if err != nil {
+			return nil, err
+		}
+		p0 := dist.GroundProbability(0, groundTol)
+		out = append(out, metrics.TTS(p0, wall, 0.99))
+	}
+	return out, nil
+}
+
+// paramsTa returns pause-free annealer params at the given anneal time.
+func paramsTa(ta float64, na int) anneal.Params {
+	return anneal.Params{AnnealTimeMicros: ta, NumAnneals: na}
+}
+
+// paramsPause returns paused annealer params.
+func paramsPause(ta, tp, sp float64, na int) anneal.Params {
+	return anneal.Params{AnnealTimeMicros: ta, PauseTimeMicros: tp, PausePosition: sp, NumAnneals: na}
+}
+
+// genSquareInstance draws one Nt=Nr random-phase instance at finite SNR.
+func genSquareInstance(src *rng.Source, mod modulation.Modulation, users int, snrDB float64) (*mimo.Instance, error) {
+	return mimo.Generate(src, mimo.Config{
+		Mod: mod, Nt: users, Nr: users, Channel: channel.RandomPhase{}, SNRdB: snrDB,
+	})
+}

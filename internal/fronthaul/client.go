@@ -1,0 +1,131 @@
+package fronthaul
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// Client is the AP side of the fronthaul. It is safe for concurrent use:
+// requests are pipelined on one connection and matched to responses by ID,
+// so every OFDM subcarrier can be decoded in flight simultaneously.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *DecodeResponse
+	closed  error
+}
+
+// NewClient wraps an established connection and starts the response reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan *DecodeResponse)}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a fronthaul server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fronthaul: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop dispatches responses to waiting callers.
+func (c *Client) readLoop() {
+	for {
+		msgType, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("fronthaul: connection lost: %w", err))
+			return
+		}
+		if msgType != msgDecodeResponse {
+			continue
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail aborts all pending calls.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+// Decode ships one channel use to the data center and waits for the decoded
+// bits. It blocks until the response arrives or the connection fails.
+func (c *Client) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128) (*DecodeResponse, error) {
+	c.mu.Lock()
+	if c.closed != nil {
+		c.mu.Unlock()
+		return nil, c.closed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *DecodeResponse, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := encodeRequest(&DecodeRequest{ID: id, Mod: mod, H: h, Y: y})
+	if err != nil {
+		c.abandon(id)
+		return nil, err
+	}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, msgDecodeRequest, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.closed
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("fronthaul: connection closed")
+		}
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: remote decode failed: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// abandon drops a pending slot after a local failure.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}

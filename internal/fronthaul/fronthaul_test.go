@@ -1,0 +1,220 @@
+package fronthaul
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/core"
+	"quamax/internal/linalg"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func testDecoder(t *testing.T) *core.Decoder {
+	t.Helper()
+	d, err := core.New(core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testInstance(t *testing.T, seed int64, mod modulation.Modulation, nt int) *mimo.Instance {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: math.Inf(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	src := rng.New(121)
+	h := channel.Rayleigh{}.Generate(src, 3, 2)
+	req := &DecodeRequest{ID: 42, Mod: modulation.QAM16, H: h, Y: []complex128{1 + 2i, 3, -1i}}
+	payload, err := encodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 42 || back.Mod != modulation.QAM16 {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if linalg.MaxAbsDiff(h, back.H) != 0 {
+		t.Fatal("H mismatch")
+	}
+	for i := range req.Y {
+		if back.Y[i] != req.Y[i] {
+			t.Fatal("Y mismatch")
+		}
+	}
+}
+
+func TestRequestCodecRejectsCorruption(t *testing.T) {
+	src := rng.New(122)
+	h := channel.Rayleigh{}.Generate(src, 2, 2)
+	payload, _ := encodeRequest(&DecodeRequest{ID: 1, Mod: modulation.BPSK, H: h, Y: []complex128{0, 0}})
+	if _, err := decodeRequest(payload[:len(payload)-3]); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	if _, err := decodeRequest(append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[8] = 200 // invalid modulation byte
+	if _, err := decodeRequest(bad); err == nil {
+		t.Fatal("bad modulation accepted")
+	}
+	if _, err := encodeRequest(&DecodeRequest{Mod: modulation.BPSK, H: h, Y: []complex128{0}}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	resp := &DecodeResponse{ID: 7, Bits: []byte{1, 0, 1}, Energy: 2.5, ComputeMicros: 12.25}
+	back, err := decodeResponse(encodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || back.Energy != 2.5 || back.ComputeMicros != 12.25 || len(back.Bits) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	errResp := &DecodeResponse{ID: 9, Err: "boom"}
+	back, err = decodeResponse(encodeResponse(errResp))
+	if err != nil || back.Err != "boom" {
+		t.Fatalf("error round trip: %+v, %v", back, err)
+	}
+}
+
+func TestFrameSizeGuard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgDecodeRequest, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	// A forged giant length prefix must be rejected on read.
+	forged := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := readFrame(bytes.NewReader(forged)); err == nil {
+		t.Fatal("forged length accepted")
+	}
+}
+
+// Full loop over an in-memory pipe: AP decodes a noise-free instance through
+// the data-center server and gets its bits back.
+func TestClientServerOverPipe(t *testing.T) {
+	server := NewServer(testDecoder(t), 1)
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 123, modulation.QPSK, 4)
+	resp, err := client.Decode(in.Mod, in.H, in.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BitErrors(resp.Bits) != 0 {
+		t.Fatalf("remote decode got %d bit errors", in.BitErrors(resp.Bits))
+	}
+	if resp.Energy > 1e-9 {
+		t.Fatalf("energy %g, want ≈0", resp.Energy)
+	}
+	if resp.ComputeMicros <= 0 {
+		t.Fatal("compute time not reported")
+	}
+}
+
+// Real TCP with concurrent pipelined requests from multiple goroutines.
+func TestClientServerOverTCPConcurrent(t *testing.T) {
+	server := NewServer(testDecoder(t), 2)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go server.Serve(l)
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const parallel = 8
+	var wg sync.WaitGroup
+	errs := make([]error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := testInstance(t, int64(200+i), modulation.BPSK, 6)
+			resp, err := client.Decode(in.Mod, in.H, in.Y)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if in.BitErrors(resp.Bits) != 0 {
+				errs[i] = errShort // sentinel: wrong bits
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+}
+
+// A decode error on the server (oversized problem) must surface at the
+// client as an error, not a hang.
+func TestServerReportsDecodeError(t *testing.T) {
+	server := NewServer(testDecoder(t), 3)
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 300, modulation.BPSK, 30) // needs M=8 > C6
+	if _, err := client.Decode(in.Mod, in.H, in.Y); err == nil {
+		t.Fatal("expected remote decode error")
+	}
+}
+
+// Closing the connection mid-request must fail pending calls.
+func TestClientFailsPendingOnClose(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	client := NewClient(cliConn)
+	in := testInstance(t, 301, modulation.BPSK, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Decode(in.Mod, in.H, in.Y)
+		done <- err
+	}()
+	// Swallow the request, then drop the connection.
+	if _, _, err := readFrame(srvConn); err != nil {
+		t.Fatal(err)
+	}
+	srvConn.Close()
+	if err := <-done; err == nil {
+		t.Fatal("pending decode should fail when the connection drops")
+	}
+	// Subsequent calls fail fast.
+	if _, err := client.Decode(in.Mod, in.H, in.Y); err == nil {
+		t.Fatal("closed client accepted new work")
+	}
+}

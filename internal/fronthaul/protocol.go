@@ -1,0 +1,240 @@
+// Package fronthaul implements the C-RAN link the paper's architecture
+// assumes (§1, §7): access points forward per-subcarrier decode work —
+// the estimated channel H and received vector y — over a low-latency
+// fronthaul to a centralized data center, where a QPU pool runs QuAMax and
+// returns the decoded bits.
+//
+// The wire protocol is a minimal length-prefixed binary framing over any
+// net.Conn (TCP in deployment; net.Pipe in tests): every frame is
+//
+//	uint32 payload length | uint8 message type | payload
+//
+// with little-endian integers and float64 IQ samples. Clients may pipeline:
+// requests carry IDs and responses are matched by ID, so one connection
+// serves many concurrent subcarrier decodes — the paper's "parallelize
+// different problems (e.g., different subcarriers' ML decoding)" (§5.5).
+package fronthaul
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// Message types.
+const (
+	msgDecodeRequest  uint8 = 1
+	msgDecodeResponse uint8 = 2
+)
+
+// MaxFrameBytes bounds a frame payload; a 64×64 64-QAM request is ~130 KiB,
+// so 16 MiB leaves ample room while stopping corrupt length prefixes.
+const MaxFrameBytes = 16 << 20
+
+// DecodeRequest is one uplink channel use shipped AP → data center.
+type DecodeRequest struct {
+	ID  uint64
+	Mod modulation.Modulation
+	H   *linalg.Mat
+	Y   []complex128
+}
+
+// DecodeResponse carries the decoded bits back to the AP.
+type DecodeResponse struct {
+	ID     uint64
+	Err    string // empty on success
+	Bits   []byte
+	Energy float64 // ML metric of the returned decision
+	// ComputeMicros is the modeled QPU compute time (Na·(Ta+Tp)/Pf) spent on
+	// this decode, reported for TTB accounting at the AP.
+	ComputeMicros float64
+}
+
+// writeFrame emits one framed message.
+func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("fronthaul: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("fronthaul: frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("fronthaul: truncated frame: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// appendU16/U32/U64/F64 are little-endian append helpers.
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.err = errShort
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+var errShort = errors.New("fronthaul: short payload")
+
+// encodeRequest serializes a DecodeRequest payload.
+func encodeRequest(req *DecodeRequest) ([]byte, error) {
+	if req.H == nil || req.H.Rows != len(req.Y) {
+		return nil, errors.New("fronthaul: request shape mismatch")
+	}
+	b := make([]byte, 0, 8+1+4+16*len(req.H.Data)+16*len(req.Y))
+	b = appendU64(b, req.ID)
+	b = append(b, byte(req.Mod))
+	b = appendU16(b, uint16(req.H.Rows))
+	b = appendU16(b, uint16(req.H.Cols))
+	for _, v := range req.H.Data {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	for _, v := range req.Y {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	return b, nil
+}
+
+// decodeRequest parses a DecodeRequest payload.
+func decodeRequest(payload []byte) (*DecodeRequest, error) {
+	r := &reader{b: payload}
+	req := &DecodeRequest{ID: r.u64()}
+	modByte := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	req.Mod = modulation.Modulation(modByte[0])
+	if _, err := modulation.Parse(req.Mod.String()); err != nil {
+		return nil, fmt.Errorf("fronthaul: bad modulation byte %d", modByte[0])
+	}
+	rows := int(r.u16())
+	cols := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rows < 1 || cols < 1 {
+		return nil, errors.New("fronthaul: empty channel matrix")
+	}
+	req.H = linalg.NewMat(rows, cols)
+	for i := range req.H.Data {
+		re, im := r.f64(), r.f64()
+		req.H.Data[i] = complex(re, im)
+	}
+	req.Y = make([]complex128, rows)
+	for i := range req.Y {
+		re, im := r.f64(), r.f64()
+		req.Y[i] = complex(re, im)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in request")
+	}
+	return req, nil
+}
+
+// encodeResponse serializes a DecodeResponse payload.
+func encodeResponse(resp *DecodeResponse) []byte {
+	b := make([]byte, 0, 8+2+len(resp.Err)+4+len(resp.Bits)+16)
+	b = appendU64(b, resp.ID)
+	b = appendU16(b, uint16(len(resp.Err)))
+	b = append(b, resp.Err...)
+	b = appendU32(b, uint32(len(resp.Bits)))
+	b = append(b, resp.Bits...)
+	b = appendF64(b, resp.Energy)
+	b = appendF64(b, resp.ComputeMicros)
+	return b
+}
+
+// decodeResponse parses a DecodeResponse payload.
+func decodeResponse(payload []byte) (*DecodeResponse, error) {
+	r := &reader{b: payload}
+	resp := &DecodeResponse{ID: r.u64()}
+	errLen := int(r.u16())
+	resp.Err = string(r.bytes(errLen))
+	bitLen := int(r.u32())
+	resp.Bits = append([]byte(nil), r.bytes(bitLen)...)
+	resp.Energy = r.f64()
+	resp.ComputeMicros = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in response")
+	}
+	return resp, nil
+}

@@ -1,0 +1,116 @@
+package fronthaul
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"quamax/internal/core"
+	"quamax/internal/rng"
+)
+
+// Server is the data-center side: it accepts fronthaul connections and runs
+// each decode request through a QuAMax decoder pool. One Server models one
+// QPU with its supporting classical control plane.
+type Server struct {
+	dec *core.Decoder
+
+	mu  sync.Mutex
+	src *rng.Source
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+// NewServer wraps a decoder. seed drives all annealer randomness.
+func NewServer(dec *core.Decoder, seed int64) *Server {
+	return &Server{dec: dec, src: rng.New(seed)}
+}
+
+// splitSource hands out an independent random stream per request.
+func (s *Server) splitSource() *rng.Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Split()
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener is closed. Each connection
+// gets a read loop; each request is decoded on its own goroutine so
+// pipelined subcarriers overlap (the §5.5 parallelization opportunity).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn processes one AP connection.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex // responses from concurrent decodes interleave
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or corrupt framing
+		}
+		if msgType != msgDecodeRequest {
+			s.logf("fronthaul: dropping unexpected message type %d", msgType)
+			continue
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			s.logf("fronthaul: bad request: %v", err)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := s.process(req)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if err := writeFrame(conn, msgDecodeResponse, encodeResponse(resp)); err != nil {
+				s.logf("fronthaul: write response: %v", err)
+			}
+		}()
+	}
+}
+
+// process runs one decode.
+func (s *Server) process(req *DecodeRequest) *DecodeResponse {
+	out, err := s.dec.Decode(req.Mod, req.H, req.Y, s.splitSource())
+	if err != nil {
+		return &DecodeResponse{ID: req.ID, Err: err.Error()}
+	}
+	na := float64(s.dec.Options().Params.NumAnneals)
+	return &DecodeResponse{
+		ID:            req.ID,
+		Bits:          out.Bits,
+		Energy:        out.Energy,
+		ComputeMicros: na * out.WallMicrosPerAnneal / out.Pf,
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves. It logs
+// the bound address via Logf and blocks until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fronthaul: listen: %w", err)
+	}
+	s.logf("fronthaul: listening on %s", l.Addr())
+	return s.Serve(l)
+}

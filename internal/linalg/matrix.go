@@ -1,0 +1,326 @@
+// Package linalg implements the dense complex linear algebra the QuAMax
+// pipeline needs: Hermitian products for the Ising reduction, Householder QR
+// for the sphere decoder, and Gaussian-elimination solvers for the
+// zero-forcing and MMSE baselines.
+//
+// Everything is written against complex128 from scratch (stdlib only). The
+// package favours clarity and numerical robustness (partial pivoting,
+// column-norm ordering) over BLAS-level performance: MIMO matrices in this
+// repository are at most a few hundred elements per side.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Mat is a dense row-major complex matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, row-major
+}
+
+// NewMat returns a zero matrix with the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// MatFromRows builds a matrix from row slices. All rows must have equal length.
+func MatFromRows(rows [][]complex128) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) []complex128 {
+	col := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		col[i] = m.At(i, j)
+	}
+	return col
+}
+
+// Row returns a copy of row i.
+func (m *Mat) Row(i int) []complex128 {
+	row := make([]complex128, m.Cols)
+	copy(row, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return row
+}
+
+// String renders the matrix for debugging.
+func (m *Mat) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "%8.4f%+8.4fi ", real(m.At(i, j)), imag(m.At(i, j)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns a·b. Panics on dimension mismatch.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x as a new vector.
+func MulVec(a *Mat, x []complex128) []complex128 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]complex128, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s complex128
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ConjTranspose returns the Hermitian transpose aᴴ.
+func ConjTranspose(a *Mat) *Mat {
+	out := NewMat(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(a.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Gram returns aᴴ·a, the (Hermitian) Gram matrix used throughout the Ising
+// reduction.
+func Gram(a *Mat) *Mat {
+	out := NewMat(a.Cols, a.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := i; j < a.Cols; j++ {
+			var s complex128
+			for r := 0; r < a.Rows; r++ {
+				s += cmplx.Conj(a.At(r, i)) * a.At(r, j)
+			}
+			out.Set(i, j, s)
+			if i != j {
+				out.Set(j, i, cmplx.Conj(s))
+			}
+		}
+	}
+	return out
+}
+
+// ConjMulVec returns aᴴ·y, the matched-filter output.
+func ConjMulVec(a *Mat, y []complex128) []complex128 {
+	if a.Rows != len(y) {
+		panic("linalg: ConjMulVec dimension mismatch")
+	}
+	out := make([]complex128, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		var s complex128
+		for i := 0; i < a.Rows; i++ {
+			s += cmplx.Conj(a.At(i, j)) * y[i]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Sub returns a−b.
+func Sub(a, b *Mat) *Mat {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: Sub dimension mismatch")
+	}
+	out := NewMat(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// VecSub returns a−b.
+func VecSub(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("linalg: VecSub length mismatch")
+	}
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Norm2 returns ‖x‖², the squared Euclidean norm.
+func Norm2(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// Norm returns ‖x‖.
+func Norm(x []complex128) float64 { return math.Sqrt(Norm2(x)) }
+
+// FrobeniusNorm returns the Frobenius norm of a.
+func FrobeniusNorm(a *Mat) float64 { return Norm(a.Data) }
+
+// MaxAbsDiff returns max |a_ij − b_ij|, a test helper for approximate equality.
+func MaxAbsDiff(a, b *Mat) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ErrSingular is returned when a solve or inverse meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Solve solves a·x = b for square a via Gaussian elimination with partial
+// pivoting. a and b are not modified.
+func Solve(a *Mat, b []complex128) ([]complex128, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: Solve requires square a and matching b")
+	}
+	// Augmented working copies.
+	m := a.Clone()
+	x := make([]complex128, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in column.
+		p, best := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(m.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[p*n+j] = m.Data[p*n+j], m.Data[col*n+j]
+			}
+			x[col], x[p] = x[p], x[col]
+		}
+		pivot := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pivot
+			if f == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns a⁻¹ for square a.
+func Inverse(a *Mat) (*Mat, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: Inverse requires a square matrix")
+	}
+	inv := NewMat(n, n)
+	e := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// PseudoInverse returns (aᴴa)⁻¹aᴴ, the left pseudo-inverse used by the
+// zero-forcing detector. Requires full column rank.
+func PseudoInverse(a *Mat) (*Mat, error) {
+	gramInv, err := Inverse(Gram(a))
+	if err != nil {
+		return nil, err
+	}
+	return Mul(gramInv, ConjTranspose(a)), nil
+}

@@ -1,0 +1,247 @@
+// Package metrics implements the paper's evaluation metrics (§5.2): the QA
+// literature's Time-to-Solution TTS(P), and the communications-specific
+// metrics QuAMax introduces — expected BER after Na anneals (Eq. 9),
+// Time-to-BER TTB(p), frame error rate, and Time-to-FER — plus the order
+// statistics and percentile helpers the figures report.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RankedSolution is one distinct annealer outcome for a fixed problem
+// instance: its logical Ising energy, its occurrence count over a run, and
+// its bit errors against the transmitted ground truth (F_I(k) in Eq. 9).
+type RankedSolution struct {
+	Energy    float64
+	Count     int
+	BitErrors int
+}
+
+// Distribution is the rank-ordered empirical solution distribution of one
+// instance (the red bars + green curve of Fig. 4). Distinct solutions with
+// tied energies occupy separate ranks, as the paper prescribes.
+type Distribution struct {
+	Solutions []RankedSolution // ascending energy
+	Total     int              // total anneals observed
+	N         int              // variable count (BER denominator in Eq. 9)
+}
+
+// Accumulator builds a Distribution from individual anneal outcomes.
+type Accumulator struct {
+	n    int
+	byID map[string]*RankedSolution
+}
+
+// NewAccumulator returns an accumulator for n-variable solutions.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{n: n, byID: make(map[string]*RankedSolution)}
+}
+
+// Add records one anneal outcome. key must uniquely identify the solution
+// configuration (e.g. the decoded bit string); energy and bitErrors describe
+// it.
+func (a *Accumulator) Add(key string, energy float64, bitErrors int) {
+	if s, ok := a.byID[key]; ok {
+		s.Count++
+		return
+	}
+	a.byID[key] = &RankedSolution{Energy: energy, Count: 1, BitErrors: bitErrors}
+}
+
+// Distribution finalizes the accumulated outcomes into rank order.
+func (a *Accumulator) Distribution() *Distribution {
+	d := &Distribution{N: a.n}
+	keys := make([]string, 0, len(a.byID))
+	for k := range a.byID {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie order
+	for _, k := range keys {
+		d.Solutions = append(d.Solutions, *a.byID[k])
+	}
+	sort.SliceStable(d.Solutions, func(i, j int) bool {
+		return d.Solutions[i].Energy < d.Solutions[j].Energy
+	})
+	for _, s := range d.Solutions {
+		d.Total += s.Count
+	}
+	return d
+}
+
+// GroundProbability returns P0, the per-anneal probability of observing an
+// energy within tol of groundEnergy (TTS's success definition, §5.2.1).
+func (d *Distribution) GroundProbability(groundEnergy, tol float64) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	hits := 0
+	for _, s := range d.Solutions {
+		if s.Energy <= groundEnergy+tol {
+			hits += s.Count
+		}
+	}
+	return float64(hits) / float64(d.Total)
+}
+
+// BestBER returns F(1)/N, the bit error rate of the lowest-energy observed
+// solution — the Na→∞ limit of Eq. 9.
+func (d *Distribution) BestBER() float64 {
+	if len(d.Solutions) == 0 {
+		return math.NaN()
+	}
+	return float64(d.Solutions[0].BitErrors) / float64(d.N)
+}
+
+// ExpectedBER evaluates Eq. 9: the expected BER of the minimum-energy
+// solution among na anneals,
+//
+//	E[BER(Na)] = Σ_k [ (Σ_{r≥k} p_r)^Na − (Σ_{r≥k+1} p_r)^Na ] · F(k)/N.
+func (d *Distribution) ExpectedBER(na int) float64 {
+	if d.Total == 0 || len(d.Solutions) == 0 || na < 1 {
+		return math.NaN()
+	}
+	// Tail probabilities T_k = Σ_{r≥k} p_r, with T_{L+1} = 0.
+	l := len(d.Solutions)
+	tail := make([]float64, l+1)
+	for k := l - 1; k >= 0; k-- {
+		tail[k] = tail[k+1] + float64(d.Solutions[k].Count)/float64(d.Total)
+	}
+	e := 0.0
+	for k := 0; k < l; k++ {
+		w := math.Pow(tail[k], float64(na)) - math.Pow(tail[k+1], float64(na))
+		if w <= 0 {
+			continue
+		}
+		e += w * float64(d.Solutions[k].BitErrors) / float64(d.N)
+	}
+	return e
+}
+
+// FER converts a bit error rate into a frame error rate for frameBits-bit
+// frames: FER = 1 − (1−BER)^frameBits (paper footnote 5).
+func FER(ber float64, frameBits int) float64 {
+	if math.IsNaN(ber) {
+		return math.NaN()
+	}
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	// Use expm1/log1p for precision at small BER.
+	return -math.Expm1(float64(frameBits) * math.Log1p(-ber))
+}
+
+// ttbSearchCap bounds the anneal-count search; beyond this TTB is reported
+// as +Inf (the instance cannot reach the target).
+const ttbSearchCap = 1 << 40
+
+// RequiredAnneals returns the smallest Na whose expected BER (Eq. 9) is at
+// most target, or 0 and false if no Na up to the search cap achieves it.
+// It exponentially brackets then bisects; Eq. 9 is monotone non-increasing
+// in Na whenever lower-energy ranks have no more bit errors than higher
+// ones, which holds at the optimum and is verified empirically by tests.
+func (d *Distribution) RequiredAnneals(target float64) (int, bool) {
+	if len(d.Solutions) == 0 {
+		return 0, false
+	}
+	if d.ExpectedBER(1) <= target {
+		return 1, true
+	}
+	if d.BestBER() > target {
+		return 0, false // even infinite anneals converge above target
+	}
+	lo, hi := 1, 2
+	for d.ExpectedBER(hi) > target {
+		lo = hi
+		hi *= 2
+		if hi > ttbSearchCap {
+			return 0, false
+		}
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if d.ExpectedBER(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// TTB returns the Time-to-BER in microseconds: Na·(Ta+Tp)/Pf where Na is
+// the anneal count required to reach the target BER, annealWallMicros is
+// the per-anneal wall time and pf the parallelization factor (§5.2.2).
+// Returns +Inf when the target is unreachable.
+func (d *Distribution) TTB(target, annealWallMicros, pf float64) float64 {
+	na, ok := d.RequiredAnneals(target)
+	if !ok {
+		return math.Inf(1)
+	}
+	if pf < 1 {
+		pf = 1
+	}
+	return float64(na) * annealWallMicros / pf
+}
+
+// RequiredAnnealsFER is RequiredAnneals against a frame-error-rate target
+// for frameBits-bit frames.
+func (d *Distribution) RequiredAnnealsFER(targetFER float64, frameBits int) (int, bool) {
+	if len(d.Solutions) == 0 {
+		return 0, false
+	}
+	ok := func(na int) bool { return FER(d.ExpectedBER(na), frameBits) <= targetFER }
+	if ok(1) {
+		return 1, true
+	}
+	if FER(d.BestBER(), frameBits) > targetFER {
+		return 0, false
+	}
+	lo, hi := 1, 2
+	for !ok(hi) {
+		lo = hi
+		hi *= 2
+		if hi > ttbSearchCap {
+			return 0, false
+		}
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// TTF returns the Time-to-FER in microseconds (Fig. 11), +Inf if
+// unreachable.
+func (d *Distribution) TTF(targetFER float64, frameBits int, annealWallMicros, pf float64) float64 {
+	na, ok := d.RequiredAnnealsFER(targetFER, frameBits)
+	if !ok {
+		return math.Inf(1)
+	}
+	if pf < 1 {
+		pf = 1
+	}
+	return float64(na) * annealWallMicros / pf
+}
+
+// TTS returns the expected time to observe the ground state with confidence
+// targetP (§5.2.1): wallMicros · log(1−P)/log(1−P0). By QA convention
+// targetP = 0.99. Returns +Inf for p0 = 0 and wallMicros for p0 ≥ 1.
+func TTS(p0, wallMicros, targetP float64) float64 {
+	if p0 <= 0 {
+		return math.Inf(1)
+	}
+	if p0 >= 1 {
+		return wallMicros
+	}
+	return wallMicros * math.Log(1-targetP) / math.Log(1-p0)
+}

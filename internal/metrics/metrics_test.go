@@ -1,0 +1,281 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quamax/internal/rng"
+)
+
+func dist(n int, sols ...RankedSolution) *Distribution {
+	d := &Distribution{N: n, Solutions: sols}
+	for _, s := range sols {
+		d.Total += s.Count
+	}
+	return d
+}
+
+func TestAccumulatorRanksAndCounts(t *testing.T) {
+	a := NewAccumulator(4)
+	a.Add("1100", 5.0, 2)
+	a.Add("0000", 1.0, 0)
+	a.Add("1100", 5.0, 2)
+	a.Add("1111", 5.0, 1) // tie energy, distinct solution → separate rank
+	d := a.Distribution()
+	if d.Total != 4 || len(d.Solutions) != 3 {
+		t.Fatalf("total %d, ranks %d", d.Total, len(d.Solutions))
+	}
+	if d.Solutions[0].Energy != 1.0 || d.Solutions[0].BitErrors != 0 {
+		t.Fatalf("rank 1 wrong: %+v", d.Solutions[0])
+	}
+	if d.Solutions[1].Energy != 5.0 || d.Solutions[2].Energy != 5.0 {
+		t.Fatal("tied solutions must occupy separate ranks")
+	}
+	if d.Solutions[1].Count+d.Solutions[2].Count != 3 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestGroundProbability(t *testing.T) {
+	d := dist(4,
+		RankedSolution{Energy: -10, Count: 30, BitErrors: 0},
+		RankedSolution{Energy: -9, Count: 70, BitErrors: 1},
+	)
+	if got := d.GroundProbability(-10, 1e-9); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("P0 = %g, want 0.3", got)
+	}
+	if got := d.GroundProbability(-12, 1e-9); got != 0 {
+		t.Fatalf("P0 below true ground = %g, want 0", got)
+	}
+}
+
+// Eq. 9 closed form checked against direct Monte-Carlo simulation of
+// "best of Na draws".
+func TestExpectedBERMatchesMonteCarlo(t *testing.T) {
+	d := dist(10,
+		RankedSolution{Energy: 0, Count: 20, BitErrors: 0},
+		RankedSolution{Energy: 1, Count: 30, BitErrors: 2},
+		RankedSolution{Energy: 2, Count: 50, BitErrors: 5},
+	)
+	src := rng.New(81)
+	for _, na := range []int{1, 2, 5} {
+		want := d.ExpectedBER(na)
+		var mc float64
+		const trials = 200000
+		for trial := 0; trial < trials; trial++ {
+			bestRank := len(d.Solutions)
+			for a := 0; a < na; a++ {
+				u := src.Float64() * float64(d.Total)
+				acc := 0.0
+				for r, s := range d.Solutions {
+					acc += float64(s.Count)
+					if u < acc {
+						if r < bestRank {
+							bestRank = r
+						}
+						break
+					}
+				}
+			}
+			mc += float64(d.Solutions[bestRank].BitErrors) / float64(d.N)
+		}
+		mc /= trials
+		if math.Abs(mc-want) > 0.004 {
+			t.Fatalf("Na=%d: Eq.9 gives %g, Monte-Carlo gives %g", na, want, mc)
+		}
+	}
+}
+
+func TestExpectedBERSpecialCases(t *testing.T) {
+	// Single perfect solution → BER 0 for all Na.
+	d := dist(8, RankedSolution{Energy: 0, Count: 5, BitErrors: 0})
+	if got := d.ExpectedBER(1); got != 0 {
+		t.Fatalf("single-solution BER = %g", got)
+	}
+	// Na=1 must equal the plain average.
+	d2 := dist(4,
+		RankedSolution{Energy: 0, Count: 1, BitErrors: 0},
+		RankedSolution{Energy: 1, Count: 1, BitErrors: 4},
+	)
+	if got := d2.ExpectedBER(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Na=1 BER = %g, want 0.5", got)
+	}
+	// Large Na converges to the best solution's BER.
+	if got := d2.ExpectedBER(1 << 30); math.Abs(got-d2.BestBER()) > 1e-9 {
+		t.Fatalf("Na→∞ BER = %g, want %g", got, d2.BestBER())
+	}
+	if !math.IsNaN((&Distribution{N: 4}).ExpectedBER(1)) {
+		t.Fatal("empty distribution should give NaN")
+	}
+}
+
+// Property: Eq. 9 is non-increasing in Na when bit errors are aligned with
+// energy rank (the regime TTB search relies on).
+func TestExpectedBERMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		l := 1 + src.Intn(6)
+		sols := make([]RankedSolution, l)
+		errs := 0
+		for r := range sols {
+			errs += src.Intn(3)
+			sols[r] = RankedSolution{Energy: float64(r), Count: 1 + src.Intn(50), BitErrors: errs}
+		}
+		d := dist(20, sols...)
+		prev := math.Inf(1)
+		for _, na := range []int{1, 2, 3, 5, 8, 16, 64} {
+			e := d.ExpectedBER(na)
+			if e > prev+1e-12 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFER(t *testing.T) {
+	if got := FER(0, 1000); got != 0 {
+		t.Fatalf("FER(0) = %g", got)
+	}
+	if got := FER(1, 1000); got != 1 {
+		t.Fatalf("FER(1) = %g", got)
+	}
+	// 1 − (1−1e−3)^100 ≈ 0.0952.
+	if got := FER(1e-3, 100); math.Abs(got-0.09520785) > 1e-6 {
+		t.Fatalf("FER = %g", got)
+	}
+	// Precision at tiny BER: FER ≈ frameBits·BER.
+	if got := FER(1e-12, 12000); math.Abs(got-1.2e-8) > 1e-12 {
+		t.Fatalf("small-BER FER = %g", got)
+	}
+}
+
+func TestRequiredAnnealsAndTTB(t *testing.T) {
+	d := dist(10,
+		RankedSolution{Energy: 0, Count: 10, BitErrors: 0},
+		RankedSolution{Energy: 1, Count: 90, BitErrors: 5},
+	)
+	// E[BER(Na)] = (1 − 0.1 weight...) target 1e-3: need (0.9)^Na·0.5 ≤ 1e-3
+	// → Na ≥ log(0.002)/log(0.9) ≈ 59.
+	na, ok := d.RequiredAnneals(1e-3)
+	if !ok {
+		t.Fatal("target should be reachable")
+	}
+	if na < 55 || na > 65 {
+		t.Fatalf("Na = %d, want ≈59", na)
+	}
+	if d.ExpectedBER(na) > 1e-3 || d.ExpectedBER(na-1) <= 1e-3 {
+		t.Fatal("Na is not minimal")
+	}
+	// TTB = Na·wall/Pf.
+	ttb := d.TTB(1e-3, 2.0, 4.0)
+	if math.Abs(ttb-float64(na)*2/4) > 1e-9 {
+		t.Fatalf("TTB = %g", ttb)
+	}
+	// Unreachable target: best solution still has errors.
+	bad := dist(10, RankedSolution{Energy: 0, Count: 1, BitErrors: 3})
+	if _, ok := bad.RequiredAnneals(1e-6); ok {
+		t.Fatal("unreachable target reported reachable")
+	}
+	if !math.IsInf(bad.TTB(1e-6, 1, 1), 1) {
+		t.Fatal("TTB should be +Inf when unreachable")
+	}
+}
+
+func TestTTFMatchesManualSearch(t *testing.T) {
+	d := dist(10,
+		RankedSolution{Energy: 0, Count: 30, BitErrors: 0},
+		RankedSolution{Energy: 1, Count: 70, BitErrors: 2},
+	)
+	const frameBits = 400
+	na, ok := d.RequiredAnnealsFER(1e-2, frameBits)
+	if !ok {
+		t.Fatal("reachable")
+	}
+	if FER(d.ExpectedBER(na), frameBits) > 1e-2 {
+		t.Fatal("returned Na misses the target")
+	}
+	if na > 1 && FER(d.ExpectedBER(na-1), frameBits) <= 1e-2 {
+		t.Fatal("Na not minimal")
+	}
+	ttf := d.TTF(1e-2, frameBits, 2, 1)
+	if math.Abs(ttf-2*float64(na)) > 1e-9 {
+		t.Fatalf("TTF = %g", ttf)
+	}
+}
+
+func TestTTS(t *testing.T) {
+	// P0 = 0.5, P = 0.99 → log(0.01)/log(0.5) ≈ 6.64 anneals.
+	got := TTS(0.5, 1, 0.99)
+	if math.Abs(got-6.6438) > 1e-3 {
+		t.Fatalf("TTS = %g", got)
+	}
+	if !math.IsInf(TTS(0, 1, 0.99), 1) {
+		t.Fatal("TTS with P0=0 should be Inf")
+	}
+	if TTS(1, 7, 0.99) != 7 {
+		t.Fatal("TTS with P0=1 should be one anneal")
+	}
+}
+
+func TestPercentileAndBox(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Median(xs); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("median = %g", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := Percentile(xs, 25); math.Abs(got-3.25) > 1e-12 {
+		t.Fatalf("P25 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+
+	withInf := append(append([]float64(nil), xs...), math.Inf(1))
+	b := Box(withInf)
+	if b.Finite != 10 || b.Total != 11 {
+		t.Fatalf("box counts: %+v", b)
+	}
+	if !math.IsInf(b.Mean, 1) {
+		t.Fatal("mean should inherit +Inf (mean dominates median)")
+	}
+	if math.Abs(b.Median-5.5) > 1e-12 {
+		t.Fatalf("box median = %g", b.Median)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func ExampleDistribution_ExpectedBER() {
+	d := &Distribution{
+		N:     10,
+		Total: 100,
+		Solutions: []RankedSolution{
+			{Energy: -5, Count: 10, BitErrors: 0},
+			{Energy: -4, Count: 90, BitErrors: 3},
+		},
+	}
+	fmt.Printf("Na=1: %.3f\n", d.ExpectedBER(1))
+	fmt.Printf("Na=20: %.5f\n", d.ExpectedBER(20))
+	// Output:
+	// Na=1: 0.270
+	// Na=20: 0.03647
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input). +Inf values
+// propagate, matching how mean TTB dominates median TTB in the paper when
+// long-running outliers exist.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
+// interpolation between order statistics. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// BoxStats is the five-number summary plus mean used by the Fig. 10
+// box-and-whisker plots (5th/95th whiskers, quartile box, median mark).
+type BoxStats struct {
+	P5, Q1, Median, Q3, P95, Mean float64
+	// Finite counts how many inputs were finite (instances that reached the
+	// target within the deadline; the paper plots outliers separately).
+	Finite, Total int
+}
+
+// Box summarizes xs. Infinite values are excluded from the percentiles but
+// counted in Total−Finite; Mean is over all values (so it inherits +Inf,
+// like the paper's mean-dominates-median observation).
+func Box(xs []float64) BoxStats {
+	finite := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			finite = append(finite, x)
+		}
+	}
+	return BoxStats{
+		P5:     Percentile(finite, 5),
+		Q1:     Percentile(finite, 25),
+		Median: Percentile(finite, 50),
+		Q3:     Percentile(finite, 75),
+		P95:    Percentile(finite, 95),
+		Mean:   Mean(xs),
+		Finite: len(finite),
+		Total:  len(xs),
+	}
+}

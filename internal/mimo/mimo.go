@@ -1,0 +1,118 @@
+// Package mimo assembles end-to-end multi-user MIMO uplink channel uses
+// (paper §2.1): Nt single-antenna users Gray-map data bits onto constellation
+// symbols v̄, which arrive at the Nr-antenna AP as y = Hv̄ + n. An Instance
+// bundles the ground truth a decoder is evaluated against.
+package mimo
+
+import (
+	"fmt"
+	"math"
+
+	"quamax/internal/channel"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Config describes an instance family.
+type Config struct {
+	Mod     modulation.Modulation
+	Nt, Nr  int           // users and AP antennas (paper evaluates Nt = Nr)
+	Channel channel.Model // channel draw per instance
+	// SNRdB is the receive SNR; math.Inf(1) disables channel noise (the §5.3
+	// annealer-noise-only scenarios).
+	SNRdB float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nt < 1 {
+		return fmt.Errorf("mimo: need at least one user, got %d", c.Nt)
+	}
+	if c.Nr < c.Nt {
+		return fmt.Errorf("mimo: Nr (%d) must be ≥ Nt (%d) for uplink detection", c.Nr, c.Nt)
+	}
+	if c.Channel == nil {
+		return fmt.Errorf("mimo: nil channel model")
+	}
+	return nil
+}
+
+// Instance is one channel use with ground truth.
+type Instance struct {
+	Mod       modulation.Modulation
+	Nt, Nr    int
+	H         *linalg.Mat
+	TxBits    []byte // Gray-coded data bits, Nt·BitsPerSymbol
+	TxSymbols []complex128
+	Y         []complex128 // received vector (noise applied)
+	Sigma     float64      // per-antenna complex noise std actually applied
+	SNRdB     float64      // requested SNR (+Inf = noise-free)
+}
+
+// Generate draws one instance: random bits, a fresh channel, AWGN at the
+// configured SNR.
+func Generate(src *rng.Source, cfg Config) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := cfg.Channel.Generate(src, cfg.Nr, cfg.Nt)
+	bits := src.Bits(cfg.Nt * cfg.Mod.BitsPerSymbol())
+	return FromParts(src, cfg, h, bits)
+}
+
+// FromParts builds an instance from a fixed channel and fixed bits, drawing
+// only the noise — the §5.4 methodology (fixed channel and bit string, many
+// AWGN draws).
+func FromParts(src *rng.Source, cfg Config, h *linalg.Mat, bits []byte) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(bits) != cfg.Nt*cfg.Mod.BitsPerSymbol() {
+		return nil, fmt.Errorf("mimo: %d bits for %d users of %v", len(bits), cfg.Nt, cfg.Mod)
+	}
+	v := cfg.Mod.MapGrayVector(bits)
+	y := linalg.MulVec(h, v)
+	sigma := 0.0
+	if !math.IsInf(cfg.SNRdB, 1) {
+		sigma = channel.NoiseSigma(cfg.Mod, cfg.Nt, cfg.SNRdB)
+		y = channel.AddAWGN(src, y, sigma)
+	}
+	return &Instance{
+		Mod: cfg.Mod, Nt: cfg.Nt, Nr: cfg.Nr,
+		H: h, TxBits: bits, TxSymbols: v, Y: y,
+		Sigma: sigma, SNRdB: cfg.SNRdB,
+	}, nil
+}
+
+// NoiseVariance returns σ², the per-antenna complex noise power.
+func (in *Instance) NoiseVariance() float64 { return in.Sigma * in.Sigma }
+
+// BitErrors counts mismatches between rxBits and the transmitted bits.
+func (in *Instance) BitErrors(rxBits []byte) int {
+	if len(rxBits) != len(in.TxBits) {
+		panic("mimo: bit length mismatch")
+	}
+	n := 0
+	for i := range rxBits {
+		if rxBits[i] != in.TxBits[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// BER returns BitErrors normalized by the bit count.
+func (in *Instance) BER(rxBits []byte) float64 {
+	return float64(in.BitErrors(rxBits)) / float64(len(in.TxBits))
+}
+
+// TxQUBOBits returns the QUBO variable assignment corresponding to the
+// transmitted symbols under the QuAMax transform — the ground-truth solution
+// of the reduced problem (footnote 7's omniscient reference).
+func (in *Instance) TxQUBOBits() []byte {
+	return in.Mod.GrayToQuAMaxBits(in.TxBits)
+}
+
+// NumVariables returns the reduced problem size N = Nt·log2|O|.
+func (in *Instance) NumVariables() int { return in.Nt * in.Mod.BitsPerSymbol() }

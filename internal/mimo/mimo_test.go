@@ -1,0 +1,130 @@
+package mimo
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func cfg(mod modulation.Modulation, nt int, snr float64) Config {
+	return Config{Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: snr}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	src := rng.New(91)
+	in, err := Generate(src, cfg(modulation.QPSK, 6, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.TxBits) != 12 || len(in.TxSymbols) != 6 || len(in.Y) != 6 {
+		t.Fatalf("shapes: bits=%d syms=%d y=%d", len(in.TxBits), len(in.TxSymbols), len(in.Y))
+	}
+	if in.NumVariables() != 12 {
+		t.Fatalf("NumVariables = %d", in.NumVariables())
+	}
+	if in.Sigma <= 0 {
+		t.Fatal("noise should be applied at finite SNR")
+	}
+	if in.NoiseVariance() != in.Sigma*in.Sigma {
+		t.Fatal("NoiseVariance inconsistent")
+	}
+}
+
+func TestNoiseFree(t *testing.T) {
+	src := rng.New(92)
+	in, err := Generate(src, cfg(modulation.BPSK, 4, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sigma != 0 {
+		t.Fatal("noise-free instance has noise")
+	}
+	want := linalg.MulVec(in.H, in.TxSymbols)
+	for i := range want {
+		if in.Y[i] != want[i] {
+			t.Fatal("Y != H·v for noise-free instance")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	src := rng.New(93)
+	if _, err := Generate(src, Config{Mod: modulation.BPSK, Nt: 0, Nr: 1, Channel: channel.Rayleigh{}}); err == nil {
+		t.Fatal("Nt=0 accepted")
+	}
+	if _, err := Generate(src, Config{Mod: modulation.BPSK, Nt: 4, Nr: 2, Channel: channel.Rayleigh{}}); err == nil {
+		t.Fatal("Nr<Nt accepted")
+	}
+	if _, err := Generate(src, Config{Mod: modulation.BPSK, Nt: 2, Nr: 2}); err == nil {
+		t.Fatal("nil channel accepted")
+	}
+	if _, err := FromParts(src, cfg(modulation.QPSK, 2, 20), linalg.Identity(2), []byte{1}); err == nil {
+		t.Fatal("wrong bit count accepted")
+	}
+}
+
+func TestBitErrorAccounting(t *testing.T) {
+	src := rng.New(94)
+	in, _ := Generate(src, cfg(modulation.BPSK, 4, 20))
+	if in.BitErrors(in.TxBits) != 0 || in.BER(in.TxBits) != 0 {
+		t.Fatal("truth should have zero errors")
+	}
+	flipped := append([]byte(nil), in.TxBits...)
+	flipped[0] ^= 1
+	flipped[3] ^= 1
+	if in.BitErrors(flipped) != 2 {
+		t.Fatalf("BitErrors = %d, want 2", in.BitErrors(flipped))
+	}
+	if math.Abs(in.BER(flipped)-0.5) > 1e-12 {
+		t.Fatalf("BER = %g, want 0.5", in.BER(flipped))
+	}
+}
+
+func TestTxQUBOBitsMapToTxSymbols(t *testing.T) {
+	src := rng.New(95)
+	for _, mod := range modulation.All() {
+		in, err := Generate(src, cfg(mod, 3, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb := in.TxQUBOBits()
+		q := mod.BitsPerSymbol()
+		for u := 0; u < in.Nt; u++ {
+			got := mod.QuAMaxTransform(qb[u*q : (u+1)*q])
+			if got != in.TxSymbols[u] {
+				t.Fatalf("%v user %d: QUBO bits map to %v, tx was %v", mod, u, got, in.TxSymbols[u])
+			}
+		}
+	}
+}
+
+func TestFromPartsFixedChannelFixedBits(t *testing.T) {
+	src := rng.New(96)
+	h := channel.RandomPhase{}.Generate(src, 4, 4)
+	bits := []byte{1, 0, 1, 1}
+	a, err := FromParts(src, cfg(modulation.BPSK, 4, 15), h, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromParts(src, cfg(modulation.BPSK, 4, 15), h, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same channel and bits, different noise draws.
+	if linalg.MaxAbsDiff(a.H, b.H) != 0 {
+		t.Fatal("channel should be identical")
+	}
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("noise draws should differ between instances")
+	}
+}

@@ -1,0 +1,303 @@
+package modulation
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"quamax/internal/rng"
+)
+
+func TestBasicProperties(t *testing.T) {
+	cases := []struct {
+		m           Modulation
+		bits        int
+		size        int
+		levels      int
+		energy      float64
+		hasQuad     bool
+		name        string
+		bitsPerDim  int
+		numLevelSet []float64
+	}{
+		{BPSK, 1, 2, 2, 1, false, "BPSK", 1, []float64{-1, 1}},
+		{QPSK, 2, 4, 2, 2, true, "QPSK", 1, []float64{-1, 1}},
+		{QAM16, 4, 16, 4, 10, true, "16-QAM", 2, []float64{-3, -1, 1, 3}},
+		{QAM64, 6, 64, 8, 42, true, "64-QAM", 3, []float64{-7, -5, -3, -1, 1, 3, 5, 7}},
+	}
+	for _, c := range cases {
+		if got := c.m.BitsPerSymbol(); got != c.bits {
+			t.Errorf("%v BitsPerSymbol = %d, want %d", c.m, got, c.bits)
+		}
+		if got := c.m.ConstellationSize(); got != c.size {
+			t.Errorf("%v ConstellationSize = %d, want %d", c.m, got, c.size)
+		}
+		if got := c.m.LevelsPerDim(); got != c.levels {
+			t.Errorf("%v LevelsPerDim = %d, want %d", c.m, got, c.levels)
+		}
+		if got := c.m.AvgSymbolEnergy(); math.Abs(got-c.energy) > 1e-12 {
+			t.Errorf("%v AvgSymbolEnergy = %g, want %g", c.m, got, c.energy)
+		}
+		if got := c.m.HasQuadrature(); got != c.hasQuad {
+			t.Errorf("%v HasQuadrature = %v", c.m, got)
+		}
+		if got := c.m.String(); got != c.name {
+			t.Errorf("String = %q, want %q", got, c.name)
+		}
+		if got := c.m.BitsPerDim(); got != c.bitsPerDim {
+			t.Errorf("%v BitsPerDim = %d, want %d", c.m, got, c.bitsPerDim)
+		}
+		lv := c.m.Levels()
+		for i, want := range c.numLevelSet {
+			if lv[i] != want {
+				t.Errorf("%v Levels[%d] = %g, want %g", c.m, i, lv[i], want)
+			}
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, m := range All() {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := Parse("8psk"); err == nil {
+		t.Error("Parse accepted unknown modulation")
+	}
+}
+
+func TestQuAMaxTransformKnownValues(t *testing.T) {
+	// BPSK: T = 2q−1.
+	if got := BPSK.QuAMaxTransform([]byte{0}); got != -1 {
+		t.Errorf("BPSK T(0) = %v", got)
+	}
+	if got := BPSK.QuAMaxTransform([]byte{1}); got != 1 {
+		t.Errorf("BPSK T(1) = %v", got)
+	}
+	// QPSK: T = (2q₁−1) + j(2q₂−1).
+	if got := QPSK.QuAMaxTransform([]byte{0, 1}); got != complex(-1, 1) {
+		t.Errorf("QPSK T(01) = %v", got)
+	}
+	// 16-QAM: T = (4q₁+2q₂−3) + j(4q₃+2q₄−3). Fig. 2(a): 1100 → (+1, −3).
+	if got := QAM16.QuAMaxTransform([]byte{1, 1, 0, 0}); got != complex(3, -3) {
+		t.Errorf("16-QAM T(1100) = %v, want (3,-3)", got)
+	}
+	if got := QAM16.QuAMaxTransform([]byte{0, 1, 1, 0}); got != complex(-1, 1) {
+		t.Errorf("16-QAM T(0110) = %v, want (-1,1)", got)
+	}
+}
+
+func TestMapGrayAdjacency(t *testing.T) {
+	// Gray property: adjacent PAM levels differ in exactly one bit.
+	for _, m := range All() {
+		bd := m.BitsPerDim()
+		l := m.LevelsPerDim()
+		prev := -1
+		for k := 0; k < l; k++ {
+			g := k ^ (k >> 1)
+			if prev >= 0 {
+				diff := g ^ prev
+				if bitsSet(diff) != 1 {
+					t.Errorf("%v: levels %d,%d gray codes differ in %d bits", m, k-1, k, bitsSet(diff))
+				}
+			}
+			prev = g
+			_ = bd
+		}
+	}
+}
+
+func bitsSet(x int) int {
+	n := 0
+	for ; x > 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	src := rng.New(21)
+	for _, m := range All() {
+		q := m.BitsPerSymbol()
+		for trial := 0; trial < 64; trial++ {
+			bits := src.Bits(q)
+			sym := m.MapGray(bits)
+			got := m.DemapGray(sym, nil)
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("%v: demap(map(%v)) = %v", m, bits, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDemapGrayWithNoise(t *testing.T) {
+	// Small perturbations must not change the hard decision.
+	src := rng.New(22)
+	for _, m := range All() {
+		q := m.BitsPerSymbol()
+		for trial := 0; trial < 32; trial++ {
+			bits := src.Bits(q)
+			sym := m.MapGray(bits)
+			noisy := sym + complex(0.4*(src.Float64()-0.5), 0.4*(src.Float64()-0.5))
+			got := m.DemapGray(noisy, nil)
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("%v: noisy demap changed bits", m)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceClampsOutliers(t *testing.T) {
+	if got := QAM16.Slice(complex(100, -100)); got != complex(3, -3) {
+		t.Errorf("Slice(100,-100) = %v, want (3,-3)", got)
+	}
+	if got := BPSK.Slice(complex(-0.01, 5)); got != complex(-1, 0) {
+		t.Errorf("BPSK Slice = %v, want -1 (Q suppressed)", got)
+	}
+}
+
+func TestPostTranslateRoundTrip(t *testing.T) {
+	src := rng.New(23)
+	for _, m := range All() {
+		q := m.BitsPerSymbol()
+		for trial := 0; trial < 64; trial++ {
+			gray := src.Bits(3 * q) // three symbols
+			qb := m.GrayToQuAMaxBits(gray)
+			back := m.PostTranslate(qb)
+			for i := range gray {
+				if back[i] != gray[i] {
+					t.Fatalf("%v: PostTranslate(GrayToQuAMaxBits(x)) != x", m)
+				}
+			}
+		}
+	}
+}
+
+// The decisive correctness property: mapping Gray bits to a symbol and
+// mapping the equivalent QuAMax-transform bits must produce the SAME symbol.
+// This is what makes the receiver's post-translation recover the sender's
+// bits (paper's decoding example, §3.2.1).
+func TestGrayAndQuAMaxBitsAgreeOnSymbol(t *testing.T) {
+	for _, m := range All() {
+		q := m.BitsPerSymbol()
+		n := m.ConstellationSize()
+		for idx := 0; idx < n; idx++ {
+			gray := make([]byte, 0, q)
+			gray = indexToBits(idx, q, gray)
+			symTx := m.MapGray(gray)
+			qb := m.GrayToQuAMaxBits(gray)
+			symRx := m.QuAMaxTransform(qb)
+			if symTx != symRx {
+				t.Fatalf("%v bits %v: MapGray=%v, QuAMaxTransform(GrayToQuAMaxBits)=%v",
+					m, gray, symTx, symRx)
+			}
+		}
+	}
+}
+
+// PostTranslate must equal the paper's two-step procedure for all 16
+// four-bit patterns (and longer strings).
+func TestPaperTwoStepEquivalence(t *testing.T) {
+	for idx := 0; idx < 16; idx++ {
+		qb := indexToBits(idx, 4, nil)
+		want := PaperPostTranslate16QAM(qb)
+		got := QAM16.PostTranslate(qb)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("pattern %04b: paper=%v ours=%v", idx, want, got)
+			}
+		}
+	}
+	// Paper's worked examples: 1100 → 1111 (intermediate) → 1000 (Gray).
+	got := QAM16.PostTranslate([]byte{1, 1, 0, 0})
+	want := []byte{1, 0, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("1100 → %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPostTranslateIsBijection(t *testing.T) {
+	for _, m := range All() {
+		q := m.BitsPerSymbol()
+		seen := make(map[int]bool)
+		for idx := 0; idx < m.ConstellationSize(); idx++ {
+			qb := indexToBits(idx, q, nil)
+			out := bitsToIndex(m.PostTranslate(qb))
+			if seen[out] {
+				t.Fatalf("%v: PostTranslate not injective at %d", m, idx)
+			}
+			seen[out] = true
+		}
+	}
+}
+
+func TestConstellationCoversAllPoints(t *testing.T) {
+	for _, m := range All() {
+		pts := m.Constellation()
+		if len(pts) != m.ConstellationSize() {
+			t.Fatalf("%v: %d points", m, len(pts))
+		}
+		seen := make(map[complex128]bool)
+		for _, p := range pts {
+			if seen[p] {
+				t.Fatalf("%v: duplicate point %v", m, p)
+			}
+			seen[p] = true
+		}
+		// Average energy of the enumerated constellation matches the formula.
+		var e float64
+		for _, p := range pts {
+			e += real(p)*real(p) + imag(p)*imag(p)
+		}
+		e /= float64(len(pts))
+		if math.Abs(e-m.AvgSymbolEnergy()) > 1e-9 {
+			t.Fatalf("%v: enumerated energy %g != %g", m, e, m.AvgSymbolEnergy())
+		}
+	}
+}
+
+func TestMapGrayVector(t *testing.T) {
+	bits := []byte{0, 0, 1, 1} // two QPSK symbols
+	syms := QPSK.MapGrayVector(bits)
+	if len(syms) != 2 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+	if syms[0] != complex(-1, -1) || syms[1] != complex(1, 1) {
+		t.Fatalf("syms = %v", syms)
+	}
+	back := QPSK.DemapGrayVector(syms)
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("vector round trip failed: %v", back)
+		}
+	}
+}
+
+// Property test: slicing any noisy symbol yields a point no farther from the
+// observation than the true transmitted point (nearest-neighbour property of
+// per-dimension slicing on square constellations).
+func TestSliceIsNearestNeighbour(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		for _, m := range All() {
+			v := complex(src.Gauss(0, 4), src.Gauss(0, 4))
+			sliced := m.Slice(v)
+			if d := cmplx.Abs(v - sliced); math.Abs(d-m.NearestSymbolDistance(v)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package ofdm assembles full physical-layer frames around the QuAMax
+// detector: OFDM subcarriers carrying multi-user symbols (§3.2: the ML
+// reduction runs per subcarrier), pilot-based least-squares channel
+// estimation (paper footnote 2: the channel "is practically estimated and
+// tracked via preambles and/or pilot tones"), and the forward-error-
+// correction layer the paper assumes above detection (§5.3.3) — so coded
+// frame error rates can be *simulated*, not just computed from the
+// analytic FER formula.
+package ofdm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quamax/internal/channel"
+	"quamax/internal/coding"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Detector turns one subcarrier observation into hard Gray bits. Wrap
+// QuAMax, zero-forcing, the sphere decoder, or any other detector.
+type Detector func(h *linalg.Mat, y []complex128) ([]byte, error)
+
+// FrameConfig describes one uplink frame.
+type FrameConfig struct {
+	Mod             modulation.Modulation
+	Nt, Nr          int
+	Subcarriers     int
+	SymbolsPerFrame int     // OFDM data symbols per frame
+	SNRdB           float64 // receive SNR per the unit-gain convention
+	// PilotBoostDB boosts pilot power over data power (0 = equal).
+	PilotBoostDB float64
+	// Delay selects the frequency selectivity across subcarriers.
+	Delay channel.TappedDelayLine
+	// Code enables convolutional coding + interleaving when non-nil.
+	Code *coding.Convolutional
+	// PerfectCSI skips channel estimation and hands the detector the true
+	// channel (ablation switch).
+	PerfectCSI bool
+}
+
+// Validate checks the frame configuration.
+func (c FrameConfig) Validate() error {
+	if c.Nt < 1 || c.Nr < c.Nt {
+		return fmt.Errorf("ofdm: bad antenna config %dx%d", c.Nt, c.Nr)
+	}
+	if c.Subcarriers < 1 || c.SymbolsPerFrame < 1 {
+		return errors.New("ofdm: need at least one subcarrier and symbol")
+	}
+	return nil
+}
+
+// capacityBits returns the raw bit capacity of the frame.
+func (c FrameConfig) capacityBits() int {
+	return c.Subcarriers * c.SymbolsPerFrame * c.Nt * c.Mod.BitsPerSymbol()
+}
+
+// DataBits returns the information bits one frame carries (after coding
+// overhead and trellis termination).
+func (c FrameConfig) DataBits() int {
+	cap := c.capacityBits()
+	if c.Code == nil {
+		return cap
+	}
+	n := len(c.Code.Generators)
+	return cap/n - (c.Code.K - 1)
+}
+
+// FrameResult reports one simulated frame.
+type FrameResult struct {
+	DataBits    []byte
+	Decoded     []byte
+	BitErrors   int // post-FEC information-bit errors
+	RawErrors   int // pre-FEC detected-bit errors
+	RawBits     int
+	FrameOK     bool
+	EstErrorRMS float64 // RMS channel-estimation error (0 under PerfectCSI)
+}
+
+// EstimateChannel performs least-squares channel estimation from Nt
+// orthogonal (time-multiplexed) pilot transmissions: user u alone transmits
+// a known unit-symbol pilot scaled by pilotAmp, the AP observes
+// y = H[:,u]·p + n and estimates Ĥ[:,u] = y/p, so each entry carries
+// CN(0, σ²/p²) estimation noise.
+func EstimateChannel(src *rng.Source, h *linalg.Mat, sigma, pilotAmp float64) *linalg.Mat {
+	est := linalg.NewMat(h.Rows, h.Cols)
+	for u := 0; u < h.Cols; u++ {
+		for r := 0; r < h.Rows; r++ {
+			noise := complex(sigma/pilotAmp, 0) * src.ComplexNorm()
+			est.Set(r, u, h.At(r, u)+noise)
+		}
+	}
+	return est
+}
+
+// SimulateFrame runs one frame end to end: encode → interleave → map →
+// per-subcarrier uplink channel → detect (with estimated CSI) → deinterleave
+// → Viterbi → frame check.
+func SimulateFrame(src *rng.Source, cfg FrameConfig, detect Detector) (*FrameResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	capBits := cfg.capacityBits()
+	dataLen := cfg.DataBits()
+	if dataLen < 1 {
+		return nil, errors.New("ofdm: frame too small for the code tail")
+	}
+	data := src.Bits(dataLen)
+
+	// FEC + interleaving.
+	tx := data
+	var il coding.BlockInterleaver
+	if cfg.Code != nil {
+		coded := cfg.Code.Encode(data)
+		// Pad to capacity.
+		padded := make([]byte, capBits)
+		copy(padded, coded)
+		il = coding.BlockInterleaver{Rows: cfg.Nt * cfg.Mod.BitsPerSymbol(), Cols: capBits / (cfg.Nt * cfg.Mod.BitsPerSymbol())}
+		var err error
+		tx, err = il.Interleave(padded)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Channels: one draw per subcarrier, constant over the frame (within
+	// coherence time, footnote 2).
+	channels := cfg.Delay.GenerateOFDM(src, cfg.Nr, cfg.Nt, cfg.Subcarriers)
+	sigma := channel.NoiseSigma(cfg.Mod, cfg.Nt, cfg.SNRdB)
+	pilotAmp := math.Sqrt(cfg.Mod.AvgSymbolEnergy()) * math.Pow(10, cfg.PilotBoostDB/20)
+
+	est := make([]*linalg.Mat, cfg.Subcarriers)
+	var estErr2 float64
+	for sc := range channels {
+		if cfg.PerfectCSI || sigma == 0 {
+			est[sc] = channels[sc]
+			continue
+		}
+		est[sc] = EstimateChannel(src, channels[sc], sigma, pilotAmp)
+		d := linalg.Sub(est[sc], channels[sc])
+		estErr2 += linalg.Norm2(d.Data) / float64(len(d.Data))
+	}
+
+	// Transmit symbol by symbol.
+	bitsPerUse := cfg.Nt * cfg.Mod.BitsPerSymbol()
+	rx := make([]byte, 0, capBits)
+	rawErrors := 0
+	off := 0
+	for sym := 0; sym < cfg.SymbolsPerFrame; sym++ {
+		for sc := 0; sc < cfg.Subcarriers; sc++ {
+			chunk := tx[off : off+bitsPerUse]
+			off += bitsPerUse
+			v := cfg.Mod.MapGrayVector(chunk)
+			y := linalg.MulVec(channels[sc], v)
+			if sigma > 0 {
+				y = channel.AddAWGN(src, y, sigma)
+			}
+			got, err := detect(est[sc], y)
+			if err != nil {
+				return nil, fmt.Errorf("ofdm: subcarrier %d symbol %d: %w", sc, sym, err)
+			}
+			for i := range chunk {
+				if got[i] != chunk[i] {
+					rawErrors++
+				}
+			}
+			rx = append(rx, got...)
+		}
+	}
+
+	res := &FrameResult{
+		DataBits:  data,
+		RawErrors: rawErrors,
+		RawBits:   capBits,
+	}
+	if cfg.Subcarriers > 0 && !cfg.PerfectCSI && sigma > 0 {
+		res.EstErrorRMS = math.Sqrt(estErr2 / float64(cfg.Subcarriers))
+	}
+
+	// Receive chain.
+	if cfg.Code == nil {
+		res.Decoded = rx
+		for i := range data {
+			if rx[i] != data[i] {
+				res.BitErrors++
+			}
+		}
+	} else {
+		deil, err := il.Deinterleave(rx)
+		if err != nil {
+			return nil, err
+		}
+		codedLen := (dataLen + cfg.Code.K - 1) * len(cfg.Code.Generators)
+		decoded, err := cfg.Code.Decode(deil[:codedLen])
+		if err != nil {
+			return nil, err
+		}
+		res.Decoded = decoded
+		for i := range data {
+			if decoded[i] != data[i] {
+				res.BitErrors++
+			}
+		}
+	}
+	res.FrameOK = res.BitErrors == 0
+	return res, nil
+}
+
+// MeasureFER simulates frames until it has run `frames` of them, returning
+// the coded frame error rate, the pre-FEC raw BER, and the post-FEC BER.
+func MeasureFER(src *rng.Source, cfg FrameConfig, detect Detector, frames int) (fer, rawBER, codedBER float64, err error) {
+	if frames < 1 {
+		return 0, 0, 0, errors.New("ofdm: need at least one frame")
+	}
+	var frameErrs, rawErrs, rawBits, bitErrs, bits int
+	for f := 0; f < frames; f++ {
+		res, err := SimulateFrame(src, cfg, detect)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if !res.FrameOK {
+			frameErrs++
+		}
+		rawErrs += res.RawErrors
+		rawBits += res.RawBits
+		bitErrs += res.BitErrors
+		bits += len(res.DataBits)
+	}
+	return float64(frameErrs) / float64(frames),
+		float64(rawErrs) / float64(rawBits),
+		float64(bitErrs) / float64(bits), nil
+}

@@ -1,0 +1,183 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/coding"
+	"quamax/internal/detector"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// zfDetector wraps zero-forcing as a Detector.
+func zfDetector(mod modulation.Modulation) Detector {
+	return func(h *linalg.Mat, y []complex128) ([]byte, error) {
+		res, err := detector.ZeroForcing(mod, h, y)
+		if err != nil {
+			return nil, err
+		}
+		return res.Bits, nil
+	}
+}
+
+// sphereDetector wraps the ML sphere decoder as a Detector.
+func sphereDetector(mod modulation.Modulation) Detector {
+	return func(h *linalg.Mat, y []complex128) ([]byte, error) {
+		res, err := detector.SphereDecode(mod, h, y, detector.SphereOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Bits, nil
+	}
+}
+
+func baseCfg() FrameConfig {
+	return FrameConfig{
+		Mod: modulation.QPSK, Nt: 4, Nr: 4,
+		Subcarriers: 8, SymbolsPerFrame: 4,
+		SNRdB: math.Inf(1),
+		Delay: channel.TappedDelayLine{NumTaps: 3, Decay: 0.7},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := baseCfg()
+	bad.Nr = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Nr<Nt accepted")
+	}
+	bad = baseCfg()
+	bad.Subcarriers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no subcarriers accepted")
+	}
+}
+
+func TestDataBitsAccounting(t *testing.T) {
+	cfg := baseCfg() // capacity = 8·4·4·2 = 256
+	if got := cfg.DataBits(); got != 256 {
+		t.Fatalf("uncoded DataBits = %d", got)
+	}
+	cfg.Code = coding.NewWiFiCode()
+	if got := cfg.DataBits(); got != 128-6 {
+		t.Fatalf("coded DataBits = %d, want 122", got)
+	}
+}
+
+func TestNoiseFreeUncodedFrame(t *testing.T) {
+	src := rng.New(141)
+	cfg := baseCfg()
+	res, err := SimulateFrame(src, cfg, sphereDetector(cfg.Mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FrameOK || res.BitErrors != 0 || res.RawErrors != 0 {
+		t.Fatalf("noise-free frame had errors: %+v", res)
+	}
+	if res.EstErrorRMS != 0 {
+		t.Fatal("noise-free estimation should be exact")
+	}
+}
+
+func TestNoiseFreeCodedFrame(t *testing.T) {
+	src := rng.New(142)
+	cfg := baseCfg()
+	cfg.Code = coding.NewWiFiCode()
+	res, err := SimulateFrame(src, cfg, sphereDetector(cfg.Mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FrameOK {
+		t.Fatalf("coded noise-free frame failed: %d bit errors", res.BitErrors)
+	}
+	if len(res.DataBits) != cfg.DataBits() {
+		t.Fatal("data length mismatch")
+	}
+}
+
+// Coding must turn residual detector errors into clean frames at moderate
+// SNR where uncoded frames fail.
+func TestCodingRepairsResidualErrors(t *testing.T) {
+	cfgU := baseCfg()
+	cfgU.SNRdB = 14
+	cfgC := cfgU
+	cfgC.Code = coding.NewWiFiCode()
+
+	srcU := rng.New(143)
+	srcC := rng.New(143)
+	const frames = 30
+	ferU, rawU, _, err := MeasureFER(srcU, cfgU, sphereDetector(cfgU.Mod), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferC, rawC, codedBER, err := MeasureFER(srcC, cfgC, sphereDetector(cfgC.Mod), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawU == 0 && rawC == 0 {
+		t.Skip("SNR too benign to exercise coding on this seed")
+	}
+	if ferC >= ferU && ferU > 0 {
+		t.Fatalf("coding did not reduce FER: coded %.3f vs uncoded %.3f (raw BER %.4f)", ferC, ferU, rawC)
+	}
+	if codedBER > rawC {
+		t.Fatalf("post-FEC BER %.5f exceeds pre-FEC %.5f", codedBER, rawC)
+	}
+}
+
+// Channel-estimation noise must degrade detection relative to perfect CSI,
+// and pilot boosting must recover most of the loss.
+func TestEstimationErrorAblation(t *testing.T) {
+	run := func(perfect bool, boost float64, seed int64) float64 {
+		cfg := baseCfg()
+		cfg.SNRdB = 12
+		cfg.PerfectCSI = perfect
+		cfg.PilotBoostDB = boost
+		src := rng.New(seed)
+		var raw float64
+		const frames = 25
+		_, rawBER, _, err := MeasureFER(src, cfg, zfDetector(cfg.Mod), frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = rawBER
+		return raw
+	}
+	perfect := run(true, 0, 144)
+	estimated := run(false, 0, 144)
+	boosted := run(false, 10, 144)
+	if estimated <= perfect {
+		t.Fatalf("estimation noise should hurt: est %.4f vs perfect %.4f", estimated, perfect)
+	}
+	if boosted >= estimated {
+		t.Fatalf("pilot boost should help: boosted %.4f vs plain %.4f", boosted, estimated)
+	}
+}
+
+func TestEstimateChannelStatistics(t *testing.T) {
+	src := rng.New(145)
+	h := channel.RandomPhase{}.Generate(src, 8, 8)
+	const sigma, amp = 0.5, 2.0
+	var err2 float64
+	n := 0
+	for trial := 0; trial < 200; trial++ {
+		est := EstimateChannel(src, h, sigma, amp)
+		d := linalg.Sub(est, h)
+		err2 += linalg.Norm2(d.Data)
+		n += len(d.Data)
+	}
+	got := err2 / float64(n)
+	want := (sigma / amp) * (sigma / amp)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("estimation error power %.4f, want %.4f", got, want)
+	}
+}
+
+func TestMeasureFERValidation(t *testing.T) {
+	if _, _, _, err := MeasureFER(rng.New(1), baseCfg(), zfDetector(modulation.QPSK), 0); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package qaoa
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+func singleSpinProblem() *qubo.Ising {
+	p := qubo.NewIsing(1)
+	p.H[0] = 1 // ground state: spin −1 (bit 0)
+	return p
+}
+
+func TestNewCircuitValidation(t *testing.T) {
+	if _, err := NewCircuit(qubo.NewIsing(0)); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := NewCircuit(qubo.NewIsing(MaxQubits + 1)); err == nil {
+		t.Fatal("oversized problem accepted")
+	}
+}
+
+func TestStateVectorIsNormalized(t *testing.T) {
+	src := rng.New(161)
+	p := qubo.NewIsing(5)
+	for i := 0; i < 5; i++ {
+		p.H[i] = src.Gauss(0, 1)
+		for j := i + 1; j < 5; j++ {
+			p.SetJ(i, j, src.Gauss(0, 1))
+		}
+	}
+	c, err := NewCircuit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := c.Run(Params{Gammas: []float64{0.7, 0.3}, Betas: []float64{0.4, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for _, a := range state {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("state norm %g, want 1 (unitarity)", norm)
+	}
+}
+
+func TestZeroAnglesGiveUniformDistribution(t *testing.T) {
+	p := singleSpinProblem()
+	c, _ := NewCircuit(p)
+	e, err := c.ExpectedEnergy(Params{Gammas: []float64{0}, Betas: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform superposition: ⟨C⟩ = average of {+1, −1} energies = 0.
+	if math.Abs(e) > 1e-9 {
+		t.Fatalf("uniform expected energy %g, want 0", e)
+	}
+	gp, _ := c.GroundProbability(Params{Gammas: []float64{0}, Betas: []float64{0}})
+	if math.Abs(gp-0.5) > 1e-9 {
+		t.Fatalf("uniform ground probability %g, want 0.5", gp)
+	}
+}
+
+// One optimized QAOA layer must beat random guessing on a single spin.
+func TestOptimizedLayerBeatsUniform(t *testing.T) {
+	c, _ := NewCircuit(singleSpinProblem())
+	params, err := c.OptimizeGrid(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := c.GroundProbability(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp <= 0.6 {
+		t.Fatalf("optimized p=1 ground probability %g, want > 0.6", gp)
+	}
+}
+
+// The §8 scenario: QAOA decodes a 4×4 BPSK ML problem. Ground-state
+// amplification must be significant, and sampled solutions must decode the
+// transmitted bits with high probability.
+func TestQAOADecodes4x4BPSK(t *testing.T) {
+	src := rng.New(162)
+	h := channel.RandomPhase{}.Generate(src, 4, 4)
+	bits := src.Bits(4)
+	v := modulation.BPSK.MapGrayVector(bits)
+	y := linalg.MulVec(h, v)
+
+	logical := reduction.ReduceToIsing(modulation.BPSK, h, y)
+	c, err := NewCircuit(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := c.OptimizeGrid(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := c.GroundProbability(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := 1.0 / 16
+	if gp < 3*uniform {
+		t.Fatalf("p=1 QAOA ground probability %.3f did not amplify over uniform %.3f", gp, uniform)
+	}
+	// Best-of-shots decoding.
+	shots, err := c.Sample(params, 64, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestE := math.Inf(1)
+	var best []byte
+	for _, s := range shots {
+		if e := logical.Energy(qubo.SpinsFromBits(s)); e < bestE {
+			bestE = e
+			best = s
+		}
+	}
+	rx := modulation.BPSK.PostTranslate(best)
+	for i := range bits {
+		if rx[i] != bits[i] {
+			t.Fatalf("QAOA best-of-64 decode wrong at bit %d (energy %g)", i, bestE)
+		}
+	}
+}
+
+// The exponential wall the paper cites: state-vector cost grows 2^N, so a
+// 48-user BPSK problem is out of reach by construction.
+func TestQAOARejectsLargeMIMO(t *testing.T) {
+	if _, err := NewCircuit(qubo.NewIsing(48)); err == nil {
+		t.Fatal("48-variable circuit should exceed the simulation cap")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	c, _ := NewCircuit(singleSpinProblem())
+	params, _ := c.OptimizeGrid(16)
+	gp, _ := c.GroundProbability(params)
+	shots, err := c.Sample(params, 4000, rng.New(163))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, s := range shots {
+		if s[0] == 0 { // bit 0 = spin −1 = ground
+			zeros++
+		}
+	}
+	got := float64(zeros) / float64(len(shots))
+	if math.Abs(got-gp) > 0.04 {
+		t.Fatalf("sampled ground rate %.3f vs exact %.3f", got, gp)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	c, _ := NewCircuit(singleSpinProblem())
+	if _, err := c.Run(Params{}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := c.Run(Params{Gammas: []float64{1}, Betas: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+	if _, err := c.OptimizeGrid(1); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quamax/internal/rng"
+)
+
+func randIsing(src *rng.Source, n int) *Ising {
+	p := NewIsing(n)
+	for i := range p.H {
+		p.H[i] = src.Gauss(0, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p.SetJ(i, j, src.Gauss(0, 1))
+		}
+	}
+	p.Offset = src.Gauss(0, 1)
+	return p
+}
+
+func randQUBO(src *rng.Source, n int) *QUBO {
+	q := NewQUBO(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			q.Set(i, j, src.Gauss(0, 1))
+		}
+	}
+	q.Offset = src.Gauss(0, 1)
+	return q
+}
+
+func allBits(n int, fn func(bits []byte)) {
+	bits := make([]byte, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range bits {
+			bits[i] = byte(mask >> i & 1)
+		}
+		fn(bits)
+	}
+}
+
+func TestIsingEnergyKnown(t *testing.T) {
+	// E = J12·s1·s2 + H1·s1 + H2·s2 with J12=2, H1=1, H2=−3.
+	p := NewIsing(2)
+	p.SetJ(0, 1, 2)
+	p.H[0], p.H[1] = 1, -3
+	if got := p.Energy([]int8{1, 1}); got != 0 {
+		t.Fatalf("E(+,+) = %g, want 0", got)
+	}
+	if got := p.Energy([]int8{-1, 1}); got != -6 {
+		t.Fatalf("E(−,+) = %g, want -6", got)
+	}
+	if got := p.Energy([]int8{1, -1}); got != 2 {
+		t.Fatalf("E(+,−) = %g, want 2", got)
+	}
+}
+
+func TestQUBOEnergyKnown(t *testing.T) {
+	q := NewQUBO(2)
+	q.Set(0, 0, -1)
+	q.Set(1, 1, 2)
+	q.Set(0, 1, -4)
+	if got := q.Energy([]byte{1, 1}); got != -3 {
+		t.Fatalf("E(1,1) = %g, want -3", got)
+	}
+	if got := q.Energy([]byte{1, 0}); got != -1 {
+		t.Fatalf("E(1,0) = %g, want -1", got)
+	}
+	if got := q.Energy([]byte{0, 0}); got != 0 {
+		t.Fatalf("E(0,0) = %g, want 0", got)
+	}
+}
+
+func TestGetSetOrderInsensitive(t *testing.T) {
+	p := NewIsing(4)
+	p.SetJ(3, 1, 5)
+	if p.GetJ(1, 3) != 5 || p.GetJ(3, 1) != 5 {
+		t.Fatal("J should be symmetric in index order")
+	}
+	if p.GetJ(2, 2) != 0 {
+		t.Fatal("self-coupling must be 0")
+	}
+	q := NewQUBO(4)
+	q.Set(3, 0, 7)
+	if q.Get(0, 3) != 7 {
+		t.Fatal("Q should be symmetric in index order")
+	}
+}
+
+// Eq. 4 equivalence: QUBO→Ising preserves the energy of EVERY assignment.
+func TestQUBOToIsingEnergyEquivalence(t *testing.T) {
+	src := rng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(8)
+		q := randQUBO(src, n)
+		p := q.ToIsing()
+		allBits(n, func(bits []byte) {
+			eq := q.Energy(bits)
+			ei := p.Energy(SpinsFromBits(bits))
+			if math.Abs(eq-ei) > 1e-9 {
+				t.Fatalf("n=%d bits=%v: QUBO %g vs Ising %g", n, bits, eq, ei)
+			}
+		})
+	}
+}
+
+func TestIsingToQUBOEnergyEquivalence(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(8)
+		p := randIsing(src, n)
+		q := p.ToQUBO()
+		allBits(n, func(bits []byte) {
+			eq := q.Energy(bits)
+			ei := p.Energy(SpinsFromBits(bits))
+			if math.Abs(eq-ei) > 1e-9 {
+				t.Fatalf("n=%d bits=%v: QUBO %g vs Ising %g", n, bits, eq, ei)
+			}
+		})
+	}
+}
+
+// Round trip is the identity on energies (property test).
+func TestConversionRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(6)
+		p := randIsing(src, n)
+		rt := p.ToQUBO().ToIsing()
+		s := make([]int8, n)
+		for i := range s {
+			if src.Bool() {
+				s[i] = 1
+			} else {
+				s[i] = -1
+			}
+		}
+		return math.Abs(p.Energy(s)-rt.Energy(s)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpinsBitsRoundTrip(t *testing.T) {
+	bits := []byte{0, 1, 1, 0, 1}
+	s := SpinsFromBits(bits)
+	want := []int8{-1, 1, 1, -1, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("SpinsFromBits = %v", s)
+		}
+	}
+	back := BitsFromSpins(s)
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("round trip = %v", back)
+		}
+	}
+}
+
+// Brute force against full enumeration with direct energy evaluation.
+func TestBruteForceIsingMatchesEnumeration(t *testing.T) {
+	src := rng.New(43)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + src.Intn(10)
+		p := randIsing(src, n)
+		gotS, gotE := BruteForceIsing(p)
+
+		bestE := math.Inf(1)
+		allBits(n, func(bits []byte) {
+			if e := p.Energy(SpinsFromBits(bits)); e < bestE {
+				bestE = e
+			}
+		})
+		if math.Abs(gotE-bestE) > 1e-9 {
+			t.Fatalf("n=%d: brute force E=%g, enumeration E=%g", n, gotE, bestE)
+		}
+		if math.Abs(p.Energy(gotS)-gotE) > 1e-9 {
+			t.Fatalf("returned spins do not reproduce returned energy")
+		}
+	}
+}
+
+func TestBruteForceQUBO(t *testing.T) {
+	// min(−q1 − q2 + 3 q1q2) = −1 at (1,0) or (0,1).
+	q := NewQUBO(2)
+	q.Set(0, 0, -1)
+	q.Set(1, 1, -1)
+	q.Set(0, 1, 3)
+	bits, e := BruteForceQUBO(q)
+	if e != -1 {
+		t.Fatalf("ground energy %g, want -1", e)
+	}
+	if bits[0]+bits[1] != 1 {
+		t.Fatalf("ground state %v, want exactly one bit set", bits)
+	}
+}
+
+func TestBruteForceSizeLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized brute force")
+		}
+	}()
+	BruteForceIsing(NewIsing(MaxBruteForceN + 1))
+}
+
+func TestMaxAbsCoefficient(t *testing.T) {
+	p := NewIsing(3)
+	p.H[0] = -5
+	p.SetJ(1, 2, 3)
+	if got := p.MaxAbsCoefficient(); got != 5 {
+		t.Fatalf("MaxAbsCoefficient = %g", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewIsing(3)
+	p.SetJ(0, 1, 1)
+	c := p.Clone()
+	c.SetJ(0, 1, 9)
+	c.H[0] = 4
+	if p.GetJ(0, 1) != 1 || p.H[0] != 0 {
+		t.Fatal("Clone aliases the original")
+	}
+}

@@ -1,0 +1,237 @@
+package reduction
+
+import (
+	"quamax/internal/linalg"
+	"quamax/internal/qubo"
+)
+
+// This file transcribes the paper's printed Ising coefficient formulas
+// *literally* (Eq. 6 for BPSK, Eqs. 7–8 for QPSK, Eqs. 13–14 for 16-QAM,
+// 1-based spin indices exactly as typeset). They exist to cross-validate
+// ReduceToIsing: tests prove the literal forms equal the generic reduction
+// everywhere except the single printed erratum in Eq. 14 (see
+// PaperIsing16QAM). The literal forms set no constant offset because the
+// paper's equations do not define one.
+
+// colDotII returns H^I_{(:,a)}·H^I_{(:,b)} + H^Q_{(:,a)}·H^Q_{(:,b)} = Re(G_ab).
+func colDotII(h *linalg.Mat, a, b int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += real(h.At(r, a))*real(h.At(r, b)) + imag(h.At(r, a))*imag(h.At(r, b))
+	}
+	return s
+}
+
+// colDotIQ returns H^I_{(:,a)}·H^Q_{(:,b)}.
+func colDotIQ(h *linalg.Mat, a, b int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += real(h.At(r, a)) * imag(h.At(r, b))
+	}
+	return s
+}
+
+// colDotYI returns H^I_{(:,a)}·y^I.
+func colDotYI(h *linalg.Mat, y []complex128, a int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += real(h.At(r, a)) * real(y[r])
+	}
+	return s
+}
+
+// colDotYQ returns H^Q_{(:,a)}·y^Q.
+func colDotYQ(h *linalg.Mat, y []complex128, a int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += imag(h.At(r, a)) * imag(y[r])
+	}
+	return s
+}
+
+// colDotIYQ returns H^I_{(:,a)}·y^Q.
+func colDotIYQ(h *linalg.Mat, y []complex128, a int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += real(h.At(r, a)) * imag(y[r])
+	}
+	return s
+}
+
+// colDotQYI returns H^Q_{(:,a)}·y^I.
+func colDotQYI(h *linalg.Mat, y []complex128, a int) float64 {
+	var s float64
+	for r := 0; r < h.Rows; r++ {
+		s += imag(h.At(r, a)) * real(y[r])
+	}
+	return s
+}
+
+// PaperIsingBPSK transcribes Eq. 6:
+//
+//	f_i = −2(H^I_{:,i}·y^I) − 2(H^Q_{:,i}·y^Q)
+//	g_ij = 2(H^I_{:,i}·H^I_{:,j}) + 2(H^Q_{:,i}·H^Q_{:,j})
+func PaperIsingBPSK(h *linalg.Mat, y []complex128) *qubo.Ising {
+	nt := h.Cols
+	p := qubo.NewIsing(nt)
+	for i := 0; i < nt; i++ {
+		p.H[i] = -2*colDotYI(h, y, i) - 2*colDotYQ(h, y, i)
+		for j := i + 1; j < nt; j++ {
+			p.SetJ(i, j, 2*colDotII(h, i, j))
+		}
+	}
+	return p
+}
+
+// PaperIsingQPSK transcribes Eqs. 7–8 (1-based index i in the paper; spin
+// 2n−1 is the I part and 2n the Q part of user n).
+func PaperIsingQPSK(h *linalg.Mat, y []complex128) *qubo.Ising {
+	nt := h.Cols
+	n := 2 * nt
+	p := qubo.NewIsing(n)
+	for i1 := 1; i1 <= n; i1++ { // 1-based
+		user := (i1 + 1) / 2 // ⌈i/2⌉
+		if i1%2 == 0 {       // i = 2n
+			p.H[i1-1] = -2*colDotIYQ(h, y, user-1) + 2*colDotQYI(h, y, user-1)
+		} else {
+			p.H[i1-1] = -2*colDotYI(h, y, user-1) - 2*colDotYQ(h, y, user-1)
+		}
+	}
+	for i1 := 1; i1 <= n; i1++ {
+		for j1 := i1 + 1; j1 <= n; j1++ {
+			ui, uj := (i1+1)/2-1, (j1+1)/2-1
+			var g float64
+			if (i1+j1)%2 == 0 { // i+j = 2n: same dimension
+				if ui == uj {
+					continue // cannot happen for i≠j same user same parity
+				}
+				g = 2 * colDotII(h, ui, uj)
+			} else {
+				// ±2(H^I_{⌈i/2⌉}·H^Q_{⌈j/2⌉}) ∓ 2(H^I_{⌈j/2⌉}·H^Q_{⌈i/2⌉});
+				// when i = 2n the signs are + and −.
+				a := colDotIQ(h, ui, uj)
+				b := colDotIQ(h, uj, ui)
+				if i1%2 == 0 {
+					g = 2*a - 2*b
+				} else {
+					g = -2*a + 2*b
+				}
+			}
+			if g != 0 {
+				p.SetJ(i1-1, j1-1, g)
+			}
+		}
+	}
+	return p
+}
+
+// PaperIsing16QAM transcribes Eqs. 13–14 (1-based; spins 4n−3,4n−2 carry the
+// I part with weights 2,1 and spins 4n−1,4n the Q part).
+//
+// literalErratum selects how to treat the printed coefficient of case
+// (i = 4n, j = 4n′−2), which appears in the paper as
+//
+//	−2(H^I·H^Q) − 4(H^I·H^Q)     [as printed]
+//
+// but must be +2(…) − 2(…) for consistency with the norm expansion (every
+// neighbouring case follows the 2·u_t·u_t′·Im(G) pattern; this one breaks
+// it). With literalErratum=false the corrected value is used and the result
+// equals ReduceToIsing exactly; with true, the printed form is reproduced so
+// tests can document the erratum.
+func PaperIsing16QAM(h *linalg.Mat, y []complex128, literalErratum bool) *qubo.Ising {
+	nt := h.Cols
+	n := 4 * nt
+	p := qubo.NewIsing(n)
+	// Eq. 13 linear terms.
+	for i1 := 1; i1 <= n; i1++ {
+		u := (i1 + 3) / 4 // ⌈i/4⌉, 1-based user
+		c := u - 1
+		switch i1 % 4 {
+		case 1: // i = 4n−3
+			p.H[i1-1] = -4*colDotYI(h, y, c) - 4*colDotYQ(h, y, c)
+		case 2: // i = 4n−2
+			p.H[i1-1] = -2*colDotYI(h, y, c) - 2*colDotYQ(h, y, c)
+		case 3: // i = 4n−1
+			p.H[i1-1] = -4*colDotIYQ(h, y, c) + 4*colDotQYI(h, y, c)
+		case 0: // i = 4n
+			p.H[i1-1] = -2*colDotIYQ(h, y, c) + 2*colDotQYI(h, y, c)
+		}
+	}
+	// Eq. 14 couplings. Helper closures for the recurring dot products.
+	ii := func(a, b int) float64 { return colDotII(h, a, b) }
+	iq := func(a, b int) float64 { return colDotIQ(h, a, b) }
+	for i1 := 1; i1 <= n; i1++ {
+		for j1 := i1 + 1; j1 <= n; j1++ {
+			ci, cj := (i1+3)/4-1, (j1+3)/4-1
+			// "the coupler strength between s4n−3,s4n−2 and s4n−1,s4n is 0"
+			// for the same user: cross I/Q within one symbol vanishes.
+			mi, mj := mod4(i1), mod4(j1)
+			if ci == cj {
+				iIsReal := mi == 1 || mi == 2
+				jIsReal := mj == 1 || mj == 2
+				if iIsReal != jIsReal {
+					continue
+				}
+			}
+			var g float64
+			switch mi {
+			case 1: // i = 4n−3
+				switch mj {
+				case 1:
+					g = 8 * ii(ci, cj)
+				case 2:
+					g = 4 * ii(ci, cj)
+				case 3:
+					g = -8*iq(ci, cj) + 8*iq(cj, ci)
+				case 0:
+					g = -4*iq(ci, cj) + 4*iq(cj, ci)
+				}
+			case 2: // i = 4n−2
+				switch mj {
+				case 1:
+					g = 4 * ii(ci, cj)
+				case 2:
+					g = 2 * ii(ci, cj)
+				case 3:
+					g = -4*iq(ci, cj) + 4*iq(cj, ci)
+				case 0:
+					g = -2*iq(ci, cj) + 2*iq(cj, ci)
+				}
+			case 3: // i = 4n−1
+				switch mj {
+				case 1:
+					g = 8*iq(ci, cj) - 8*iq(cj, ci)
+				case 2:
+					g = 4*iq(ci, cj) - 4*iq(cj, ci)
+				case 3:
+					g = 8 * ii(ci, cj)
+				case 0:
+					g = 4 * ii(ci, cj)
+				}
+			case 0: // i = 4n
+				switch mj {
+				case 1:
+					g = 4*iq(ci, cj) - 4*iq(cj, ci)
+				case 2:
+					if literalErratum {
+						// As printed in Eq. 14: −2(H^I_i·H^Q_j) − 4(H^I_j·H^Q_i).
+						g = -2*iq(ci, cj) - 4*iq(cj, ci)
+					} else {
+						// Corrected: +2(H^I_i·H^Q_j) − 2(H^I_j·H^Q_i).
+						g = 2*iq(ci, cj) - 2*iq(cj, ci)
+					}
+				case 3:
+					g = 4 * ii(ci, cj)
+				case 0:
+					g = 2 * ii(ci, cj)
+				}
+			}
+			if g != 0 {
+				p.SetJ(i1-1, j1-1, g)
+			}
+		}
+	}
+	return p
+}
+
+func mod4(x int) int { return ((x-1)%4 + 1) % 4 } // 1,2,3,0 pattern for 1-based x

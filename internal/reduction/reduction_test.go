@@ -1,0 +1,322 @@
+package reduction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quamax/internal/channel"
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// randInstance draws a random channel use: H (Rayleigh), transmitted Gray
+// bits, and y = Hv + noise.
+func randInstance(src *rng.Source, mod modulation.Modulation, nt, nr int, noise float64) (*linalg.Mat, []complex128, []byte) {
+	h := channel.Rayleigh{}.Generate(src, nr, nt)
+	bits := src.Bits(nt * mod.BitsPerSymbol())
+	v := mod.MapGrayVector(bits)
+	y := linalg.MulVec(h, v)
+	if noise > 0 {
+		y = channel.AddAWGN(src, y, noise)
+	}
+	return h, y, bits
+}
+
+func forAllBits(n int, fn func(bits []byte)) {
+	bits := make([]byte, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range bits {
+			bits[i] = byte(mask >> i & 1)
+		}
+		fn(bits)
+	}
+}
+
+// The definitional property: the QUBO energy of ANY assignment equals the ML
+// Euclidean metric of the corresponding symbol vector (Eq. 5 expansion).
+func TestQUBOEnergyEqualsMLMetric(t *testing.T) {
+	src := rng.New(51)
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 4}, {modulation.BPSK, 1},
+		{modulation.QPSK, 3}, {modulation.QPSK, 1},
+		{modulation.QAM16, 2}, {modulation.QAM16, 1},
+		{modulation.QAM64, 2}, {modulation.QAM64, 1},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 3; trial++ {
+			h, y, _ := randInstance(src, c.mod, c.nt, c.nt+1, 0.3)
+			q := ReduceToQUBO(c.mod, h, y)
+			n := NumVariables(c.mod, c.nt)
+			forAllBits(n, func(bits []byte) {
+				v := BitsToSymbols(c.mod, bits)
+				want := MLMetric(h, y, v)
+				got := q.Energy(bits)
+				if math.Abs(got-want) > 1e-7*(1+want) {
+					t.Fatalf("%v nt=%d bits=%v: QUBO %g vs metric %g", c.mod, c.nt, bits, got, want)
+				}
+			})
+		}
+	}
+}
+
+// The closed-form Ising must equal the norm-expansion QUBO on every
+// assignment, offset included, for every modulation.
+func TestClosedFormIsingEqualsQUBO(t *testing.T) {
+	src := rng.New(52)
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 5}, {modulation.QPSK, 3},
+		{modulation.QAM16, 2}, {modulation.QAM64, 1},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 3; trial++ {
+			h, y, _ := randInstance(src, c.mod, c.nt, c.nt, 0.5)
+			q := ReduceToQUBO(c.mod, h, y)
+			p := ReduceToIsing(c.mod, h, y)
+			n := NumVariables(c.mod, c.nt)
+			forAllBits(n, func(bits []byte) {
+				eq := q.Energy(bits)
+				ei := p.Energy(qubo.SpinsFromBits(bits))
+				if math.Abs(eq-ei) > 1e-7*(1+math.Abs(eq)) {
+					t.Fatalf("%v: QUBO %g vs Ising %g at %v", c.mod, eq, ei, bits)
+				}
+			})
+		}
+	}
+}
+
+// compareIsingLinearAndCouplings checks H and J terms (not offsets, which
+// the paper's literal forms do not define).
+func compareIsingLinearAndCouplings(t *testing.T, label string, want, got *qubo.Ising, tol float64) {
+	t.Helper()
+	if want.N != got.N {
+		t.Fatalf("%s: size %d vs %d", label, want.N, got.N)
+	}
+	for i := 0; i < want.N; i++ {
+		if math.Abs(want.H[i]-got.H[i]) > tol {
+			t.Fatalf("%s: f[%d] = %g, want %g", label, i, got.H[i], want.H[i])
+		}
+		for j := i + 1; j < want.N; j++ {
+			if math.Abs(want.GetJ(i, j)-got.GetJ(i, j)) > tol {
+				t.Fatalf("%s: g[%d,%d] = %g, want %g", label, i, j, got.GetJ(i, j), want.GetJ(i, j))
+			}
+		}
+	}
+}
+
+func TestPaperBPSKFormMatchesGeneric(t *testing.T) {
+	src := rng.New(53)
+	for trial := 0; trial < 5; trial++ {
+		h, y, _ := randInstance(src, modulation.BPSK, 6, 6, 0.4)
+		compareIsingLinearAndCouplings(t, "Eq6",
+			ReduceToIsing(modulation.BPSK, h, y), PaperIsingBPSK(h, y), 1e-9)
+	}
+}
+
+func TestPaperQPSKFormMatchesGeneric(t *testing.T) {
+	src := rng.New(54)
+	for trial := 0; trial < 5; trial++ {
+		h, y, _ := randInstance(src, modulation.QPSK, 4, 4, 0.4)
+		compareIsingLinearAndCouplings(t, "Eqs7-8",
+			ReduceToIsing(modulation.QPSK, h, y), PaperIsingQPSK(h, y), 1e-9)
+	}
+}
+
+func TestPaper16QAMCorrectedMatchesGeneric(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 5; trial++ {
+		h, y, _ := randInstance(src, modulation.QAM16, 3, 3, 0.4)
+		compareIsingLinearAndCouplings(t, "Eqs13-14(corrected)",
+			ReduceToIsing(modulation.QAM16, h, y), PaperIsing16QAM(h, y, false), 1e-9)
+	}
+}
+
+// Document the Eq. 14 erratum: the literal printed form differs from the
+// norm expansion exactly and only in the (i=4n, j=4n′−2) couplings.
+func TestPaper16QAMErratumLocalized(t *testing.T) {
+	src := rng.New(56)
+	h, y, _ := randInstance(src, modulation.QAM16, 3, 3, 0.4)
+	generic := ReduceToIsing(modulation.QAM16, h, y)
+	literal := PaperIsing16QAM(h, y, true)
+	diffs := 0
+	for i := 0; i < generic.N; i++ {
+		if math.Abs(generic.H[i]-literal.H[i]) > 1e-9 {
+			t.Fatalf("erratum must not affect linear terms (f[%d])", i)
+		}
+		for j := i + 1; j < generic.N; j++ {
+			d := math.Abs(generic.GetJ(i, j) - literal.GetJ(i, j))
+			i1, j1 := i+1, j+1
+			isErratumCase := i1%4 == 0 && j1%4 == 2 && (i1+3)/4 != (j1+3)/4
+			if isErratumCase {
+				if d > 1e-9 {
+					diffs++
+				}
+			} else if d > 1e-9 {
+				t.Fatalf("unexpected difference outside erratum case at (%d,%d): %g", i1, j1, d)
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("expected the literal Eq. 14 form to differ in the erratum case")
+	}
+}
+
+// End-to-end ML equivalence: the QUBO ground state must BE the ML solution
+// (exhaustive symbol search), and on a noise-free channel it decodes the
+// transmitted bits after post-translation.
+func TestGroundStateIsMLSolution(t *testing.T) {
+	src := rng.New(57)
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 6}, {modulation.QPSK, 4}, {modulation.QAM16, 2},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 4; trial++ {
+			h, y, txBits := randInstance(src, c.mod, c.nt, c.nt, 0.2)
+			q := ReduceToQUBO(c.mod, h, y)
+			gsBits, gsE := qubo.BruteForceQUBO(q)
+
+			// Exhaustive ML over symbol vectors.
+			bestMetric := math.Inf(1)
+			n := NumVariables(c.mod, c.nt)
+			forAllBits(n, func(bits []byte) {
+				v := BitsToSymbols(c.mod, bits)
+				if m := MLMetric(h, y, v); m < bestMetric {
+					bestMetric = m
+				}
+			})
+			if math.Abs(gsE-bestMetric) > 1e-7*(1+bestMetric) {
+				t.Fatalf("%v: ground energy %g != ML metric %g", c.mod, gsE, bestMetric)
+			}
+			// Moderate noise: ML solution should still be the transmitted
+			// vector for these sizes at this SNR; then post-translation
+			// recovers the Gray bits (paper §3.2.1 decoding example).
+			rx := c.mod.PostTranslate(gsBits)
+			errs := 0
+			for i := range txBits {
+				if rx[i] != txBits[i] {
+					errs++
+				}
+			}
+			if errs != 0 {
+				// Allowed only if noise genuinely moved the ML point; verify.
+				vTx := c.mod.MapGrayVector(txBits)
+				if MLMetric(h, y, vTx) < bestMetric-1e-9 {
+					t.Fatalf("%v: ML search missed a better candidate", c.mod)
+				}
+			}
+		}
+	}
+}
+
+// Noise-free decode must be exact for every modulation.
+func TestNoiseFreeDecodeExact(t *testing.T) {
+	src := rng.New(58)
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 8}, {modulation.QPSK, 5},
+		{modulation.QAM16, 3}, {modulation.QAM64, 2},
+	}
+	for _, c := range cases {
+		h, y, txBits := randInstance(src, c.mod, c.nt, c.nt, 0)
+		q := ReduceToQUBO(c.mod, h, y)
+		gsBits, gsE := qubo.BruteForceQUBO(q)
+		if gsE > 1e-7 {
+			t.Fatalf("%v: noise-free ground energy %g, want ≈0", c.mod, gsE)
+		}
+		rx := c.mod.PostTranslate(gsBits)
+		for i := range txBits {
+			if rx[i] != txBits[i] {
+				t.Fatalf("%v: decoded bits differ at %d", c.mod, i)
+			}
+		}
+	}
+}
+
+// Property test across random seeds: closed form == norm expansion.
+func TestReductionEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		mods := modulation.All()
+		mod := mods[src.Intn(len(mods))]
+		nt := 1 + src.Intn(2)
+		h, y, _ := randInstance(src, mod, nt, nt+src.Intn(2), 0.5)
+		q := ReduceToQUBO(mod, h, y).ToIsing()
+		p := ReduceToIsing(mod, h, y)
+		// Compare on 16 random assignments.
+		s := make([]int8, p.N)
+		for k := 0; k < 16; k++ {
+			for i := range s {
+				if src.Bool() {
+					s[i] = 1
+				} else {
+					s[i] = -1
+				}
+			}
+			if math.Abs(q.Energy(s)-p.Energy(s)) > 1e-6*(1+math.Abs(p.Energy(s))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Intra-symbol I/Q independence (paper: "the coupler strength between
+// s_{2n−1} and s_{2n} is 0" for QPSK, similarly for 16-QAM).
+func TestIntraSymbolIQCouplingIsZero(t *testing.T) {
+	src := rng.New(59)
+	h, y, _ := randInstance(src, modulation.QPSK, 4, 4, 0.3)
+	p := ReduceToIsing(modulation.QPSK, h, y)
+	for u := 0; u < 4; u++ {
+		if g := p.GetJ(2*u, 2*u+1); g != 0 {
+			t.Fatalf("QPSK user %d: I/Q coupling %g, want 0", u, g)
+		}
+	}
+	h, y, _ = randInstance(src, modulation.QAM16, 3, 3, 0.3)
+	p = ReduceToIsing(modulation.QAM16, h, y)
+	for u := 0; u < 3; u++ {
+		for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+			if g := p.GetJ(4*u+pair[0], 4*u+pair[1]); g != 0 {
+				t.Fatalf("16-QAM user %d: cross I/Q coupling (%d,%d) = %g, want 0", u, pair[0], pair[1], g)
+			}
+		}
+	}
+}
+
+func TestNumVariables(t *testing.T) {
+	if NumVariables(modulation.BPSK, 48) != 48 {
+		t.Fatal("BPSK 48 users should need 48 variables")
+	}
+	if NumVariables(modulation.QPSK, 18) != 36 {
+		t.Fatal("QPSK 18 users should need 36 variables")
+	}
+	if NumVariables(modulation.QAM16, 9) != 36 {
+		t.Fatal("16-QAM 9 users should need 36 variables")
+	}
+	if NumVariables(modulation.QAM64, 60) != 360 {
+		t.Fatal("64-QAM 60 users should need 360 variables (Table 2)")
+	}
+}
+
+func TestSpinsToSymbols(t *testing.T) {
+	// QPSK spins (+1,−1) → symbol (1,−1j)… wait layout: (I spin, Q spin).
+	got := SpinsToSymbols(modulation.QPSK, []int8{1, -1})
+	if len(got) != 1 || got[0] != complex(1, -1) {
+		t.Fatalf("SpinsToSymbols = %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package trace provides the many-antenna channel measurements the paper's
+// §5.5 trace-driven evaluation uses. The original study replays the Argos
+// dataset of Shepard et al. [61] — 96 base-station antennas × 8 static users
+// at 2.4 GHz, "the largest spatial multiplexing MIMO size publicly
+// available". That dataset is not redistributable here, so this package
+// contains:
+//
+//   - a synthetic generator producing measurements with the same structure
+//     and the statistics the evaluation depends on (per-user large-scale
+//     gains, Ricean line-of-sight + Rayleigh scatter mixing with a uniform
+//     linear array, AR(1) temporal evolution at pedestrian Doppler), and
+//   - a compact binary file format plus loader, so a real Argos trace
+//     converted to this format can be swapped in without code changes.
+//
+// The §5.5 methodology is reproduced by Dataset.Sample: for each channel
+// use, pick 8 of the 96 AP antennas at random and form the 8×8 system.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"quamax/internal/linalg"
+	"quamax/internal/rng"
+)
+
+// Dataset is an in-memory channel trace: Uses channel-use snapshots of an
+// Antennas×Users matrix.
+type Dataset struct {
+	Antennas int
+	Users    int
+	// Snapshots[t] is the Antennas×Users channel at use t.
+	Snapshots []*linalg.Mat
+}
+
+// GeneratorConfig controls the synthetic trace model.
+type GeneratorConfig struct {
+	Antennas int     // base-station antennas (Argos: 96)
+	Users    int     // static users (Argos: 8)
+	Uses     int     // channel uses to generate
+	RiceanK  float64 // LoS-to-scatter power ratio (linear); 0 = pure Rayleigh
+	// Doppler is the AR(1) innovation weight per use in [0,1); 0 freezes the
+	// channel, values near 1 decorrelate quickly. Pedestrian mobility at
+	// 2.4 GHz with ~ms frame spacing corresponds to a small value (~0.02).
+	Doppler float64
+	// ShadowStdDB is the per-user log-normal shadowing spread in dB.
+	ShadowStdDB float64
+}
+
+// DefaultGeneratorConfig mirrors the Argos capture shape: 96×8, pedestrian
+// dynamics, moderate LoS.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Antennas:    96,
+		Users:       8,
+		Uses:        200,
+		RiceanK:     3,
+		Doppler:     0.02,
+		ShadowStdDB: 2,
+	}
+}
+
+// Generate synthesizes a dataset. Deterministic given src.
+func Generate(src *rng.Source, cfg GeneratorConfig) (*Dataset, error) {
+	if cfg.Antennas < 1 || cfg.Users < 1 || cfg.Uses < 1 {
+		return nil, errors.New("trace: antennas, users and uses must be positive")
+	}
+	if cfg.Doppler < 0 || cfg.Doppler >= 1 {
+		return nil, fmt.Errorf("trace: Doppler %g outside [0,1)", cfg.Doppler)
+	}
+	ds := &Dataset{Antennas: cfg.Antennas, Users: cfg.Users}
+
+	// Per-user large-scale gain (log-normal shadowing, unit median) and
+	// LoS angle for the uniform linear array.
+	gain := make([]float64, cfg.Users)
+	angle := make([]float64, cfg.Users)
+	for u := range gain {
+		gain[u] = math.Pow(10, src.Gauss(0, cfg.ShadowStdDB)/20)
+		angle[u] = math.Pi * (src.Float64() - 0.5) // azimuth in (−π/2, π/2)
+	}
+	// LoS steering vectors for a λ/2-spaced ULA.
+	los := linalg.NewMat(cfg.Antennas, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		phase := math.Pi * math.Sin(angle[u])
+		for a := 0; a < cfg.Antennas; a++ {
+			theta := phase*float64(a) + 2*math.Pi*src.Float64()*0 // common phase folded into scatter
+			los.Set(a, u, complex(math.Cos(theta), math.Sin(theta)))
+		}
+	}
+	kLin := cfg.RiceanK
+	losW := math.Sqrt(kLin / (kLin + 1))
+	scatW := math.Sqrt(1 / (kLin + 1))
+
+	// AR(1) scatter evolution: s_t = ρ·s_{t−1} + √(1−ρ²)·innovation.
+	rho := 1 - cfg.Doppler
+	innovW := math.Sqrt(1 - rho*rho)
+	scatter := linalg.NewMat(cfg.Antennas, cfg.Users)
+	for i := range scatter.Data {
+		scatter.Data[i] = src.ComplexNorm()
+	}
+	for t := 0; t < cfg.Uses; t++ {
+		if t > 0 {
+			for i := range scatter.Data {
+				scatter.Data[i] = complex(rho, 0)*scatter.Data[i] + complex(innovW, 0)*src.ComplexNorm()
+			}
+		}
+		snap := linalg.NewMat(cfg.Antennas, cfg.Users)
+		for u := 0; u < cfg.Users; u++ {
+			g := complex(gain[u], 0)
+			for a := 0; a < cfg.Antennas; a++ {
+				v := complex(losW, 0)*los.At(a, u) + complex(scatW, 0)*scatter.At(a, u)
+				snap.Set(a, u, g*v)
+			}
+		}
+		ds.Snapshots = append(ds.Snapshots, snap)
+	}
+	return ds, nil
+}
+
+// Sample implements the §5.5 methodology: for channel use t (mod len), pick
+// `pick` distinct AP antennas at random and return the pick×Users submatrix.
+func (d *Dataset) Sample(src *rng.Source, t, pick int) (*linalg.Mat, error) {
+	if pick < 1 || pick > d.Antennas {
+		return nil, fmt.Errorf("trace: cannot pick %d of %d antennas", pick, d.Antennas)
+	}
+	if len(d.Snapshots) == 0 {
+		return nil, errors.New("trace: empty dataset")
+	}
+	snap := d.Snapshots[t%len(d.Snapshots)]
+	perm := src.Perm(d.Antennas)[:pick]
+	out := linalg.NewMat(pick, d.Users)
+	for i, a := range perm {
+		for u := 0; u < d.Users; u++ {
+			out.Set(i, u, snap.At(a, u))
+		}
+	}
+	return out, nil
+}
+
+// NormalizeAveragePower rescales the whole dataset so the mean per-entry
+// power is 1, making channel.NoiseSigma's unit-gain SNR convention apply.
+func (d *Dataset) NormalizeAveragePower() {
+	var p float64
+	n := 0
+	for _, s := range d.Snapshots {
+		for _, v := range s.Data {
+			p += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	if n == 0 || p == 0 {
+		return
+	}
+	scale := complex(1/math.Sqrt(p/float64(n)), 0)
+	for _, s := range d.Snapshots {
+		for i := range s.Data {
+			s.Data[i] *= scale
+		}
+	}
+}
+
+// File format: magic "QMTR", version u16, antennas u16, users u16, uses u32,
+// then uses×antennas×users (float32 real, float32 imag) row-major.
+var fileMagic = [4]byte{'Q', 'M', 'T', 'R'}
+
+const fileVersion = 1
+
+// Write serializes the dataset.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	hdr := []interface{}{
+		uint16(fileVersion), uint16(d.Antennas), uint16(d.Users), uint32(len(d.Snapshots)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, s := range d.Snapshots {
+		if s.Rows != d.Antennas || s.Cols != d.Users {
+			return errors.New("trace: snapshot shape mismatch")
+		}
+		for _, v := range s.Data {
+			binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(float32(real(v))))
+			binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(float32(imag(v))))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, errors.New("trace: not a QMTR trace file")
+	}
+	var version, antennas, users uint16
+	var uses uint32
+	for _, p := range []interface{}{&version, &antennas, &users, &uses} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	if antennas == 0 || users == 0 {
+		return nil, errors.New("trace: empty dimensions")
+	}
+	ds := &Dataset{Antennas: int(antennas), Users: int(users)}
+	buf := make([]byte, 8)
+	for t := uint32(0); t < uses; t++ {
+		snap := linalg.NewMat(int(antennas), int(users))
+		for i := range snap.Data {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("trace: truncated at use %d: %w", t, err)
+			}
+			re := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+			snap.Data[i] = complex(float64(re), float64(im))
+		}
+		ds.Snapshots = append(ds.Snapshots, snap)
+	}
+	return ds, nil
+}
+
+// Save writes the dataset to a file path.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file path.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"path/filepath"
+	"testing"
+
+	"quamax/internal/linalg"
+	"quamax/internal/rng"
+)
+
+func smallCfg() GeneratorConfig {
+	cfg := DefaultGeneratorConfig()
+	cfg.Antennas = 16
+	cfg.Users = 4
+	cfg.Uses = 10
+	return cfg
+}
+
+func TestGenerateShapes(t *testing.T) {
+	src := rng.New(111)
+	ds, err := Generate(src, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Antennas != 16 || ds.Users != 4 || len(ds.Snapshots) != 10 {
+		t.Fatalf("shape: %d×%d×%d", ds.Antennas, ds.Users, len(ds.Snapshots))
+	}
+	for _, s := range ds.Snapshots {
+		if s.Rows != 16 || s.Cols != 4 {
+			t.Fatal("snapshot shape wrong")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	src := rng.New(112)
+	bad := smallCfg()
+	bad.Uses = 0
+	if _, err := Generate(src, bad); err == nil {
+		t.Fatal("zero uses accepted")
+	}
+	bad = smallCfg()
+	bad.Doppler = 1.0
+	if _, err := Generate(src, bad); err == nil {
+		t.Fatal("Doppler = 1 accepted")
+	}
+}
+
+// Temporal correlation must decay with lag (AR(1) evolution).
+func TestTemporalCorrelationDecays(t *testing.T) {
+	src := rng.New(113)
+	cfg := smallCfg()
+	cfg.Uses = 120
+	cfg.Doppler = 0.1
+	cfg.RiceanK = 0 // pure scatter so correlation comes from AR(1) only
+	ds, err := Generate(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(lag int) float64 {
+		var num complex128
+		var den float64
+		for t0 := 0; t0+lag < len(ds.Snapshots); t0++ {
+			a, b := ds.Snapshots[t0], ds.Snapshots[t0+lag]
+			for i := range a.Data {
+				num += a.Data[i] * cmplx.Conj(b.Data[i])
+				den += cmplx.Abs(a.Data[i]) * cmplx.Abs(b.Data[i])
+			}
+		}
+		return cmplx.Abs(num) / den
+	}
+	if c1, c30 := corr(1), corr(30); c1 <= c30 {
+		t.Fatalf("lag-1 correlation %.3f should exceed lag-30 %.3f", c1, c30)
+	}
+}
+
+// Higher Ricean K must reduce fading depth (less magnitude variance).
+func TestRiceanKReducesFading(t *testing.T) {
+	variance := func(k float64, seed int64) float64 {
+		cfg := smallCfg()
+		cfg.Uses = 60
+		cfg.RiceanK = k
+		cfg.ShadowStdDB = 0
+		cfg.Doppler = 0.5 // fast decorrelation for independent samples
+		ds, err := Generate(rng.New(seed), cfg)
+		if err != nil {
+			panic(err)
+		}
+		var sum, sum2 float64
+		n := 0
+		for _, s := range ds.Snapshots {
+			for _, v := range s.Data {
+				m := cmplx.Abs(v)
+				sum += m
+				sum2 += m * m
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		return sum2/float64(n) - mean*mean
+	}
+	if vLow, vHigh := variance(0, 1), variance(20, 1); vHigh >= vLow {
+		t.Fatalf("K=20 magnitude variance %.4f should be below K=0 %.4f", vHigh, vLow)
+	}
+}
+
+func TestSamplePicksDistinctAntennas(t *testing.T) {
+	src := rng.New(114)
+	ds, _ := Generate(src, smallCfg())
+	h, err := ds.Sample(src, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 4 || h.Cols != 4 {
+		t.Fatalf("sample shape %dx%d", h.Rows, h.Cols)
+	}
+	// Each sampled row must appear in the snapshot.
+	snap := ds.Snapshots[3]
+	for i := 0; i < h.Rows; i++ {
+		found := false
+		for a := 0; a < snap.Rows; a++ {
+			same := true
+			for u := 0; u < snap.Cols; u++ {
+				if snap.At(a, u) != h.At(i, u) {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("sampled row %d not found in snapshot", i)
+		}
+	}
+	if _, err := ds.Sample(src, 0, 17); err == nil {
+		t.Fatal("oversample accepted")
+	}
+}
+
+func TestNormalizeAveragePower(t *testing.T) {
+	src := rng.New(115)
+	ds, _ := Generate(src, smallCfg())
+	ds.NormalizeAveragePower()
+	var p float64
+	n := 0
+	for _, s := range ds.Snapshots {
+		for _, v := range s.Data {
+			p += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	if math.Abs(p/float64(n)-1) > 1e-9 {
+		t.Fatalf("average power %.6f after normalization", p/float64(n))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := rng.New(116)
+	ds, _ := Generate(src, smallCfg())
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Antennas != ds.Antennas || back.Users != ds.Users || len(back.Snapshots) != len(ds.Snapshots) {
+		t.Fatal("header mismatch")
+	}
+	for t0 := range ds.Snapshots {
+		if linalg.MaxAbsDiff(ds.Snapshots[t0], back.Snapshots[t0]) > 1e-6 {
+			t.Fatalf("snapshot %d differs beyond float32 precision", t0)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated payload.
+	src := rng.New(117)
+	ds, _ := Generate(src, smallCfg())
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	src := rng.New(118)
+	ds, _ := Generate(src, smallCfg())
+	path := filepath.Join(t.TempDir(), "test.qmtr")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Snapshots) != len(ds.Snapshots) {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.qmtr")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
