@@ -8,12 +8,15 @@
 package quamax_test
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
 
 	"quamax"
 	"quamax/internal/anneal"
+	"quamax/internal/backend"
 	"quamax/internal/channel"
 	"quamax/internal/chimera"
 	"quamax/internal/coding"
@@ -27,6 +30,7 @@ import (
 	"quamax/internal/qubo"
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
+	"quamax/internal/sched"
 )
 
 // sharedEnv reuses embeddings/decoders across experiment benchmarks.
@@ -350,6 +354,61 @@ func BenchmarkClassicalSA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sa.Decode(in.Mod, in.H, in.Y, src); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduler measures QPU-pool throughput end to end (no fronthaul):
+// 32 concurrent QPSK decode requests per iteration through pools of 1, 4 and
+// 16 simulated annealers, with cross-request embedding-slot batching on and
+// off. decodes/s is the figure future scaling PRs compare against.
+func BenchmarkScheduler(b *testing.B) {
+	const requests = 32
+	probs := make([]*backend.Problem, requests)
+	for i := range probs {
+		in := benchInstance(b, modulation.QPSK, 2, 20)
+		probs[i] = &backend.Problem{Mod: in.Mod, H: in.H, Y: in.Y}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, batch := range []bool{true, false} {
+			b.Run(fmt.Sprintf("pool=%d/batch=%t", workers, batch), func(b *testing.B) {
+				pool := make([]backend.Backend, workers)
+				for i := range pool {
+					qpu, err := backend.NewAnnealer(fmt.Sprintf("qpu%d", i), quamax.Options{
+						Graph: chimera.New(6),
+						Params: anneal.Params{
+							AnnealTimeMicros: 1, PauseTimeMicros: 1,
+							PausePosition: 0.35, NumAnneals: 20,
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					pool[i] = qpu
+				}
+				s, err := sched.New(sched.Config{Pool: pool, DisableBatch: !batch, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for _, p := range probs {
+						wg.Add(1)
+						go func(p *backend.Problem) {
+							defer wg.Done()
+							if _, err := s.Dispatch(ctx, p, 0); err != nil {
+								b.Error(err)
+							}
+						}(p)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "decodes/s")
+			})
 		}
 	}
 }

@@ -1,24 +1,44 @@
 // Command quamax-serve runs the data-center side of the C-RAN architecture:
-// a QuAMax decoder pool behind the fronthaul TCP protocol (paper §1, §7).
-// Access points connect with internal/fronthaul.Dial (see examples/cran).
+// a pool of simulated QPUs plus classical solver backends behind the
+// fronthaul TCP protocol (paper §1, §7), scheduled with deadline-aware
+// hybrid dispatch. Access points connect with internal/fronthaul.Dial (see
+// examples/cran).
 //
-//	quamax-serve -listen :9370 -anneals 200 -jf 4
+//	quamax-serve -listen :9370 -pool 4 -backends sa -deadline 2ms
+//
+// -pool sets the number of simulated annealer workers; -backends appends
+// classical solvers ("sa", "sphere") as extra pool workers, the first of
+// which also serves as the deadline fallback; -deadline is the default
+// per-request budget when the AP does not send one. On SIGINT/SIGTERM the
+// server stops accepting connections, drains queued work, and prints the
+// pool statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"quamax"
 	"quamax/internal/anneal"
+	"quamax/internal/backend"
 	"quamax/internal/fronthaul"
+	"quamax/internal/sched"
 )
 
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9370", "TCP listen address")
+		pool     = flag.Int("pool", 1, "number of simulated QPU workers in the pool")
+		backends = flag.String("backends", "sa", "comma-separated classical backends to add (sa, sphere); first doubles as the deadline fallback; empty disables")
+		deadline = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		batch    = flag.Bool("batch", true, "batch compatible requests into shared embedding slots")
 		anneals  = flag.Int("anneals", 100, "anneals per decode (Na)")
 		jf       = flag.Float64("jf", 4, "ferromagnetic chain strength |J_F|")
 		ta       = flag.Float64("ta", 1, "anneal time Ta (µs)")
@@ -26,11 +46,13 @@ func main() {
 		sp       = flag.Float64("sp", 0.35, "pause position sp")
 		improved = flag.Bool("improved-range", true, "use the improved coupler dynamic range")
 		amortize = flag.Bool("amortize", true, "amortize compute time over parallel embedding slots")
-		seed     = flag.Int64("seed", 1, "annealer random seed")
+		seed     = flag.Int64("seed", 1, "solver random seed")
+		saSweeps = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
+		saResets = flag.Int("sa-restarts", 100, "classical SA restarts")
 	)
 	flag.Parse()
 
-	dec, err := quamax.NewDecoder(quamax.Options{
+	opts := quamax.Options{
 		JF:            *jf,
 		ImprovedRange: *improved,
 		Params: anneal.Params{
@@ -40,16 +62,84 @@ func main() {
 			NumAnneals:       *anneals,
 		},
 		AmortizeParallel: *amortize,
+	}
+
+	if *pool < 1 {
+		fmt.Fprintln(os.Stderr, "quamax-serve: -pool must be at least 1")
+		os.Exit(1)
+	}
+	var workers []backend.Backend
+	for i := 0; i < *pool; i++ {
+		qpu, err := backend.NewAnnealer(fmt.Sprintf("qpu%d", i), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workers = append(workers, qpu)
+	}
+	var fallback backend.Backend
+	if *backends != "" {
+		for _, name := range strings.Split(*backends, ",") {
+			var be backend.Backend
+			switch strings.TrimSpace(name) {
+			case "sa":
+				be = backend.NewClassicalSA("sa", *saSweeps, *saResets)
+			case "sphere":
+				be = backend.NewSphere("sphere", 1<<20)
+			case "":
+				continue
+			default:
+				fmt.Fprintf(os.Stderr, "quamax-serve: unknown backend %q (want sa or sphere)\n", name)
+				os.Exit(1)
+			}
+			workers = append(workers, be)
+			if fallback == nil {
+				fallback = be
+			}
+		}
+	}
+
+	scheduler, err := sched.New(sched.Config{
+		Pool:            workers,
+		Fallback:        fallback,
+		DefaultDeadline: *deadline,
+		DisableBatch:    !*batch,
+		Seed:            *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := fronthaul.NewServer(dec, *seed)
+
+	srv := fronthaul.NewPoolServer(scheduler)
 	srv.Logf = log.Printf
-	log.Printf("quamax-serve: QPU pool on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
-		*listen, *anneals, *jf, *ta, *tp)
-	if err := srv.ListenAndServe(*listen); err != nil {
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("quamax-serve: %s on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
+		scheduler, l.Addr(), *anneals, *jf, *ta, *tp)
+
+	// Graceful shutdown: stop accepting, drain the pool, report stats.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case sig := <-sigs:
+		log.Printf("quamax-serve: %v — draining pool", sig)
+		l.Close()
+	case err := <-done:
+		if err != nil {
+			log.Printf("quamax-serve: %v", err)
+		}
+	}
+	drained := make(chan struct{})
+	go func() { scheduler.Close(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		log.Printf("quamax-serve: drain timed out")
+	}
+	log.Printf("quamax-serve: final stats\n%s", scheduler.Stats())
 }

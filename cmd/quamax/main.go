@@ -6,7 +6,7 @@
 //	quamax -exp fig5,fig6 -quick    # several, at bench scale
 //	quamax -exp all -csv out/       # everything, also writing CSV files
 //
-// Experiment IDs match DESIGN.md §4: table1 table2 fig4 fig5 fig6 fig7 fig8
+// Experiment IDs: table1 table2 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15.
 package main
 

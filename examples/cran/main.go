@@ -1,8 +1,12 @@
 // C-RAN: the paper's deployment architecture end to end on one machine. A
-// data-center process exposes a QuAMax "QPU pool" over TCP; an access point
-// process estimates uplink channels and ships per-subcarrier decode requests
-// over the fronthaul, pipelining all subcarriers of an OFDM symbol in
-// flight at once (§1, §5.5, §7).
+// data-center process exposes a QPU *pool* — two simulated annealers plus a
+// classical-SA fallback behind a deadline-aware scheduler — over TCP; an
+// access point process estimates uplink channels and ships per-subcarrier
+// decode requests over the fronthaul, pipelining all subcarriers of an OFDM
+// symbol in flight at once (§1, §5.5, §7). Half the subcarriers carry a
+// deliberately unmeetable deadline, so the run shows the hybrid dispatch of
+// arXiv:2010.00682: those route to the classical fallback while the rest
+// share batched annealer runs.
 //
 //	go run ./examples/cran
 package main
@@ -12,12 +16,15 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"quamax"
+	"quamax/internal/backend"
 	"quamax/internal/channel"
 	"quamax/internal/fronthaul"
 	"quamax/internal/linalg"
 	"quamax/internal/rng"
+	"quamax/internal/sched"
 )
 
 const (
@@ -25,15 +32,30 @@ const (
 	apAntennas  = 8
 	subcarriers = 16
 	snrDB       = 25
+	// tightDeadline is far below the annealer's Na·(Ta+Tp) = 200 µs run
+	// time, so requests carrying it must fall back to classical SA.
+	tightDeadline = 50 * time.Microsecond
 )
 
 func main() {
-	// --- Data center: a QuAMax decoder behind a fronthaul server. ---
-	dec, err := quamax.NewDecoder(quamax.Options{})
+	// --- Data center: a QPU pool behind a fronthaul server. ---
+	var pool []backend.Backend
+	for _, name := range []string{"qpu0", "qpu1"} {
+		qpu, err := backend.NewAnnealer(name, quamax.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, qpu)
+	}
+	scheduler, err := sched.New(sched.Config{
+		Pool:     pool,
+		Fallback: backend.NewClassicalSA("sa", 128, 100),
+		Seed:     99,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := fronthaul.NewServer(dec, 99)
+	server := fronthaul.NewPoolServer(scheduler)
 	server.Logf = log.Printf
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -58,10 +80,11 @@ func main() {
 	sigma := channel.NoiseSigma(quamax.QPSK, users, snrDB)
 
 	type job struct {
-		sc     int
-		h      *linalg.Mat
-		y      []complex128
-		txBits []byte
+		sc       int
+		h        *linalg.Mat
+		y        []complex128
+		txBits   []byte
+		deadline time.Duration
 	}
 	jobs := make([]job, subcarriers)
 	for sc := 0; sc < subcarriers; sc++ {
@@ -69,6 +92,10 @@ func main() {
 		v := quamax.QPSK.MapGrayVector(bits)
 		y := channel.AddAWGN(src, linalg.MulVec(perSC[sc], v), sigma)
 		jobs[sc] = job{sc: sc, h: perSC[sc], y: y, txBits: bits}
+		if sc%2 == 1 {
+			// Odd subcarriers carry a deadline the QPU pool cannot meet.
+			jobs[sc].deadline = tightDeadline
+		}
 	}
 
 	// Ship all subcarriers concurrently — the fronthaul client pipelines
@@ -78,13 +105,15 @@ func main() {
 		sc      int
 		errs    int
 		compute float64
+		backend string
+		batched int
 	}
 	results := make([]result, subcarriers)
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			resp, err := client.Decode(quamax.QPSK, j.h, j.y)
+			resp, err := client.DecodeWithDeadline(quamax.QPSK, j.h, j.y, j.deadline)
 			if err != nil {
 				log.Fatalf("subcarrier %d: %v", j.sc, err)
 			}
@@ -94,19 +123,27 @@ func main() {
 					errs++
 				}
 			}
-			results[j.sc] = result{sc: j.sc, errs: errs, compute: resp.ComputeMicros}
+			results[j.sc] = result{
+				sc: j.sc, errs: errs,
+				compute: resp.ComputeMicros,
+				backend: resp.Backend,
+				batched: resp.Batched,
+			}
 		}(j)
 	}
 	wg.Wait()
 
 	fmt.Printf("\nAP: decoded %d subcarriers × %d users QPSK at %d dB\n\n", subcarriers, users, snrDB)
-	fmt.Printf("%4s  %10s  %14s\n", "sc", "bit errs", "QPU time (µs)")
+	fmt.Printf("%4s  %10s  %14s  %8s  %7s\n", "sc", "bit errs", "compute (µs)", "backend", "batched")
 	totalErrs, totalBits := 0, 0
 	for _, r := range results {
-		fmt.Printf("%4d  %10d  %14.1f\n", r.sc, r.errs, r.compute)
+		fmt.Printf("%4d  %10d  %14.1f  %8s  %7d\n", r.sc, r.errs, r.compute, r.backend, r.batched)
 		totalErrs += r.errs
 		totalBits += users * quamax.QPSK.BitsPerSymbol()
 	}
 	fmt.Printf("\nsymbol BER: %d/%d = %.2e\n", totalErrs, totalBits,
 		float64(totalErrs)/float64(totalBits))
+
+	scheduler.Close()
+	fmt.Printf("\ndata center pool stats:\n%s\n", scheduler.Stats())
 }

@@ -1,0 +1,3 @@
+module quamax
+
+go 1.24

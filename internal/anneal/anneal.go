@@ -1,6 +1,6 @@
 // Package anneal simulates the D-Wave 2000Q quantum annealer that QuAMax
 // runs on (paper §2.2, §4). It is the repository's substitute for the real
-// QPU (see DESIGN.md): problems arrive already embedded on the Chimera graph
+// QPU: problems arrive already embedded on the Chimera graph
 // as sparse physical Ising programs, and every device mechanism the paper's
 // evaluation manipulates is reproduced:
 //
@@ -111,7 +111,7 @@ func Range(improved bool) RangeSpec {
 // zero value is unusable — construct with NewMachine.
 type Machine struct {
 	// SweepsPerMicrosecond converts Ta/Tp into Metropolis sweep budgets.
-	// This is the single calibration constant of the simulator (DESIGN.md §5).
+	// This is the single calibration constant of the simulator (see calibrate.go).
 	SweepsPerMicrosecond float64
 	// BetaInitial/BetaFinal bound the geometric inverse-temperature ramp,
 	// the classical analog of the A(t)/B(t) signal swap.

@@ -1,6 +1,6 @@
 package anneal
 
-// Calibration of the simulated annealer (DESIGN.md §5).
+// Calibration of the simulated annealer.
 //
 // The simulator has exactly three free constants, fixed once here and never
 // tuned per experiment. They were chosen by a one-off sweep (run as a

@@ -1,0 +1,110 @@
+package backend
+
+import (
+	"context"
+
+	"quamax/internal/core"
+	"quamax/internal/rng"
+)
+
+// Annealer adapts the simulated QPU (internal/core over internal/anneal) to
+// the Backend interface. One Annealer models one annealer chip plus its
+// classical control plane; a pool of them is the paper's §7 "QPU pool".
+//
+// It implements BatchBackend: batch-compatible problems are programmed into
+// disjoint clique-embedding slots of the chip and share a single annealer run
+// (core.DecodeSharedRun), which is the §4 parallelization applied across
+// requests instead of within one.
+type Annealer struct {
+	name string
+	dec  *core.Decoder
+}
+
+// NewAnnealer builds a simulated QPU backend with the given decoder options
+// (zero Options select the paper's DW2Q operating point).
+func NewAnnealer(name string, opts core.Options) (*Annealer, error) {
+	dec, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Annealer{name: name, dec: dec}, nil
+}
+
+// AnnealerFromDecoder wraps an existing decoder (sharing its embedding
+// caches) as a Backend.
+func AnnealerFromDecoder(name string, dec *core.Decoder) *Annealer {
+	return &Annealer{name: name, dec: dec}
+}
+
+// Name implements Backend.
+func (a *Annealer) Name() string { return a.name }
+
+// Decoder exposes the wrapped QuAMax decoder.
+func (a *Annealer) Decoder() *core.Decoder { return a.dec }
+
+// EstimateMicros returns the modeled device occupancy of one run,
+// Na·(Ta+Tp). The chip is busy for the full run regardless of slot
+// amortization, so this — not the amortized per-problem time — is what queue
+// waits accumulate.
+func (a *Annealer) EstimateMicros(p *Problem) float64 {
+	params := a.dec.Options().Params
+	return float64(params.NumAnneals) * params.AnnealWallMicros()
+}
+
+// Solve runs the full QuAMax pipeline on one problem.
+func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := a.dec.Decode(p.Mod, p.H, p.Y, src)
+	if err != nil {
+		return nil, err
+	}
+	return a.result(out, 1), nil
+}
+
+// BatchSlots implements BatchBackend via the chip's geometric slot packing.
+func (a *Annealer) BatchSlots(p *Problem) int {
+	slots, err := a.dec.BatchSlots(p.LogicalSpins())
+	if err != nil || slots < 1 {
+		return 1
+	}
+	return slots
+}
+
+// SolveBatch decodes all ps in one shared annealer run.
+func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	items := make([]core.BatchItem, len(ps))
+	for i, p := range ps {
+		items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y}
+	}
+	outs, err := a.dec.DecodeSharedRun(items, src)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(outs))
+	for i, out := range outs {
+		results[i] = a.result(out, len(ps))
+	}
+	return results, nil
+}
+
+// result converts a decoder outcome, applying the Na·(Ta+Tp)/Pf compute-time
+// model the fronthaul reports for TTB accounting.
+func (a *Annealer) result(out *core.Outcome, batched int) *Result {
+	na := float64(a.dec.Options().Params.NumAnneals)
+	pf := out.Pf
+	if pf < 1 {
+		pf = 1
+	}
+	return &Result{
+		Bits:          out.Bits,
+		Energy:        out.Energy,
+		ComputeMicros: na * out.WallMicrosPerAnneal / pf,
+		Backend:       a.name,
+		Batched:       batched,
+	}
+}

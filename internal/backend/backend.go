@@ -1,0 +1,83 @@
+// Package backend defines the pluggable solver interface of the data-center
+// side of the C-RAN architecture. The paper runs every uplink decode on one
+// quantum annealer; follow-up work (Kim et al., arXiv:2010.00682) argues the
+// data center is really a *hybrid* classical–quantum structure that routes
+// each problem to whichever solver meets its deadline. A Backend is one such
+// solver: the simulated QPU (Annealer), logical-space simulated annealing
+// (ClassicalSA), or the exact sphere decoder (Sphere). The pool scheduler in
+// internal/sched owns a set of Backends and dispatches decode problems across
+// them.
+package backend
+
+import (
+	"context"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// Problem is one ML MIMO detection problem: decode the transmitted symbols
+// from the received vector Y through the estimated channel H. It is the unit
+// of work the scheduler queues and a Backend solves.
+type Problem struct {
+	Mod modulation.Modulation
+	H   *linalg.Mat
+	Y   []complex128
+}
+
+// Users returns the transmitter count Nt.
+func (p *Problem) Users() int { return p.H.Cols }
+
+// LogicalSpins returns N, the Ising variable count the problem reduces to
+// (one spin per data bit: Nt · bits-per-symbol). Problems with equal N are
+// batch-compatible on the annealer: each fits the same clique-embedding slot.
+func (p *Problem) LogicalSpins() int { return p.H.Cols * p.Mod.BitsPerSymbol() }
+
+// Result is one solved problem.
+type Result struct {
+	// Bits are the decoded, Gray-demapped data bits.
+	Bits []byte
+	// Energy is the ML metric ‖y − H·v̂‖² of the returned decision (for the
+	// annealer this equals the logical Ising energy by construction).
+	Energy float64
+	// ComputeMicros is the modeled solver compute time: QPU device time
+	// Na·(Ta+Tp)/Pf for the annealer, measured wall time for classical
+	// backends. Reported to the AP for TTB accounting.
+	ComputeMicros float64
+	// Backend names the solver that produced this result.
+	Backend string
+	// Batched is the number of problems that shared the solver run
+	// (1 for a solo run).
+	Batched int
+}
+
+// Backend is a pluggable solver. Implementations must be safe for concurrent
+// Solve calls (the scheduler may run one instance behind several workers) and
+// must honor ctx cancellation at least between coarse solve phases.
+type Backend interface {
+	// Name identifies the backend in results and pool stats.
+	Name() string
+	// EstimateMicros predicts the compute latency of one Solve of p — the
+	// quantity the scheduler's deadline-aware dispatch sums into projected
+	// queue waits. For the annealer this is modeled device time; classical
+	// backends use cost models or measured moving averages.
+	EstimateMicros(p *Problem) float64
+	// Solve decodes one problem. src drives any stochastic component and is
+	// owned by the caller (typically a per-worker stream).
+	Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error)
+}
+
+// BatchBackend is a Backend that can co-schedule several problems in one
+// device run — the annealer, which packs batch-compatible problems into
+// disjoint Chimera embedding slots so they share one Na·(Ta+Tp) anneal.
+type BatchBackend interface {
+	Backend
+	// BatchSlots reports how many problems shaped like p fit one run
+	// (≥ 1; 1 means batching degenerates to Solve).
+	BatchSlots(p *Problem) int
+	// SolveBatch solves len(ps) batch-compatible problems in one run,
+	// returning results in order. All ps must have equal LogicalSpins and
+	// len(ps) must not exceed BatchSlots.
+	SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error)
+}

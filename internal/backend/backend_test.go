@@ -1,0 +1,178 @@
+package backend
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/core"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func testOptions() core.Options {
+	return core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 40},
+	}
+}
+
+func testInstance(t *testing.T, seed int64, mod modulation.Modulation, nt int) *mimo.Instance {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: math.Inf(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func problemOf(in *mimo.Instance) *Problem {
+	return &Problem{Mod: in.Mod, H: in.H, Y: in.Y}
+}
+
+func TestLogicalSpins(t *testing.T) {
+	for _, tc := range []struct {
+		mod  modulation.Modulation
+		nt   int
+		want int
+	}{
+		{modulation.BPSK, 4, 4},
+		{modulation.QPSK, 2, 4},
+		{modulation.QAM16, 3, 12},
+	} {
+		in := testInstance(t, 7, tc.mod, tc.nt)
+		if got := problemOf(in).LogicalSpins(); got != tc.want {
+			t.Errorf("%v × %d users: LogicalSpins = %d, want %d", tc.mod, tc.nt, got, tc.want)
+		}
+	}
+}
+
+func TestAnnealerSolve(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInstance(t, 11, modulation.QPSK, 4)
+	res, err := a.Solve(context.Background(), problemOf(in), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("annealer backend: %d bit errors on a noise-free channel", errs)
+	}
+	if res.Backend != "qpu0" || res.Batched != 1 {
+		t.Fatalf("result metadata: %+v", res)
+	}
+	if res.ComputeMicros <= 0 {
+		t.Fatal("no compute time reported")
+	}
+	if est := a.EstimateMicros(problemOf(in)); est != 40*2 {
+		t.Fatalf("EstimateMicros = %g, want Na·(Ta+Tp) = 80", est)
+	}
+}
+
+func TestAnnealerBatchAcrossModulations(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BPSK×4 and QPSK×2 both reduce to N = 4 spins: batch-compatible.
+	ins := []*mimo.Instance{
+		testInstance(t, 21, modulation.BPSK, 4),
+		testInstance(t, 22, modulation.QPSK, 2),
+		testInstance(t, 23, modulation.BPSK, 4),
+	}
+	ps := make([]*Problem, len(ins))
+	for i, in := range ins {
+		ps[i] = problemOf(in)
+	}
+	if slots := a.BatchSlots(ps[0]); slots < len(ps) {
+		t.Fatalf("BatchSlots = %d, need ≥ %d for this test", slots, len(ps))
+	}
+	results, err := a.SolveBatch(context.Background(), ps, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if errs := ins[i].BitErrors(res.Bits); errs != 0 {
+			t.Errorf("batched problem %d: %d bit errors", i, errs)
+		}
+		if res.Batched != len(ps) {
+			t.Errorf("problem %d: Batched = %d, want %d", i, res.Batched, len(ps))
+		}
+	}
+}
+
+func TestAnnealerBatchRejectsMixedSizes(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []*Problem{
+		problemOf(testInstance(t, 31, modulation.BPSK, 4)),
+		problemOf(testInstance(t, 32, modulation.BPSK, 6)),
+	}
+	if _, err := a.SolveBatch(context.Background(), ps, rng.New(3)); err == nil {
+		t.Fatal("mixed logical sizes accepted into one batch")
+	}
+}
+
+func TestClassicalSASolve(t *testing.T) {
+	c := NewClassicalSA("sa", 128, 60)
+	in := testInstance(t, 41, modulation.QPSK, 4)
+	p := problemOf(in)
+	res, err := c.Solve(context.Background(), p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("SA backend: %d bit errors on a noise-free channel", errs)
+	}
+	if res.Backend != "sa" {
+		t.Fatalf("backend name %q", res.Backend)
+	}
+	if est := c.EstimateMicros(p); est <= 0 {
+		t.Fatalf("EstimateMicros = %g", est)
+	}
+}
+
+func TestSphereSolveAndAdaptiveEstimate(t *testing.T) {
+	s := NewSphere("sphere", 0)
+	in := testInstance(t, 51, modulation.QPSK, 4)
+	p := problemOf(in)
+	if est := s.EstimateMicros(p); est != s.PriorMicros {
+		t.Fatalf("cold estimate %g, want prior %g", est, s.PriorMicros)
+	}
+	res, err := s.Solve(context.Background(), p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("sphere backend: %d bit errors (exact ML on noise-free channel)", errs)
+	}
+	if est := s.EstimateMicros(p); est == s.PriorMicros {
+		t.Fatal("estimate not updated from measurement")
+	}
+}
+
+func TestSolveHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := testInstance(t, 61, modulation.BPSK, 4)
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Solve(ctx, problemOf(in), rng.New(6)); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+	if _, err := NewClassicalSA("sa", 8, 2).Solve(ctx, problemOf(in), rng.New(7)); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"quamax/internal/detector"
+	"quamax/internal/rng"
+)
+
+// ClassicalSA adapts the logical-space simulated-annealing baseline
+// (internal/detector) to the Backend interface — the software solver a data
+// center can run today on a conventional CPU (§6), and the natural deadline
+// fallback of a hybrid pool: its latency is a deterministic function of the
+// configured effort, with no queue behind a scarce chip.
+type ClassicalSA struct {
+	name string
+	// SA holds the annealing effort knobs; mutate before first use only.
+	SA *detector.ClassicalSA
+	// MicrosPerSpinSweep calibrates EstimateMicros: one Metropolis update of
+	// one spin costs about this much wall time. The default is measured on
+	// the bench harness; it only steers admission, not correctness.
+	MicrosPerSpinSweep float64
+}
+
+// DefaultMicrosPerSpinSweep is the measured per-spin-update cost of the SA
+// inner loop on a current x86 core (see BenchmarkClassicalSA).
+const DefaultMicrosPerSpinSweep = 0.004
+
+// NewClassicalSA builds the SA backend with the given effort (restarts ≈ Na
+// for parity with the QPU, per detector.NewClassicalSA).
+func NewClassicalSA(name string, sweeps, restarts int) *ClassicalSA {
+	return &ClassicalSA{
+		name:               name,
+		SA:                 detector.NewClassicalSA(sweeps, restarts),
+		MicrosPerSpinSweep: DefaultMicrosPerSpinSweep,
+	}
+}
+
+// Name implements Backend.
+func (c *ClassicalSA) Name() string { return c.name }
+
+// EstimateMicros models the deterministic SA cost: sweeps × restarts × N
+// spin updates. The quadratic local-field cost in N is folded into the
+// per-spin constant at the pool's typical sizes.
+func (c *ClassicalSA) EstimateMicros(p *Problem) float64 {
+	n := float64(p.LogicalSpins())
+	return float64(c.SA.Sweeps) * float64(c.SA.Restarts) * n * c.MicrosPerSpinSweep * (1 + n/16)
+}
+
+// Solve anneals the problem's logical Ising form directly.
+func (c *ClassicalSA) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := c.SA.Decode(p.Mod, p.H, p.Y, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bits:          res.Bits,
+		Energy:        res.Metric,
+		ComputeMicros: float64(time.Since(start)) / float64(time.Microsecond),
+		Backend:       c.name,
+		Batched:       1,
+	}, nil
+}
+
+// Sphere adapts the exact Schnorr–Euchner sphere decoder (§2.1) to the
+// Backend interface: the throughput-optimal classical reference whose
+// latency is input-dependent (exponential worst case, Table 1). Because no
+// closed-form cost model exists, EstimateMicros is a measured exponential
+// moving average per problem shape, seeded with PriorMicros.
+type Sphere struct {
+	name string
+	// Opts tune the underlying search; set MaxVisitedNodes to bound
+	// worst-case latency (exhausted searches return the best leaf found).
+	Opts detector.SphereOptions
+	// PriorMicros seeds the latency estimate before any measurement.
+	PriorMicros float64
+
+	mu   sync.Mutex
+	ewma map[sphereKey]float64
+}
+
+type sphereKey struct {
+	mod   byte
+	users int
+}
+
+// NewSphere builds the sphere-decoder backend. maxVisitedNodes bounds each
+// search (0 = unlimited — beware exponential tails at low SNR).
+func NewSphere(name string, maxVisitedNodes int) *Sphere {
+	return &Sphere{
+		name:        name,
+		Opts:        detector.SphereOptions{MaxVisitedNodes: maxVisitedNodes},
+		PriorMicros: 500,
+		ewma:        make(map[sphereKey]float64),
+	}
+}
+
+// Name implements Backend.
+func (s *Sphere) Name() string { return s.name }
+
+// EstimateMicros returns the moving-average measured latency for this
+// problem shape, or the prior if the shape has not been solved yet.
+func (s *Sphere) EstimateMicros(p *Problem) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if est, ok := s.ewma[sphereKey{byte(p.Mod), p.Users()}]; ok {
+		return est
+	}
+	return s.PriorMicros
+}
+
+// Solve runs the exact tree search and folds the measured latency back into
+// the estimate (EWMA, α = 1/4).
+func (s *Sphere) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := detector.SphereDecode(p.Mod, p.H, p.Y, s.Opts)
+	elapsed := float64(time.Since(start)) / float64(time.Microsecond)
+	key := sphereKey{byte(p.Mod), p.Users()}
+	s.mu.Lock()
+	if old, ok := s.ewma[key]; ok {
+		s.ewma[key] = old + (elapsed-old)/4
+	} else {
+		s.ewma[key] = elapsed
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bits:          res.Bits,
+		Energy:        res.Metric,
+		ComputeMicros: elapsed,
+		Backend:       s.name,
+		Batched:       1,
+	}, nil
+}

@@ -217,7 +217,7 @@ const DW2QWorkingQubits = 2031
 // qubit-coupling parameters"; we deliberately do NOT force that coupler
 // count — removing ~900 extra couplers uniformly would make the paper's own
 // problem sizes unembeddable, contradicting its reported experiments — and
-// model coupler loss only through dead qubits (see DESIGN.md).
+// model coupler loss only through dead qubits.
 func DW2Q() *Graph {
 	src := rng.New(0xD20000)
 	full := New(DW2QGridSize)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"quamax/internal/embedding"
+	"quamax/internal/linalg"
+	"quamax/internal/metrics"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// BatchItem is one decode request of a shared annealer run. Items in a batch
+// may use different modulations and channels but must reduce to the same
+// logical spin count N, since all slots of a packing hold N-spin cliques.
+type BatchItem struct {
+	Mod modulation.Modulation
+	H   *linalg.Mat
+	Y   []complex128
+	// Truth, when non-nil, fills the evaluation fields of the Outcome
+	// (Distribution, TxEnergy) exactly like DecodeInstance.
+	Truth *mimo.Instance
+}
+
+// BatchSlots returns how many independent N-spin problems fit one annealer
+// run — the geometric parallel slot count of §4, applied across requests
+// instead of replicating a single problem. It is the capacity limit of
+// DecodeSharedRun.
+func (d *Decoder) BatchSlots(n int) (int, error) {
+	packs, err := d.packsFor(n)
+	if err != nil {
+		return 0, err
+	}
+	return len(packs), nil // packsFor guarantees ≥ 1
+}
+
+// DecodeSharedRun decodes up to BatchSlots(N) channel uses in ONE annealer run by
+// programming each problem into its own disjoint clique-embedding slot of the
+// Chimera chip. This extends the paper's §4 parallelization (amortizing a run
+// over identical slots of one problem) across independent requests: the run's
+// wall-clock Na·(Ta+Tp) is shared by the whole batch, so each Outcome reports
+// Pf = len(items) when AmortizeParallel is on.
+//
+// The combined physical program shares the device's analog range, so the
+// auto-scaling divisor is the max over all batched problems — exactly the
+// squeeze a real shared chip would apply.
+func (d *Decoder) DecodeSharedRun(items []BatchItem, src *rng.Source) ([]*Outcome, error) {
+	if len(items) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	if src == nil {
+		return nil, errors.New("core: nil random source")
+	}
+
+	logicals := make([]*qubo.Ising, len(items))
+	for i, it := range items {
+		logicals[i] = reduction.ReduceToIsing(it.Mod, it.H, it.Y)
+		if logicals[i].N != logicals[0].N {
+			return nil, fmt.Errorf("core: batch mixes logical sizes %d and %d",
+				logicals[0].N, logicals[i].N)
+		}
+	}
+	n := logicals[0].N
+	packs, err := d.packsFor(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) > len(packs) {
+		return nil, fmt.Errorf("core: batch of %d exceeds the %d parallel slots for N=%d",
+			len(items), len(packs), n)
+	}
+
+	// Compile each problem into its slot and concatenate the physical
+	// programs. Slots are qubit-disjoint, so a plain index offset per slot
+	// yields the exact combined Ising program.
+	eps := make([]*embedding.EmbeddedProblem, len(items))
+	offsets := make([]int, len(items))
+	total := 0
+	for i := range items {
+		ep, err := packs[i].EmbedIsing(logicals[i], d.opts.JF, d.opts.ImprovedRange)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = ep
+		offsets[i] = total
+		total += packs[i].NumPhysical()
+	}
+	combined := qubo.NewSparse(total)
+	for i, ep := range eps {
+		off := offsets[i]
+		copy(combined.H[off:off+len(ep.Phys.H)], ep.Phys.H)
+		for _, e := range ep.Phys.Edges {
+			combined.Edges = append(combined.Edges, qubo.SparseEdge{I: e.I + off, J: e.J + off, W: e.W})
+		}
+	}
+
+	samples, err := d.opts.Machine.Run(combined, d.opts.Params, d.opts.ImprovedRange, src)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]*Outcome, len(items))
+	for i, it := range items {
+		out := &Outcome{
+			Pf:                  1,
+			WallMicrosPerAnneal: d.opts.Params.AnnealWallMicros(),
+		}
+		if d.opts.AmortizeParallel {
+			out.Pf = float64(len(items))
+		}
+		var acc *metrics.Accumulator
+		if it.Truth != nil {
+			acc = metrics.NewAccumulator(n)
+			out.TxEnergy = logicals[i].Energy(qubo.SpinsFromBits(it.Truth.TxQUBOBits()))
+		}
+		off, np := offsets[i], packs[i].NumPhysical()
+		bestE := 0.0
+		var bestBits []byte
+		for _, s := range samples {
+			energy, spins, broken := eps[i].UnembeddedEnergy(s.Spins[off:off+np], src)
+			out.BrokenChains += broken
+			qbits := qubo.BitsFromSpins(spins)
+			if bestBits == nil || energy < bestE {
+				bestE = energy
+				bestBits = qbits
+			}
+			if acc != nil {
+				rx := it.Mod.PostTranslate(qbits)
+				acc.Add(string(qbits), energy, it.Truth.BitErrors(rx))
+			}
+		}
+		out.Energy = bestE
+		out.Bits = it.Mod.PostTranslate(bestBits)
+		out.Symbols = reduction.BitsToSymbols(it.Mod, bestBits)
+		if acc != nil {
+			out.Distribution = acc.Distribution()
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}

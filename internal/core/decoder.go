@@ -53,8 +53,9 @@ type Decoder struct {
 	opts Options
 
 	mu    sync.Mutex
-	embs  map[int]*embedding.Embedding // by logical size N
-	slots map[int]int                  // geometric Pf by N
+	embs  map[int]*embedding.Embedding   // by logical size N
+	packs map[int][]*embedding.Embedding // parallel slot packings by N
+	slots map[int]int                    // geometric Pf by N
 }
 
 // New returns a Decoder, filling unset options with the paper's defaults.
@@ -81,6 +82,7 @@ func New(opts Options) (*Decoder, error) {
 	return &Decoder{
 		opts:  opts,
 		embs:  make(map[int]*embedding.Embedding),
+		packs: make(map[int][]*embedding.Embedding),
 		slots: make(map[int]int),
 	}, nil
 }
@@ -99,13 +101,29 @@ func (d *Decoder) embeddingFor(n int) (*embedding.Embedding, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: %d logical spins: %w", n, err)
 	}
-	slots := len(embedding.PackSlots(d.opts.Graph, n))
-	if slots < 1 {
-		slots = 1
+	packs := embedding.PackSlots(d.opts.Graph, n)
+	if len(packs) == 0 {
+		// No disjoint pack fits (possible with defects at large N even
+		// though a single placement exists): the lone embedding is the one
+		// slot, keeping BatchSlots ≥ 1 honest for DecodeSharedRun.
+		packs = []*embedding.Embedding{e}
 	}
+	slots := len(packs)
 	d.embs[n] = e
+	d.packs[n] = packs
 	d.slots[n] = slots
 	return e, slots, nil
+}
+
+// packsFor returns (and caches) the disjoint parallel slot packing for N
+// logical spins — the embeddings DecodeBatch programs side by side.
+func (d *Decoder) packsFor(n int) ([]*embedding.Embedding, error) {
+	if _, _, err := d.embeddingFor(n); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.packs[n], nil
 }
 
 // Outcome is the result of one decode (one channel use).

@@ -4,8 +4,8 @@
 // cmd/quamax, closer to the paper's statistics). The output is a Table —
 // the same rows/series the paper plots — renderable as aligned text or CSV.
 //
-// The per-experiment index lives in DESIGN.md §4; measured-vs-paper
-// comparisons live in EXPERIMENTS.md.
+// The per-experiment index lives in cmd/quamax (quamax -exp all); measured-vs-paper
+// comparisons live in the experiment doc comments and the bench harness.
 package experiments
 
 import (

@@ -8,7 +8,7 @@ import (
 )
 
 // Tiny presets so the whole suite smoke-tests in seconds; the scientific
-// shape checks live in the bench harness and EXPERIMENTS.md.
+// shape checks live in the bench harness.
 
 func tinyEnv() *Env { return NewEnv() }
 

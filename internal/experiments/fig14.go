@@ -19,7 +19,7 @@ import (
 // The paper infers ZF processing time from BigStation's single-core
 // numbers; we measure our own zero-forcing implementation's wall time on
 // the host CPU (same role: a concrete classical baseline) and report both
-// the measurement and the BER floor. See DESIGN.md §2.
+// the measurement and the BER floor.
 type Fig14Config struct {
 	BPSKUsers []int
 	QPSKUsers []int

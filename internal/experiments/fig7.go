@@ -10,7 +10,7 @@ import (
 // Fig7Config drives the anneal-pause study (paper Fig. 7): TTS of 18-user
 // QPSK versus pause position sp for pause times Tp ∈ {1, 10, 100} µs across
 // |J_F| values, improved dynamic range, Ta = 1 µs. It also includes a no-ICE
-// ablation so the pause benefit can be attributed (DESIGN.md §4).
+// ablation so the pause benefit can be attributed.
 type Fig7Config struct {
 	PauseTimes     []float64
 	PausePositions []float64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
@@ -52,7 +53,12 @@ func (c *Client) readLoop() {
 			return
 		}
 		if msgType != msgDecodeResponse {
-			continue
+			// An unknown frame type means the peer speaks a different
+			// protocol generation; silently discarding it would strand the
+			// request it answered. Surface a version error and tear down.
+			c.fail(fmt.Errorf("fronthaul: protocol error: unknown frame type %d (this client speaks version %d)",
+				msgType, ProtocolVersion))
+			return
 		}
 		resp, err := decodeResponse(payload)
 		if err != nil {
@@ -83,6 +89,14 @@ func (c *Client) fail(err error) {
 // Decode ships one channel use to the data center and waits for the decoded
 // bits. It blocks until the response arrives or the connection fails.
 func (c *Client) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128) (*DecodeResponse, error) {
+	return c.DecodeWithDeadline(mod, h, y, 0)
+}
+
+// DecodeWithDeadline is Decode with a per-request processing budget: the
+// data-center scheduler routes the problem to a classical solver when the
+// QPU pool cannot meet the deadline. deadline ≤ 0 means no deadline (the
+// server default applies).
+func (c *Client) DecodeWithDeadline(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration) (*DecodeResponse, error) {
 	c.mu.Lock()
 	if c.closed != nil {
 		c.mu.Unlock()
@@ -94,7 +108,14 @@ func (c *Client) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	payload, err := encodeRequest(&DecodeRequest{ID: id, Mod: mod, H: h, Y: y})
+	var deadlineMicros float64
+	if deadline > 0 {
+		deadlineMicros = float64(deadline) / float64(time.Microsecond)
+		if deadlineMicros > MaxDeadlineMicros {
+			deadlineMicros = MaxDeadlineMicros
+		}
+	}
+	payload, err := encodeRequest(&DecodeRequest{ID: id, Mod: mod, H: h, Y: y, DeadlineMicros: deadlineMicros})
 	if err != nil {
 		c.abandon(id)
 		return nil, err

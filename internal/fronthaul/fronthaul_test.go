@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"quamax/internal/anneal"
+	"quamax/internal/backend"
 	"quamax/internal/channel"
 	"quamax/internal/chimera"
 	"quamax/internal/core"
@@ -15,6 +18,7 @@ import (
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
 	"quamax/internal/rng"
+	"quamax/internal/sched"
 )
 
 func testDecoder(t *testing.T) *core.Decoder {
@@ -117,6 +121,7 @@ func TestFrameSizeGuard(t *testing.T) {
 // the data-center server and gets its bits back.
 func TestClientServerOverPipe(t *testing.T) {
 	server := NewServer(testDecoder(t), 1)
+	defer server.Close()
 	cliConn, srvConn := net.Pipe()
 	go server.handleConn(srvConn)
 	client := NewClient(cliConn)
@@ -141,6 +146,7 @@ func TestClientServerOverPipe(t *testing.T) {
 // Real TCP with concurrent pipelined requests from multiple goroutines.
 func TestClientServerOverTCPConcurrent(t *testing.T) {
 	server := NewServer(testDecoder(t), 2)
+	defer server.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +190,7 @@ func TestClientServerOverTCPConcurrent(t *testing.T) {
 // client as an error, not a hang.
 func TestServerReportsDecodeError(t *testing.T) {
 	server := NewServer(testDecoder(t), 3)
+	defer server.Close()
 	cliConn, srvConn := net.Pipe()
 	go server.handleConn(srvConn)
 	client := NewClient(cliConn)
@@ -192,6 +199,190 @@ func TestServerReportsDecodeError(t *testing.T) {
 	in := testInstance(t, 300, modulation.BPSK, 30) // needs M=8 > C6
 	if _, err := client.Decode(in.Mod, in.H, in.Y); err == nil {
 		t.Fatal("expected remote decode error")
+	}
+}
+
+// An unknown frame type from the peer must surface as a protocol-version
+// error on pending and subsequent calls, not be silently discarded.
+func TestClientRejectsUnknownFrameType(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	client := NewClient(cliConn)
+	defer client.Close()
+	in := testInstance(t, 400, modulation.BPSK, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Decode(in.Mod, in.H, in.Y)
+		done <- err
+	}()
+	if _, _, err := readFrame(srvConn); err != nil { // swallow the request
+		t.Fatal(err)
+	}
+	if err := writeFrame(srvConn, 99, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("unknown frame type silently discarded")
+	}
+	if !strings.Contains(err.Error(), "protocol error") || !strings.Contains(err.Error(), "99") {
+		t.Fatalf("error %q does not identify the protocol problem", err)
+	}
+	// The connection is poisoned: later calls fail fast with the same cause.
+	if _, err := client.Decode(in.Mod, in.H, in.Y); err == nil {
+		t.Fatal("client kept accepting work after a protocol error")
+	}
+}
+
+// A request the server cannot parse (e.g. a newer protocol generation with
+// extra trailing fields) must be answered with an error response carrying
+// the salvaged request ID, so the sender fails fast instead of hanging.
+func TestServerAnswersMalformedRequest(t *testing.T) {
+	server := NewServer(testDecoder(t), 4)
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	defer cliConn.Close()
+
+	in := testInstance(t, 401, modulation.BPSK, 4)
+	payload, err := encodeRequest(&DecodeRequest{ID: 77, Mod: in.Mod, H: in.H, Y: in.Y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emulate a v3 peer: valid v2 request plus an unknown trailing field.
+	payload = append(payload, 1, 2, 3, 4)
+	if err := writeFrame(cliConn, msgDecodeRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	msgType, respPayload, err := readFrame(cliConn)
+	if err != nil {
+		t.Fatalf("no response to malformed request: %v", err)
+	}
+	if msgType != msgDecodeResponse {
+		t.Fatalf("response type %d", msgType)
+	}
+	resp, err := decodeResponse(respPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 77 {
+		t.Fatalf("salvaged ID %d, want 77", resp.ID)
+	}
+	if !strings.Contains(resp.Err, "bad request") {
+		t.Fatalf("error %q does not identify the bad request", resp.Err)
+	}
+}
+
+// poolScheduler builds a 2-QPU + SA-fallback scheduler for round-trip tests.
+func poolScheduler(t *testing.T, seed int64) *sched.Scheduler {
+	t.Helper()
+	opts := core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 40},
+	}
+	var pool []backend.Backend
+	for _, name := range []string{"qpu0", "qpu1"} {
+		qpu, err := backend.NewAnnealer(name, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, qpu)
+	}
+	s, err := sched.New(sched.Config{
+		Pool:     pool,
+		Fallback: backend.NewClassicalSA("sa", 128, 60),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// Fronthaul round trip through a pool of more than one backend: concurrent
+// pipelined requests spread over two QPU workers, all decode correctly, and
+// the pool stats see every request.
+func TestPoolServerRoundTripMultiBackend(t *testing.T) {
+	s := poolScheduler(t, 5)
+	server := NewPoolServer(s)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go server.Serve(l)
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const parallel = 12
+	var wg sync.WaitGroup
+	backends := make([]string, parallel)
+	errs := make([]error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := testInstance(t, int64(500+i), modulation.QPSK, 3)
+			resp, err := client.Decode(in.Mod, in.H, in.Y)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if in.BitErrors(resp.Bits) != 0 {
+				errs[i] = errShort // sentinel: wrong bits
+				return
+			}
+			backends[i] = resp.Backend
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	for i, b := range backends {
+		if b == "" {
+			t.Fatalf("request %d: no backend reported", i)
+		}
+	}
+	st, ok := server.Stats()
+	if !ok {
+		t.Fatal("pool server does not export stats")
+	}
+	if st.Completed != parallel || st.QueueDepth != 0 {
+		t.Fatalf("pool stats after round trip: %+v", st)
+	}
+}
+
+// A wire-level deadline shorter than the annealer's run time must come back
+// solved by the classical fallback.
+func TestDeadlineOverWireRoutesToFallback(t *testing.T) {
+	s := poolScheduler(t, 6)
+	server := NewPoolServer(s)
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 700, modulation.QPSK, 4)
+	// The pool's annealers need Na·(Ta+Tp) = 80 µs; 20 µs is unmeetable.
+	resp, err := client.DecodeWithDeadline(in.Mod, in.H, in.Y, 20*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Backend != "sa" {
+		t.Fatalf("deadline-constrained request served by %q, want the sa fallback", resp.Backend)
+	}
+	if in.BitErrors(resp.Bits) != 0 {
+		t.Fatal("fallback decode returned wrong bits")
+	}
+	if st := s.Stats(); st.FallbackDispatches != 1 {
+		t.Fatalf("FallbackDispatches = %d, want 1", st.FallbackDispatches)
 	}
 }
 

@@ -26,6 +26,13 @@ import (
 	"quamax/internal/modulation"
 )
 
+// ProtocolVersion is the fronthaul framing generation. Version 2 added the
+// per-request deadline and the responding-backend metadata for the pool
+// scheduler. Peers speaking a newer version may emit frame types this
+// implementation does not know; the client surfaces those as protocol errors
+// rather than discarding them silently.
+const ProtocolVersion = 2
+
 // Message types.
 const (
 	msgDecodeRequest  uint8 = 1
@@ -36,12 +43,21 @@ const (
 // so 16 MiB leaves ample room while stopping corrupt length prefixes.
 const MaxFrameBytes = 16 << 20
 
+// MaxDeadlineMicros bounds a request deadline (≈11.6 days in µs) — far past
+// any real processing budget, and small enough that the microseconds→
+// time.Duration conversion cannot overflow.
+const MaxDeadlineMicros = 1e12
+
 // DecodeRequest is one uplink channel use shipped AP → data center.
 type DecodeRequest struct {
 	ID  uint64
 	Mod modulation.Modulation
 	H   *linalg.Mat
 	Y   []complex128
+	// DeadlineMicros is the AP's processing budget for this decode; the pool
+	// scheduler routes the problem to a classical solver when the QPU queue
+	// cannot meet it. 0 means no deadline (use the server default).
+	DeadlineMicros float64
 }
 
 // DecodeResponse carries the decoded bits back to the AP.
@@ -53,6 +69,12 @@ type DecodeResponse struct {
 	// ComputeMicros is the modeled QPU compute time (Na·(Ta+Tp)/Pf) spent on
 	// this decode, reported for TTB accounting at the AP.
 	ComputeMicros float64
+	// Backend names the pool solver that produced the decode (e.g. "qpu0",
+	// "sa"); empty on error responses.
+	Backend string
+	// Batched is the number of requests that shared the solver run
+	// (1 = solo; >1 means the decode rode a shared embedding-slot batch).
+	Batched int
 }
 
 // writeFrame emits one framed message.
@@ -165,6 +187,7 @@ func encodeRequest(req *DecodeRequest) ([]byte, error) {
 		b = appendF64(b, real(v))
 		b = appendF64(b, imag(v))
 	}
+	b = appendF64(b, req.DeadlineMicros)
 	return b, nil
 }
 
@@ -198,8 +221,15 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 		re, im := r.f64(), r.f64()
 		req.Y[i] = complex(re, im)
 	}
+	req.DeadlineMicros = r.f64()
 	if r.err != nil {
 		return nil, r.err
+	}
+	// Reject NaN/negative, and bound the magnitude so the µs→Duration
+	// conversion on the server cannot overflow int64 (float-to-int
+	// conversion of an out-of-range value is implementation-defined).
+	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
+		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in request")
@@ -209,7 +239,7 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 
 // encodeResponse serializes a DecodeResponse payload.
 func encodeResponse(resp *DecodeResponse) []byte {
-	b := make([]byte, 0, 8+2+len(resp.Err)+4+len(resp.Bits)+16)
+	b := make([]byte, 0, 8+2+len(resp.Err)+4+len(resp.Bits)+16+2+len(resp.Backend)+2)
 	b = appendU64(b, resp.ID)
 	b = appendU16(b, uint16(len(resp.Err)))
 	b = append(b, resp.Err...)
@@ -217,6 +247,9 @@ func encodeResponse(resp *DecodeResponse) []byte {
 	b = append(b, resp.Bits...)
 	b = appendF64(b, resp.Energy)
 	b = appendF64(b, resp.ComputeMicros)
+	b = appendU16(b, uint16(len(resp.Backend)))
+	b = append(b, resp.Backend...)
+	b = appendU16(b, uint16(resp.Batched))
 	return b
 }
 
@@ -230,6 +263,9 @@ func decodeResponse(payload []byte) (*DecodeResponse, error) {
 	resp.Bits = append([]byte(nil), r.bytes(bitLen)...)
 	resp.Energy = r.f64()
 	resp.ComputeMicros = r.f64()
+	backendLen := int(r.u16())
+	resp.Backend = string(r.bytes(backendLen))
+	resp.Batched = int(r.u16())
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -1,37 +1,78 @@
 package fronthaul
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"quamax/internal/backend"
 	"quamax/internal/core"
-	"quamax/internal/rng"
+	"quamax/internal/metrics"
+	"quamax/internal/sched"
 )
 
-// Server is the data-center side: it accepts fronthaul connections and runs
-// each decode request through a QuAMax decoder pool. One Server models one
-// QPU with its supporting classical control plane.
-type Server struct {
-	dec *core.Decoder
+// Dispatcher routes one decode problem to a solver. The QPU pool scheduler
+// (internal/sched) is the production implementation; tests may substitute
+// fakes. deadline ≤ 0 means "no deadline / use the dispatcher default".
+type Dispatcher interface {
+	Dispatch(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error)
+}
 
-	mu  sync.Mutex
-	src *rng.Source
+// Server is the data-center side: it accepts fronthaul connections and runs
+// each decode request through the QPU pool scheduler, which owns the backend
+// workers (simulated QPUs and classical solvers) and the deadline-aware
+// hybrid dispatch.
+type Server struct {
+	disp  Dispatcher
+	owned *sched.Scheduler // set when the server built its own pool
+
 	// Logf receives diagnostic messages; nil silences them.
 	Logf func(format string, args ...interface{})
 }
 
-// NewServer wraps a decoder. seed drives all annealer randomness.
+// NewServer wraps a single QuAMax decoder as a one-QPU pool — the paper's
+// original single-annealer deployment. seed drives all solver randomness.
+// The server owns the pool's worker goroutine; call Close to drain it when
+// the server is done serving.
 func NewServer(dec *core.Decoder, seed int64) *Server {
-	return &Server{dec: dec, src: rng.New(seed)}
+	s, err := sched.New(sched.Config{
+		Pool: []backend.Backend{backend.AnnealerFromDecoder("qpu0", dec)},
+		Seed: seed,
+	})
+	if err != nil {
+		// Unreachable: the pool is never empty here.
+		panic(err)
+	}
+	return &Server{disp: s, owned: s}
 }
 
-// splitSource hands out an independent random stream per request.
-func (s *Server) splitSource() *rng.Source {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.src.Split()
+// NewPoolServer serves decode requests through an externally owned
+// dispatcher (typically a multi-backend sched.Scheduler). The caller keeps
+// responsibility for draining it.
+func NewPoolServer(d Dispatcher) *Server {
+	return &Server{disp: d}
+}
+
+// Close drains a server-owned pool (no-op for NewPoolServer servers, whose
+// scheduler lifetime belongs to the caller).
+func (s *Server) Close() error {
+	if s.owned != nil {
+		return s.owned.Close()
+	}
+	return nil
+}
+
+// Stats reports pool statistics when the dispatcher exports them.
+func (s *Server) Stats() (metrics.PoolStats, bool) {
+	type statser interface{ Stats() metrics.PoolStats }
+	if st, ok := s.disp.(statser); ok {
+		return st.Stats(), true
+	}
+	return metrics.PoolStats{}, false
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -56,30 +97,51 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// handleConn processes one AP connection.
+// handleConn processes one AP connection. The connection's lifetime bounds a
+// context so that queued work from a disconnected AP is discarded instead of
+// burning pool time.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	var writeMu sync.Mutex // responses from concurrent decodes interleave
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	// Deferred after wg.Wait so it runs first: a dropped connection cancels
+	// queued dispatches, then the in-flight goroutines are reaped.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	for {
 		msgType, payload, err := readFrame(conn)
 		if err != nil {
 			return // connection closed or corrupt framing
 		}
 		if msgType != msgDecodeRequest {
-			s.logf("fronthaul: dropping unexpected message type %d", msgType)
+			s.logf("fronthaul: dropping unexpected message type %d (protocol version %d)",
+				msgType, ProtocolVersion)
 			continue
 		}
 		req, err := decodeRequest(payload)
 		if err != nil {
 			s.logf("fronthaul: bad request: %v", err)
+			// Salvage the request ID (first 8 bytes) when possible and
+			// answer with an error, so a protocol-mismatched client fails
+			// fast instead of blocking forever on a swallowed request.
+			if len(payload) >= 8 {
+				id := binary.LittleEndian.Uint64(payload)
+				resp := &DecodeResponse{ID: id, Err: fmt.Sprintf(
+					"bad request (server speaks protocol version %d): %v", ProtocolVersion, err)}
+				writeMu.Lock()
+				werr := writeFrame(conn, msgDecodeResponse, encodeResponse(resp))
+				writeMu.Unlock()
+				if werr != nil {
+					s.logf("fronthaul: write error response: %v", werr)
+				}
+			}
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp := s.process(req)
+			resp := s.process(ctx, req)
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if err := writeFrame(conn, msgDecodeResponse, encodeResponse(resp)); err != nil {
@@ -89,18 +151,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// process runs one decode.
-func (s *Server) process(req *DecodeRequest) *DecodeResponse {
-	out, err := s.dec.Decode(req.Mod, req.H, req.Y, s.splitSource())
+// process routes one decode through the pool.
+func (s *Server) process(ctx context.Context, req *DecodeRequest) *DecodeResponse {
+	deadline := time.Duration(req.DeadlineMicros * float64(time.Microsecond))
+	res, err := s.disp.Dispatch(ctx,
+		&backend.Problem{Mod: req.Mod, H: req.H, Y: req.Y}, deadline)
 	if err != nil {
 		return &DecodeResponse{ID: req.ID, Err: err.Error()}
 	}
-	na := float64(s.dec.Options().Params.NumAnneals)
 	return &DecodeResponse{
 		ID:            req.ID,
-		Bits:          out.Bits,
-		Energy:        out.Energy,
-		ComputeMicros: na * out.WallMicrosPerAnneal / out.Pf,
+		Bits:          res.Bits,
+		Energy:        res.Energy,
+		ComputeMicros: res.ComputeMicros,
+		Backend:       res.Backend,
+		Batched:       res.Batched,
 	}
 }
 

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PoolStats is a point-in-time snapshot of a QPU pool scheduler
+// (internal/sched): the observability surface the C-RAN data center exports
+// for pool sizing and deadline-compliance monitoring (the feasibility
+// questions of Kasi et al., arXiv:2109.01465).
+type PoolStats struct {
+	// QueueDepth is the number of problems waiting for a pool worker.
+	QueueDepth int
+	// Submitted counts all accepted problems; Completed those solved
+	// (by pool or fallback); Failed those that returned an error.
+	Submitted, Completed, Failed uint64
+	// FallbackDispatches counts problems routed to the classical fallback
+	// because the projected pool wait would have blown their deadline —
+	// the hybrid dispatch decisions.
+	FallbackDispatches uint64
+	// DeadlineMisses counts problems whose result was delivered after their
+	// absolute deadline.
+	DeadlineMisses uint64
+	// BatchRuns counts annealer runs that carried more than one problem;
+	// BatchedProblems the problems carried by those runs.
+	BatchRuns, BatchedProblems uint64
+	// SlotOccupancy is the mean fraction of available embedding slots
+	// actually filled per batched annealer run (0 when no batch ran).
+	SlotOccupancy float64
+	// Backends holds per-worker-backend accounting, pool order first, the
+	// fallback (if any) last.
+	Backends []BackendStats
+}
+
+// BackendStats is per-backend accounting within a pool.
+type BackendStats struct {
+	Name string
+	// Solved counts problems this backend completed; Errors those it failed.
+	Solved, Errors uint64
+	// BusyMicros is cumulative wall time spent inside Solve.
+	BusyMicros float64
+	// Utilization is BusyMicros over the scheduler's lifetime (0..~1 per
+	// worker bound to the backend; can exceed 1 when several workers share
+	// one backend instance).
+	Utilization float64
+}
+
+// MissRate returns the fraction of completed problems that missed their
+// deadline (0 when nothing completed).
+func (s PoolStats) MissRate() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.Completed)
+}
+
+// String renders a compact multi-line report suitable for logs.
+func (s PoolStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pool: queue=%d submitted=%d completed=%d failed=%d fallback=%d miss=%d (%.1f%%)",
+		s.QueueDepth, s.Submitted, s.Completed, s.Failed,
+		s.FallbackDispatches, s.DeadlineMisses, 100*s.MissRate())
+	if s.BatchRuns > 0 {
+		fmt.Fprintf(&b, "\npool: batched runs=%d problems=%d slot-occupancy=%.0f%%",
+			s.BatchRuns, s.BatchedProblems, 100*s.SlotOccupancy)
+	}
+	for _, be := range s.Backends {
+		fmt.Fprintf(&b, "\npool: backend %-10s solved=%d errors=%d busy=%.0fµs util=%.1f%%",
+			be.Name, be.Solved, be.Errors, be.BusyMicros, 100*be.Utilization)
+	}
+	return b.String()
+}

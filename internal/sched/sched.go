@@ -1,0 +1,453 @@
+// Package sched implements the QPU pool scheduler of the C-RAN data center:
+// the component that turns one simulated annealer behind the fronthaul into a
+// shared pool of pluggable solver backends (paper §1, §7; ROADMAP "sharding,
+// batching, async, multi-backend").
+//
+// The scheduler owns N backend workers fed from one FIFO queue of decode
+// problems. Three mechanisms shape dispatch:
+//
+//   - Batching. When a worker's backend can co-schedule problems
+//     (backend.BatchBackend — the annealer, via disjoint Chimera embedding
+//     slots), the worker drains additional batch-compatible problems from the
+//     queue and solves them in one device run, amortizing Na·(Ta+Tp) across
+//     requests (§4 parallelization, applied across the pool).
+//
+//   - Deadline-aware hybrid dispatch. Each problem carries a deadline (e.g.
+//     the frame-processing budget of the air interface). At admission the
+//     scheduler projects queue wait + service time from the backends' latency
+//     estimates; when the pool cannot meet the deadline, the problem routes
+//     immediately to the classical fallback backend instead of joining the
+//     queue — the hybrid classical–quantum structure of Kim et al.
+//     (arXiv:2010.00682).
+//
+//   - Graceful drain. Close stops admission, lets queued and in-flight work
+//     finish, and then stops the workers, so a serving process can shut down
+//     without dropping accepted requests.
+//
+// Pool observability (queue depth, per-backend utilization, deadline-miss
+// rate, batched-slot occupancy) is exported as metrics.PoolStats.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"quamax/internal/backend"
+	"quamax/internal/metrics"
+	"quamax/internal/rng"
+)
+
+// ErrClosed is returned by Dispatch after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Config assembles a Scheduler.
+type Config struct {
+	// Pool lists the worker backends; one worker goroutine per entry. The
+	// same Backend instance may appear more than once (it must then be safe
+	// for concurrent Solve calls).
+	Pool []backend.Backend
+	// Fallback, when set, receives problems whose deadline the pool cannot
+	// meet. It runs on the submitting goroutine, outside the queue.
+	Fallback backend.Backend
+	// DefaultDeadline applies to problems submitted without a deadline
+	// (0 = no deadline: never fall back, never count misses).
+	DefaultDeadline time.Duration
+	// DisableBatch turns off cross-request batching on BatchBackends.
+	DisableBatch bool
+	// Seed drives all solver randomness (per-worker independent streams).
+	Seed int64
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Scheduler is a deadline-aware FIFO pool scheduler. It is safe for
+// concurrent Dispatch calls.
+type Scheduler struct {
+	cfg      Config
+	now      func() time.Time
+	start    time.Time
+	fallback backend.Backend
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	queue          []*job
+	queuedMicros   float64 // Σ estimate of queued jobs
+	inflightMicros float64 // Σ estimate of jobs being solved right now
+	closed         bool
+	srcMu          sync.Mutex
+	src            *rng.Source
+
+	wg   sync.WaitGroup // pool workers
+	fbWg sync.WaitGroup // in-flight fallback solves
+
+	// counters (guarded by mu)
+	submitted, completed, failed uint64
+	fallbackDispatches, misses   uint64
+	batchRuns, batchedProblems   uint64
+	occupancySum                 float64
+	perBackend                   []*backendCounters
+	fallbackCounters             *backendCounters
+}
+
+type backendCounters struct {
+	name       string
+	solved     uint64
+	errors     uint64
+	busyMicros float64
+}
+
+type jobResult struct {
+	res *backend.Result
+	err error
+}
+
+type job struct {
+	ctx      context.Context
+	p        *backend.Problem
+	est      float64   // pool service-time estimate (µs)
+	deadline time.Time // zero = none
+	done     chan jobResult
+}
+
+// New starts the pool workers and returns the scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, errors.New("sched: empty backend pool")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		now:      now,
+		start:    now(),
+		fallback: cfg.Fallback,
+		src:      rng.New(cfg.Seed),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, be := range cfg.Pool {
+		s.perBackend = append(s.perBackend, &backendCounters{name: be.Name()})
+	}
+	if cfg.Fallback != nil {
+		// A fallback that also serves in the pool shares its counters, so
+		// stats report it once.
+		for i, be := range cfg.Pool {
+			if be == cfg.Fallback {
+				s.fallbackCounters = s.perBackend[i]
+				break
+			}
+		}
+		if s.fallbackCounters == nil {
+			s.fallbackCounters = &backendCounters{name: cfg.Fallback.Name()}
+		}
+	}
+	for i, be := range cfg.Pool {
+		s.wg.Add(1)
+		go s.worker(i, be)
+	}
+	return s, nil
+}
+
+// splitSource hands out an independent random stream.
+func (s *Scheduler) splitSource() *rng.Source {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	return s.src.Split()
+}
+
+// poolEstimate is the best-case pool service time for p: the minimum
+// estimate over the distinct pool backends.
+func (s *Scheduler) poolEstimate(p *backend.Problem) float64 {
+	est := s.cfg.Pool[0].EstimateMicros(p)
+	for _, be := range s.cfg.Pool[1:] {
+		if e := be.EstimateMicros(p); e < est {
+			est = e
+		}
+	}
+	return est
+}
+
+// Dispatch submits one problem and blocks until it is solved, the context is
+// canceled, or the scheduler is closed. deadline ≤ 0 selects the configured
+// default. It implements fronthaul.Dispatcher.
+func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	est := s.poolEstimate(p)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.submitted++
+
+	// Hybrid dispatch: if the projected pool completion time blows the
+	// deadline, route to the classical fallback now instead of queueing.
+	// The projection charges every queued job a full solver run — it
+	// deliberately ignores batch consolidation (which depends on slot
+	// capacities unknown until embedding time), so it is an upper bound:
+	// under same-N bursts the pool finishes earlier than projected and some
+	// requests fall back that could have been served. Deadline safety is
+	// preferred over pool utilization here; a batch-aware estimator can
+	// tighten this later.
+	if deadline > 0 && s.fallback != nil {
+		deadlineMicros := float64(deadline) / float64(time.Microsecond)
+		waitMicros := (s.queuedMicros + s.inflightMicros) / float64(len(s.cfg.Pool))
+		if waitMicros+est > deadlineMicros {
+			s.fallbackDispatches++
+			// Registered under mu, before the closed flag can flip: Close
+			// waits for this solve too.
+			s.fbWg.Add(1)
+			s.mu.Unlock()
+			defer s.fbWg.Done()
+			return s.runFallback(ctx, p, deadline)
+		}
+	}
+
+	j := &job{ctx: ctx, p: p, est: est, done: make(chan jobResult, 1)}
+	if deadline > 0 {
+		j.deadline = s.now().Add(deadline)
+	}
+	s.queue = append(s.queue, j)
+	s.queuedMicros += est
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	select {
+	case r := <-j.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The job stays queued; the worker discards it when it surfaces.
+		return nil, ctx.Err()
+	}
+}
+
+// runFallback solves p on the fallback backend, on the caller's goroutine.
+func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+	started := s.now()
+	res, err := s.fallback.Solve(ctx, p, s.splitSource())
+	elapsed := float64(s.now().Sub(started)) / float64(time.Microsecond)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fallbackCounters.busyMicros += elapsed
+	if err != nil {
+		s.fallbackCounters.errors++
+		s.failed++
+		return nil, err
+	}
+	s.fallbackCounters.solved++
+	s.completed++
+	if deadline > 0 && s.now().After(started.Add(deadline)) {
+		s.misses++
+	}
+	return res, nil
+}
+
+// worker runs one pool backend: pop the queue head, optionally gather a
+// batch, solve, deliver.
+func (s *Scheduler) worker(idx int, be backend.Backend) {
+	defer s.wg.Done()
+	src := s.splitSource()
+	ctr := s.perBackend[idx]
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		// Pop the head under the lock, but resolve the backend's batch
+		// capacity outside it: the first BatchSlots call for a new problem
+		// size runs a clique-embedding search, which must not stall
+		// admission and the other workers.
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		s.queuedMicros -= head.est
+		s.inflightMicros += head.est
+		s.mu.Unlock()
+
+		batch := []*job{head}
+		slots := 1
+		if bb, ok := be.(backend.BatchBackend); ok && !s.cfg.DisableBatch {
+			if slots = bb.BatchSlots(head.p); slots > 1 {
+				s.mu.Lock()
+				batch = s.gatherBatchLocked(head, slots)
+				s.mu.Unlock()
+			}
+		}
+
+		// Drop jobs whose submitter already gave up.
+		live := batch[:0]
+		for _, j := range batch {
+			if err := j.ctx.Err(); err != nil {
+				j.done <- jobResult{err: err}
+				s.mu.Lock()
+				s.failed++
+				s.inflightMicros -= j.est
+				s.mu.Unlock()
+				continue
+			}
+			live = append(live, j)
+		}
+		if len(live) == 0 {
+			continue
+		}
+
+		started := s.now()
+		results, err := s.solve(be, live, slots, src)
+		elapsed := float64(s.now().Sub(started)) / float64(time.Microsecond)
+
+		s.mu.Lock()
+		ctr.busyMicros += elapsed
+		for i, j := range live {
+			s.inflightMicros -= j.est
+			if err != nil {
+				ctr.errors++
+				s.failed++
+				j.done <- jobResult{err: err}
+				continue
+			}
+			ctr.solved++
+			s.completed++
+			if !j.deadline.IsZero() && s.now().After(j.deadline) {
+				s.misses++
+			}
+			j.done <- jobResult{res: results[i]}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// gatherBatchLocked extends an already-popped head job with batch-compatible
+// queued jobs (same logical spin count, FIFO order) up to the backend's slot
+// capacity. Estimates move from queued to in-flight.
+func (s *Scheduler) gatherBatchLocked(head *job, slots int) []*job {
+	batch := []*job{head}
+	n := head.p.LogicalSpins()
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if len(batch) < slots && j.p.LogicalSpins() == n {
+			s.queuedMicros -= j.est
+			s.inflightMicros += j.est
+			batch = append(batch, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Zero the tail so dropped slots don't pin jobs.
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	return batch
+}
+
+// solve runs one batch (possibly of size 1) on be and updates batching
+// counters. slots is the capacity the worker already resolved for this run.
+func (s *Scheduler) solve(be backend.Backend, batch []*job, slots int, src *rng.Source) ([]*backend.Result, error) {
+	if len(batch) == 1 {
+		res, err := be.Solve(batch[0].ctx, batch[0].p, src)
+		if err != nil {
+			return nil, err
+		}
+		return []*backend.Result{res}, nil
+	}
+	bb := be.(backend.BatchBackend)
+	ps := make([]*backend.Problem, len(batch))
+	for i, j := range batch {
+		ps[i] = j.p
+	}
+	results, err := bb.SolveBatch(batch[0].ctx, ps, src)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.batchRuns++
+	s.batchedProblems += uint64(len(batch))
+	if slots > 0 {
+		s.occupancySum += float64(len(batch)) / float64(slots)
+	}
+	s.mu.Unlock()
+	return results, nil
+}
+
+// Close stops admission, drains queued and in-flight work (pool and
+// fallback), and stops the workers. Safe to call more than once.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.fbWg.Wait()
+	return nil
+}
+
+// Stats snapshots the pool counters.
+func (s *Scheduler) Stats() metrics.PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wallMicros := float64(s.now().Sub(s.start)) / float64(time.Microsecond)
+	st := metrics.PoolStats{
+		QueueDepth:         len(s.queue),
+		Submitted:          s.submitted,
+		Completed:          s.completed,
+		Failed:             s.failed,
+		FallbackDispatches: s.fallbackDispatches,
+		DeadlineMisses:     s.misses,
+		BatchRuns:          s.batchRuns,
+		BatchedProblems:    s.batchedProblems,
+	}
+	if s.batchRuns > 0 {
+		st.SlotOccupancy = s.occupancySum / float64(s.batchRuns)
+	}
+	all := s.perBackend
+	if s.fallbackCounters != nil {
+		shared := false
+		for _, c := range s.perBackend {
+			if c == s.fallbackCounters {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			all = append(append([]*backendCounters(nil), s.perBackend...), s.fallbackCounters)
+		}
+	}
+	for _, c := range all {
+		bs := metrics.BackendStats{
+			Name:       c.name,
+			Solved:     c.solved,
+			Errors:     c.errors,
+			BusyMicros: c.busyMicros,
+		}
+		if wallMicros > 0 {
+			bs.Utilization = c.busyMicros / wallMicros
+		}
+		st.Backends = append(st.Backends, bs)
+	}
+	return st
+}
+
+// String describes the pool configuration.
+func (s *Scheduler) String() string {
+	names := make([]string, len(s.cfg.Pool))
+	for i, be := range s.cfg.Pool {
+		names[i] = be.Name()
+	}
+	fb := "none"
+	if s.fallback != nil {
+		fb = s.fallback.Name()
+	}
+	return fmt.Sprintf("sched: pool=%v fallback=%s default-deadline=%s batch=%t",
+		names, fb, s.cfg.DefaultDeadline, !s.cfg.DisableBatch)
+}

@@ -1,0 +1,408 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"quamax/internal/anneal"
+	"quamax/internal/backend"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/core"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+// fakeBackend is a deterministic Backend for scheduler-mechanics tests.
+type fakeBackend struct {
+	name  string
+	est   float64
+	delay time.Duration
+	gate  chan struct{} // when non-nil, each Solve first receives from it
+
+	mu    sync.Mutex
+	order []*backend.Problem
+}
+
+func (f *fakeBackend) Name() string                              { return f.name }
+func (f *fakeBackend) EstimateMicros(p *backend.Problem) float64 { return f.est }
+func (f *fakeBackend) record(p *backend.Problem) {
+	f.mu.Lock()
+	f.order = append(f.order, p)
+	f.mu.Unlock()
+}
+func (f *fakeBackend) Solve(ctx context.Context, p *backend.Problem, src *rng.Source) (*backend.Result, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.record(p)
+	return &backend.Result{Bits: []byte{0}, Backend: f.name, Batched: 1}, nil
+}
+
+// fakeBatchBackend adds deterministic batch capability.
+type fakeBatchBackend struct {
+	fakeBackend
+	slots   int
+	batches []int // sizes of SolveBatch calls
+}
+
+func (f *fakeBatchBackend) BatchSlots(p *backend.Problem) int { return f.slots }
+func (f *fakeBatchBackend) SolveBatch(ctx context.Context, ps []*backend.Problem, src *rng.Source) ([]*backend.Result, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, len(ps))
+	f.mu.Unlock()
+	out := make([]*backend.Result, len(ps))
+	for i, p := range ps {
+		f.record(p)
+		out[i] = &backend.Result{Bits: []byte{0}, Backend: f.name, Batched: len(ps)}
+	}
+	return out, nil
+}
+
+func testProblem(t *testing.T, seed int64, mod modulation.Modulation, nt int) (*backend.Problem, *mimo.Instance) {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: math.Inf(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &backend.Problem{Mod: in.Mod, H: in.H, Y: in.Y}, in
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A saturated single-worker pool must serve queued problems in FIFO order.
+func TestFIFOFairnessUnderSaturation(t *testing.T) {
+	f := &fakeBackend{name: "slow", est: 100, gate: make(chan struct{})}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 6
+	probs := make([]*backend.Problem, n)
+	for i := range probs {
+		probs[i], _ = testProblem(t, int64(100+i), modulation.BPSK, 2)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(context.Background(), probs[i], 0); err != nil {
+				t.Errorf("dispatch %d: %v", i, err)
+			}
+		}()
+		// Admission order defines FIFO order: wait until this submission is
+		// queued (or, for the first, picked up by the gated worker) before
+		// launching the next.
+		waitFor(t, "admission", func() bool {
+			st := s.Stats()
+			return st.Submitted == uint64(i+1) && (i == 0 || st.QueueDepth == i)
+		})
+	}
+	close(f.gate) // release the worker
+	wg.Wait()
+
+	if len(f.order) != n {
+		t.Fatalf("served %d problems, want %d", len(f.order), n)
+	}
+	for i, p := range f.order {
+		if p != probs[i] {
+			t.Fatalf("service order violates FIFO at position %d", i)
+		}
+	}
+	if st := s.Stats(); st.Completed != n || st.Failed != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// A deadline the pool cannot meet must route to the classical fallback
+// without touching the queue.
+func TestDeadlineRoutesToFallback(t *testing.T) {
+	pool := &fakeBackend{name: "qpu", est: 1e6} // 1 s per solve
+	fb := &fakeBackend{name: "fb", est: 10}
+	s, err := New(Config{Pool: []backend.Backend{pool}, Fallback: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, _ := testProblem(t, 200, modulation.BPSK, 2)
+	res, err := s.Dispatch(context.Background(), p, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "fb" {
+		t.Fatalf("dispatched to %q, want fallback", res.Backend)
+	}
+	st := s.Stats()
+	if st.FallbackDispatches != 1 || len(pool.order) != 0 {
+		t.Fatalf("fallback accounting: %+v (pool served %d)", st, len(pool.order))
+	}
+
+	// A relaxed deadline keeps the problem on the pool.
+	res, err = s.Dispatch(context.Background(), p, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "qpu" {
+		t.Fatalf("relaxed deadline dispatched to %q, want pool", res.Backend)
+	}
+}
+
+// Acceptance: with the real annealer, a deadline shorter than the annealer's
+// queue+anneal time provably routes to the classical SA fallback, and the
+// fallback still decodes correctly.
+func TestDeadlineFallbackWithRealAnnealer(t *testing.T) {
+	qpu, err := backend.NewAnnealer("qpu0", core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := backend.NewClassicalSA("sa", 128, 60)
+	s, err := New(Config{Pool: []backend.Backend{qpu}, Fallback: sa, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, in := testProblem(t, 300, modulation.QPSK, 4)
+	// Annealer service time is Na·(Ta+Tp) = 200 µs even with an empty queue;
+	// a 50 µs deadline is unmeetable on the QPU.
+	if est := qpu.EstimateMicros(p); est < 200 {
+		t.Fatalf("annealer estimate %g µs, expected 200", est)
+	}
+	res, err := s.Dispatch(context.Background(), p, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "sa" {
+		t.Fatalf("deadline-constrained decode ran on %q, want classical fallback", res.Backend)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("fallback decode: %d bit errors", errs)
+	}
+	if st := s.Stats(); st.FallbackDispatches != 1 {
+		t.Fatalf("FallbackDispatches = %d, want 1", st.FallbackDispatches)
+	}
+
+	// The same problem with a generous deadline runs on the QPU.
+	res, err = s.Dispatch(context.Background(), p, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "qpu0" {
+		t.Fatalf("relaxed decode ran on %q, want qpu0", res.Backend)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("pool decode: %d bit errors", errs)
+	}
+}
+
+// Close must drain queued and in-flight work, then reject new submissions.
+func TestGracefulDrain(t *testing.T) {
+	f := &fakeBackend{name: "slow", est: 100, delay: 5 * time.Millisecond}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	results := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		p, _ := testProblem(t, int64(400+i), modulation.BPSK, 2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, results[i] = s.Dispatch(context.Background(), p, 0)
+		}()
+	}
+	waitFor(t, "all submissions admitted", func() bool { return s.Stats().Submitted == n })
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("dispatch %d dropped during drain: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != n || st.QueueDepth != 0 {
+		t.Fatalf("drain left stats %+v", st)
+	}
+	p, _ := testProblem(t, 499, modulation.BPSK, 2)
+	if _, err := s.Dispatch(context.Background(), p, 0); err != ErrClosed {
+		t.Fatalf("post-close dispatch: %v, want ErrClosed", err)
+	}
+}
+
+// A backlog of batch-compatible problems must ride one batched run, and the
+// occupancy stats must reflect it.
+func TestBatchingDrainsCompatibleQueue(t *testing.T) {
+	f := &fakeBatchBackend{
+		fakeBackend: fakeBackend{name: "qpu", est: 100, gate: make(chan struct{})},
+		slots:       8,
+	}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	dispatch := func(seed int64, nt int) {
+		p, _ := testProblem(t, seed, modulation.BPSK, nt)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+				t.Errorf("dispatch: %v", err)
+			}
+		}()
+	}
+
+	// First problem occupies the gated worker solo.
+	dispatch(500, 2)
+	waitFor(t, "worker busy", func() bool { return s.Stats().Submitted == 1 && s.Stats().QueueDepth == 0 })
+	// Queue: three batch-compatible (N=2) and one incompatible (N=4) problem.
+	for i := 0; i < 3; i++ {
+		dispatch(int64(501+i), 2)
+	}
+	dispatch(504, 4)
+	waitFor(t, "backlog queued", func() bool { return s.Stats().QueueDepth == 4 })
+
+	f.gate <- struct{}{} // solo head-of-line solve
+	f.gate <- struct{}{} // batched run of the three compatible problems
+	f.gate <- struct{}{} // solo run of the incompatible problem
+	wg.Wait()
+
+	f.mu.Lock()
+	batches := append([]int(nil), f.batches...)
+	f.mu.Unlock()
+	if len(batches) != 1 || batches[0] != 3 {
+		t.Fatalf("batched runs %v, want one run of 3", batches)
+	}
+	st := s.Stats()
+	if st.BatchRuns != 1 || st.BatchedProblems != 3 {
+		t.Fatalf("batch stats: %+v", st)
+	}
+	if want := 3.0 / 8.0; math.Abs(st.SlotOccupancy-want) > 1e-9 {
+		t.Fatalf("SlotOccupancy = %g, want %g", st.SlotOccupancy, want)
+	}
+}
+
+// gatedAnnealer delays the first annealer run so a cross-request batch can
+// form behind it.
+type gatedAnnealer struct {
+	*backend.Annealer
+	once sync.Once
+	gate chan struct{}
+}
+
+func (g *gatedAnnealer) Solve(ctx context.Context, p *backend.Problem, src *rng.Source) (*backend.Result, error) {
+	g.once.Do(func() { <-g.gate })
+	return g.Annealer.Solve(ctx, p, src)
+}
+
+// End-to-end: concurrent requests through a real annealer pool get batched
+// into shared embedding slots and still decode correctly.
+func TestRealAnnealerBatchThroughScheduler(t *testing.T) {
+	qpu, err := backend.NewAnnealer("qpu0", core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedAnnealer{Annealer: qpu, gate: make(chan struct{})}
+	s, err := New(Config{Pool: []backend.Backend{gated}, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 5
+	type outcome struct {
+		res *backend.Result
+		err error
+	}
+	ins := make([]*mimo.Instance, n)
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	dispatch := func(i int) {
+		p, in := testProblem(t, int64(600+i), modulation.QPSK, 2)
+		ins[i] = in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Dispatch(context.Background(), p, 0)
+			outs[i] = outcome{res, err}
+		}()
+	}
+	// Admit the head job alone and wait until the gated worker holds it, so
+	// the remaining requests provably queue behind one blocked run.
+	dispatch(0)
+	waitFor(t, "worker busy on head job", func() bool {
+		st := s.Stats()
+		return st.Submitted == 1 && st.QueueDepth == 0
+	})
+	for i := 1; i < n; i++ {
+		dispatch(i)
+	}
+	waitFor(t, "backlog behind gated run", func() bool {
+		return s.Stats().QueueDepth == n-1
+	})
+	close(gated.gate)
+	wg.Wait()
+
+	batchedMax := 0
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("dispatch %d: %v", i, o.err)
+		}
+		if errs := ins[i].BitErrors(o.res.Bits); errs != 0 {
+			t.Errorf("request %d: %d bit errors", i, errs)
+		}
+		if o.res.Batched > batchedMax {
+			batchedMax = o.res.Batched
+		}
+	}
+	if batchedMax < n-1 {
+		t.Fatalf("largest batch %d, want the %d queued requests to share one run", batchedMax, n-1)
+	}
+	st := s.Stats()
+	if st.BatchRuns < 1 || st.SlotOccupancy <= 0 {
+		t.Fatalf("batch stats: %+v", st)
+	}
+}

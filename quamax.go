@@ -6,7 +6,7 @@
 // Maximum-Likelihood detection to an Ising problem, embedding it on a
 // Chimera-topology quantum annealer, and post-translating the annealer's
 // output back into Gray-coded data bits. This repository substitutes the
-// D-Wave 2000Q with a faithful device simulator (see DESIGN.md); the entire
+// D-Wave 2000Q with a faithful device simulator (see internal/anneal); the entire
 // pipeline — reduction, embedding, annealing schedule, ICE noise, majority
 // voting, post-translation — is the paper's.
 //
