@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"quamax"
 	"quamax/internal/anneal"
@@ -27,6 +28,7 @@ import (
 	"quamax/internal/metrics"
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
+	"quamax/internal/qos"
 	"quamax/internal/qubo"
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
@@ -410,6 +412,95 @@ func BenchmarkScheduler(b *testing.B) {
 				b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "decodes/s")
 			})
 		}
+	}
+}
+
+// BenchmarkSchedulerPlanner measures the serving value of the TTS-driven
+// anneal-budget planner: deadline-miss rate under a mixed QPSK/16-QAM load
+// at equal offered load, with the planner sizing each request's read budget
+// versus the static Na = 100 configuration. 16 concurrent requests per
+// iteration (3:1 4-user QPSK to 2-user 16-QAM, 25–30 dB) carry a 1e-3
+// target BER and a 20 ms deadline through a four-annealer pool. The fitted
+// TTS model prices QPSK at this SNR at a handful of reads and 16-QAM near
+// the static budget, so with the planner most runs shrink ~15× and queues
+// drain before the deadline; without it every run pays 100 reads. Batching
+// is disabled so a run's (simulated) wall time tracks its read budget — the
+// quantity the planner controls. The missrate metric (deadline misses per
+// completed decode) is the acceptance figure; decodes/s is the throughput
+// side of the same effect.
+func BenchmarkSchedulerPlanner(b *testing.B) {
+	const (
+		requests  = 16
+		targetBER = 1e-3
+		deadline  = 20 * time.Millisecond
+	)
+	src := rng.New(42)
+	probs := make([]*backend.Problem, requests)
+	for i := range probs {
+		mod, nt := modulation.QPSK, 4
+		if i%4 == 3 {
+			mod, nt = modulation.QAM16, 2
+		}
+		in, err := mimo.Generate(src, mimo.Config{
+			Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{},
+			SNRdB: 25 + 5*src.Float64(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probs[i] = &backend.Problem{Mod: in.Mod, H: in.H, Y: in.Y, TargetBER: targetBER}
+	}
+	for _, withPlanner := range []bool{false, true} {
+		b.Run(fmt.Sprintf("planner=%t", withPlanner), func(b *testing.B) {
+			var planner *qos.Planner
+			if withPlanner {
+				p, err := qos.NewPlanner(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				planner = p
+			}
+			pool := make([]backend.Backend, 4)
+			for i := range pool {
+				qpu, err := backend.NewAnnealer(fmt.Sprintf("qpu%d", i), quamax.Options{
+					Graph: chimera.New(6),
+					Params: anneal.Params{
+						AnnealTimeMicros: 1, PauseTimeMicros: 1,
+						PausePosition: 0.35, NumAnneals: 100,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool[i] = qpu
+			}
+			s, err := sched.New(sched.Config{
+				Pool: pool, Planner: planner, DisableBatch: true, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, p := range probs {
+					wg.Add(1)
+					go func(p *backend.Problem) {
+						defer wg.Done()
+						if _, err := s.Dispatch(ctx, p, deadline); err != nil {
+							b.Error(err)
+						}
+					}(p)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(st.MissRate(), "missrate")
+			b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "decodes/s")
+		})
 	}
 }
 

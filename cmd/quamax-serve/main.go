@@ -1,17 +1,24 @@
 // Command quamax-serve runs the data-center side of the C-RAN architecture:
 // a pool of simulated QPUs plus classical solver backends behind the
 // fronthaul TCP protocol (paper §1, §7), scheduled with deadline-aware
-// hybrid dispatch. Access points connect with internal/fronthaul.Dial (see
-// examples/cran).
+// hybrid dispatch and a TTS-driven anneal-budget planner.
+// Access points connect with internal/fronthaul.Dial (see examples/cran).
 //
-//	quamax-serve -listen :9370 -pool 4 -backends sa -deadline 2ms
+//	quamax-serve -listen :9370 -pool 4 -backends sa -deadline 2ms -target-ber 1e-4
 //
 // -pool sets the number of simulated annealer workers; -backends appends
 // classical solvers ("sa", "sphere") as extra pool workers, the first of
-// which also serves as the deadline fallback; -deadline is the default
-// per-request budget when the AP does not send one. On SIGINT/SIGTERM the
-// server stops accepting connections, drains queued work, and prints the
-// pool statistics.
+// which also serves as the deadline fallback; -deadline and -target-ber are
+// the default per-request budget and QoS target when the AP does not send
+// its own. The planner (disable with -planner=false) sizes each request's
+// read budget from a fitted TTS table: -tts-table names a table produced by
+//
+//	quamax-serve -calibrate -tts-table tts.json
+//
+// which measures the simulator across the serving grid, writes the fit, and
+// exits; without a table the built-in coefficients apply. On SIGINT/SIGTERM
+// the server stops accepting connections, drains queued work, and prints the
+// pool and planner statistics.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"quamax/internal/anneal"
 	"quamax/internal/backend"
 	"quamax/internal/fronthaul"
+	"quamax/internal/qos"
 	"quamax/internal/sched"
 )
 
@@ -49,8 +57,39 @@ func main() {
 		seed     = flag.Int64("seed", 1, "solver random seed")
 		saSweeps = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
 		saResets = flag.Int("sa-restarts", 100, "classical SA restarts")
+
+		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
+		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
+		ttsTable  = flag.String("tts-table", "", "fitted TTS table (JSON); empty = built-in coefficients")
+		calibrate = flag.Bool("calibrate", false, "fit a TTS table on the local simulator, write it to -tts-table, and exit")
+		calInst   = flag.Int("calibrate-instances", 8, "instances per calibration grid point")
+		calReads  = flag.Int("calibrate-reads", 200, "anneals per calibration measurement run")
 	)
 	flag.Parse()
+
+	if *calibrate {
+		path := *ttsTable
+		if path == "" {
+			path = "tts.json"
+		}
+		log.Printf("quamax-serve: calibrating TTS table (%d instances/point, %d reads/run)",
+			*calInst, *calReads)
+		tab, err := qos.Calibrate(qos.CalibrationConfig{
+			Instances:    *calInst,
+			MeasureReads: *calReads,
+			Reverse:      true,
+			Seed:         *seed,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tab.Save(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("quamax-serve: wrote %d fitted points to %s", len(tab.Points), path)
+		return
+	}
 
 	opts := quamax.Options{
 		JF:            *jf,
@@ -99,12 +138,36 @@ func main() {
 		}
 	}
 
+	var budgetPlanner *qos.Planner
+	if *planner {
+		var table *qos.Table
+		if *ttsTable != "" {
+			t, err := qos.Load(*ttsTable)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			table = t
+			log.Printf("quamax-serve: loaded TTS table %s (%d points)", *ttsTable, len(t.Points))
+		} else {
+			log.Printf("quamax-serve: using built-in TTS coefficients (run -calibrate to refit)")
+		}
+		p, err := qos.NewPlanner(table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		budgetPlanner = p
+	}
+
 	scheduler, err := sched.New(sched.Config{
-		Pool:            workers,
-		Fallback:        fallback,
-		DefaultDeadline: *deadline,
-		DisableBatch:    !*batch,
-		Seed:            *seed,
+		Pool:             workers,
+		Fallback:         fallback,
+		DefaultDeadline:  *deadline,
+		DisableBatch:     !*batch,
+		Planner:          budgetPlanner,
+		DefaultTargetBER: *targetBER,
+		Seed:             *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -142,4 +205,7 @@ func main() {
 		log.Printf("quamax-serve: drain timed out")
 	}
 	log.Printf("quamax-serve: final stats\n%s", scheduler.Stats())
+	if budgetPlanner != nil {
+		log.Printf("quamax-serve: planner stats\n%s", budgetPlanner.Stats())
+	}
 }

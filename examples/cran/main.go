@@ -1,12 +1,15 @@
 // C-RAN: the paper's deployment architecture end to end on one machine. A
 // data-center process exposes a QPU *pool* — two simulated annealers plus a
-// classical-SA fallback behind a deadline-aware scheduler — over TCP; an
-// access point process estimates uplink channels and ships per-subcarrier
-// decode requests over the fronthaul, pipelining all subcarriers of an OFDM
-// symbol in flight at once (§1, §5.5, §7). Half the subcarriers carry a
-// deliberately unmeetable deadline, so the run shows the hybrid dispatch of
+// classical-SA fallback behind a deadline-aware scheduler with a TTS-driven
+// anneal-budget planner — over TCP; an access point process estimates uplink
+// channels and ships per-subcarrier decode requests over the fronthaul,
+// pipelining all subcarriers of an OFDM symbol in flight at once (§1, §5.5,
+// §7). Every request carries a target BER, so the planner sizes the read
+// budget per subcarrier instead of running the static Na = 100
+// configuration; odd subcarriers additionally carry a deadline shorter than
+// a single anneal, so the run also shows the hybrid dispatch of
 // arXiv:2010.00682: those route to the classical fallback while the rest
-// share batched annealer runs.
+// share batched, right-sized annealer runs.
 //
 //	go run ./examples/cran
 package main
@@ -23,6 +26,7 @@ import (
 	"quamax/internal/channel"
 	"quamax/internal/fronthaul"
 	"quamax/internal/linalg"
+	"quamax/internal/qos"
 	"quamax/internal/rng"
 	"quamax/internal/sched"
 )
@@ -32,9 +36,15 @@ const (
 	apAntennas  = 8
 	subcarriers = 16
 	snrDB       = 25
-	// tightDeadline is far below the annealer's Na·(Ta+Tp) = 200 µs run
-	// time, so requests carrying it must fall back to classical SA.
-	tightDeadline = 50 * time.Microsecond
+	// targetBER is the per-subcarrier QoS target the AP expresses over the
+	// fronthaul; the data center's planner turns it into a read budget.
+	targetBER = 1e-3
+	// tightDeadline is shorter than a single anneal (Ta+Tp = 2 µs), so the
+	// planner denies quantum dispatch and requests carrying it must run on
+	// the classical SA fallback (and inevitably count as deadline misses —
+	// a 1 µs budget is unmeetable by any solver; the fallback still
+	// delivers a best-effort decode).
+	tightDeadline = 1 * time.Microsecond
 )
 
 func main() {
@@ -47,9 +57,14 @@ func main() {
 		}
 		pool = append(pool, qpu)
 	}
+	planner, err := qos.NewPlanner(nil) // built-in TTS coefficients
+	if err != nil {
+		log.Fatal(err)
+	}
 	scheduler, err := sched.New(sched.Config{
 		Pool:     pool,
 		Fallback: backend.NewClassicalSA("sa", 128, 100),
+		Planner:  planner,
 		Seed:     99,
 	})
 	if err != nil {
@@ -93,7 +108,9 @@ func main() {
 		y := channel.AddAWGN(src, linalg.MulVec(perSC[sc], v), sigma)
 		jobs[sc] = job{sc: sc, h: perSC[sc], y: y, txBits: bits}
 		if sc%2 == 1 {
-			// Odd subcarriers carry a deadline the QPU pool cannot meet.
+			// Odd subcarriers carry a deadline no anneal can fit: the planner
+			// denies quantum dispatch and they run classically. Even
+			// subcarriers carry only the target BER.
 			jobs[sc].deadline = tightDeadline
 		}
 	}
@@ -113,7 +130,7 @@ func main() {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			resp, err := client.DecodeWithDeadline(quamax.QPSK, j.h, j.y, j.deadline)
+			resp, err := client.DecodeQoS(quamax.QPSK, j.h, j.y, j.deadline, targetBER)
 			if err != nil {
 				log.Fatalf("subcarrier %d: %v", j.sc, err)
 			}
@@ -133,7 +150,8 @@ func main() {
 	}
 	wg.Wait()
 
-	fmt.Printf("\nAP: decoded %d subcarriers × %d users QPSK at %d dB\n\n", subcarriers, users, snrDB)
+	fmt.Printf("\nAP: decoded %d subcarriers × %d users QPSK at %d dB (target BER %g)\n\n",
+		subcarriers, users, snrDB, targetBER)
 	fmt.Printf("%4s  %10s  %14s  %8s  %7s\n", "sc", "bit errs", "compute (µs)", "backend", "batched")
 	totalErrs, totalBits := 0, 0
 	for _, r := range results {
@@ -146,4 +164,5 @@ func main() {
 
 	scheduler.Close()
 	fmt.Printf("\ndata center pool stats:\n%s\n", scheduler.Stats())
+	fmt.Printf("\ndata center planner stats:\n%s\n", planner.Stats())
 }

@@ -1,28 +1,36 @@
-// Tracedriven: the paper's §5.5 evaluation flow — decode 8×8 channel uses
-// drawn from a many-antenna trace (the synthetic Argos stand-in, or a real
-// QMTR file produced by cmd/tracegen) at 25–35 dB SNR, reporting TTB/TTF per
-// channel use.
+// Tracedriven: the paper's §5.5 evaluation flow on the serving path — decode
+// 8×8 channel uses drawn from a many-antenna trace (the synthetic Argos
+// stand-in, or a real QMTR file produced by cmd/tracegen) at 25–35 dB SNR.
+// Instead of calling the decoder directly, every channel use is dispatched
+// through the QPU pool scheduler with a target BER, so the replay exercises
+// exactly what a C-RAN data center runs: the TTS planner sizes each
+// request's read budget, compatible requests share batched annealer runs,
+// and requests the annealer cannot serve fall back to classical SA.
 //
 //	go run ./examples/tracedriven [trace.qmtr]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"sync"
 
 	"quamax"
+	"quamax/internal/backend"
 	"quamax/internal/channel"
-	"quamax/internal/metrics"
 	"quamax/internal/mimo"
+	"quamax/internal/qos"
 	"quamax/internal/rng"
+	"quamax/internal/sched"
 	"quamax/internal/trace"
 )
 
 const (
-	uses       = 10
-	pick       = 8
-	frameBytes = 1500
+	uses      = 10
+	pick      = 8
+	targetBER = 1e-4
 )
 
 func main() {
@@ -44,16 +52,39 @@ func main() {
 	}
 	ds.NormalizeAveragePower()
 
-	dec, err := quamax.NewDecoder(quamax.Options{AmortizeParallel: true})
+	// Data center: two simulated QPUs, a classical-SA fallback, and the
+	// TTS-driven anneal-budget planner (built-in coefficients).
+	var pool []backend.Backend
+	for _, name := range []string{"qpu0", "qpu1"} {
+		qpu, err := backend.NewAnnealer(name, quamax.Options{AmortizeParallel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, qpu)
+	}
+	planner, err := qos.NewPlanner(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheduler, err := sched.New(sched.Config{
+		Pool:     pool,
+		Fallback: backend.NewClassicalSA("sa", 128, 100),
+		Planner:  planner,
+		Seed:     7,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for _, mod := range []quamax.Modulation{quamax.BPSK, quamax.QPSK} {
-		fmt.Printf("\n%v over %d channel uses (8 of %d antennas per use, 25-35 dB):\n",
-			mod, uses, ds.Antennas)
-		fmt.Printf("%4s  %8s  %10s  %12s  %12s\n", "use", "SNR(dB)", "bit errs", "TTB 1e-6", "TTF 1e-4")
-		var ttbs, ttfs []float64
+		fmt.Printf("\n%v over %d channel uses (8 of %d antennas per use, 25-35 dB, target BER %g):\n",
+			mod, uses, ds.Antennas, targetBER)
+
+		type job struct {
+			in  *mimo.Instance
+			snr float64
+		}
+		jobs := make([]job, uses)
 		for use := 0; use < uses; use++ {
 			h, err := ds.Sample(src, use, pick)
 			if err != nil {
@@ -68,18 +99,45 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			out, err := dec.DecodeInstance(inst, src)
-			if err != nil {
-				log.Fatal(err)
-			}
-			ttb := out.Distribution.TTB(1e-6, out.WallMicrosPerAnneal, out.Pf)
-			ttf := out.Distribution.TTF(1e-4, frameBytes*8, out.WallMicrosPerAnneal, out.Pf)
-			ttbs = append(ttbs, ttb)
-			ttfs = append(ttfs, ttf)
-			fmt.Printf("%4d  %8.1f  %10d  %12.2f  %12.2f\n",
-				use, snr, inst.BitErrors(out.Bits), ttb, ttf)
+			jobs[use] = job{in: inst, snr: snr}
 		}
-		fmt.Printf("median TTB %.2f µs, median TTF %.2f µs (paper: ≤10 µs at these SNRs)\n",
-			metrics.Median(ttbs), metrics.Median(ttfs))
+
+		// Dispatch every channel use concurrently — the §5.5 opportunity to
+		// parallelize different problems, here expressed as pool pressure
+		// that the scheduler turns into shared batched runs.
+		type result struct {
+			res *backend.Result
+			err error
+		}
+		results := make([]result, uses)
+		var wg sync.WaitGroup
+		for use, j := range jobs {
+			wg.Add(1)
+			go func(use int, j job) {
+				defer wg.Done()
+				// No wall deadline: the target BER alone drives the planned
+				// budget, and the compute column reports modeled device time.
+				res, err := scheduler.Dispatch(context.Background(), &backend.Problem{
+					Mod: j.in.Mod, H: j.in.H, Y: j.in.Y, TargetBER: targetBER,
+				}, 0)
+				results[use] = result{res, err}
+			}(use, j)
+		}
+		wg.Wait()
+
+		fmt.Printf("%4s  %8s  %10s  %14s  %8s  %7s\n",
+			"use", "SNR(dB)", "bit errs", "compute (µs)", "backend", "batched")
+		for use, r := range results {
+			if r.err != nil {
+				log.Fatalf("use %d: %v", use, r.err)
+			}
+			fmt.Printf("%4d  %8.1f  %10d  %14.1f  %8s  %7d\n",
+				use, jobs[use].snr, jobs[use].in.BitErrors(r.res.Bits),
+				r.res.ComputeMicros, r.res.Backend, r.res.Batched)
+		}
 	}
+
+	scheduler.Close()
+	fmt.Printf("\npool stats:\n%s\n", scheduler.Stats())
+	fmt.Printf("\nplanner stats:\n%s\n", planner.Stats())
 }

@@ -1,8 +1,8 @@
 // Package anneal simulates the D-Wave 2000Q quantum annealer that QuAMax
 // runs on (paper §2.2, §4). It is the repository's substitute for the real
-// QPU: problems arrive already embedded on the Chimera graph
-// as sparse physical Ising programs, and every device mechanism the paper's
-// evaluation manipulates is reproduced:
+// QPU: problems arrive already embedded on the Chimera graph as sparse
+// physical Ising programs (see internal/embedding), and every device
+// mechanism the paper's evaluation manipulates is reproduced:
 //
 //   - Analog programming range. Fields are clipped to h ∈ [−2,2] and
 //     couplers to J ∈ [−1,+1]; the "improved coupling dynamic range" option

@@ -2,7 +2,9 @@ package backend
 
 import (
 	"context"
+	"errors"
 
+	"quamax/internal/anneal"
 	"quamax/internal/core"
 	"quamax/internal/rng"
 )
@@ -42,25 +44,47 @@ func (a *Annealer) Name() string { return a.name }
 // Decoder exposes the wrapped QuAMax decoder.
 func (a *Annealer) Decoder() *core.Decoder { return a.dec }
 
+// params resolves the effective run knobs for p: its planner-sized override
+// when present, the decoder's configured Params otherwise.
+func (a *Annealer) params(p *Problem) anneal.Params {
+	if p.Anneal != nil {
+		return *p.Anneal
+	}
+	return a.dec.Options().Params
+}
+
 // EstimateMicros returns the modeled device occupancy of one run,
-// Na·(Ta+Tp). The chip is busy for the full run regardless of slot
-// amortization, so this — not the amortized per-problem time — is what queue
-// waits accumulate.
+// Na·(Ta+Tp) under the problem's effective anneal parameters. The chip is
+// busy for the full run regardless of slot amortization, so this — not the
+// amortized per-problem time — is what queue waits accumulate.
 func (a *Annealer) EstimateMicros(p *Problem) float64 {
-	params := a.dec.Options().Params
+	params := a.params(p)
 	return float64(params.NumAnneals) * params.AnnealWallMicros()
 }
 
-// Solve runs the full QuAMax pipeline on one problem.
+// Solve runs the full QuAMax pipeline on one problem, honoring its Anneal,
+// ChainJF and Reverse overrides. A reverse decode that cannot compute its
+// linear seed (ill-conditioned channel, core.ErrNoSeed) falls back to a
+// forward anneal; any other error is a real failure and surfaces.
 func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out, err := a.dec.Decode(p.Mod, p.H, p.Y, src)
+	params := a.params(p)
+	var out *core.Outcome
+	var err error
+	if p.Reverse {
+		out, err = a.dec.DecodeReverseWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
+		if errors.Is(err, core.ErrNoSeed) {
+			out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
+		}
+	} else {
+		out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return a.result(out, 1), nil
+	return a.result(out, params, 1), nil
 }
 
 // BatchSlots implements BatchBackend via the chip's geometric slot packing.
@@ -72,30 +96,39 @@ func (a *Annealer) BatchSlots(p *Problem) int {
 	return slots
 }
 
-// SolveBatch decodes all ps in one shared annealer run.
+// SolveBatch decodes all ps in one shared annealer run. The run's schedule
+// comes from the batch's (Batchable-compatible) anneal overrides, with the
+// read budget the max over the batch — extra reads only improve the
+// co-scheduled problems.
 func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	params := a.params(ps[0])
+	for _, p := range ps[1:] {
+		if q := a.params(p); q.NumAnneals > params.NumAnneals {
+			params.NumAnneals = q.NumAnneals
+		}
 	}
 	items := make([]core.BatchItem, len(ps))
 	for i, p := range ps {
 		items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y}
 	}
-	outs, err := a.dec.DecodeSharedRun(items, src)
+	outs, err := a.dec.DecodeSharedRunWithParams(items, params, ps[0].ChainJF, src)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]*Result, len(outs))
 	for i, out := range outs {
-		results[i] = a.result(out, len(ps))
+		results[i] = a.result(out, params, len(ps))
 	}
 	return results, nil
 }
 
 // result converts a decoder outcome, applying the Na·(Ta+Tp)/Pf compute-time
 // model the fronthaul reports for TTB accounting.
-func (a *Annealer) result(out *core.Outcome, batched int) *Result {
-	na := float64(a.dec.Options().Params.NumAnneals)
+func (a *Annealer) result(out *core.Outcome, params anneal.Params, batched int) *Result {
+	na := float64(params.NumAnneals)
 	pf := out.Pf
 	if pf < 1 {
 		pf = 1

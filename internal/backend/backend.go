@@ -12,6 +12,7 @@ package backend
 import (
 	"context"
 
+	"quamax/internal/anneal"
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
 	"quamax/internal/rng"
@@ -21,9 +22,29 @@ import (
 // from the received vector Y through the estimated channel H. It is the unit
 // of work the scheduler queues and a Backend solves.
 type Problem struct {
+	// Mod is the modulation; H the estimated channel; Y the received vector.
 	Mod modulation.Modulation
 	H   *linalg.Mat
 	Y   []complex128
+	// TargetBER is the AP's QoS target for this decode (0 = none). The
+	// scheduler's planner turns it into an anneal budget; backends themselves
+	// do not interpret it.
+	TargetBER float64
+	// Anneal, when non-nil, overrides the annealer backend's default run
+	// knobs for this problem — the per-request anneal budget the QoS planner
+	// sizes (reads, anneal time, pause). Classical backends ignore it.
+	Anneal *anneal.Params
+	// ChainJF, when positive, overrides the annealer backend's ferromagnetic
+	// chain strength |J_F| for this problem, so the run matches the operating
+	// point the planner's TTS table was fitted at (e.g. 16-QAM fits want
+	// far stronger chains than the BPSK default). Classical backends ignore
+	// it.
+	ChainJF float64
+	// Reverse selects reverse annealing seeded from a linear detector
+	// (planner's call when the fitted reverse operating point needs fewer
+	// reads). Annealer backends fall back to a forward anneal when the seed
+	// cannot be computed; classical backends ignore it.
+	Reverse bool
 }
 
 // Users returns the transmitter count Nt.
@@ -77,7 +98,36 @@ type BatchBackend interface {
 	// (≥ 1; 1 means batching degenerates to Solve).
 	BatchSlots(p *Problem) int
 	// SolveBatch solves len(ps) batch-compatible problems in one run,
-	// returning results in order. All ps must have equal LogicalSpins and
-	// len(ps) must not exceed BatchSlots.
+	// returning results in order. All ps must have equal LogicalSpins,
+	// satisfy Batchable pairwise, and len(ps) must not exceed BatchSlots.
+	// A shared run has one schedule: when problems carry Anneal overrides,
+	// the run uses the largest read budget among them.
 	SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error)
+}
+
+// Batchable reports whether two problems may share one annealer run: equal
+// logical spin count (same embedding-slot shape), no reverse-annealing
+// request (reverse runs are seeded per problem), equal chain-strength
+// override (one |J_F| compiles the whole run), and agreeing anneal
+// schedules — both default, or overrides with the same per-anneal timing
+// (read budgets may differ; the shared run takes the max).
+func Batchable(a, b *Problem) bool {
+	if a.LogicalSpins() != b.LogicalSpins() || a.Reverse || b.Reverse {
+		return false
+	}
+	if a.ChainJF != b.ChainJF {
+		return false
+	}
+	if (a.Anneal == nil) != (b.Anneal == nil) {
+		return false
+	}
+	if a.Anneal != nil {
+		pa, pb := *a.Anneal, *b.Anneal
+		if pa.AnnealTimeMicros != pb.AnnealTimeMicros ||
+			pa.PauseTimeMicros != pb.PauseTimeMicros ||
+			pa.PausePosition != pb.PausePosition {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"quamax/internal/anneal"
 	"quamax/internal/embedding"
 	"quamax/internal/linalg"
 	"quamax/internal/metrics"
@@ -49,8 +50,20 @@ func (d *Decoder) BatchSlots(n int) (int, error) {
 // auto-scaling divisor is the max over all batched problems — exactly the
 // squeeze a real shared chip would apply.
 func (d *Decoder) DecodeSharedRun(items []BatchItem, src *rng.Source) ([]*Outcome, error) {
+	return d.DecodeSharedRunWithParams(items, d.opts.Params, 0, src)
+}
+
+// DecodeSharedRunWithParams is DecodeSharedRun with per-run knobs overriding
+// the decoder's configuration (jf ≤ 0 = configured |J_F|). A batch shares
+// one physical run, so one Params and one chain strength apply to every
+// item; the scheduler resolves a common budget (max read count over the
+// batch) before calling.
+func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Params, jf float64, src *rng.Source) ([]*Outcome, error) {
 	if len(items) == 0 {
 		return nil, errors.New("core: empty batch")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
 	}
 	if src == nil {
 		return nil, errors.New("core: nil random source")
@@ -81,7 +94,7 @@ func (d *Decoder) DecodeSharedRun(items []BatchItem, src *rng.Source) ([]*Outcom
 	offsets := make([]int, len(items))
 	total := 0
 	for i := range items {
-		ep, err := packs[i].EmbedIsing(logicals[i], d.opts.JF, d.opts.ImprovedRange)
+		ep, err := packs[i].EmbedIsing(logicals[i], d.chainJF(jf), d.opts.ImprovedRange)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +111,7 @@ func (d *Decoder) DecodeSharedRun(items []BatchItem, src *rng.Source) ([]*Outcom
 		}
 	}
 
-	samples, err := d.opts.Machine.Run(combined, d.opts.Params, d.opts.ImprovedRange, src)
+	samples, err := d.opts.Machine.Run(combined, params, d.opts.ImprovedRange, src)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +120,7 @@ func (d *Decoder) DecodeSharedRun(items []BatchItem, src *rng.Source) ([]*Outcom
 	for i, it := range items {
 		out := &Outcome{
 			Pf:                  1,
-			WallMicrosPerAnneal: d.opts.Params.AnnealWallMicros(),
+			WallMicrosPerAnneal: params.AnnealWallMicros(),
 		}
 		if d.opts.AmortizeParallel {
 			out.Pf = float64(len(items))

@@ -157,17 +157,41 @@ type Outcome struct {
 // annealer and tie-breaking; reuse one source across calls for independent
 // randomness.
 func (d *Decoder) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, src *rng.Source) (*Outcome, error) {
-	return d.decode(mod, h, y, nil, src)
+	return d.decode(mod, h, y, nil, d.opts.Params, src)
+}
+
+// DecodeWithParams is Decode with per-call run knobs overriding the
+// decoder's configuration — the entry point the QoS planner uses to
+// right-size the read budget (and match the fitted chain strength) per
+// request while reusing this decoder's embedding caches. jf ≤ 0 selects the
+// decoder's configured |J_F|.
+func (d *Decoder) DecodeWithParams(mod modulation.Modulation, h *linalg.Mat, y []complex128, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return d.decodeJF(mod, h, y, nil, params, jf, src)
 }
 
 // DecodeInstance decodes a generated instance and additionally fills the
 // evaluation fields (Distribution, TxEnergy) using the instance's ground
 // truth.
 func (d *Decoder) DecodeInstance(in *mimo.Instance, src *rng.Source) (*Outcome, error) {
-	return d.decode(in.Mod, in.H, in.Y, in, src)
+	return d.decode(in.Mod, in.H, in.Y, in, d.opts.Params, src)
 }
 
-func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, src *rng.Source) (*Outcome, error) {
+func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, src *rng.Source) (*Outcome, error) {
+	return d.decodeJF(mod, h, y, truth, params, 0, src)
+}
+
+// chainJF resolves a per-call chain-strength override (≤ 0 = configured).
+func (d *Decoder) chainJF(jf float64) float64 {
+	if jf > 0 {
+		return jf
+	}
+	return d.opts.JF
+}
+
+func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
 	if src == nil {
 		return nil, errors.New("core: nil random source")
 	}
@@ -176,18 +200,18 @@ func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex12
 	if err != nil {
 		return nil, err
 	}
-	ep, err := emb.EmbedIsing(logical, d.opts.JF, d.opts.ImprovedRange)
+	ep, err := emb.EmbedIsing(logical, d.chainJF(jf), d.opts.ImprovedRange)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := d.opts.Machine.Run(ep.Phys, d.opts.Params, d.opts.ImprovedRange, src)
+	samples, err := d.opts.Machine.Run(ep.Phys, params, d.opts.ImprovedRange, src)
 	if err != nil {
 		return nil, err
 	}
 
 	out := &Outcome{
 		Pf:                  1,
-		WallMicrosPerAnneal: d.opts.Params.AnnealWallMicros(),
+		WallMicrosPerAnneal: params.AnnealWallMicros(),
 	}
 	if d.opts.AmortizeParallel {
 		out.Pf = float64(slots)

@@ -3,6 +3,7 @@ package fronthaul
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -97,6 +98,19 @@ func (c *Client) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128
 // QPU pool cannot meet the deadline. deadline ≤ 0 means no deadline (the
 // server default applies).
 func (c *Client) DecodeWithDeadline(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration) (*DecodeResponse, error) {
+	return c.DecodeQoS(mod, h, y, deadline, 0)
+}
+
+// DecodeQoS is Decode with the full QoS contract: a processing deadline and
+// a target BER. The data center's planner sizes the anneal budget (reads ×
+// anneal time, forward or reverse) to just reach the target within the
+// deadline, or solves classically when the annealer cannot. deadline ≤ 0
+// and targetBER ≤ 0 each select the server default; targetBER ≥ 1 is a
+// local argument error (the wire protocol rejects it server-side too).
+func (c *Client) DecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration, targetBER float64) (*DecodeResponse, error) {
+	if targetBER >= 1 || math.IsNaN(targetBER) {
+		return nil, fmt.Errorf("fronthaul: target BER %g outside [0,1)", targetBER)
+	}
 	c.mu.Lock()
 	if c.closed != nil {
 		c.mu.Unlock()
@@ -115,7 +129,13 @@ func (c *Client) DecodeWithDeadline(mod modulation.Modulation, h *linalg.Mat, y 
 			deadlineMicros = MaxDeadlineMicros
 		}
 	}
-	payload, err := encodeRequest(&DecodeRequest{ID: id, Mod: mod, H: h, Y: y, DeadlineMicros: deadlineMicros})
+	if targetBER < 0 {
+		targetBER = 0
+	}
+	payload, err := encodeRequest(&DecodeRequest{
+		ID: id, Mod: mod, H: h, Y: y,
+		DeadlineMicros: deadlineMicros, TargetBER: targetBER,
+	})
 	if err != nil {
 		c.abandon(id)
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"quamax/internal/linalg"
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
+	"quamax/internal/qos"
 	"quamax/internal/rng"
 	"quamax/internal/sched"
 )
@@ -407,5 +408,88 @@ func TestClientFailsPendingOnClose(t *testing.T) {
 	// Subsequent calls fail fast.
 	if _, err := client.Decode(in.Mod, in.H, in.Y); err == nil {
 		t.Fatal("closed client accepted new work")
+	}
+}
+
+func TestRequestCodecCarriesTargetBER(t *testing.T) {
+	src := rng.New(127)
+	h := channel.Rayleigh{}.Generate(src, 2, 2)
+	req := &DecodeRequest{
+		ID: 9, Mod: modulation.QPSK, H: h, Y: []complex128{1, 2i},
+		DeadlineMicros: 1500, TargetBER: 1e-4,
+	}
+	payload, err := encodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TargetBER != 1e-4 || back.DeadlineMicros != 1500 {
+		t.Fatalf("QoS fields drifted: %+v", back)
+	}
+
+	// A protocol-version-2 peer ends the payload at the deadline; the field
+	// must read as "no target".
+	v2 := payload[:len(payload)-8]
+	back, err = decodeRequest(v2)
+	if err != nil {
+		t.Fatalf("v2 payload rejected: %v", err)
+	}
+	if back.TargetBER != 0 {
+		t.Fatalf("v2 payload produced target %g, want 0", back.TargetBER)
+	}
+
+	// Out-of-range targets are rejected.
+	for _, bad := range []float64{-0.5, 1, math.NaN()} {
+		req.TargetBER = bad
+		payload, err := encodeRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeRequest(payload); err == nil {
+			t.Fatalf("target BER %g accepted", bad)
+		}
+	}
+}
+
+// The full QoS contract must survive the wire: a pool server with a planner
+// receives the client's target BER and plans the request's budget.
+func TestClientDecodeQoSThroughPlanner(t *testing.T) {
+	qpu := backend.AnnealerFromDecoder("qpu0", testDecoder(t))
+	pl, err := qos.NewPlanner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(sched.Config{Pool: []backend.Backend{qpu}, Planner: pl, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := NewPoolServer(s)
+	defer srv.Close()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	go srv.handleConn(server)
+	c := NewClient(client)
+
+	in := testInstance(t, 640, modulation.QPSK, 2)
+	resp, err := c.DecodeQoS(in.Mod, in.H, in.Y, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(resp.Bits); errs != 0 {
+		t.Fatalf("planned decode: %d bit errors", errs)
+	}
+	st := pl.Stats()
+	if st.Plans != 1 || st.Quantum != 1 {
+		t.Fatalf("planner never saw the request: %+v", st)
+	}
+	// The planned budget is what the annealer billed: far below the static
+	// Na = 100 device time of 200 µs.
+	if resp.ComputeMicros <= 0 || resp.ComputeMicros >= 200 {
+		t.Fatalf("ComputeMicros = %g, want a planner-sized budget below the static 200 µs", resp.ComputeMicros)
 	}
 }

@@ -28,10 +28,13 @@ import (
 
 // ProtocolVersion is the fronthaul framing generation. Version 2 added the
 // per-request deadline and the responding-backend metadata for the pool
-// scheduler. Peers speaking a newer version may emit frame types this
-// implementation does not know; the client surfaces those as protocol errors
-// rather than discarding them silently.
-const ProtocolVersion = 2
+// scheduler; version 3 appended the target BER so APs can express per-decode
+// QoS to the data center's anneal-budget planner (version-2 requests, which
+// lack the field, are still accepted and read as "no target"). Peers
+// speaking a newer version may emit frame types this implementation does not
+// know; the client surfaces those as protocol errors rather than discarding
+// them silently.
+const ProtocolVersion = 3
 
 // Message types.
 const (
@@ -58,6 +61,10 @@ type DecodeRequest struct {
 	// scheduler routes the problem to a classical solver when the QPU queue
 	// cannot meet it. 0 means no deadline (use the server default).
 	DeadlineMicros float64
+	// TargetBER is the AP's QoS target for this decode: the data center's
+	// planner sizes the anneal budget (reads × anneal time) to just reach
+	// it within the deadline. 0 means no target (use the server default).
+	TargetBER float64
 }
 
 // DecodeResponse carries the decoded bits back to the AP.
@@ -188,6 +195,7 @@ func encodeRequest(req *DecodeRequest) ([]byte, error) {
 		b = appendF64(b, imag(v))
 	}
 	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
 	return b, nil
 }
 
@@ -230,6 +238,17 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 	// conversion of an out-of-range value is implementation-defined).
 	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
 		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
+	}
+	// The target BER was appended in protocol version 3; a version-2 payload
+	// ends here and reads as "no target".
+	if r.off < len(payload) {
+		req.TargetBER = r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
+			return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+		}
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in request")

@@ -155,7 +155,7 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) process(ctx context.Context, req *DecodeRequest) *DecodeResponse {
 	deadline := time.Duration(req.DeadlineMicros * float64(time.Microsecond))
 	res, err := s.disp.Dispatch(ctx,
-		&backend.Problem{Mod: req.Mod, H: req.H, Y: req.Y}, deadline)
+		&backend.Problem{Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER}, deadline)
 	if err != nil {
 		return &DecodeResponse{ID: req.ID, Err: err.Error()}
 	}

@@ -15,10 +15,15 @@ type PoolStats struct {
 	// Submitted counts all accepted problems; Completed those solved
 	// (by pool or fallback); Failed those that returned an error.
 	Submitted, Completed, Failed uint64
-	// FallbackDispatches counts problems routed to the classical fallback
-	// because the projected pool wait would have blown their deadline —
-	// the hybrid dispatch decisions.
+	// FallbackDispatches counts problems routed to the classical fallback,
+	// whether because the projected pool wait would have blown their
+	// deadline or because the QoS planner denied quantum dispatch — the
+	// hybrid dispatch decisions.
 	FallbackDispatches uint64
+	// PlannerClassical counts the subset of FallbackDispatches that the QoS
+	// planner denied outright (target unreachable on the annealer within the
+	// deadline), as opposed to queue-pressure fallbacks.
+	PlannerClassical uint64
 	// DeadlineMisses counts problems whose result was delivered after their
 	// absolute deadline.
 	DeadlineMisses uint64
@@ -55,12 +60,55 @@ func (s PoolStats) MissRate() float64 {
 	return float64(s.DeadlineMisses) / float64(s.Completed)
 }
 
+// Merge returns the aggregate of two snapshots — the view a multi-pool
+// deployment (one scheduler per shard or per site) reports upward. Counters
+// and queue depth add; SlotOccupancy re-weights by batched runs; backend
+// entries merge by name, summing Solved/Errors/BusyMicros and adding
+// utilizations (each addend is busy time over its own scheduler's lifetime,
+// so the sum keeps the per-worker 0..~1 reading when shards report over
+// equal windows).
+func (s PoolStats) Merge(o PoolStats) PoolStats {
+	out := s
+	out.QueueDepth += o.QueueDepth
+	out.Submitted += o.Submitted
+	out.Completed += o.Completed
+	out.Failed += o.Failed
+	out.FallbackDispatches += o.FallbackDispatches
+	out.PlannerClassical += o.PlannerClassical
+	out.DeadlineMisses += o.DeadlineMisses
+	out.BatchRuns += o.BatchRuns
+	out.BatchedProblems += o.BatchedProblems
+	if total := out.BatchRuns; total > 0 {
+		out.SlotOccupancy = (s.SlotOccupancy*float64(s.BatchRuns) +
+			o.SlotOccupancy*float64(o.BatchRuns)) / float64(total)
+	} else {
+		out.SlotOccupancy = 0
+	}
+	out.Backends = nil
+	index := make(map[string]int)
+	for _, lists := range [][]BackendStats{s.Backends, o.Backends} {
+		for _, be := range lists {
+			i, ok := index[be.Name]
+			if !ok {
+				index[be.Name] = len(out.Backends)
+				out.Backends = append(out.Backends, be)
+				continue
+			}
+			out.Backends[i].Solved += be.Solved
+			out.Backends[i].Errors += be.Errors
+			out.Backends[i].BusyMicros += be.BusyMicros
+			out.Backends[i].Utilization += be.Utilization
+		}
+	}
+	return out
+}
+
 // String renders a compact multi-line report suitable for logs.
 func (s PoolStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "pool: queue=%d submitted=%d completed=%d failed=%d fallback=%d miss=%d (%.1f%%)",
+	fmt.Fprintf(&b, "pool: queue=%d submitted=%d completed=%d failed=%d fallback=%d (planner=%d) miss=%d (%.1f%%)",
 		s.QueueDepth, s.Submitted, s.Completed, s.Failed,
-		s.FallbackDispatches, s.DeadlineMisses, 100*s.MissRate())
+		s.FallbackDispatches, s.PlannerClassical, s.DeadlineMisses, 100*s.MissRate())
 	if s.BatchRuns > 0 {
 		fmt.Fprintf(&b, "\npool: batched runs=%d problems=%d slot-occupancy=%.0f%%",
 			s.BatchRuns, s.BatchedProblems, 100*s.SlotOccupancy)

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePool() PoolStats {
+	return PoolStats{
+		QueueDepth:         2,
+		Submitted:          10,
+		Completed:          7,
+		Failed:             1,
+		FallbackDispatches: 3,
+		PlannerClassical:   2,
+		DeadlineMisses:     1,
+		BatchRuns:          2,
+		BatchedProblems:    6,
+		SlotOccupancy:      0.5,
+		Backends: []BackendStats{
+			{Name: "qpu0", Solved: 5, Errors: 1, BusyMicros: 1000, Utilization: 0.5},
+			{Name: "sa", Solved: 2, Errors: 0, BusyMicros: 100, Utilization: 0.05},
+		},
+	}
+}
+
+func TestPoolStatsMissRate(t *testing.T) {
+	s := samplePool()
+	if got, want := s.MissRate(), 1.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MissRate = %g, want %g", got, want)
+	}
+	if (PoolStats{}).MissRate() != 0 {
+		t.Fatal("empty snapshot must report zero miss rate")
+	}
+}
+
+func TestPoolStatsMergeCounters(t *testing.T) {
+	a := samplePool()
+	b := PoolStats{
+		QueueDepth:         1,
+		Submitted:          4,
+		Completed:          4,
+		FallbackDispatches: 1,
+		DeadlineMisses:     2,
+		BatchRuns:          6,
+		BatchedProblems:    12,
+		SlotOccupancy:      0.25,
+		Backends: []BackendStats{
+			{Name: "qpu0", Solved: 3, BusyMicros: 500, Utilization: 0.25},
+			{Name: "sphere", Solved: 1, BusyMicros: 40, Utilization: 0.02},
+		},
+	}
+	m := a.Merge(b)
+	if m.QueueDepth != 3 || m.Submitted != 14 || m.Completed != 11 || m.Failed != 1 {
+		t.Fatalf("merged counters: %+v", m)
+	}
+	if m.FallbackDispatches != 4 || m.PlannerClassical != 2 || m.DeadlineMisses != 3 {
+		t.Fatalf("merged dispatch counters: %+v", m)
+	}
+	if m.BatchRuns != 8 || m.BatchedProblems != 18 {
+		t.Fatalf("merged batch counters: %+v", m)
+	}
+	// Occupancy re-weights by batch runs: (0.5·2 + 0.25·6)/8.
+	if want := (0.5*2 + 0.25*6) / 8; math.Abs(m.SlotOccupancy-want) > 1e-12 {
+		t.Fatalf("merged occupancy = %g, want %g", m.SlotOccupancy, want)
+	}
+	// The originals must be untouched (Merge is a value operation).
+	if a.Submitted != 10 || len(a.Backends) != 2 {
+		t.Fatalf("Merge mutated its receiver: %+v", a)
+	}
+}
+
+func TestPoolStatsMergeBackendsByName(t *testing.T) {
+	a := samplePool()
+	b := samplePool()
+	b.Backends = []BackendStats{
+		{Name: "sa", Solved: 8, Errors: 2, BusyMicros: 900, Utilization: 0.45},
+		{Name: "sphere", Solved: 1, BusyMicros: 10, Utilization: 0.01},
+	}
+	m := a.Merge(b)
+	if len(m.Backends) != 3 {
+		t.Fatalf("merged backends: %+v", m.Backends)
+	}
+	byName := map[string]BackendStats{}
+	for _, be := range m.Backends {
+		byName[be.Name] = be
+	}
+	if sa := byName["sa"]; sa.Solved != 10 || sa.Errors != 2 || sa.BusyMicros != 1000 {
+		t.Fatalf("merged sa entry: %+v", sa)
+	}
+	if math.Abs(byName["sa"].Utilization-0.5) > 1e-12 {
+		t.Fatalf("merged sa utilization: %+v", byName["sa"])
+	}
+	if qpu := byName["qpu0"]; qpu.Solved != 5 || qpu.BusyMicros != 1000 {
+		t.Fatalf("merged qpu0 entry: %+v", qpu)
+	}
+	if _, ok := byName["sphere"]; !ok {
+		t.Fatal("merge dropped a backend present on one side only")
+	}
+}
+
+func TestPoolStatsMergeZeroValue(t *testing.T) {
+	a := samplePool()
+	m := a.Merge(PoolStats{})
+	if m.Submitted != a.Submitted || m.SlotOccupancy != a.SlotOccupancy {
+		t.Fatalf("merge with zero snapshot drifted: %+v", m)
+	}
+	m = (PoolStats{}).Merge(a)
+	if m.Submitted != a.Submitted || m.SlotOccupancy != a.SlotOccupancy {
+		t.Fatalf("zero-receiver merge drifted: %+v", m)
+	}
+	z := (PoolStats{}).Merge(PoolStats{})
+	if z.SlotOccupancy != 0 || z.Backends != nil {
+		t.Fatalf("zero merge: %+v", z)
+	}
+}
+
+func TestPoolStatsString(t *testing.T) {
+	s := samplePool().String()
+	for _, want := range []string{"fallback=3", "planner=2", "batched runs=2", "qpu0", "sa"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering misses %q:\n%s", want, s)
+		}
+	}
+}

@@ -20,6 +20,16 @@
 //     queue — the hybrid classical–quantum structure of Kim et al.
 //     (arXiv:2010.00682).
 //
+//   - QoS planning. When a Planner is configured, each problem carrying a
+//     target BER gets its anneal budget sized at admission from the fitted
+//     TTS model (internal/qos): the planner picks the read count, anneal
+//     schedule and forward/reverse mode that meet the target within the
+//     deadline, or denies quantum dispatch outright when the model says the
+//     classical fallback is the better bet. The planned budget replaces the
+//     static run configuration, so easy requests stop over-provisioning
+//     reads (Kasi et al., arXiv:2109.01465) and queue waits shrink with
+//     problem difficulty.
+//
 //   - Graceful drain. Close stops admission, lets queued and in-flight work
 //     finish, and then stops the workers, so a serving process can shut down
 //     without dropping accepted requests.
@@ -32,11 +42,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"quamax/internal/backend"
 	"quamax/internal/metrics"
+	"quamax/internal/qos"
 	"quamax/internal/rng"
 )
 
@@ -55,6 +67,15 @@ type Config struct {
 	// DefaultDeadline applies to problems submitted without a deadline
 	// (0 = no deadline: never fall back, never count misses).
 	DefaultDeadline time.Duration
+	// Planner, when set, sizes each target-BER-carrying problem's anneal
+	// budget at admission and may deny quantum dispatch, routing to Fallback
+	// when configured; without a Fallback, deadline-driven denials run the
+	// planner's clamped best-effort budget and other denials run the static
+	// configuration. Problems without a target BER pass through untouched.
+	Planner *qos.Planner
+	// DefaultTargetBER applies to problems submitted without a target BER
+	// (0 = none: the planner is only consulted for explicit QoS requests).
+	DefaultTargetBER float64
 	// DisableBatch turns off cross-request batching on BatchBackends.
 	DisableBatch bool
 	// Seed drives all solver randomness (per-worker independent streams).
@@ -86,6 +107,7 @@ type Scheduler struct {
 	// counters (guarded by mu)
 	submitted, completed, failed uint64
 	fallbackDispatches, misses   uint64
+	plannerClassical             uint64
 	batchRuns, batchedProblems   uint64
 	occupancySum                 float64
 	perBackend                   []*backendCounters
@@ -171,6 +193,49 @@ func (s *Scheduler) poolEstimate(p *backend.Problem) float64 {
 	return est
 }
 
+// applyPlan consults the QoS planner for a problem carrying a target BER
+// (its own or the configured default). It returns the problem to dispatch —
+// a copy carrying the planned anneal budget, since callers may reuse their
+// Problem across Dispatch calls — and whether the planner denied quantum
+// dispatch.
+func (s *Scheduler) applyPlan(p *backend.Problem, deadline time.Duration) (*backend.Problem, bool) {
+	if s.cfg.Planner == nil {
+		return p, false
+	}
+	target := p.TargetBER
+	if target == 0 {
+		target = s.cfg.DefaultTargetBER
+	}
+	if target <= 0 {
+		return p, false
+	}
+	// A failed SNR estimate (singular channel) plans at the top of the
+	// fitted range; the planner's own guards still apply.
+	snr := math.Inf(1)
+	if est, ok := qos.EstimateSNRdB(p.Mod, p.H, p.Y); ok {
+		snr = est
+	}
+	plan := s.cfg.Planner.Plan(qos.Request{
+		Mod: p.Mod, Nt: p.Users(), SNRdB: snr, TargetBER: target,
+		DeadlineMicros: float64(deadline) / float64(time.Microsecond),
+	})
+	if !plan.Quantum {
+		// With no classical solver to deny to, a deadline-driven denial
+		// still carries the clamped best-effort budget — strictly better
+		// than running the static configuration.
+		if s.fallback != nil || plan.Params.NumAnneals < 1 {
+			return p, true
+		}
+	}
+	q := *p
+	q.TargetBER = target
+	params := plan.Params
+	q.Anneal = &params
+	q.ChainJF = plan.JF
+	q.Reverse = plan.Reverse
+	return &q, false
+}
+
 // Dispatch submits one problem and blocks until it is solved, the context is
 // canceled, or the scheduler is closed. deadline ≤ 0 selects the configured
 // default. It implements fronthaul.Dispatcher.
@@ -178,6 +243,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
+	p, planDenied := s.applyPlan(p, deadline)
 	est := s.poolEstimate(p)
 
 	s.mu.Lock()
@@ -186,6 +252,18 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 		return nil, ErrClosed
 	}
 	s.submitted++
+
+	// Planner denial: the TTS model says the annealer cannot meet this
+	// request's target within its deadline — the classical fallback is the
+	// better bet regardless of queue state.
+	if planDenied && s.fallback != nil {
+		s.plannerClassical++
+		s.fallbackDispatches++
+		s.fbWg.Add(1)
+		s.mu.Unlock()
+		defer s.fbWg.Done()
+		return s.runFallback(ctx, p, deadline)
+	}
 
 	// Hybrid dispatch: if the projected pool completion time blows the
 	// deadline, route to the classical fallback now instead of queueing.
@@ -328,14 +406,14 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 }
 
 // gatherBatchLocked extends an already-popped head job with batch-compatible
-// queued jobs (same logical spin count, FIFO order) up to the backend's slot
-// capacity. Estimates move from queued to in-flight.
+// queued jobs (backend.Batchable: same logical spin count and agreeing
+// anneal schedule, FIFO order) up to the backend's slot capacity. Estimates
+// move from queued to in-flight.
 func (s *Scheduler) gatherBatchLocked(head *job, slots int) []*job {
 	batch := []*job{head}
-	n := head.p.LogicalSpins()
 	kept := s.queue[:0]
 	for _, j := range s.queue {
-		if len(batch) < slots && j.p.LogicalSpins() == n {
+		if len(batch) < slots && backend.Batchable(head.p, j.p) {
 			s.queuedMicros -= j.est
 			s.inflightMicros += j.est
 			batch = append(batch, j)
@@ -403,6 +481,7 @@ func (s *Scheduler) Stats() metrics.PoolStats {
 		Completed:          s.completed,
 		Failed:             s.failed,
 		FallbackDispatches: s.fallbackDispatches,
+		PlannerClassical:   s.plannerClassical,
 		DeadlineMisses:     s.misses,
 		BatchRuns:          s.batchRuns,
 		BatchedProblems:    s.batchedProblems,
@@ -448,6 +527,6 @@ func (s *Scheduler) String() string {
 	if s.fallback != nil {
 		fb = s.fallback.Name()
 	}
-	return fmt.Sprintf("sched: pool=%v fallback=%s default-deadline=%s batch=%t",
-		names, fb, s.cfg.DefaultDeadline, !s.cfg.DisableBatch)
+	return fmt.Sprintf("sched: pool=%v fallback=%s default-deadline=%s batch=%t planner=%t",
+		names, fb, s.cfg.DefaultDeadline, !s.cfg.DisableBatch, s.cfg.Planner != nil)
 }

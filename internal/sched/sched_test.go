@@ -14,6 +14,7 @@ import (
 	"quamax/internal/core"
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
+	"quamax/internal/qos"
 	"quamax/internal/rng"
 )
 
@@ -404,5 +405,222 @@ func TestRealAnnealerBatchThroughScheduler(t *testing.T) {
 	st := s.Stats()
 	if st.BatchRuns < 1 || st.SlotOccupancy <= 0 {
 		t.Fatalf("batch stats: %+v", st)
+	}
+}
+
+// plannerTable is a minimal QPSK fit for scheduler planning tests: 4-user
+// QPSK at 20–30 dB with p0=0.5, zero floor, 0.1 spread.
+func plannerTable() *qos.Table {
+	return &qos.Table{
+		Ops: []qos.ClassOp{{Mod: "QPSK", JF: 4, Ta: 1, Tp: 1, Sp: 0.35}},
+		Points: []qos.Point{
+			{Mod: "QPSK", Nt: 4, SNRdB: 20, Mode: qos.ModeForward, P0: 0.5, FloorBER: 0, SpreadBER: 0.1},
+			{Mod: "QPSK", Nt: 4, SNRdB: 30, Mode: qos.ModeForward, P0: 0.5, FloorBER: 0, SpreadBER: 0.1},
+		},
+	}
+}
+
+// A target-BER request must reach the backend with a planner-sized anneal
+// budget, leaving the caller's Problem untouched.
+func TestPlannerSizesAnnealBudget(t *testing.T) {
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeBackend{name: "qpu", est: 100}
+	s, err := New(Config{Pool: []backend.Backend{f}, Planner: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Noise-free 4-user QPSK: the SNR estimate is far above the fitted range
+	// and clamps to the 30 dB point. (0.5)^Na·0.1 ≤ 1e-3 → Na = 7.
+	p, _ := testProblem(t, 900, modulation.QPSK, 4)
+	p.TargetBER = 1e-3
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Anneal != nil {
+		t.Fatal("Dispatch mutated the caller's Problem")
+	}
+	f.mu.Lock()
+	served := f.order[0]
+	f.mu.Unlock()
+	if served.Anneal == nil || served.Anneal.NumAnneals != 7 {
+		t.Fatalf("backend saw Anneal=%+v, want a 7-read budget", served.Anneal)
+	}
+	if served.Anneal.AnnealTimeMicros != 1 || served.Anneal.PauseTimeMicros != 1 {
+		t.Fatalf("backend saw schedule %+v, want the class operating point", served.Anneal)
+	}
+}
+
+// A planner denial must route to the classical fallback and be counted.
+func TestPlannerDenialRoutesToFallback(t *testing.T) {
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &fakeBackend{name: "qpu", est: 100}
+	fb := &fakeBackend{name: "fb", est: 10}
+	s, err := New(Config{Pool: []backend.Backend{pool}, Fallback: fb, Planner: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 8 users exceeds every fitted size: the planner denies quantum dispatch
+	// even though the pool queue is empty and the deadline generous.
+	p, _ := testProblem(t, 901, modulation.QPSK, 8)
+	p.TargetBER = 1e-3
+	res, err := s.Dispatch(context.Background(), p, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "fb" {
+		t.Fatalf("dispatched to %q, want planner-denied fallback", res.Backend)
+	}
+	st := s.Stats()
+	if st.PlannerClassical != 1 || st.FallbackDispatches != 1 || len(pool.order) != 0 {
+		t.Fatalf("planner accounting: %+v (pool served %d)", st, len(pool.order))
+	}
+
+	// The planner's own stats recorded the denial reason.
+	if pst := pl.Stats(); pst.Classical != 1 || pst.ByReason[qos.ReasonOversizeNt] != 1 {
+		t.Fatalf("planner stats: %+v", pst)
+	}
+}
+
+// DefaultTargetBER must apply to requests that carry no target of their own.
+func TestPlannerDefaultTargetBER(t *testing.T) {
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeBackend{name: "qpu", est: 100}
+	s, err := New(Config{Pool: []backend.Backend{f}, Planner: pl, DefaultTargetBER: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, _ := testProblem(t, 902, modulation.QPSK, 4)
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	served := f.order[0]
+	f.mu.Unlock()
+	if served.Anneal == nil || served.Anneal.NumAnneals != 7 {
+		t.Fatalf("backend saw Anneal=%+v, want the default-target 7-read budget", served.Anneal)
+	}
+}
+
+// Jobs whose anneal schedules disagree must not share a batched run.
+func TestBatchRequiresCompatibleAnnealParams(t *testing.T) {
+	f := &fakeBatchBackend{
+		fakeBackend: fakeBackend{name: "qpu", est: 100, gate: make(chan struct{})},
+		slots:       8,
+	}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	dispatch := func(seed int64, params *anneal.Params) {
+		p, _ := testProblem(t, seed, modulation.BPSK, 2)
+		p.Anneal = params
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+				t.Errorf("dispatch: %v", err)
+			}
+		}()
+	}
+
+	sized := func(na int, ta float64) *anneal.Params {
+		return &anneal.Params{AnnealTimeMicros: ta, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: na}
+	}
+	// Head occupies the gated worker; then two jobs sharing one schedule
+	// (different read budgets — compatible) and one with a longer anneal
+	// time (incompatible).
+	dispatch(910, sized(10, 1))
+	waitFor(t, "worker busy", func() bool { return s.Stats().Submitted == 1 && s.Stats().QueueDepth == 0 })
+	dispatch(911, sized(10, 1))
+	dispatch(912, sized(40, 1))
+	dispatch(913, sized(10, 2))
+	waitFor(t, "backlog queued", func() bool { return s.Stats().QueueDepth == 3 })
+
+	f.gate <- struct{}{} // head solo
+	f.gate <- struct{}{} // batch of the two compatible jobs
+	f.gate <- struct{}{} // incompatible job solo
+	wg.Wait()
+
+	f.mu.Lock()
+	batches := append([]int(nil), f.batches...)
+	f.mu.Unlock()
+	if len(batches) != 1 || batches[0] != 2 {
+		t.Fatalf("batched runs %v, want one run of 2", batches)
+	}
+}
+
+// Without a fallback, a deadline-driven planner denial must run the clamped
+// best-effort budget instead of the static configuration.
+func TestPlannerBestEffortWithoutFallback(t *testing.T) {
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeBackend{name: "qpu", est: 100}
+	s, err := New(Config{Pool: []backend.Backend{f}, Planner: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The table's QPSK nt=4 fit (p0=0.5, spread=0.1) needs 7 reads (14 µs)
+	// for 1e-3; a 10 µs deadline fits 5.
+	p, _ := testProblem(t, 930, modulation.QPSK, 4)
+	p.TargetBER = 1e-3
+	if _, err := s.Dispatch(context.Background(), p, 10*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	served := f.order[0]
+	f.mu.Unlock()
+	if served.Anneal == nil || served.Anneal.NumAnneals != 5 {
+		t.Fatalf("backend saw Anneal=%+v, want the clamped 5-read best effort", served.Anneal)
+	}
+	if st := s.Stats(); st.PlannerClassical != 0 || st.FallbackDispatches != 0 {
+		t.Fatalf("best-effort dispatch miscounted: %+v", st)
+	}
+}
+
+// The planner's fitted chain strength must reach the backend.
+func TestPlannerAppliesChainStrength(t *testing.T) {
+	pl, err := qos.NewPlanner(nil) // builtin: 16-QAM fitted at |J_F| = 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeBackend{name: "qpu", est: 100}
+	s, err := New(Config{Pool: []backend.Backend{f}, Planner: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, _ := testProblem(t, 931, modulation.QAM16, 2)
+	p.TargetBER = 0.05
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	served := f.order[0]
+	f.mu.Unlock()
+	if served.ChainJF != 12 {
+		t.Fatalf("backend saw ChainJF=%g, want the fitted 12", served.ChainJF)
 	}
 }

@@ -1,0 +1,241 @@
+// Command docgate is the repository's documentation CI gate. It fails when
+//
+//   - a markdown file contains a relative link to a file or anchor-less
+//     target that does not exist in the repository, or
+//   - an internal package lacks a package doc comment, or
+//   - an exported identifier in the fully-documented packages
+//     (internal/backend, internal/sched, internal/metrics, internal/qos)
+//     lacks a doc comment.
+//
+// Run it from the repository root:
+//
+//	go run ./tools/docgate
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// fullDocPackages are the directories where every exported identifier must
+// carry a doc comment (ISSUE 2's godoc gate).
+var fullDocPackages = []string{
+	"internal/backend",
+	"internal/sched",
+	"internal/metrics",
+	"internal/qos",
+}
+
+func main() {
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(".")...)
+	problems = append(problems, checkPackageDocs("internal")...)
+	for _, dir := range fullDocPackages {
+		problems = append(problems, checkExportedDocs(dir)...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docgate: "+p)
+		}
+		fmt.Fprintf(os.Stderr, "docgate: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docgate: ok")
+}
+
+// mdLink matches inline markdown links; the target is group 1.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that every relative link target in the
+// repository's markdown files resolves to an existing file or directory.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		base := info.Name()
+		if info.IsDir() {
+			if base == ".git" || base == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(base, ".md") {
+			return nil
+		}
+		// SNIPPETS.md and PAPERS.md are machine-generated retrieval digests
+		// whose links reference source material outside this repository.
+		if base == "SNIPPETS.md" || base == "PAPERS.md" {
+			return nil
+		}
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(content), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue // external or intra-document link
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, "markdown walk: "+err.Error())
+	}
+	return problems
+}
+
+// checkPackageDocs verifies every package under root carries a package doc
+// comment in at least one non-test file.
+func checkPackageDocs(root string) []string {
+	var problems []string
+	dirs := map[string]bool{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{"package walk: " + err.Error()}
+	}
+	for dir := range dirs {
+		pkgs, err := parseDir(dir)
+		if err != nil {
+			problems = append(problems, dir+": "+err.Error())
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problems = append(problems,
+					fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+			}
+		}
+	}
+	return problems
+}
+
+// checkExportedDocs verifies every exported top-level identifier (types,
+// funcs, methods on exported types, consts, vars) in dir has a doc comment;
+// a group doc on a const/var/type block covers its specs.
+func checkExportedDocs(dir string) []string {
+	pkgs, err := parseDir(dir)
+	if err != nil {
+		return []string{dir + ": " + err.Error()}
+	}
+	var problems []string
+	flag := func(pos token.Position, what string) {
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: undocumented exported %s", pos.Filename, pos.Line, what))
+	}
+	for _, pkg := range pkgs {
+		fset := pkg.fset
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !exportedFunc(d) {
+						continue
+					}
+					if d.Doc == nil {
+						flag(fset.Position(d.Pos()), "function "+d.Name.Name)
+					}
+				case *ast.GenDecl:
+					groupDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+								flag(fset.Position(s.Pos()), "type "+s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if groupDoc || s.Doc != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									flag(fset.Position(s.Pos()), "value "+n.Name)
+									break
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedFunc reports whether d is an exported function, or an exported
+// method on an exported receiver type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.IsExported()
+	}
+	return true
+}
+
+// parsedPkg pairs a parsed package with its file set for positions.
+type parsedPkg struct {
+	*ast.Package
+	fset *token.FileSet
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(dir string) (map[string]*parsedPkg, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*parsedPkg, len(pkgs))
+	for name, pkg := range pkgs {
+		out[name] = &parsedPkg{Package: pkg, fset: fset}
+	}
+	return out, nil
+}
