@@ -504,6 +504,80 @@ func BenchmarkSchedulerPlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkCoherenceWindow measures the compile/execute split's serving
+// value: decoding W-symbol coherence windows (one channel H, W received
+// vectors) with the channel compiled ONCE per window versus recompiled per
+// symbol. W = 1 prices the split's overhead, W = 14 is one LTE slot's OFDM
+// symbols, W = 140 a 10 ms frame. The paper's headline 48-user BPSK problem
+// with a single-read budget (Na = 1, no pause) isolates the per-symbol
+// classical overhead the split removes — reduction Gram, coupler embedding,
+// adjacency preparation — from the (unchanged) anneal time. Windows
+// alternate between two channels against a one-entry channel cache, so every
+// compiled window pays its full compile: the measured gain is pure
+// amortization, not cache warmth. symbols/s is the acceptance metric
+// (compiled ≥ 3× recompile at W = 14, recorded in BENCH_PR3.json by
+// tools/benchjson).
+func BenchmarkCoherenceWindow(b *testing.B) {
+	const nt = 48
+	mod := modulation.BPSK
+	params := anneal.Params{AnnealTimeMicros: 1, NumAnneals: 1}
+	chans := make([]*linalg.Mat, 2)
+	ys := make([][][]complex128, 2)
+	const maxW = 140
+	src := rng.New(9)
+	for c := range chans {
+		chans[c] = channel.RandomPhase{}.Generate(src, nt, nt)
+		ys[c] = make([][]complex128, maxW)
+		for w := range ys[c] {
+			bits := src.Bits(nt * mod.BitsPerSymbol())
+			ys[c][w] = channel.AddAWGN(src, linalg.MulVec(chans[c], mod.MapGrayVector(bits)), 0.05)
+		}
+	}
+	for _, w := range []int{1, 14, 140} {
+		for _, compiled := range []bool{false, true} {
+			mode := "recompile"
+			if compiled {
+				mode = "compiled"
+			}
+			b.Run(fmt.Sprintf("W=%d/mode=%s", w, mode), func(b *testing.B) {
+				dec, err := quamax.NewDecoder(quamax.Options{Params: params, ChannelCache: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := rng.New(17)
+				// Warm the (size-keyed, both-mode) embedding caches so the
+				// one-time placement search stays out of the timing.
+				if _, err := dec.Decode(mod, chans[0], ys[0][0], src); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c := i % 2
+					if compiled {
+						cc, err := dec.Compile(mod, chans[c])
+						if err != nil {
+							b.Fatal(err)
+						}
+						for s := 0; s < w; s++ {
+							if _, err := dec.DecodeCompiled(cc, ys[c][s], src); err != nil {
+								b.Fatal(err)
+							}
+						}
+					} else {
+						for s := 0; s < w; s++ {
+							if _, err := dec.Decode(mod, chans[c], ys[c][s], src); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(w*b.N)/b.Elapsed().Seconds(), "symbols/s")
+			})
+		}
+	}
+}
+
 // BenchmarkViterbi measures the FEC decoder at a 1,500-byte frame.
 func BenchmarkViterbi(b *testing.B) {
 	c := coding.NewWiFiCode()

@@ -16,9 +16,13 @@
 //	quamax-serve -calibrate -tts-table tts.json
 //
 // which measures the simulator across the serving grid, writes the fit, and
-// exits; without a table the built-in coefficients apply. On SIGINT/SIGTERM
-// the server stops accepting connections, drains queued work, and prints the
-// pool and planner statistics.
+// exits; without a table the built-in coefficients apply. -channel-cache
+// sizes each QPU's compiled-channel LRU: protocol-v4 APs register an
+// estimated channel once per coherence window (fronthaul RegisterChannel)
+// and decode its symbols by handle, so the pool compiles H once and only
+// rewrites annealer biases per symbol. On SIGINT/SIGTERM the server stops
+// accepting connections, drains queued work, and prints the pool and planner
+// statistics.
 package main
 
 import (
@@ -42,21 +46,22 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9370", "TCP listen address")
-		pool     = flag.Int("pool", 1, "number of simulated QPU workers in the pool")
-		backends = flag.String("backends", "sa", "comma-separated classical backends to add (sa, sphere); first doubles as the deadline fallback; empty disables")
-		deadline = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
-		batch    = flag.Bool("batch", true, "batch compatible requests into shared embedding slots")
-		anneals  = flag.Int("anneals", 100, "anneals per decode (Na)")
-		jf       = flag.Float64("jf", 4, "ferromagnetic chain strength |J_F|")
-		ta       = flag.Float64("ta", 1, "anneal time Ta (µs)")
-		tp       = flag.Float64("tp", 1, "pause time Tp (µs, 0 disables)")
-		sp       = flag.Float64("sp", 0.35, "pause position sp")
-		improved = flag.Bool("improved-range", true, "use the improved coupler dynamic range")
-		amortize = flag.Bool("amortize", true, "amortize compute time over parallel embedding slots")
-		seed     = flag.Int64("seed", 1, "solver random seed")
-		saSweeps = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
-		saResets = flag.Int("sa-restarts", 100, "classical SA restarts")
+		listen    = flag.String("listen", "127.0.0.1:9370", "TCP listen address")
+		pool      = flag.Int("pool", 1, "number of simulated QPU workers in the pool")
+		backends  = flag.String("backends", "sa", "comma-separated classical backends to add (sa, sphere); first doubles as the deadline fallback; empty disables")
+		deadline  = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		batch     = flag.Bool("batch", true, "batch compatible requests into shared embedding slots")
+		anneals   = flag.Int("anneals", 100, "anneals per decode (Na)")
+		jf        = flag.Float64("jf", 4, "ferromagnetic chain strength |J_F|")
+		ta        = flag.Float64("ta", 1, "anneal time Ta (µs)")
+		tp        = flag.Float64("tp", 1, "pause time Tp (µs, 0 disables)")
+		sp        = flag.Float64("sp", 0.35, "pause position sp")
+		improved  = flag.Bool("improved-range", true, "use the improved coupler dynamic range")
+		amortize  = flag.Bool("amortize", true, "amortize compute time over parallel embedding slots")
+		chanCache = flag.Int("channel-cache", 0, "compiled-channel LRU entries per QPU (coherence windows pinned; 0 = default)")
+		seed      = flag.Int64("seed", 1, "solver random seed")
+		saSweeps  = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
+		saResets  = flag.Int("sa-restarts", 100, "classical SA restarts")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -101,6 +106,7 @@ func main() {
 			NumAnneals:       *anneals,
 		},
 		AmortizeParallel: *amortize,
+		ChannelCache:     *chanCache,
 	}
 
 	if *pool < 1 {

@@ -143,13 +143,26 @@ type Sample struct {
 // params, returning every sample. improvedRange selects the coupler range
 // used for the rescale step. The run is deterministic given src.
 func (m *Machine) Run(prog *qubo.Sparse, params Params, improvedRange bool, src *rng.Source) ([]Sample, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
 	if prog.N == 0 {
 		return nil, errors.New("anneal: empty program")
 	}
-	prepared := m.prepare(prog, improvedRange)
+	return m.RunPrepared(m.PrepareProgram(prog, improvedRange), prog.H, params, src)
+}
+
+// RunPrepared is the prepared-program entry point: it executes one QA job of
+// a coupling program prepared once with PrepareProgram, under fresh linear
+// fields h. Receivers decoding a coherence window reprogram only the per-spin
+// biases between symbols — the device's couplers stay programmed — so the
+// adjacency build and coupler range scan of PrepareProgram are not redone per
+// symbol. Results are bit-identical to Run on the equivalent full program.
+func (m *Machine) RunPrepared(pp *PreparedProgram, h []float64, params Params, src *rng.Source) ([]Sample, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(h) != pp.n {
+		return nil, fmt.Errorf("anneal: %d fields for a %d-qubit prepared program", len(h), pp.n)
+	}
+	prepared := m.rescale(pp, h)
 
 	workers := m.Workers
 	if workers <= 0 {
@@ -186,17 +199,32 @@ type prepared struct {
 	scale  float64           // the auto-scale divisor that was applied
 }
 
-// prepare applies the hardware auto-scaling (programs must fit the analog
-// range; out-of-range programs are scaled down globally, which is the
-// mechanism that erases problem information at large |J_F|) and builds the
-// adjacency structure.
-func (m *Machine) prepare(prog *qubo.Sparse, improvedRange bool) *prepared {
+// PreparedProgram is the field-independent half of a programmed machine: the
+// coupler list, its CSR adjacency, and the coupler contribution to the
+// analog-range auto-scale. Build it once per compiled channel with
+// PrepareProgram; run it with fresh per-symbol fields via RunPrepared. A
+// PreparedProgram is immutable and safe for concurrent RunPrepared calls.
+type PreparedProgram struct {
+	n         int
+	improved  bool
+	edges     []qubo.SparseEdge // raw (unscaled) weights
+	adjIdx    [][]int32         // per spin: indices into edges
+	adjNbr    [][]int32         // per spin: the other endpoint
+	edgeScale float64           // max over edges of |W|/limit (≥ 0)
+}
+
+// N returns the physical qubit count the program was prepared for.
+func (pp *PreparedProgram) N() int { return pp.n }
+
+// PrepareProgram performs the field-independent half of programming the
+// device: it scans the couplers against the analog range and builds the CSR
+// adjacency. Only prog.N and prog.Edges are read; fields arrive per run.
+func (m *Machine) PrepareProgram(prog *qubo.Sparse, improvedRange bool) *PreparedProgram {
 	r := Range(improvedRange)
-	scale := 1.0
-	for _, h := range prog.H {
-		if s := math.Abs(h) / r.HMax; s > scale {
-			scale = s
-		}
+	pp := &PreparedProgram{
+		n:        prog.N,
+		improved: improvedRange,
+		edges:    prog.Edges,
 	}
 	for _, e := range prog.Edges {
 		var s float64
@@ -205,44 +233,68 @@ func (m *Machine) prepare(prog *qubo.Sparse, improvedRange bool) *prepared {
 		} else {
 			s = -e.W / r.JNegMax
 		}
-		if s > scale {
-			scale = s
+		if s > pp.edgeScale {
+			pp.edgeScale = s
 		}
 	}
-	p := &prepared{
-		n:     prog.N,
-		h:     make([]float64, prog.N),
-		edges: make([]qubo.SparseEdge, len(prog.Edges)),
-		scale: scale,
-	}
-	for i, h := range prog.H {
-		p.h[i] = h / scale
-	}
 	deg := make([]int, prog.N)
-	for i, e := range prog.Edges {
-		p.edges[i] = qubo.SparseEdge{I: e.I, J: e.J, W: e.W / scale}
+	for _, e := range prog.Edges {
 		deg[e.I]++
 		deg[e.J]++
 	}
-	p.adjIdx = make([][]int32, prog.N)
-	p.adjNbr = make([][]int32, prog.N)
-	for i := range p.adjIdx {
-		p.adjIdx[i] = make([]int32, 0, deg[i])
-		p.adjNbr[i] = make([]int32, 0, deg[i])
+	pp.adjIdx = make([][]int32, prog.N)
+	pp.adjNbr = make([][]int32, prog.N)
+	for i := range pp.adjIdx {
+		pp.adjIdx[i] = make([]int32, 0, deg[i])
+		pp.adjNbr[i] = make([]int32, 0, deg[i])
 	}
-	for idx, e := range p.edges {
-		p.adjIdx[e.I] = append(p.adjIdx[e.I], int32(idx))
-		p.adjNbr[e.I] = append(p.adjNbr[e.I], int32(e.J))
-		p.adjIdx[e.J] = append(p.adjIdx[e.J], int32(idx))
-		p.adjNbr[e.J] = append(p.adjNbr[e.J], int32(e.I))
+	for idx, e := range prog.Edges {
+		pp.adjIdx[e.I] = append(pp.adjIdx[e.I], int32(idx))
+		pp.adjNbr[e.I] = append(pp.adjNbr[e.I], int32(e.J))
+		pp.adjIdx[e.J] = append(pp.adjIdx[e.J], int32(idx))
+		pp.adjNbr[e.J] = append(pp.adjNbr[e.J], int32(e.I))
+	}
+	return pp
+}
+
+// rescale applies the hardware auto-scaling for one run (programs must fit
+// the analog range; out-of-range programs are scaled down globally, which is
+// the mechanism that erases problem information at large |J_F|). The coupler
+// half of the scan was folded into pp.edgeScale at prepare time; only the
+// fields are scanned here. The resulting divisor — max(1, fields, couplers)
+// — is exactly what a one-shot prepare over the full program computes.
+func (m *Machine) rescale(pp *PreparedProgram, h []float64) *prepared {
+	r := Range(pp.improved)
+	scale := 1.0
+	for _, v := range h {
+		if s := math.Abs(v) / r.HMax; s > scale {
+			scale = s
+		}
+	}
+	if pp.edgeScale > scale {
+		scale = pp.edgeScale
+	}
+	p := &prepared{
+		n:      pp.n,
+		h:      make([]float64, pp.n),
+		edges:  make([]qubo.SparseEdge, len(pp.edges)),
+		adjIdx: pp.adjIdx,
+		adjNbr: pp.adjNbr,
+		scale:  scale,
+	}
+	for i, v := range h {
+		p.h[i] = v / scale
+	}
+	for i, e := range pp.edges {
+		p.edges[i] = qubo.SparseEdge{I: e.I, J: e.J, W: e.W / scale}
 	}
 	return p
 }
 
-// Scale exposes the auto-scale divisor prepare would apply — used by tests
+// Scale exposes the auto-scale divisor a run would apply — used by tests
 // and the J_F microbenchmarks.
 func (m *Machine) Scale(prog *qubo.Sparse, improvedRange bool) float64 {
-	return m.prepare(prog, improvedRange).scale
+	return m.rescale(m.PrepareProgram(prog, improvedRange), prog.H).scale
 }
 
 // annealState holds per-worker scratch buffers.

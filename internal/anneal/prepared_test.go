@@ -1,0 +1,91 @@
+package anneal
+
+import (
+	"reflect"
+	"testing"
+
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// randSparse builds a random physical program on a ring plus chords.
+func randSparse(src *rng.Source, n int) *qubo.Sparse {
+	s := qubo.NewSparse(n)
+	for i := range s.H {
+		s.H[i] = src.Gauss(0, 1.5)
+	}
+	for i := 0; i < n; i++ {
+		s.AddEdge(i, (i+1)%n, src.Gauss(0, 1))
+	}
+	for k := 0; k < n/2; k++ {
+		i := src.Intn(n - 2)
+		s.AddEdge(i, i+2, src.Gauss(0, 2))
+	}
+	return s
+}
+
+// RunPrepared on a prepared coupling program with fresh fields must be
+// bit-identical to Run on the equivalent full program — the contract that
+// lets the compiled decode path skip per-symbol preparation.
+func TestRunPreparedMatchesRun(t *testing.T) {
+	src := rng.New(21)
+	params := Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 12}
+	for _, improved := range []bool{false, true} {
+		prog := randSparse(src, 24)
+		m := NewMachine()
+		pp := m.PrepareProgram(prog, improved)
+		if pp.N() != prog.N {
+			t.Fatalf("prepared N = %d, want %d", pp.N(), prog.N)
+		}
+		// Several symbols: fresh fields per run over one prepared program.
+		for sym := 0; sym < 3; sym++ {
+			h := make([]float64, prog.N)
+			for i := range h {
+				h[i] = src.Gauss(0, 2+float64(sym)) // sym 2 exceeds HMax: scale kicks in
+			}
+			full := qubo.NewSparse(prog.N)
+			copy(full.H, h)
+			full.Edges = prog.Edges
+			seed := int64(300 + sym)
+			want, err := m.Run(full, params, improved, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.RunPrepared(pp, h, params, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("improved=%t sym=%d: RunPrepared samples diverge from Run", improved, sym)
+			}
+		}
+	}
+}
+
+// The per-run rescale must reproduce the one-shot Scale exactly, whichever
+// of fields or couplers dominates.
+func TestRescaleMatchesScale(t *testing.T) {
+	src := rng.New(22)
+	m := NewMachine()
+	for trial := 0; trial < 10; trial++ {
+		prog := randSparse(src, 12)
+		for _, improved := range []bool{false, true} {
+			pp := m.PrepareProgram(prog, improved)
+			if got, want := m.rescale(pp, prog.H).scale, m.Scale(prog, improved); got != want {
+				t.Fatalf("trial %d improved=%t: rescale %g, Scale %g", trial, improved, got, want)
+			}
+		}
+	}
+}
+
+// A field vector of the wrong length must be rejected.
+func TestRunPreparedLengthMismatch(t *testing.T) {
+	src := rng.New(23)
+	m := NewMachine()
+	prog := randSparse(src, 8)
+	pp := m.PrepareProgram(prog, true)
+	params := DefaultParams()
+	if _, err := m.RunPrepared(pp, make([]float64, 7), params, rng.New(1)); err == nil {
+		t.Fatal("short field vector accepted")
+	}
+}

@@ -35,7 +35,7 @@ func (m *Machine) RunReverse(prog *qubo.Sparse, params Params, improvedRange boo
 	if len(initial) != prog.N {
 		return nil, errors.New("anneal: initial state length mismatch")
 	}
-	prepared := m.prepare(prog, improvedRange)
+	prepared := m.rescale(m.PrepareProgram(prog, improvedRange), prog.H)
 
 	workers := m.Workers
 	if workers <= 0 {

@@ -6,6 +6,7 @@ import (
 
 	"quamax/internal/anneal"
 	"quamax/internal/core"
+	"quamax/internal/metrics"
 	"quamax/internal/rng"
 )
 
@@ -66,6 +67,13 @@ func (a *Annealer) EstimateMicros(p *Problem) float64 {
 // ChainJF and Reverse overrides. A reverse decode that cannot compute its
 // linear seed (ill-conditioned channel, core.ErrNoSeed) falls back to a
 // forward anneal; any other error is a real failure and surfaces.
+//
+// Problems tagged with a ChannelKey (coherence-window symbols) decode
+// through the decoder's compiled-channel cache: the channel's couplings,
+// embedding and prepared physical program are compiled on the first symbol
+// and only the biases are rewritten for the rest of the window. The result
+// is bit-identical to the recompiling path. Reverse decodes always take the
+// recompiling path (their seeded physical init is per-symbol anyway).
 func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -73,12 +81,19 @@ func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Res
 	params := a.params(p)
 	var out *core.Outcome
 	var err error
-	if p.Reverse {
+	switch {
+	case p.Reverse:
 		out, err = a.dec.DecodeReverseWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
 		if errors.Is(err, core.ErrNoSeed) {
 			out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
 		}
-	} else {
+	case p.ChannelKey != 0:
+		var cc *core.CompiledChannel
+		cc, err = a.dec.Compile(p.Mod, p.H)
+		if err == nil {
+			out, err = a.dec.DecodeCompiledWithParams(cc, p.Y, params, p.ChainJF, src)
+		}
+	default:
 		out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
 	}
 	if err != nil {
@@ -99,22 +114,48 @@ func (a *Annealer) BatchSlots(p *Problem) int {
 // SolveBatch decodes all ps in one shared annealer run. The run's schedule
 // comes from the batch's (Batchable-compatible) anneal overrides, with the
 // read budget the max over the batch — extra reads only improve the
-// co-scheduled problems.
+// co-scheduled problems. When any problem carries a ChannelKey, the batch
+// runs through the compiled-channel shared path: each slot's couplers come
+// from its channel's cached template and only the biases are programmed
+// fresh — the common case when the scheduler's coherence-aware gather packs
+// one window's symbols into one run. Unkeyed stragglers riding such a batch
+// are compiled too (Compile needs no key) rather than dragging the whole
+// run back to per-slot recompilation; an all-unkeyed batch stays on the
+// recompiling path so one-shot channels don't churn the cache.
 func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	params := a.params(ps[0])
-	for _, p := range ps[1:] {
+	compiled := false
+	for _, p := range ps {
 		if q := a.params(p); q.NumAnneals > params.NumAnneals {
 			params.NumAnneals = q.NumAnneals
 		}
+		if p.ChannelKey != 0 {
+			compiled = true
+		}
 	}
-	items := make([]core.BatchItem, len(ps))
-	for i, p := range ps {
-		items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y}
+
+	var outs []*core.Outcome
+	var err error
+	if compiled {
+		items := make([]core.CompiledBatchItem, len(ps))
+		for i, p := range ps {
+			cc, cerr := a.dec.Compile(p.Mod, p.H)
+			if cerr != nil {
+				return nil, cerr
+			}
+			items[i] = core.CompiledBatchItem{CC: cc, Y: p.Y}
+		}
+		outs, err = a.dec.DecodeCompiledSharedRunWithParams(items, params, ps[0].ChainJF, src)
+	} else {
+		items := make([]core.BatchItem, len(ps))
+		for i, p := range ps {
+			items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y}
+		}
+		outs, err = a.dec.DecodeSharedRunWithParams(items, params, ps[0].ChainJF, src)
 	}
-	outs, err := a.dec.DecodeSharedRunWithParams(items, params, ps[0].ChainJF, src)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +164,12 @@ func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Sourc
 		results[i] = a.result(out, params, len(ps))
 	}
 	return results, nil
+}
+
+// ChannelCacheStats exposes the wrapped decoder's compiled-channel cache
+// counters for pool observability.
+func (a *Annealer) ChannelCacheStats() metrics.ChannelCacheStats {
+	return a.dec.ChannelCacheStats()
 }
 
 // result converts a decoder outcome, applying the Na·(Ta+Tp)/Pf compute-time

@@ -13,6 +13,7 @@ import (
 	"context"
 
 	"quamax/internal/anneal"
+	"quamax/internal/core"
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
 	"quamax/internal/rng"
@@ -45,6 +46,15 @@ type Problem struct {
 	// reads). Annealer backends fall back to a forward anneal when the seed
 	// cannot be computed; classical backends ignore it.
 	Reverse bool
+	// ChannelKey, when nonzero, tags this problem as part of a channel-
+	// coherence window: all problems carrying the same key observe the same
+	// (Mod, H) and differ only in Y. The scheduler uses it to gather
+	// same-window symbols onto an already-programmed backend, and annealer
+	// backends decode keyed problems through their compiled-channel cache
+	// (compile H once, rewrite biases per symbol). Equal keys must mean
+	// identical channels; core.FingerprintChannel is the canonical producer.
+	// Classical backends ignore it.
+	ChannelKey core.ChannelKey
 }
 
 // Users returns the transmitter count Nt.

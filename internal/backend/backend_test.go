@@ -176,3 +176,76 @@ func TestSolveHonorsCanceledContext(t *testing.T) {
 		t.Fatal("canceled context accepted")
 	}
 }
+
+// A ChannelKey-tagged problem must route through the compiled-channel path,
+// produce a result bit-identical to the recompiling path, and register cache
+// traffic; repeated symbols of the window must hit.
+func TestAnnealerSolveCompiledChannel(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInstance(t, 77, modulation.QPSK, 4)
+	plain := problemOf(in)
+	keyed := problemOf(in)
+	keyed.ChannelKey = core.FingerprintChannel(in.Mod, in.H)
+
+	want, err := a.Solve(context.Background(), plain, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Solve(context.Background(), keyed, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bits) != string(want.Bits) || got.Energy != want.Energy {
+		t.Fatalf("compiled solve diverged: %+v vs %+v", got, want)
+	}
+	if st := a.ChannelCacheStats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("cache stats after first window symbol: %+v", st)
+	}
+	// Second symbol of the same window: cache hit.
+	if _, err := a.Solve(context.Background(), keyed, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.ChannelCacheStats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("cache stats after second window symbol: %+v", st)
+	}
+}
+
+// A batch of keyed problems must ride the compiled shared run and match the
+// unkeyed batch exactly.
+func TestAnnealerBatchCompiledChannel(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []*mimo.Instance{
+		testInstance(t, 81, modulation.QPSK, 2),
+		testInstance(t, 82, modulation.QPSK, 2),
+	}
+	if slots := a.BatchSlots(problemOf(ins[0])); slots < 2 {
+		t.Skipf("only %d slots", slots)
+	}
+	plain := []*Problem{problemOf(ins[0]), problemOf(ins[1])}
+	keyed := []*Problem{problemOf(ins[0]), problemOf(ins[1])}
+	for i, p := range keyed {
+		p.ChannelKey = core.FingerprintChannel(ins[i].Mod, ins[i].H)
+	}
+	want, err := a.SolveBatch(context.Background(), plain, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.SolveBatch(context.Background(), keyed, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if string(got[i].Bits) != string(want[i].Bits) || got[i].Energy != want[i].Energy {
+			t.Fatalf("batched compiled solve %d diverged", i)
+		}
+		if errs := ins[i].BitErrors(got[i].Bits); errs != 0 {
+			t.Fatalf("batched compiled solve %d: %d bit errors", i, errs)
+		}
+	}
+}

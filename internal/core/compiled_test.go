@@ -1,0 +1,246 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/linalg"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func compiledTestDecoder(t *testing.T, cache int) *Decoder {
+	t.Helper()
+	d, err := New(Options{
+		Graph:        chimera.New(6),
+		Params:       anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 25},
+		ChannelCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func compiledInstance(t *testing.T, seed int64, mod modulation.Modulation, nt int, snr float64) *mimo.Instance {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: snr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// outcomesIdentical requires two decode outcomes to agree exactly — bits,
+// symbols, energies, chain diagnostics — the acceptance bar for the
+// compiled path ("bit-identical to Decode on the same (H, y, seed)").
+func outcomesIdentical(t *testing.T, label string, got, want *Outcome) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Bits, want.Bits) {
+		t.Fatalf("%s: bits %v, want %v", label, got.Bits, want.Bits)
+	}
+	if !reflect.DeepEqual(got.Symbols, want.Symbols) {
+		t.Fatalf("%s: symbols %v, want %v", label, got.Symbols, want.Symbols)
+	}
+	if got.Energy != want.Energy {
+		t.Fatalf("%s: energy %v, want %v (not bit-identical)", label, got.Energy, want.Energy)
+	}
+	if got.BrokenChains != want.BrokenChains {
+		t.Fatalf("%s: broken chains %d, want %d", label, got.BrokenChains, want.BrokenChains)
+	}
+	if got.Pf != want.Pf {
+		t.Fatalf("%s: Pf %v, want %v", label, got.Pf, want.Pf)
+	}
+}
+
+// Acceptance: DecodeCompiled must be bit-identical to Decode on the same
+// (H, y, seed) — same random stream, same samples, same decision — for every
+// modulation, across several symbols of one coherence window.
+func TestDecodeCompiledBitIdentical(t *testing.T) {
+	cases := []struct {
+		mod modulation.Modulation
+		nt  int
+	}{
+		{modulation.BPSK, 4},
+		{modulation.QPSK, 3},
+		{modulation.QAM16, 2},
+	}
+	for _, c := range cases {
+		d := compiledTestDecoder(t, 0)
+		in := compiledInstance(t, 910, c.mod, c.nt, 22)
+		cc, err := d.Compile(c.mod, in.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh y per symbol through the SAME channel; identically-seeded
+		// sources guarantee both paths consume identical random streams.
+		ysrc := rng.New(6)
+		for sym := 0; sym < 3; sym++ {
+			bits := ysrc.Bits(c.nt * c.mod.BitsPerSymbol())
+			y := channel.AddAWGN(ysrc, linalg.MulVec(in.H, c.mod.MapGrayVector(bits)), 0.1)
+			want, err := d.Decode(c.mod, in.H, y, rng.New(int64(100+sym)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.DecodeCompiled(cc, y, rng.New(int64(100+sym)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomesIdentical(t, c.mod.String(), got, want)
+		}
+	}
+}
+
+// DecodeCompiledWithParams must honor per-call budgets and chain strengths
+// exactly like DecodeWithParams.
+func TestDecodeCompiledWithParamsBitIdentical(t *testing.T) {
+	d := compiledTestDecoder(t, 0)
+	in := compiledInstance(t, 911, modulation.QPSK, 4, 25)
+	cc, err := d.Compile(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := anneal.Params{AnnealTimeMicros: 2, PauseTimeMicros: 1, PausePosition: 0.4, NumAnneals: 9}
+	want, err := d.DecodeWithParams(in.Mod, in.H, in.Y, params, 7, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.DecodeCompiledWithParams(cc, in.Y, params, 7, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomesIdentical(t, "with-params", got, want)
+}
+
+// DecodeCompiledSharedRun must match DecodeSharedRun exactly on the same
+// batch and random stream, mixing symbols from different channels.
+func TestDecodeCompiledSharedRunBitIdentical(t *testing.T) {
+	d := compiledTestDecoder(t, 0)
+	ins := []*mimo.Instance{
+		compiledInstance(t, 920, modulation.QPSK, 2, 20),
+		compiledInstance(t, 921, modulation.QPSK, 2, 20),
+		compiledInstance(t, 922, modulation.BPSK, 4, 20), // same N=4, different mod
+	}
+	slots, err := d.BatchSlots(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots < len(ins) {
+		t.Skipf("only %d slots on this graph", slots)
+	}
+	legacy := make([]BatchItem, len(ins))
+	compiled := make([]CompiledBatchItem, len(ins))
+	for i, in := range ins {
+		legacy[i] = BatchItem{Mod: in.Mod, H: in.H, Y: in.Y}
+		cc, err := d.Compile(in.Mod, in.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled[i] = CompiledBatchItem{CC: cc, Y: in.Y}
+	}
+	want, err := d.DecodeSharedRun(legacy, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.DecodeCompiledSharedRun(compiled, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		outcomesIdentical(t, ins[i].Mod.String(), got[i], want[i])
+		if errs := ins[i].BitErrors(got[i].Bits); errs != 0 {
+			t.Errorf("item %d: %d bit errors at 20 dB", i, errs)
+		}
+	}
+}
+
+// The compiled-channel LRU must hit on the fingerprint, miss on new
+// channels, and evict least-recently-used entries at capacity — with the
+// counters reporting exactly that.
+func TestChannelCacheLRU(t *testing.T) {
+	d := compiledTestDecoder(t, 2)
+	ins := []*mimo.Instance{
+		compiledInstance(t, 930, modulation.QPSK, 2, 20),
+		compiledInstance(t, 931, modulation.QPSK, 2, 20),
+		compiledInstance(t, 932, modulation.QPSK, 2, 20),
+	}
+	cc0, err := d.Compile(ins[0].Mod, ins[0].H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := d.Compile(ins[0].Mod, ins[0].H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cc0 {
+		t.Fatal("recompiling an identical channel returned a new artifact")
+	}
+	if _, err := d.Compile(ins[1].Mod, ins[1].H); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2: compiling a third channel evicts the LRU entry, which is
+	// ins[0]... unless its recent hit kept it warm. Touch ins[0], then add
+	// ins[2] to evict ins[1].
+	if _, err := d.Compile(ins[0].Mod, ins[0].H); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Compile(ins[2].Mod, ins[2].H); err != nil {
+		t.Fatal(err)
+	}
+	st := d.ChannelCacheStats()
+	if st.Misses != 3 || st.Hits != 2 || st.Evictions != 1 {
+		t.Fatalf("cache stats %+v, want 3 misses / 2 hits / 1 eviction", st)
+	}
+	// ins[1] was evicted: compiling it again must miss and displace the
+	// current LRU entry ins[0], whose next lookup then misses too.
+	if _, err := d.Compile(ins[1].Mod, ins[1].H); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Compile(ins[0].Mod, ins[0].H); err != nil {
+		t.Fatal(err)
+	}
+	st = d.ChannelCacheStats()
+	if st.Misses != 5 || st.Hits != 2 || st.Evictions != 3 {
+		t.Fatalf("cache stats after churn %+v, want 5 misses / 2 hits / 3 evictions", st)
+	}
+}
+
+// A compiled channel from one decoder must be rejected by another.
+func TestCompiledChannelDecoderOwnership(t *testing.T) {
+	d1 := compiledTestDecoder(t, 0)
+	d2 := compiledTestDecoder(t, 0)
+	in := compiledInstance(t, 940, modulation.BPSK, 2, 20)
+	cc, err := d1.Compile(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.DecodeCompiled(cc, in.Y, rng.New(1)); err == nil {
+		t.Fatal("foreign compiled channel accepted")
+	}
+}
+
+// Distinct channels must fingerprint differently, and the fingerprint must
+// separate modulations sharing one matrix.
+func TestFingerprintChannel(t *testing.T) {
+	src := rng.New(50)
+	h1 := channel.Rayleigh{}.Generate(src, 3, 2)
+	h2 := channel.Rayleigh{}.Generate(src, 3, 2)
+	if FingerprintChannel(modulation.QPSK, h1) == FingerprintChannel(modulation.QPSK, h2) {
+		t.Fatal("distinct channels collided")
+	}
+	if FingerprintChannel(modulation.QPSK, h1) == FingerprintChannel(modulation.QAM16, h1) {
+		t.Fatal("distinct modulations collided")
+	}
+	if FingerprintChannel(modulation.QPSK, h1) != FingerprintChannel(modulation.QPSK, h1.Clone()) {
+		t.Fatal("identical channels fingerprinted differently")
+	}
+	if FingerprintChannel(modulation.QPSK, h1) == 0 {
+		t.Fatal("fingerprint used the reserved zero key")
+	}
+}

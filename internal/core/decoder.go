@@ -12,6 +12,7 @@
 package core
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -46,7 +47,17 @@ type Options struct {
 	// AmortizeParallel enables the §4 parallelization accounting: TTB/TTF
 	// are divided by the geometric slot count Pf.
 	AmortizeParallel bool
+	// ChannelCache bounds the compiled-channel LRU cache in entries — one
+	// entry pins a channel's Ising couplings, clique embedding and prepared
+	// physical program for the coherence window (see CompiledChannel).
+	// 0 selects DefaultChannelCache; negative values are rejected.
+	ChannelCache int
 }
+
+// DefaultChannelCache is the compiled-channel LRU capacity when Options
+// leaves ChannelCache zero: comfortably more channels than the DW2Q holds
+// embedding slots, small enough that stale coherence windows age out.
+const DefaultChannelCache = 64
 
 // Decoder is a reusable QuAMax decoder. It is safe for concurrent use.
 type Decoder struct {
@@ -56,6 +67,13 @@ type Decoder struct {
 	embs  map[int]*embedding.Embedding   // by logical size N
 	packs map[int][]*embedding.Embedding // parallel slot packings by N
 	slots map[int]int                    // geometric Pf by N
+
+	// Compiled-channel LRU (see compiled.go).
+	cacheMu      sync.Mutex
+	cache        map[ChannelKey]*list.Element
+	lru          *list.List
+	hits, misses uint64
+	evictions    uint64
 }
 
 // New returns a Decoder, filling unset options with the paper's defaults.
@@ -79,11 +97,19 @@ func New(opts Options) (*Decoder, error) {
 	if err := opts.Params.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.ChannelCache == 0 {
+		opts.ChannelCache = DefaultChannelCache
+	}
+	if opts.ChannelCache < 0 {
+		return nil, errors.New("core: channel cache size must be positive")
+	}
 	return &Decoder{
 		opts:  opts,
 		embs:  make(map[int]*embedding.Embedding),
 		packs: make(map[int][]*embedding.Embedding),
 		slots: make(map[int]int),
+		cache: make(map[ChannelKey]*list.Element),
+		lru:   list.New(),
 	}, nil
 }
 
@@ -208,7 +234,15 @@ func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex
 	if err != nil {
 		return nil, err
 	}
+	return d.collect(mod, logical, emb, samples, truth, params, slots, src), nil
+}
 
+// collect post-processes one run's samples into an Outcome: majority-vote
+// unembedding, logical-energy scoring against the (possibly per-symbol)
+// logical program, minimum-energy selection, and post-translation. It is
+// shared by the recompiling and compiled-channel decode paths, which is what
+// makes the two bit-identical given the same random stream.
+func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *embedding.Embedding, samples []anneal.Sample, truth *mimo.Instance, params anneal.Params, slots int, src *rng.Source) *Outcome {
 	out := &Outcome{
 		Pf:                  1,
 		WallMicrosPerAnneal: params.AnnealWallMicros(),
@@ -226,7 +260,8 @@ func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex
 	bestE := 0.0
 	var bestBits []byte
 	for _, s := range samples {
-		energy, spins, broken := ep.UnembeddedEnergy(s.Spins, src)
+		spins, broken := emb.Unembed(s.Spins, src)
+		energy := logical.Energy(spins)
 		out.BrokenChains += broken
 		qbits := qubo.BitsFromSpins(spins)
 		if bestBits == nil || energy < bestE {
@@ -244,5 +279,5 @@ func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex
 	if acc != nil {
 		out.Distribution = acc.Distribution()
 	}
-	return out, nil
+	return out
 }

@@ -145,6 +145,23 @@ func embedTriangle(g *chimera.Graph, n, rowOff, colOff int, flipped bool) (*Embe
 	return e, nil
 }
 
+// DenseChainIndices returns, for every logical spin, the dense physical
+// indices (0..NumPhysical−1) of its chain qubits in path order — the
+// positions a compiled channel rewrites when reprogramming only the fields
+// of an already-programmed coupler template (Eq. 11 spreads f_i along the
+// chain; the couplers of Eqs. 10 and 12 are field-independent).
+func (e *Embedding) DenseChainIndices() [][]int32 {
+	out := make([][]int32, e.N)
+	for i, chain := range e.Chains {
+		idx := make([]int32, len(chain))
+		for k, q := range chain {
+			idx[k] = int32(e.physIndex[q])
+		}
+		out[i] = idx
+	}
+	return out
+}
+
 // couplerEdges returns the working physical edges joining chains i and j
 // (δ_ij of Eq. 12).
 func (e *Embedding) couplerEdges(i, j int) [][2]int {

@@ -20,15 +20,20 @@ type Client struct {
 
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *DecodeResponse
-	closed  error
+	mu         sync.Mutex
+	nextID     uint64
+	pending    map[uint64]chan *DecodeResponse
+	regPending map[uint64]chan *RegisterChannelResponse
+	closed     error
 }
 
 // NewClient wraps an established connection and starts the response reader.
 func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, pending: make(map[uint64]chan *DecodeResponse)}
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]chan *DecodeResponse),
+		regPending: make(map[uint64]chan *RegisterChannelResponse),
+	}
 	go c.readLoop()
 	return c
 }
@@ -53,25 +58,40 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("fronthaul: connection lost: %w", err))
 			return
 		}
-		if msgType != msgDecodeResponse {
+		switch msgType {
+		case msgDecodeResponse:
+			resp, err := decodeResponse(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch, ok := c.pending[resp.ID]
+			delete(c.pending, resp.ID)
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+			}
+		case msgRegisterResponse:
+			resp, err := decodeRegisterResponse(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch, ok := c.regPending[resp.ID]
+			delete(c.regPending, resp.ID)
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+			}
+		default:
 			// An unknown frame type means the peer speaks a different
 			// protocol generation; silently discarding it would strand the
 			// request it answered. Surface a version error and tear down.
 			c.fail(fmt.Errorf("fronthaul: protocol error: unknown frame type %d (this client speaks version %d)",
 				msgType, ProtocolVersion))
 			return
-		}
-		resp, err := decodeResponse(payload)
-		if err != nil {
-			c.fail(err)
-			return
-		}
-		c.mu.Lock()
-		ch, ok := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
-		if ok {
-			ch <- resp
 		}
 	}
 }
@@ -83,6 +103,10 @@ func (c *Client) fail(err error) {
 	c.closed = err
 	for id, ch := range c.pending {
 		delete(c.pending, id)
+		close(ch)
+	}
+	for id, ch := range c.regPending {
+		delete(c.regPending, id)
 		close(ch)
 	}
 }
@@ -108,9 +132,44 @@ func (c *Client) DecodeWithDeadline(mod modulation.Modulation, h *linalg.Mat, y 
 // and targetBER ≤ 0 each select the server default; targetBER ≥ 1 is a
 // local argument error (the wire protocol rejects it server-side too).
 func (c *Client) DecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration, targetBER float64) (*DecodeResponse, error) {
-	if targetBER >= 1 || math.IsNaN(targetBER) {
-		return nil, fmt.Errorf("fronthaul: target BER %g outside [0,1)", targetBER)
+	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	if err != nil {
+		return nil, err
 	}
+	return c.decodeRoundTrip(msgDecodeRequest, func(id uint64) ([]byte, error) {
+		return encodeRequest(&DecodeRequest{
+			ID: id, Mod: mod, H: h, Y: y,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+}
+
+// qosWire validates and clamps the per-request QoS contract shared by every
+// decode-class request: the deadline in wire microseconds (bounded by
+// MaxDeadlineMicros) and the target BER (negative reads as "no target";
+// ≥ 1 or NaN is an argument error).
+func qosWire(deadline time.Duration, targetBER float64) (deadlineMicros, target float64, err error) {
+	if targetBER >= 1 || math.IsNaN(targetBER) {
+		return 0, 0, fmt.Errorf("fronthaul: target BER %g outside [0,1)", targetBER)
+	}
+	if deadline > 0 {
+		deadlineMicros = float64(deadline) / float64(time.Microsecond)
+		if deadlineMicros > MaxDeadlineMicros {
+			deadlineMicros = MaxDeadlineMicros
+		}
+	}
+	if targetBER < 0 {
+		targetBER = 0
+	}
+	return deadlineMicros, targetBER, nil
+}
+
+// decodeRoundTrip runs one decode-class request's lifecycle: allocate an ID,
+// register the pending slot, encode (the callback receives the ID), frame
+// and send, then wait for the matched DecodeResponse. Both the
+// self-contained and the decode-by-channel paths go through here, so the
+// lifecycle cannot drift between them.
+func (c *Client) decodeRoundTrip(msgType uint8, encode func(id uint64) ([]byte, error)) (*DecodeResponse, error) {
 	c.mu.Lock()
 	if c.closed != nil {
 		c.mu.Unlock()
@@ -122,26 +181,13 @@ func (c *Client) DecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	var deadlineMicros float64
-	if deadline > 0 {
-		deadlineMicros = float64(deadline) / float64(time.Microsecond)
-		if deadlineMicros > MaxDeadlineMicros {
-			deadlineMicros = MaxDeadlineMicros
-		}
-	}
-	if targetBER < 0 {
-		targetBER = 0
-	}
-	payload, err := encodeRequest(&DecodeRequest{
-		ID: id, Mod: mod, H: h, Y: y,
-		DeadlineMicros: deadlineMicros, TargetBER: targetBER,
-	})
+	payload, err := encode(id)
 	if err != nil {
 		c.abandon(id)
 		return nil, err
 	}
 	c.writeMu.Lock()
-	err = writeFrame(c.conn, msgDecodeRequest, payload)
+	err = writeFrame(c.conn, msgType, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.abandon(id)
@@ -150,13 +196,7 @@ func (c *Client) DecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex
 
 	resp, ok := <-ch
 	if !ok {
-		c.mu.Lock()
-		err := c.closed
-		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("fronthaul: connection closed")
-		}
-		return nil, err
+		return nil, c.closedErr()
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("fronthaul: remote decode failed: %s", resp.Err)
@@ -169,4 +209,98 @@ func (c *Client) abandon(id uint64) {
 	c.mu.Lock()
 	delete(c.pending, id)
 	c.mu.Unlock()
+}
+
+// RemoteChannel is a channel registered with the data center for a coherence
+// window: decode received vectors against it with DecodeWithChannel. Handles
+// are connection-scoped and die with the client.
+type RemoteChannel struct {
+	c      *Client
+	handle uint64
+	mod    modulation.Modulation
+	rows   int
+}
+
+// Mod returns the modulation the channel was registered with.
+func (rc *RemoteChannel) Mod() modulation.Modulation { return rc.mod }
+
+// RegisterChannel ships one estimated channel to the data center (protocol
+// v4) and returns the handle to decode a coherence window's symbols against.
+// The server compiles the channel once — couplings, embedding, prepared
+// physical program — and every DecodeWithChannel call only rewrites the
+// y-dependent biases.
+func (c *Client) RegisterChannel(mod modulation.Modulation, h *linalg.Mat) (*RemoteChannel, error) {
+	c.mu.Lock()
+	if c.closed != nil {
+		c.mu.Unlock()
+		return nil, c.closed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *RegisterChannelResponse, 1)
+	c.regPending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := encodeRegisterChannel(&RegisterChannelRequest{ID: id, Mod: mod, H: h})
+	if err != nil {
+		c.abandonRegister(id)
+		return nil, err
+	}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, msgRegisterChannel, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandonRegister(id)
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return nil, c.closedErr()
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: channel registration failed: %s", resp.Err)
+	}
+	return &RemoteChannel{c: c, handle: resp.Handle, mod: mod, rows: h.Rows}, nil
+}
+
+// DecodeWithChannel decodes one received vector against a registered
+// channel, carrying the same per-request QoS contract as DecodeQoS
+// (deadline ≤ 0 and targetBER ≤ 0 select the server defaults). Symbols
+// decoded this way are tagged with the channel's fingerprint, so the data
+// center batches same-window symbols onto an already-programmed annealer.
+func (c *Client) DecodeWithChannel(rc *RemoteChannel, y []complex128, deadline time.Duration, targetBER float64) (*DecodeResponse, error) {
+	if rc == nil || rc.c != c {
+		return nil, errors.New("fronthaul: channel not registered on this client")
+	}
+	if len(y) != rc.rows {
+		return nil, fmt.Errorf("fronthaul: received vector has %d entries, channel has %d rows", len(y), rc.rows)
+	}
+	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeRoundTrip(msgDecodeByChannel, func(id uint64) ([]byte, error) {
+		return encodeDecodeByChannel(&DecodeByChannelRequest{
+			ID: id, Handle: rc.handle, Y: y,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+}
+
+// abandonRegister drops a pending registration slot after a local failure.
+func (c *Client) abandonRegister(id uint64) {
+	c.mu.Lock()
+	delete(c.regPending, id)
+	c.mu.Unlock()
+}
+
+// closedErr returns the connection's terminal error (or a generic one).
+func (c *Client) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed != nil {
+		return c.closed
+	}
+	return errors.New("fronthaul: connection closed")
 }

@@ -2,6 +2,7 @@ package fronthaul
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"net"
 	"strings"
@@ -491,5 +492,229 @@ func TestClientDecodeQoSThroughPlanner(t *testing.T) {
 	// Na = 100 device time of 200 µs.
 	if resp.ComputeMicros <= 0 || resp.ComputeMicros >= 200 {
 		t.Fatalf("ComputeMicros = %g, want a planner-sized budget below the static 200 µs", resp.ComputeMicros)
+	}
+}
+
+// The v4 register-channel and decode-by-channel codecs must round-trip
+// exactly and reject malformed payloads.
+func TestV4CodecRoundTrip(t *testing.T) {
+	src := rng.New(131)
+	h := channel.Rayleigh{}.Generate(src, 3, 2)
+
+	reg := &RegisterChannelRequest{ID: 5, Mod: modulation.QAM16, H: h}
+	payload, err := encodeRegisterChannel(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeRegisterChannel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 5 || back.Mod != modulation.QAM16 || back.H.Rows != 3 || back.H.Cols != 2 {
+		t.Fatalf("register round trip drifted: %+v", back)
+	}
+	for i := range h.Data {
+		if back.H.Data[i] != h.Data[i] {
+			t.Fatalf("H[%d] drifted", i)
+		}
+	}
+	if _, err := decodeRegisterChannel(payload[:len(payload)-3]); err == nil {
+		t.Fatal("truncated register payload accepted")
+	}
+
+	ack := &RegisterChannelResponse{ID: 5, Handle: 42}
+	rback, err := decodeRegisterResponse(encodeRegisterResponse(ack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rback.ID != 5 || rback.Handle != 42 || rback.Err != "" {
+		t.Fatalf("register response drifted: %+v", rback)
+	}
+
+	dec := &DecodeByChannelRequest{
+		ID: 6, Handle: 42, Y: []complex128{1 + 2i, -3i, 0.5},
+		DeadlineMicros: 2500, TargetBER: 1e-3,
+	}
+	dpayload, err := encodeDecodeByChannel(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dback, err := decodeDecodeByChannel(dpayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dback.ID != 6 || dback.Handle != 42 || len(dback.Y) != 3 ||
+		dback.DeadlineMicros != 2500 || dback.TargetBER != 1e-3 {
+		t.Fatalf("decode-by-channel round trip drifted: %+v", dback)
+	}
+	for i := range dec.Y {
+		if dback.Y[i] != dec.Y[i] {
+			t.Fatalf("Y[%d] drifted", i)
+		}
+	}
+	if _, err := decodeDecodeByChannel(dpayload[:len(dpayload)-1]); err == nil {
+		t.Fatal("truncated decode-by-channel payload accepted")
+	}
+	dec.TargetBER = 1.5
+	if bad, err := encodeDecodeByChannel(dec); err == nil {
+		if _, err := decodeDecodeByChannel(bad); err == nil {
+			t.Fatal("out-of-range target BER accepted")
+		}
+	}
+}
+
+// End to end over a pipe: register a channel once, decode a whole coherence
+// window of symbols by handle, and verify each decode — plus the v3-compat
+// path (self-contained Decode) on the same connection.
+func TestRegisterChannelDecodeWindow(t *testing.T) {
+	server := NewServer(testDecoder(t), 3)
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	src := rng.New(333)
+	in := testInstance(t, 321, modulation.QPSK, 4)
+	rc, err := client.RegisterChannel(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Mod() != in.Mod {
+		t.Fatalf("remote channel mod %v, want %v", rc.Mod(), in.Mod)
+	}
+	// One coherence window: several symbols through the registered channel.
+	for sym := 0; sym < 4; sym++ {
+		bits := src.Bits(4 * in.Mod.BitsPerSymbol())
+		y := linalg.MulVec(in.H, in.Mod.MapGrayVector(bits))
+		resp, err := client.DecodeWithChannel(rc, y, 0, 0)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", sym, err)
+		}
+		for i := range bits {
+			if resp.Bits[i] != bits[i] {
+				t.Fatalf("symbol %d: bit %d decoded wrong", sym, i)
+			}
+		}
+	}
+	// v3-style self-contained request still works on the same connection.
+	resp, err := client.Decode(in.Mod, in.H, in.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BitErrors(resp.Bits) != 0 {
+		t.Fatal("v3-compat decode failed")
+	}
+	// Wrong-shape y and unknown handles fail cleanly without killing the
+	// connection.
+	if _, err := client.DecodeWithChannel(rc, in.Y[:2], 0, 0); err == nil {
+		t.Fatal("short y accepted")
+	}
+	bogus := &RemoteChannel{c: client, handle: 9999, mod: in.Mod, rows: 4}
+	if _, err := client.DecodeWithChannel(bogus, in.Y, 0, 0); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+	if _, err := client.DecodeWithChannel(rc, in.Y, 0, 0); err != nil {
+		t.Fatalf("connection unusable after handle errors: %v", err)
+	}
+}
+
+// Channel-handle decodes must reach the dispatcher tagged with the channel
+// fingerprint so the scheduler can group coherence windows.
+func TestDecodeByChannelCarriesChannelKey(t *testing.T) {
+	var mu sync.Mutex
+	var got []*backend.Problem
+	disp := dispatcherFunc(func(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+		return &backend.Result{Bits: make([]byte, p.LogicalSpins()), Backend: "fake", Batched: 1}, nil
+	})
+	server := NewPoolServer(disp)
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 322, modulation.QPSK, 2)
+	rc, err := client.RegisterChannel(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.DecodeWithChannel(rc, in.Y, time.Millisecond, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Decode(in.Mod, in.H, in.Y); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("dispatcher saw %d problems, want 2", len(got))
+	}
+	wantKey := core.FingerprintChannel(in.Mod, in.H)
+	if got[0].ChannelKey != wantKey {
+		t.Fatalf("handle decode carried key %d, want %d", got[0].ChannelKey, wantKey)
+	}
+	if got[0].TargetBER != 1e-3 {
+		t.Fatalf("handle decode dropped target BER: %+v", got[0])
+	}
+	if got[1].ChannelKey != 0 {
+		t.Fatalf("self-contained decode carried key %d, want 0", got[1].ChannelKey)
+	}
+}
+
+// dispatcherFunc adapts a function to the Dispatcher interface.
+type dispatcherFunc func(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error)
+
+func (f dispatcherFunc) Dispatch(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+	return f(ctx, p, deadline)
+}
+
+// Header-declared shapes beyond what the payload holds must be rejected
+// BEFORE allocation — a 13-byte frame must not provoke a gigabyte matrix.
+func TestChannelShapeBoundedByPayload(t *testing.T) {
+	var b []byte
+	b = appendU64(b, 1)
+	b = append(b, byte(modulation.QPSK))
+	b = appendU16(b, 65535)
+	b = appendU16(b, 65535)
+	if _, err := decodeRegisterChannel(b); err == nil {
+		t.Fatal("oversized register-channel shape accepted")
+	}
+	if _, err := decodeRequest(b); err == nil {
+		t.Fatal("oversized decode-request shape accepted")
+	}
+}
+
+// A connection past MaxChannelsPerConn registrations must evict its oldest
+// handle (stale coherence window) while the newest keep decoding.
+func TestRegisterChannelEvictsOldest(t *testing.T) {
+	server := NewPoolServer(dispatcherFunc(func(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+		return &backend.Result{Bits: make([]byte, p.LogicalSpins()), Backend: "fake", Batched: 1}, nil
+	}))
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	src := rng.New(404)
+	first, err := client.RegisterChannel(modulation.BPSK, channel.Rayleigh{}.Generate(src, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *RemoteChannel
+	for i := 0; i < MaxChannelsPerConn; i++ {
+		last, err = client.RegisterChannel(modulation.BPSK, channel.Rayleigh{}.Generate(src, 2, 2))
+		if err != nil {
+			t.Fatalf("registration %d: %v", i, err)
+		}
+	}
+	y := []complex128{1, -1}
+	if _, err := client.DecodeWithChannel(first, y, 0, 0); err == nil {
+		t.Fatal("oldest handle survived past the per-connection cap")
+	}
+	if _, err := client.DecodeWithChannel(last, y, 0, 0); err != nil {
+		t.Fatalf("newest handle broken: %v", err)
 	}
 }

@@ -30,16 +30,24 @@ import (
 // per-request deadline and the responding-backend metadata for the pool
 // scheduler; version 3 appended the target BER so APs can express per-decode
 // QoS to the data center's anneal-budget planner (version-2 requests, which
-// lack the field, are still accepted and read as "no target"). Peers
-// speaking a newer version may emit frame types this implementation does not
-// know; the client surfaces those as protocol errors rather than discarding
-// them silently.
-const ProtocolVersion = 3
+// lack the field, are still accepted and read as "no target"). Version 4
+// added the channel-coherence frames: an AP registers an estimated channel
+// once per coherence window (register-channel) and then ships only received
+// vectors against the returned handle (decode-by-channel), letting the data
+// center compile the channel once and decode many symbols through it.
+// Version-3 decode requests (self-contained H + y) are still accepted
+// unchanged. Peers speaking a newer version may emit frame types this
+// implementation does not know; the client surfaces those as protocol errors
+// rather than discarding them silently.
+const ProtocolVersion = 4
 
 // Message types.
 const (
-	msgDecodeRequest  uint8 = 1
-	msgDecodeResponse uint8 = 2
+	msgDecodeRequest    uint8 = 1
+	msgDecodeResponse   uint8 = 2
+	msgRegisterChannel  uint8 = 3
+	msgRegisterResponse uint8 = 4
+	msgDecodeByChannel  uint8 = 5
 )
 
 // MaxFrameBytes bounds a frame payload; a 64×64 64-QAM request is ~130 KiB,
@@ -82,6 +90,38 @@ type DecodeResponse struct {
 	// Batched is the number of requests that shared the solver run
 	// (1 = solo; >1 means the decode rode a shared embedding-slot batch).
 	Batched int
+}
+
+// RegisterChannelRequest registers one estimated channel for a coherence
+// window (protocol v4): the data center compiles it once and returns a
+// connection-scoped handle that subsequent DecodeByChannelRequest frames
+// reference instead of resending H per symbol.
+type RegisterChannelRequest struct {
+	ID  uint64
+	Mod modulation.Modulation
+	H   *linalg.Mat
+}
+
+// RegisterChannelResponse answers a channel registration with the handle to
+// decode against (or an error).
+type RegisterChannelResponse struct {
+	ID     uint64
+	Err    string // empty on success
+	Handle uint64
+}
+
+// DecodeByChannelRequest is the execute-phase frame of protocol v4: one
+// received vector y against a previously registered channel handle. Shipping
+// y alone shrinks the per-symbol fronthaul payload from O(Nr·Nt) to O(Nr) —
+// the C-RAN bandwidth argument for coherence-aware fronthauls.
+type DecodeByChannelRequest struct {
+	ID     uint64
+	Handle uint64
+	Y      []complex128
+	// DeadlineMicros and TargetBER carry the same per-decode QoS contract as
+	// DecodeRequest.
+	DeadlineMicros float64
+	TargetBER      float64
 }
 
 // writeFrame emits one framed message.
@@ -219,6 +259,11 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 	if rows < 1 || cols < 1 {
 		return nil, errors.New("fronthaul: empty channel matrix")
 	}
+	// Bound the allocation by what the payload can actually hold (16 bytes
+	// per complex entry) before trusting the header-declared shape.
+	if rows*cols > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: %d×%d channel exceeds payload", rows, cols)
+	}
 	req.H = linalg.NewMat(rows, cols)
 	for i := range req.H.Data {
 		re, im := r.f64(), r.f64()
@@ -252,6 +297,139 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in request")
+	}
+	return req, nil
+}
+
+// encodeRegisterChannel serializes a RegisterChannelRequest payload.
+func encodeRegisterChannel(req *RegisterChannelRequest) ([]byte, error) {
+	if req.H == nil || req.H.Rows < 1 || req.H.Cols < 1 {
+		return nil, errors.New("fronthaul: empty channel matrix")
+	}
+	b := make([]byte, 0, 8+1+4+16*len(req.H.Data))
+	b = appendU64(b, req.ID)
+	b = append(b, byte(req.Mod))
+	b = appendU16(b, uint16(req.H.Rows))
+	b = appendU16(b, uint16(req.H.Cols))
+	for _, v := range req.H.Data {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	return b, nil
+}
+
+// decodeRegisterChannel parses a RegisterChannelRequest payload.
+func decodeRegisterChannel(payload []byte) (*RegisterChannelRequest, error) {
+	r := &reader{b: payload}
+	req := &RegisterChannelRequest{ID: r.u64()}
+	modByte := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	req.Mod = modulation.Modulation(modByte[0])
+	if _, err := modulation.Parse(req.Mod.String()); err != nil {
+		return nil, fmt.Errorf("fronthaul: bad modulation byte %d", modByte[0])
+	}
+	rows := int(r.u16())
+	cols := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rows < 1 || cols < 1 {
+		return nil, errors.New("fronthaul: empty channel matrix")
+	}
+	// Bound the allocation by what the payload can actually hold (16 bytes
+	// per complex entry) before trusting the header-declared shape.
+	if rows*cols > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: %d×%d channel exceeds payload", rows, cols)
+	}
+	req.H = linalg.NewMat(rows, cols)
+	for i := range req.H.Data {
+		re, im := r.f64(), r.f64()
+		req.H.Data[i] = complex(re, im)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in register-channel request")
+	}
+	return req, nil
+}
+
+// encodeRegisterResponse serializes a RegisterChannelResponse payload.
+func encodeRegisterResponse(resp *RegisterChannelResponse) []byte {
+	b := make([]byte, 0, 8+2+len(resp.Err)+8)
+	b = appendU64(b, resp.ID)
+	b = appendU16(b, uint16(len(resp.Err)))
+	b = append(b, resp.Err...)
+	b = appendU64(b, resp.Handle)
+	return b
+}
+
+// decodeRegisterResponse parses a RegisterChannelResponse payload.
+func decodeRegisterResponse(payload []byte) (*RegisterChannelResponse, error) {
+	r := &reader{b: payload}
+	resp := &RegisterChannelResponse{ID: r.u64()}
+	errLen := int(r.u16())
+	resp.Err = string(r.bytes(errLen))
+	resp.Handle = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in register-channel response")
+	}
+	return resp, nil
+}
+
+// encodeDecodeByChannel serializes a DecodeByChannelRequest payload.
+func encodeDecodeByChannel(req *DecodeByChannelRequest) ([]byte, error) {
+	if len(req.Y) < 1 {
+		return nil, errors.New("fronthaul: empty received vector")
+	}
+	b := make([]byte, 0, 8+8+4+16*len(req.Y)+16)
+	b = appendU64(b, req.ID)
+	b = appendU64(b, req.Handle)
+	b = appendU32(b, uint32(len(req.Y)))
+	for _, v := range req.Y {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
+	return b, nil
+}
+
+// decodeDecodeByChannel parses a DecodeByChannelRequest payload.
+func decodeDecodeByChannel(payload []byte) (*DecodeByChannelRequest, error) {
+	r := &reader{b: payload}
+	req := &DecodeByChannelRequest{ID: r.u64(), Handle: r.u64()}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 1 || n > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: bad received-vector length %d", n)
+	}
+	req.Y = make([]complex128, n)
+	for i := range req.Y {
+		re, im := r.f64(), r.f64()
+		req.Y[i] = complex(re, im)
+	}
+	req.DeadlineMicros = r.f64()
+	req.TargetBER = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
+		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
+	}
+	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
+		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in decode-by-channel request")
 	}
 	return req, nil
 }

@@ -11,7 +11,9 @@ import (
 
 	"quamax/internal/backend"
 	"quamax/internal/core"
+	"quamax/internal/linalg"
 	"quamax/internal/metrics"
+	"quamax/internal/modulation"
 	"quamax/internal/sched"
 )
 
@@ -97,9 +99,27 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// registeredChannel is one compiled coherence window on a connection: the
+// estimated channel an AP registered with a v4 register-channel frame, plus
+// the fingerprint the pool scheduler groups same-window symbols by.
+type registeredChannel struct {
+	mod modulation.Modulation
+	h   *linalg.Mat
+	key core.ChannelKey
+}
+
+// MaxChannelsPerConn bounds live channel registrations on one connection, so
+// a client looping RegisterChannel cannot grow server memory without bound.
+// Old windows are evicted FIFO — coherence windows are short-lived, so by
+// the time an AP has registered this many newer channels the oldest handle
+// is stale anyway (a decode against an evicted handle gets a clean error).
+const MaxChannelsPerConn = 256
+
 // handleConn processes one AP connection. The connection's lifetime bounds a
 // context so that queued work from a disconnected AP is discarded instead of
-// burning pool time.
+// burning pool time. Registered channels are connection-scoped: handles die
+// with the connection, exactly like a coherence window dies with its AP
+// association.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	var writeMu sync.Mutex // responses from concurrent decodes interleave
@@ -109,58 +129,134 @@ func (s *Server) handleConn(conn net.Conn) {
 	// queued dispatches, then the in-flight goroutines are reaped.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	var chanMu sync.Mutex
+	channels := make(map[uint64]*registeredChannel)
+	var nextHandle uint64
+
+	write := func(msgType uint8, payload []byte) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := writeFrame(conn, msgType, payload); err != nil {
+			s.logf("fronthaul: write response: %v", err)
+		}
+	}
 	for {
 		msgType, payload, err := readFrame(conn)
 		if err != nil {
 			return // connection closed or corrupt framing
 		}
-		if msgType != msgDecodeRequest {
+		switch msgType {
+		case msgDecodeRequest:
+			req, err := decodeRequest(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := s.process(ctx, req.ID, &backend.Problem{
+					Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER,
+				}, req.DeadlineMicros)
+				write(msgDecodeResponse, encodeResponse(resp))
+			}()
+
+		case msgRegisterChannel:
+			req, err := decodeRegisterChannel(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			// Registration is pure bookkeeping (the pool's compiled-channel
+			// cache fills lazily on the first decode), so answer inline.
+			// Handles are issued sequentially, so evicting the smallest live
+			// handle at capacity is FIFO over registration order.
+			chanMu.Lock()
+			nextHandle++
+			handle := nextHandle
+			channels[handle] = &registeredChannel{
+				mod: req.Mod, h: req.H, key: core.FingerprintChannel(req.Mod, req.H),
+			}
+			if len(channels) > MaxChannelsPerConn {
+				oldest := handle
+				for h := range channels {
+					if h < oldest {
+						oldest = h
+					}
+				}
+				delete(channels, oldest)
+			}
+			chanMu.Unlock()
+			write(msgRegisterResponse, encodeRegisterResponse(
+				&RegisterChannelResponse{ID: req.ID, Handle: handle}))
+
+		case msgDecodeByChannel:
+			req, err := decodeDecodeByChannel(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			chanMu.Lock()
+			rc := channels[req.Handle]
+			chanMu.Unlock()
+			if rc == nil {
+				write(msgDecodeResponse, encodeResponse(&DecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("unknown channel handle %d", req.Handle)}))
+				continue
+			}
+			if len(req.Y) != rc.h.Rows {
+				write(msgDecodeResponse, encodeResponse(&DecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("received vector has %d entries, channel has %d rows",
+						len(req.Y), rc.h.Rows)}))
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := s.process(ctx, req.ID, &backend.Problem{
+					Mod: rc.mod, H: rc.h, Y: req.Y, TargetBER: req.TargetBER,
+					ChannelKey: rc.key,
+				}, req.DeadlineMicros)
+				write(msgDecodeResponse, encodeResponse(resp))
+			}()
+
+		default:
 			s.logf("fronthaul: dropping unexpected message type %d (protocol version %d)",
 				msgType, ProtocolVersion)
-			continue
 		}
-		req, err := decodeRequest(payload)
-		if err != nil {
-			s.logf("fronthaul: bad request: %v", err)
-			// Salvage the request ID (first 8 bytes) when possible and
-			// answer with an error, so a protocol-mismatched client fails
-			// fast instead of blocking forever on a swallowed request.
-			if len(payload) >= 8 {
-				id := binary.LittleEndian.Uint64(payload)
-				resp := &DecodeResponse{ID: id, Err: fmt.Sprintf(
-					"bad request (server speaks protocol version %d): %v", ProtocolVersion, err)}
-				writeMu.Lock()
-				werr := writeFrame(conn, msgDecodeResponse, encodeResponse(resp))
-				writeMu.Unlock()
-				if werr != nil {
-					s.logf("fronthaul: write error response: %v", werr)
-				}
-			}
-			return
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp := s.process(ctx, req)
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			if err := writeFrame(conn, msgDecodeResponse, encodeResponse(resp)); err != nil {
-				s.logf("fronthaul: write response: %v", err)
-			}
-		}()
+	}
+}
+
+// badRequest logs a malformed payload and, when the request ID is
+// salvageable (first 8 bytes), answers with an error so a protocol-
+// mismatched client fails fast instead of blocking forever on a swallowed
+// request.
+func (s *Server) badRequest(conn net.Conn, writeMu *sync.Mutex, payload []byte, err error) {
+	s.logf("fronthaul: bad request: %v", err)
+	if len(payload) < 8 {
+		return
+	}
+	id := binary.LittleEndian.Uint64(payload)
+	resp := &DecodeResponse{ID: id, Err: fmt.Sprintf(
+		"bad request (server speaks protocol version %d): %v", ProtocolVersion, err)}
+	writeMu.Lock()
+	werr := writeFrame(conn, msgDecodeResponse, encodeResponse(resp))
+	writeMu.Unlock()
+	if werr != nil {
+		s.logf("fronthaul: write error response: %v", werr)
 	}
 }
 
 // process routes one decode through the pool.
-func (s *Server) process(ctx context.Context, req *DecodeRequest) *DecodeResponse {
-	deadline := time.Duration(req.DeadlineMicros * float64(time.Microsecond))
-	res, err := s.disp.Dispatch(ctx,
-		&backend.Problem{Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER}, deadline)
+func (s *Server) process(ctx context.Context, id uint64, p *backend.Problem, deadlineMicros float64) *DecodeResponse {
+	deadline := time.Duration(deadlineMicros * float64(time.Microsecond))
+	res, err := s.disp.Dispatch(ctx, p, deadline)
 	if err != nil {
-		return &DecodeResponse{ID: req.ID, Err: err.Error()}
+		return &DecodeResponse{ID: id, Err: err.Error()}
 	}
 	return &DecodeResponse{
-		ID:            req.ID,
+		ID:            id,
 		Bits:          res.Bits,
 		Energy:        res.Energy,
 		ComputeMicros: res.ComputeMicros,

@@ -33,9 +33,39 @@ type PoolStats struct {
 	// SlotOccupancy is the mean fraction of available embedding slots
 	// actually filled per batched annealer run (0 when no batch ran).
 	SlotOccupancy float64
+	// ChannelCache aggregates the compiled-channel cache counters over the
+	// pool's annealer backends: how often a decode reused an already-compiled
+	// channel (couplings, embedding, prepared physical program) instead of
+	// recompiling it.
+	ChannelCache ChannelCacheStats
 	// Backends holds per-worker-backend accounting, pool order first, the
 	// fallback (if any) last.
 	Backends []BackendStats
+}
+
+// ChannelCacheStats counts compiled-channel cache traffic (internal/core's
+// LRU of CompiledChannel artifacts, keyed by the channel fingerprint).
+type ChannelCacheStats struct {
+	// Hits counts lookups served from the cache; Misses lookups that had to
+	// compile; Evictions entries displaced by the LRU capacity bound.
+	Hits, Misses, Evictions uint64
+}
+
+// Add returns the entrywise sum of two cache snapshots.
+func (c ChannelCacheStats) Add(o ChannelCacheStats) ChannelCacheStats {
+	return ChannelCacheStats{
+		Hits:      c.Hits + o.Hits,
+		Misses:    c.Misses + o.Misses,
+		Evictions: c.Evictions + o.Evictions,
+	}
+}
+
+// HitRate returns Hits over total lookups (0 when the cache was never used).
+func (c ChannelCacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
 }
 
 // BackendStats is per-backend accounting within a pool.
@@ -84,6 +114,7 @@ func (s PoolStats) Merge(o PoolStats) PoolStats {
 	} else {
 		out.SlotOccupancy = 0
 	}
+	out.ChannelCache = s.ChannelCache.Add(o.ChannelCache)
 	out.Backends = nil
 	index := make(map[string]int)
 	for _, lists := range [][]BackendStats{s.Backends, o.Backends} {
@@ -112,6 +143,10 @@ func (s PoolStats) String() string {
 	if s.BatchRuns > 0 {
 		fmt.Fprintf(&b, "\npool: batched runs=%d problems=%d slot-occupancy=%.0f%%",
 			s.BatchRuns, s.BatchedProblems, 100*s.SlotOccupancy)
+	}
+	if c := s.ChannelCache; c.Hits+c.Misses > 0 {
+		fmt.Fprintf(&b, "\npool: channel cache hits=%d misses=%d evictions=%d (%.0f%% hit)",
+			c.Hits, c.Misses, c.Evictions, 100*c.HitRate())
 	}
 	for _, be := range s.Backends {
 		fmt.Fprintf(&b, "\npool: backend %-10s solved=%d errors=%d busy=%.0fµs util=%.1f%%",

@@ -124,3 +124,27 @@ func TestPoolStatsString(t *testing.T) {
 		}
 	}
 }
+
+// Channel-cache counters must add under Merge, and the hit rate must report
+// hits over lookups.
+func TestChannelCacheStats(t *testing.T) {
+	a := PoolStats{ChannelCache: ChannelCacheStats{Hits: 6, Misses: 2, Evictions: 1}}
+	b := PoolStats{ChannelCache: ChannelCacheStats{Hits: 4, Misses: 8, Evictions: 3}}
+	got := a.Merge(b).ChannelCache
+	if got != (ChannelCacheStats{Hits: 10, Misses: 10, Evictions: 4}) {
+		t.Fatalf("merged cache stats %+v", got)
+	}
+	if got.HitRate() != 0.5 {
+		t.Fatalf("hit rate %g, want 0.5", got.HitRate())
+	}
+	if (ChannelCacheStats{}).HitRate() != 0 {
+		t.Fatal("empty cache hit rate not 0")
+	}
+	s := a.String()
+	if !strings.Contains(s, "channel cache hits=6 misses=2 evictions=1") {
+		t.Fatalf("String omitted cache line:\n%s", s)
+	}
+	if strings.Contains(PoolStats{}.String(), "channel cache") {
+		t.Fatal("String printed a cache line with no cache traffic")
+	}
+}

@@ -17,11 +17,21 @@ import (
 
 // Ising is the spin-glass objective  Σ_{i<j} J_ij s_i s_j + Σ_i H_i s_i + Offset
 // with s_i ∈ {−1,+1}. Couplings are stored densely upper-triangular.
+//
+// Mutate couplings through SetJ/AddJ only: they maintain a sparse index of
+// structurally-nonzero entries that Clone and MaxAbsCoefficient use to skip
+// the (typically mostly-zero) dense triangle. Fields (H) and Offset may be
+// written directly.
 type Ising struct {
 	N      int
 	H      []float64 // linear fields f_i, len N
 	J      []float64 // upper-triangular couplings g_ij (i<j), len N(N−1)/2
 	Offset float64
+
+	// nz indexes the entries of J that have ever been set nonzero (a
+	// superset of the currently-nonzero entries: clearing a coupling leaves
+	// a stale zero, which is harmless to every consumer).
+	nz []int32
 }
 
 // NewIsing returns a zero Ising problem over n spins.
@@ -46,7 +56,11 @@ func (p *Ising) SetJ(i, j int, v float64) {
 	if i > j {
 		i, j = j, i
 	}
-	p.J[p.jIdx(i, j)] = v
+	k := p.jIdx(i, j)
+	if p.J[k] == 0 && v != 0 {
+		p.nz = append(p.nz, int32(k))
+	}
+	p.J[k] = v
 }
 
 // AddJ accumulates into the coupling between spins i and j.
@@ -54,7 +68,11 @@ func (p *Ising) AddJ(i, j int, v float64) {
 	if i > j {
 		i, j = j, i
 	}
-	p.J[p.jIdx(i, j)] += v
+	k := p.jIdx(i, j)
+	if p.J[k] == 0 && v != 0 {
+		p.nz = append(p.nz, int32(k))
+	}
+	p.J[k] += v
 }
 
 // GetJ returns the coupling between spins i and j (0 if i == j).
@@ -89,7 +107,9 @@ func (p *Ising) Energy(s []int8) float64 {
 }
 
 // MaxAbsCoefficient returns max(|H_i|, |J_ij|), the scale used when fitting a
-// problem into the annealer's analog range.
+// problem into the annealer's analog range. Only the sparse-indexed couplings
+// are scanned — never-set entries are structurally zero and cannot raise the
+// maximum.
 func (p *Ising) MaxAbsCoefficient() float64 {
 	var m float64
 	for _, v := range p.H {
@@ -97,21 +117,36 @@ func (p *Ising) MaxAbsCoefficient() float64 {
 			m = a
 		}
 	}
-	for _, v := range p.J {
-		if a := math.Abs(v); a > m {
+	for _, k := range p.nz {
+		if a := math.Abs(p.J[k]); a > m {
 			m = a
 		}
 	}
 	return m
 }
 
-// Clone deep-copies the problem.
+// Clone deep-copies the problem. Couplings are copied through the sparse
+// index, so cloning a problem with few couplings does not pay for the dense
+// zero triangle.
 func (p *Ising) Clone() *Ising {
 	c := NewIsing(p.N)
 	copy(c.H, p.H)
-	copy(c.J, p.J)
+	for _, k := range p.nz {
+		c.J[k] = p.J[k]
+	}
+	c.nz = append([]int32(nil), p.nz...)
 	c.Offset = p.Offset
 	return c
+}
+
+// SharedCouplings returns a new Ising over the same spins that SHARES p's
+// coupling storage (J and its sparse index) but carries fresh zero fields and
+// a zero offset. It is the execute-phase primitive of the compile/execute
+// split in internal/reduction: the channel-dependent couplings are built
+// once, and each received vector only rewrites fields and offset. Neither
+// problem may call SetJ/AddJ after sharing.
+func (p *Ising) SharedCouplings() *Ising {
+	return &Ising{N: p.N, H: make([]float64, p.N), J: p.J, nz: p.nz}
 }
 
 // QUBO is the binary objective  Σ_{i≤j} Q_ij q_i q_j + Offset with

@@ -1,0 +1,133 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/rng"
+)
+
+// sparseRandIsing sets only a few couplings, leaving the dense triangle
+// mostly structurally zero — the shape the sparse index exists for.
+func sparseRandIsing(src *rng.Source, n, couplings int) *Ising {
+	p := NewIsing(n)
+	for i := range p.H {
+		p.H[i] = src.Gauss(0, 1)
+	}
+	for k := 0; k < couplings; k++ {
+		i := src.Intn(n - 1)
+		j := i + 1 + src.Intn(n-i-1)
+		p.SetJ(i, j, src.Gauss(0, 1))
+	}
+	return p
+}
+
+// MaxAbsCoefficient through the sparse index must equal a dense scan.
+func TestMaxAbsCoefficientSparseIndex(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		p := sparseRandIsing(src, 2+src.Intn(30), src.Intn(12))
+		var want float64
+		for _, v := range p.H {
+			want = math.Max(want, math.Abs(v))
+		}
+		for _, v := range p.J {
+			want = math.Max(want, math.Abs(v))
+		}
+		if got := p.MaxAbsCoefficient(); got != want {
+			t.Fatalf("trial %d: MaxAbsCoefficient = %g, want %g", trial, got, want)
+		}
+	}
+}
+
+// Clearing a coupling back to zero leaves a stale index entry; it must not
+// disturb the maximum, and re-setting must not double-count.
+func TestMaxAbsCoefficientAfterClear(t *testing.T) {
+	p := NewIsing(4)
+	p.SetJ(0, 1, 5)
+	p.SetJ(2, 3, 1)
+	p.SetJ(0, 1, 0) // clear the dominant coupling
+	if got := p.MaxAbsCoefficient(); got != 1 {
+		t.Fatalf("MaxAbsCoefficient after clear = %g, want 1", got)
+	}
+	p.SetJ(0, 1, -3)
+	p.AddJ(0, 1, -1)
+	if got := p.MaxAbsCoefficient(); got != 4 {
+		t.Fatalf("MaxAbsCoefficient after reset = %g, want 4", got)
+	}
+}
+
+// Clone through the sparse index must reproduce the problem exactly and
+// remain fully independent of the original.
+func TestCloneSparseIndex(t *testing.T) {
+	src := rng.New(12)
+	p := sparseRandIsing(src, 16, 8)
+	p.Offset = 2.5
+	c := p.Clone()
+	for i := 0; i < p.N; i++ {
+		if c.H[i] != p.H[i] {
+			t.Fatalf("H[%d] differs", i)
+		}
+		for j := i + 1; j < p.N; j++ {
+			if c.GetJ(i, j) != p.GetJ(i, j) {
+				t.Fatalf("J[%d,%d] differs", i, j)
+			}
+		}
+	}
+	if c.Offset != p.Offset {
+		t.Fatal("offset differs")
+	}
+	// Independence both ways, including index maintenance on the clone.
+	c.SetJ(0, 15, 9)
+	if p.GetJ(0, 15) != 0 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if c.MaxAbsCoefficient() < 9 {
+		t.Fatal("clone's sparse index missed a post-clone coupling")
+	}
+	p.SetJ(1, 14, -20)
+	if c.GetJ(1, 14) != 0 {
+		t.Fatal("original mutation leaked into the clone")
+	}
+}
+
+// SharedCouplings must alias coupling storage, keep fields independent, and
+// evaluate energies consistently with the source problem's couplings.
+func TestSharedCouplings(t *testing.T) {
+	src := rng.New(13)
+	p := sparseRandIsing(src, 10, 6)
+	p.Offset = 3
+	s := p.SharedCouplings()
+	if s.N != p.N {
+		t.Fatalf("shared N = %d, want %d", s.N, p.N)
+	}
+	if &s.J[0] != &p.J[0] {
+		t.Fatal("couplings were copied, not shared")
+	}
+	if s.Offset != 0 {
+		t.Fatalf("shared offset = %g, want 0", s.Offset)
+	}
+	for i, v := range s.H {
+		if v != 0 {
+			t.Fatalf("shared H[%d] = %g, want 0", i, v)
+		}
+	}
+	// Same couplings ⇒ energy difference between two assignments that agree
+	// except through fields/offset tracks the coupling terms identically.
+	spins := make([]int8, p.N)
+	for i := range spins {
+		if src.Bool() {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	copy(s.H, p.H)
+	s.Offset = p.Offset
+	if got, want := s.Energy(spins), p.Energy(spins); got != want {
+		t.Fatalf("shared energy %g, want %g", got, want)
+	}
+	if s.MaxAbsCoefficient() != p.MaxAbsCoefficient() {
+		t.Fatal("shared sparse index disagrees with the source")
+	}
+}

@@ -131,73 +131,16 @@ func ReduceToQUBO(mod modulation.Modulation, h *linalg.Mat, y []complex128) *qub
 //
 // For BPSK and QPSK this is exactly Eqs. 6–8; for 16-QAM it is Eqs. 13–14
 // with one erratum corrected (see PaperIsing16QAM).
+//
+// ReduceToIsing is the one-shot form of the compile/execute split: it is
+// literally CompileChannel(mod, h).Biases(y), recompiling the H-dependent
+// couplings for every call. Receivers decoding many symbols through one
+// channel should compile once and call Biases per symbol (see compile.go).
 func ReduceToIsing(mod modulation.Modulation, h *linalg.Mat, y []complex128) *qubo.Ising {
-	nt := h.Cols
 	if len(y) != h.Rows {
 		panic(fmt.Sprintf("reduction: y has %d entries, H has %d rows", len(y), h.Rows))
 	}
-	u := spinWeights(mod)
-	nb := mod.BitsPerDim()
-	dims := mod.Dims()
-	q := mod.BitsPerSymbol()
-	n := NumVariables(mod, nt)
-
-	gram := linalg.Gram(h)       // G = HᴴH
-	m := linalg.ConjMulVec(h, y) // Hᴴy, so M_m = conj((yᴴH)_m); Re same, Im negated
-	p := qubo.NewIsing(n)
-
-	var u2 float64
-	for _, w := range u {
-		u2 += w * w
-	}
-
-	// spinIndex returns the flat index of user's dimension-d (0=I,1=Q) bit t.
-	spinIndex := func(user, d, t int) int { return user*q + d*nb + t }
-
-	for us := 0; us < nt; us++ {
-		reM := real(m[us])  // Re((yᴴH)_us)
-		imM := -imag(m[us]) // Im((yᴴH)_us) = −Im((Hᴴy)_us)
-		for t := 0; t < nb; t++ {
-			p.H[spinIndex(us, 0, t)] = -2 * u[t] * reM
-			if dims == 2 {
-				p.H[spinIndex(us, 1, t)] = 2 * u[t] * imM
-			}
-		}
-		// Intra-user same-dimension couplings.
-		gmm := real(gram.At(us, us))
-		for d := 0; d < dims; d++ {
-			for t := 0; t < nb; t++ {
-				for t2 := t + 1; t2 < nb; t2++ {
-					p.SetJ(spinIndex(us, d, t), spinIndex(us, d, t2), 2*u[t]*u[t2]*gmm)
-				}
-			}
-		}
-		p.Offset += gmm * u2 * float64(dims)
-	}
-	// Inter-user couplings.
-	for us := 0; us < nt; us++ {
-		for k := us + 1; k < nt; k++ {
-			reG := real(gram.At(us, k))
-			imG := imag(gram.At(us, k))
-			for t := 0; t < nb; t++ {
-				for t2 := 0; t2 < nb; t2++ {
-					w := 2 * u[t] * u[t2]
-					// R–R.
-					p.SetJ(spinIndex(us, 0, t), spinIndex(k, 0, t2), w*reG)
-					if dims == 2 {
-						// Q–Q.
-						p.SetJ(spinIndex(us, 1, t), spinIndex(k, 1, t2), w*reG)
-						// R(us)–Q(k).
-						p.SetJ(spinIndex(us, 0, t), spinIndex(k, 1, t2), -w*imG)
-						// Q(us)–R(k).
-						p.SetJ(spinIndex(us, 1, t), spinIndex(k, 0, t2), w*imG)
-					}
-				}
-			}
-		}
-	}
-	p.Offset += linalg.Norm2(y)
-	return p
+	return CompileChannel(mod, h).Biases(y)
 }
 
 // BitsToSymbols decodes N QUBO solution bits to the Nt candidate symbols via

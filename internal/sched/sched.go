@@ -244,7 +244,15 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 		deadline = s.cfg.DefaultDeadline
 	}
 	p, planDenied := s.applyPlan(p, deadline)
-	est := s.poolEstimate(p)
+	// A planner denial that will route to the fallback never consults the
+	// pool, so don't charge the backends' estimators for it; every admission
+	// path below still records exactly one of plannerClassical/
+	// fallbackDispatches/queue so the Stats totals reconcile (Submitted ==
+	// Completed + Failed once drained — asserted in sched_test).
+	var est float64
+	if !planDenied || s.fallback == nil {
+		est = s.poolEstimate(p)
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -358,7 +366,11 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 		if bb, ok := be.(backend.BatchBackend); ok && !s.cfg.DisableBatch {
 			if slots = bb.BatchSlots(head.p); slots > 1 {
 				s.mu.Lock()
-				batch = s.gatherBatchLocked(head, slots)
+				if head.p.ChannelKey != 0 {
+					batch = s.gatherCoherentLocked(head, slots)
+				} else {
+					batch = s.gatherBatchLocked(head, slots)
+				}
 				s.mu.Unlock()
 			}
 		}
@@ -429,6 +441,54 @@ func (s *Scheduler) gatherBatchLocked(head *job, slots int) []*job {
 	return batch
 }
 
+// gatherCoherentLocked is the coherence-aware variant of gatherBatchLocked
+// for a head job carrying a ChannelKey: queued symbols from the SAME
+// coherence window (equal key — the channel is already programmed on the
+// backend's compiled-channel cache) claim the run's slots first, and only
+// leftover slots go to other batch-compatible jobs. Within each class FIFO
+// order is preserved, and the batch itself stays in queue order so FIFO
+// fairness inside one run is untouched.
+func (s *Scheduler) gatherCoherentLocked(head *job, slots int) []*job {
+	take := make([]bool, len(s.queue))
+	count := 1
+	// First pass: same coherence window.
+	for i, j := range s.queue {
+		if count >= slots {
+			break
+		}
+		if j.p.ChannelKey == head.p.ChannelKey && backend.Batchable(head.p, j.p) {
+			take[i] = true
+			count++
+		}
+	}
+	// Second pass: any remaining batch-compatible job fills leftover slots.
+	for i, j := range s.queue {
+		if count >= slots {
+			break
+		}
+		if !take[i] && backend.Batchable(head.p, j.p) {
+			take[i] = true
+			count++
+		}
+	}
+	batch := []*job{head}
+	kept := s.queue[:0]
+	for i, j := range s.queue {
+		if take[i] {
+			s.queuedMicros -= j.est
+			s.inflightMicros += j.est
+			batch = append(batch, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	return batch
+}
+
 // solve runs one batch (possibly of size 1) on be and updates batching
 // counters. slots is the capacity the worker already resolved for this run.
 func (s *Scheduler) solve(be backend.Backend, batch []*job, slots int, src *rng.Source) ([]*backend.Result, error) {
@@ -488,6 +548,26 @@ func (s *Scheduler) Stats() metrics.PoolStats {
 	}
 	if s.batchRuns > 0 {
 		st.SlotOccupancy = s.occupancySum / float64(s.batchRuns)
+	}
+	// Channel-cache counters live in the backends' decoders; aggregate over
+	// distinct instances so a pool listing one backend behind several workers
+	// counts its cache once.
+	type channelCacheStatser interface {
+		ChannelCacheStats() metrics.ChannelCacheStats
+	}
+	seen := make(map[backend.Backend]bool, len(s.cfg.Pool)+1)
+	backends := s.cfg.Pool
+	if s.fallback != nil {
+		backends = append(append([]backend.Backend(nil), backends...), s.fallback)
+	}
+	for _, be := range backends {
+		if seen[be] {
+			continue
+		}
+		seen[be] = true
+		if cs, ok := be.(channelCacheStatser); ok {
+			st.ChannelCache = st.ChannelCache.Add(cs.ChannelCacheStats())
+		}
 	}
 	all := s.perBackend
 	if s.fallbackCounters != nil {

@@ -624,3 +624,196 @@ func TestPlannerAppliesChainStrength(t *testing.T) {
 		t.Fatalf("backend saw ChainJF=%g, want the fitted 12", served.ChainJF)
 	}
 }
+
+// assertReconciled checks the PoolStats accounting invariant after a drain:
+// every submitted problem is exactly one of completed or failed, completions
+// match the per-backend solved counters, and planner denials are a subset of
+// fallback dispatches.
+func assertReconciled(t *testing.T, s *Scheduler) {
+	t.Helper()
+	st := s.Stats()
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+	if st.Submitted != st.Completed+st.Failed {
+		t.Fatalf("Submitted %d != Completed %d + Failed %d", st.Submitted, st.Completed, st.Failed)
+	}
+	var solved, errors uint64
+	for _, be := range st.Backends {
+		solved += be.Solved
+		errors += be.Errors
+	}
+	if solved != st.Completed {
+		t.Fatalf("Σ backend Solved %d != Completed %d (%+v)", solved, st.Completed, st)
+	}
+	if errors > st.Failed {
+		t.Fatalf("Σ backend Errors %d > Failed %d", errors, st.Failed)
+	}
+	if st.PlannerClassical > st.FallbackDispatches {
+		t.Fatalf("PlannerClassical %d > FallbackDispatches %d", st.PlannerClassical, st.FallbackDispatches)
+	}
+}
+
+// The stats ledger must reconcile across every admission path at once:
+// pool-queued, queue-pressure fallback, and planner-denied fallback.
+func TestStatsReconcileAcrossPaths(t *testing.T) {
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &fakeBackend{name: "qpu", est: 100}
+	fb := &fakeBackend{name: "fb", est: 10}
+	s, err := New(Config{Pool: []backend.Backend{pool}, Fallback: fb, Planner: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pool path: plain problems with no deadline pressure.
+	for i := 0; i < 3; i++ {
+		p, _ := testProblem(t, int64(950+i), modulation.QPSK, 4)
+		if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue-pressure fallback: an unmeetable deadline.
+	p, _ := testProblem(t, 960, modulation.QPSK, 4)
+	if _, err := s.Dispatch(context.Background(), p, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// Planner denial: 8 users exceeds every fitted size.
+	p, _ = testProblem(t, 961, modulation.QPSK, 8)
+	p.TargetBER = 1e-3
+	if _, err := s.Dispatch(context.Background(), p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertReconciled(t, s)
+	st := s.Stats()
+	if st.Submitted != 5 || st.FallbackDispatches != 2 || st.PlannerClassical != 1 {
+		t.Fatalf("path accounting: %+v", st)
+	}
+}
+
+// The coherence-aware gather must fill a keyed head's batch with same-window
+// symbols first, even when other compatible jobs sit ahead of them in the
+// queue. An unrelated blocker job holds the worker so the keyed head gathers
+// from a populated queue.
+func TestCoherentGatherPrefersSameChannel(t *testing.T) {
+	f := &fakeBatchBackend{
+		fakeBackend: fakeBackend{name: "qpu", est: 100, gate: make(chan struct{})},
+		slots:       3,
+	}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const window core.ChannelKey = 7
+	var wg sync.WaitGroup
+	dispatch := func(seed int64, key core.ChannelKey) *backend.Problem {
+		p, _ := testProblem(t, seed, modulation.BPSK, 2)
+		p.ChannelKey = key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+				t.Errorf("dispatch: %v", err)
+			}
+		}()
+		return p
+	}
+
+	// A blocker occupies the gated worker so everything below queues; each
+	// admission is sequenced so the queue order is deterministic.
+	blocker := dispatch(969, 0)
+	waitFor(t, "worker busy", func() bool { return s.Stats().Submitted == 1 && s.Stats().QueueDepth == 0 })
+	// Queue order: keyed head, then two other-window jobs AHEAD of the two
+	// same-window symbols.
+	enqueue := func(i int, seed int64, key core.ChannelKey) *backend.Problem {
+		p := dispatch(seed, key)
+		waitFor(t, "admission", func() bool { return s.Stats().QueueDepth == i })
+		return p
+	}
+	head := enqueue(1, 970, window)
+	other1 := enqueue(2, 971, 0)
+	other2 := enqueue(3, 972, 99)
+	same1 := enqueue(4, 973, window)
+	same2 := enqueue(5, 974, window)
+
+	f.gate <- struct{}{} // blocker solves solo
+	f.gate <- struct{}{} // coherent batch around the keyed head
+	f.gate <- struct{}{} // leftover batch of the other-window jobs
+	wg.Wait()
+
+	f.mu.Lock()
+	order := append([]*backend.Problem(nil), f.order...)
+	batches := append([]int(nil), f.batches...)
+	f.mu.Unlock()
+
+	// The keyed head's 3-slot batch must be {head, same1, same2}, skipping
+	// the two other-window jobs queued ahead; those ride the next run.
+	if len(batches) != 2 || batches[0] != 3 || batches[1] != 2 {
+		t.Fatalf("batch sizes %v, want [3 2]", batches)
+	}
+	want := []*backend.Problem{blocker, head, same1, same2, other1, other2}
+	for i, p := range want {
+		if order[i] != p {
+			t.Fatalf("service order[%d] unexpected: coherent gather did not prefer same-window symbols", i)
+		}
+	}
+	assertReconciled(t, s)
+}
+
+// With spare slots, a coherent gather must fill leftovers with other
+// batch-compatible jobs rather than leaving slots idle, while still
+// excluding batch-incompatible ones.
+func TestCoherentGatherFillsLeftoverSlots(t *testing.T) {
+	f := &fakeBatchBackend{
+		fakeBackend: fakeBackend{name: "qpu", est: 100, gate: make(chan struct{})},
+		slots:       4,
+	}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	dispatch := func(seed int64, key core.ChannelKey, nt int) {
+		p, _ := testProblem(t, seed, modulation.BPSK, nt)
+		p.ChannelKey = key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+				t.Errorf("dispatch: %v", err)
+			}
+		}()
+	}
+	dispatch(979, 0, 2) // blocker
+	waitFor(t, "worker busy", func() bool { return s.Stats().Submitted == 1 && s.Stats().QueueDepth == 0 })
+	enqueue := func(i int, seed int64, key core.ChannelKey, nt int) {
+		dispatch(seed, key, nt)
+		waitFor(t, "admission", func() bool { return s.Stats().QueueDepth == i })
+	}
+	enqueue(1, 980, 5, 2) // keyed head
+	enqueue(2, 981, 0, 2) // other window, compatible
+	enqueue(3, 982, 5, 2) // same window
+	enqueue(4, 983, 0, 4) // incompatible N
+
+	f.gate <- struct{}{} // blocker solo
+	f.gate <- struct{}{} // head batch: same-window symbols + leftover compatible
+	f.gate <- struct{}{} // the incompatible job, solo
+	wg.Wait()
+
+	f.mu.Lock()
+	batches := append([]int(nil), f.batches...)
+	f.mu.Unlock()
+	if len(batches) != 1 || batches[0] != 3 {
+		t.Fatalf("batched runs %v, want one run of 3", batches)
+	}
+	assertReconciled(t, s)
+}

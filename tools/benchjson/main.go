@@ -1,0 +1,128 @@
+// Command benchjson runs the repository's tier-1 benchmarks and writes a
+// machine-readable JSON summary, so the performance trajectory across PRs
+// has concrete data points instead of prose claims. The default selection
+// covers the coherence-window acceptance benchmark and the decode-path
+// micro-benchmarks it amortizes; -bench overrides it with any `go test
+// -bench` regular expression.
+//
+// Run it from the repository root:
+//
+//	go run ./tools/benchjson -out BENCH_PR3.json
+//
+// Every benchmark line is parsed into its name, iteration count and metric
+// map (ns/op, B/op, custom metrics like symbols/s), preserving exactly what
+// the testing package reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the benchmarks the perf trajectory tracks: the
+// compile/execute acceptance benchmark plus the micro-benchmarks of the
+// stages it amortizes.
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	Bench     string   `json:"bench_regex"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result row; the trailing -N
+// GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", defaultBench, "benchmark selection regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "5x", "per-benchmark budget (go test -benchtime)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "BENCH_PR3.json", "output JSON path")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime, *pkg)
+	raw, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Stderr.Write(ee.Stderr)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Bench:     *bench,
+		BenchTime: *benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: parseMetrics(m[3])}
+		if len(res.Metrics) == 0 {
+			continue
+		}
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(report.Results), *out)
+}
+
+// parseMetrics reads the value/unit pairs of one result row, e.g.
+// "123 ns/op\t 45.6 symbols/s".
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	metrics := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		metrics[fields[i+1]] = v
+	}
+	return metrics
+}

@@ -25,12 +25,15 @@ import (
 )
 
 // fullDocPackages are the directories where every exported identifier must
-// carry a doc comment (ISSUE 2's godoc gate).
+// carry a doc comment (ISSUE 2's godoc gate, extended to the compile/execute
+// split's home packages by ISSUE 3).
 var fullDocPackages = []string{
 	"internal/backend",
 	"internal/sched",
 	"internal/metrics",
 	"internal/qos",
+	"internal/reduction",
+	"internal/core",
 }
 
 func main() {
