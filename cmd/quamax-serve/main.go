@@ -63,6 +63,9 @@ func main() {
 		saSweeps  = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
 		saResets  = flag.Int("sa-restarts", 100, "classical SA restarts")
 
+		precodeBits  = flag.Int("precode-bits", 0, "default perturbation alphabet depth for downlink precode requests that carry none (0 = 1 bit/dimension)")
+		precodeCache = flag.Int("precode-cache", 0, "compiled VP-program LRU entries for downlink coherence windows (0 = default)")
+
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
 		ttsTable  = flag.String("tts-table", "", "fitted TTS table (JSON); empty = built-in coefficients")
@@ -182,6 +185,8 @@ func main() {
 
 	srv := fronthaul.NewPoolServer(scheduler)
 	srv.Logf = log.Printf
+	srv.PrecodeBits = *precodeBits
+	srv.PrecodeCache = *precodeCache
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

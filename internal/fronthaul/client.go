@@ -10,6 +10,7 @@ import (
 
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
+	"quamax/internal/precoding"
 )
 
 // Client is the AP side of the fronthaul. It is safe for concurrent use:
@@ -286,6 +287,93 @@ func (c *Client) DecodeWithChannel(rc *RemoteChannel, y []complex128, deadline t
 			DeadlineMicros: deadlineMicros, TargetBER: target,
 		})
 	})
+}
+
+// PrecodeResponse is one solved downlink vector-perturbation search.
+type PrecodeResponse struct {
+	// V is the chosen perturbation vector, one complex integer per user.
+	V []complex128
+	// PerturbMod is the constellation the solution bits were drawn from
+	// (identifies the alphabet depth the server actually used).
+	PerturbMod modulation.Modulation
+	// Energy is the minimized transmit power γ = ‖P(s+τv)‖².
+	Energy float64
+	// ComputeMicros, Backend and Batched carry the same solver metadata as
+	// DecodeResponse.
+	ComputeMicros float64
+	Backend       string
+	Batched       int
+}
+
+// precodeResponse converts a wire decode-response into a PrecodeResponse,
+// inferring the perturbation alphabet the server used from the solution bit
+// count (users · 2 · bits).
+func precodeResponse(users int, resp *DecodeResponse) (*PrecodeResponse, error) {
+	if users < 1 || len(resp.Bits)%(2*users) != 0 {
+		return nil, fmt.Errorf("fronthaul: precode response has %d solution bits for %d users", len(resp.Bits), users)
+	}
+	pam, err := precoding.PerturbModulation(len(resp.Bits) / (2 * users))
+	if err != nil {
+		return nil, fmt.Errorf("fronthaul: precode response alphabet: %w", err)
+	}
+	return &PrecodeResponse{
+		V:             precoding.PerturbationFromGrayBits(pam, resp.Bits),
+		PerturbMod:    pam,
+		Energy:        resp.Energy,
+		ComputeMicros: resp.ComputeMicros,
+		Backend:       resp.Backend,
+		Batched:       resp.Batched,
+	}, nil
+}
+
+// Precode ships one downlink vector-perturbation search to the data center
+// (protocol v5): find the perturbation v minimizing the transmit power of
+// user-data symbol vector s through downlink channel h (one row per user).
+// perturbBits selects the alphabet depth (0 = server default); deadline and
+// targetBER carry the usual QoS contract. The caller forms the transmit
+// vector from the returned perturbation (precoding.Program.Transmit).
+func (c *Client) Precode(mod modulation.Modulation, h *linalg.Mat, s []complex128, perturbBits int, deadline time.Duration, targetBER float64) (*PrecodeResponse, error) {
+	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.decodeRoundTrip(msgPrecodeRequest, func(id uint64) ([]byte, error) {
+		return encodePrecode(&PrecodeRequest{
+			ID: id, Mod: mod, PerturbBits: perturbBits, H: h, S: s,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return precodeResponse(len(s), resp)
+}
+
+// PrecodeWithChannel is Precode against a registered channel (the downlink
+// mirror of DecodeWithChannel): the coherence window's H ships once and each
+// symbol vector is an O(Nu) frame the data center precodes through its
+// compiled VP program.
+func (c *Client) PrecodeWithChannel(rc *RemoteChannel, s []complex128, perturbBits int, deadline time.Duration, targetBER float64) (*PrecodeResponse, error) {
+	if rc == nil || rc.c != c {
+		return nil, errors.New("fronthaul: channel not registered on this client")
+	}
+	if len(s) != rc.rows {
+		return nil, fmt.Errorf("fronthaul: symbol vector has %d entries, channel serves %d users", len(s), rc.rows)
+	}
+	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.decodeRoundTrip(msgPrecodeByChannel, func(id uint64) ([]byte, error) {
+		return encodePrecodeByChannel(&PrecodeByChannelRequest{
+			ID: id, Handle: rc.handle, PerturbBits: perturbBits, S: s,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return precodeResponse(len(s), resp)
 }
 
 // abandonRegister drops a pending registration slot after a local failure.

@@ -18,6 +18,7 @@ import (
 	"quamax/internal/linalg"
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
+	"quamax/internal/precoding"
 	"quamax/internal/qos"
 	"quamax/internal/rng"
 	"quamax/internal/sched"
@@ -716,5 +717,263 @@ func TestRegisterChannelEvictsOldest(t *testing.T) {
 	}
 	if _, err := client.DecodeWithChannel(last, y, 0, 0); err != nil {
 		t.Fatalf("newest handle broken: %v", err)
+	}
+}
+
+// --- Protocol v5: downlink precode frames ---------------------------------
+
+func TestPrecodeCodecRoundTrip(t *testing.T) {
+	src := rng.New(540)
+	h := channel.Rayleigh{}.Generate(src, 2, 3)
+	req := &PrecodeRequest{
+		ID: 77, Mod: modulation.QPSK, PerturbBits: 2, H: h,
+		S: []complex128{1 + 1i, -1 - 1i}, DeadlineMicros: 1500, TargetBER: 1e-3,
+	}
+	payload, err := encodePrecode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodePrecode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 77 || back.Mod != modulation.QPSK || back.PerturbBits != 2 ||
+		back.DeadlineMicros != 1500 || back.TargetBER != 1e-3 {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if linalg.MaxAbsDiff(h, back.H) != 0 {
+		t.Fatal("H mismatch")
+	}
+	for i := range req.S {
+		if back.S[i] != req.S[i] {
+			t.Fatal("S mismatch")
+		}
+	}
+
+	// Corruption rejection.
+	if _, err := decodePrecode(payload[:len(payload)-5]); err == nil {
+		t.Fatal("truncated precode request accepted")
+	}
+	if _, err := decodePrecode(append(append([]byte(nil), payload...), 9)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[9] = 99 // perturbation bits out of range
+	if _, err := decodePrecode(bad); err == nil {
+		t.Fatal("bad perturbation bits accepted")
+	}
+	if _, err := encodePrecode(&PrecodeRequest{Mod: modulation.QPSK, H: h, S: []complex128{1}}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// More users than antennas is a request error (compile rejects it with a
+	// per-request response), NOT a framing error — it must pass the codec so
+	// it cannot tear down a shared connection.
+	wide := channel.Rayleigh{}.Generate(src, 3, 2)
+	widePayload, err := encodePrecode(&PrecodeRequest{
+		ID: 1, Mod: modulation.QPSK, H: wide, S: []complex128{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePrecode(widePayload); err != nil {
+		t.Fatalf("users > antennas must decode (and fail at compile): %v", err)
+	}
+}
+
+func TestPrecodeByChannelCodecRoundTrip(t *testing.T) {
+	req := &PrecodeByChannelRequest{
+		ID: 9, Handle: 4, PerturbBits: 1,
+		S: []complex128{3 - 1i, -3 + 3i}, DeadlineMicros: 10, TargetBER: 1e-2,
+	}
+	payload, err := encodePrecodeByChannel(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodePrecodeByChannel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 9 || back.Handle != 4 || back.PerturbBits != 1 ||
+		back.DeadlineMicros != 10 || back.TargetBER != 1e-2 || len(back.S) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := decodePrecodeByChannel(payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	if _, err := encodePrecodeByChannel(&PrecodeByChannelRequest{ID: 1}); err == nil {
+		t.Fatal("empty symbol vector accepted")
+	}
+}
+
+// precodeTestBench builds a pool server around one annealer decoder plus the
+// downlink fixtures shared by the v5 end-to-end tests.
+func precodeTestBench(t *testing.T, users, antennas int) (*Server, *Client, *linalg.Mat) {
+	t.Helper()
+	dec := testDecoder(t)
+	server := NewServer(dec, 9)
+	t.Cleanup(func() { server.Close() })
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	t.Cleanup(func() { client.Close() })
+	h := channel.Rayleigh{}.Generate(rng.New(int64(users*100+antennas)), users, antennas)
+	return server, client, h
+}
+
+// TestPrecodeOverWire runs the self-contained v5 flow end to end: the
+// returned perturbation is in-alphabet and its transmit power matches the
+// reported energy, and repeating the window hits the server's VP-program
+// cache.
+func TestPrecodeOverWire(t *testing.T) {
+	const users = 3
+	mod := modulation.QPSK
+	server, client, h := precodeTestBench(t, users, users+1)
+
+	src := rng.New(541)
+	prog, err := precoding.Compile(mod, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sym := 0; sym < 3; sym++ {
+		s := mod.MapGrayVector(src.Bits(users * mod.BitsPerSymbol()))
+		resp, err := client.Precode(mod, h, s, 1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.PerturbMod != modulation.QPSK {
+			t.Fatalf("alphabet %v, want QPSK", resp.PerturbMod)
+		}
+		if len(resp.V) != users {
+			t.Fatalf("perturbation has %d entries", len(resp.V))
+		}
+		for _, v := range resp.V {
+			if math.Abs(real(v)) > 1 || math.Abs(imag(v)) > 1 {
+				t.Fatalf("perturbation %v outside 1-bit alphabet", v)
+			}
+		}
+		if direct := prog.Gamma(s, resp.V); math.Abs(direct-resp.Energy) > 1e-9*(1+direct) {
+			t.Fatalf("energy %g != transmit power %g", resp.Energy, direct)
+		}
+		if resp.Backend == "" || resp.ComputeMicros <= 0 {
+			t.Fatalf("solver metadata missing: %+v", resp)
+		}
+	}
+	st := server.PrecodeCacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("VP program cache stats %+v, want 1 miss + 2 hits", st)
+	}
+	// A users > antennas channel fails per-request (compile error) without
+	// killing the shared connection.
+	wide := channel.Rayleigh{}.Generate(src, 4, 2)
+	if _, err := client.Precode(mod, wide, make([]complex128, 4), 1, 0, 0); err == nil {
+		t.Fatal("wide channel accepted")
+	}
+	s := mod.MapGrayVector(src.Bits(users * mod.BitsPerSymbol()))
+	if _, err := client.Precode(mod, h, s, 1, 0, 0); err != nil {
+		t.Fatalf("connection unusable after wide-channel error: %v", err)
+	}
+}
+
+// TestPrecodeWithChannelOverWire runs the registered-channel v5 flow and
+// checks interleaving with uplink decodes on the same handle.
+func TestPrecodeWithChannelOverWire(t *testing.T) {
+	const users = 3
+	mod := modulation.QPSK
+	_, client, h := precodeTestBench(t, users, users)
+
+	rc, err := client.RegisterChannel(mod, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(542)
+	for sym := 0; sym < 2; sym++ {
+		s := mod.MapGrayVector(src.Bits(users * mod.BitsPerSymbol()))
+		resp, err := client.PrecodeWithChannel(rc, s, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Server default alphabet applies when the request leaves bits 0;
+		// the client infers it from the solution bit count.
+		if resp.PerturbMod != modulation.QPSK {
+			t.Fatalf("alphabet %v, want server default QPSK", resp.PerturbMod)
+		}
+		if len(resp.V) != users {
+			t.Fatalf("perturbation has %d entries", len(resp.V))
+		}
+	}
+	// The same registered handle still serves uplink decodes.
+	bits := src.Bits(users * mod.BitsPerSymbol())
+	y := linalg.MulVec(h, mod.MapGrayVector(bits))
+	dresp, err := client.DecodeWithChannel(rc, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if dresp.Bits[i] != bits[i] {
+			t.Fatal("uplink decode wrong after precodes")
+		}
+	}
+	// Shape and handle errors fail cleanly without killing the connection.
+	if _, err := client.PrecodeWithChannel(rc, []complex128{1}, 0, 0, 0); err == nil {
+		t.Fatal("short s accepted")
+	}
+	bogus := &RemoteChannel{c: client, handle: 777, mod: mod, rows: users}
+	if _, err := client.PrecodeWithChannel(bogus, make([]complex128, users), 0, 0, 0); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+	s := mod.MapGrayVector(src.Bits(users * mod.BitsPerSymbol()))
+	if _, err := client.PrecodeWithChannel(rc, s, 0, 0, 0); err != nil {
+		t.Fatalf("connection unusable after errors: %v", err)
+	}
+}
+
+// Precode problems must reach the dispatcher tagged with the VP channel key
+// (not the raw downlink channel's), so the pool batches same-window searches.
+func TestPrecodeCarriesVPChannelKey(t *testing.T) {
+	var mu sync.Mutex
+	var got []*backend.Problem
+	server := NewPoolServer(dispatcherFunc(func(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+		return &backend.Result{Bits: make([]byte, p.LogicalSpins()), Backend: "fake", Batched: 1}, nil
+	}))
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	const users = 2
+	mod := modulation.QPSK
+	h := channel.Rayleigh{}.Generate(rng.New(99), users, users)
+	prog, err := precoding.Compile(mod, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := make([]complex128, users)
+	for i := range s {
+		s[i] = 1 + 1i
+	}
+	if _, err := client.Precode(mod, h, s, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := client.RegisterChannel(mod, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PrecodeWithChannel(rc, s, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("dispatcher saw %d problems", len(got))
+	}
+	for i, p := range got {
+		if p.ChannelKey != prog.Key() {
+			t.Fatalf("problem %d carries key %d, want VP key %d", i, p.ChannelKey, prog.Key())
+		}
+		if p.Mod != prog.PerturbMod() {
+			t.Fatalf("problem %d carries mod %v, want %v", i, p.Mod, prog.PerturbMod())
+		}
 	}
 }

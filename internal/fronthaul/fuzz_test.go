@@ -1,0 +1,179 @@
+package fronthaul
+
+import (
+	"bytes"
+	"testing"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// fuzzSeedFrames builds one valid payload per frame type of every protocol
+// generation still accepted on the wire (v2–v5), so the fuzzer starts from
+// the real grammar instead of random bytes: self-contained decode requests
+// with (v3+) and without (v2) the target-BER field, the v4 coherence frames,
+// the v5 precode frames, and both response shapes.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	h := linalg.MatFromRows([][]complex128{
+		{1 + 2i, -0.5},
+		{0.25i, 3 - 1i},
+		{-1, 0.125 + 0.5i},
+	})
+	y := []complex128{1 - 1i, 0.5, -2i}
+	s := []complex128{1 + 1i, -1 - 1i}
+	down := linalg.MatFromRows([][]complex128{
+		{1 + 2i, -0.5, 0.25i},
+		{1i, 3 - 1i, -1},
+	})
+
+	frame := func(msgType uint8, payload []byte, err error) []byte {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return append([]byte{msgType}, payload...)
+	}
+	v3, err := encodeRequest(&DecodeRequest{ID: 1, Mod: modulation.QAM16, H: h, Y: y,
+		DeadlineMicros: 1500, TargetBER: 1e-4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	precodePayload, err := encodePrecode(&PrecodeRequest{ID: 4, Mod: modulation.QPSK, PerturbBits: 2,
+		H: down, S: s, DeadlineMicros: 2000, TargetBER: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	precodeByChan, err := encodePrecodeByChannel(&PrecodeByChannelRequest{ID: 5, Handle: 1,
+		PerturbBits: 1, S: s})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	byChan, err := encodeDecodeByChannel(&DecodeByChannelRequest{ID: 3, Handle: 9, Y: y,
+		DeadlineMicros: 10, TargetBER: 1e-3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	register, err := encodeRegisterChannel(&RegisterChannelRequest{ID: 2, Mod: modulation.QPSK, H: h})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds := [][]byte{
+		frame(msgDecodeRequest, v3, nil),
+		// A v2 peer's request ends at the deadline field.
+		append([]byte{msgDecodeRequest}, v3[:len(v3)-8]...),
+		frame(msgRegisterChannel, register, nil),
+		frame(msgDecodeByChannel, byChan, nil),
+		frame(msgPrecodeRequest, precodePayload, nil),
+		frame(msgPrecodeByChannel, precodeByChan, nil),
+		frame(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: 6, Bits: []byte{1, 0, 1, 1},
+			Energy: 2.5, ComputeMicros: 12, Backend: "qpu0", Batched: 2}), nil),
+		frame(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: 7, Err: "boom"}), nil),
+		frame(msgRegisterResponse, encodeRegisterResponse(&RegisterChannelResponse{ID: 8, Handle: 4}), nil),
+		// Malformed shapes the decoders must reject without panicking.
+		{msgDecodeRequest},
+		{msgPrecodeRequest, 0, 0, 0},
+		frame(99, []byte{1, 2, 3}, nil), // unknown type
+		append([]byte{msgDecodeRequest}, bytes.Repeat([]byte{0xff}, 40)...),
+	}
+	return seeds
+}
+
+// FuzzDecodeFrame fuzzes the wire grammar: the first byte selects the frame
+// type, the rest is the payload handed to that type's decoder (the exact
+// situation of a server or client read loop after readFrame). No input may
+// panic, and any payload a decoder accepts must survive a re-encode +
+// re-decode round trip — the invariant that keeps v2–v5 compatibility
+// honest.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		msgType, payload := data[0], data[1:]
+		switch msgType {
+		case msgDecodeRequest:
+			req, err := decodeRequest(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeRequest(req)
+			if err != nil {
+				t.Fatalf("accepted request does not re-encode: %v", err)
+			}
+			if _, err := decodeRequest(re); err != nil {
+				t.Fatalf("re-encoded request does not decode: %v", err)
+			}
+		case msgRegisterChannel:
+			req, err := decodeRegisterChannel(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeRegisterChannel(req)
+			if err != nil {
+				t.Fatalf("accepted register-channel does not re-encode: %v", err)
+			}
+			if _, err := decodeRegisterChannel(re); err != nil {
+				t.Fatalf("re-encoded register-channel does not decode: %v", err)
+			}
+		case msgDecodeByChannel:
+			req, err := decodeDecodeByChannel(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeDecodeByChannel(req)
+			if err != nil {
+				t.Fatalf("accepted decode-by-channel does not re-encode: %v", err)
+			}
+			if _, err := decodeDecodeByChannel(re); err != nil {
+				t.Fatalf("re-encoded decode-by-channel does not decode: %v", err)
+			}
+		case msgPrecodeRequest:
+			req, err := decodePrecode(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodePrecode(req)
+			if err != nil {
+				t.Fatalf("accepted precode request does not re-encode: %v", err)
+			}
+			if _, err := decodePrecode(re); err != nil {
+				t.Fatalf("re-encoded precode request does not decode: %v", err)
+			}
+		case msgPrecodeByChannel:
+			req, err := decodePrecodeByChannel(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodePrecodeByChannel(req)
+			if err != nil {
+				t.Fatalf("accepted precode-by-channel does not re-encode: %v", err)
+			}
+			if _, err := decodePrecodeByChannel(re); err != nil {
+				t.Fatalf("re-encoded precode-by-channel does not decode: %v", err)
+			}
+		case msgDecodeResponse:
+			resp, err := decodeResponse(payload)
+			if err != nil {
+				return
+			}
+			if _, err := decodeResponse(encodeResponse(resp)); err != nil {
+				t.Fatalf("re-encoded response does not decode: %v", err)
+			}
+		case msgRegisterResponse:
+			resp, err := decodeRegisterResponse(payload)
+			if err != nil {
+				return
+			}
+			if _, err := decodeRegisterResponse(encodeRegisterResponse(resp)); err != nil {
+				t.Fatalf("re-encoded register response does not decode: %v", err)
+			}
+		}
+		// Whatever the type, the framing layer itself must stay panic-free on
+		// the raw bytes (truncated headers, forged lengths).
+		_, _, _ = readFrame(bytes.NewReader(data))
+	})
+}

@@ -24,6 +24,7 @@ import (
 
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
+	"quamax/internal/precoding"
 )
 
 // ProtocolVersion is the fronthaul framing generation. Version 2 added the
@@ -36,10 +37,15 @@ import (
 // vectors against the returned handle (decode-by-channel), letting the data
 // center compile the channel once and decode many symbols through it.
 // Version-3 decode requests (self-contained H + y) are still accepted
-// unchanged. Peers speaking a newer version may emit frame types this
+// unchanged. Version 5 opened the downlink: precode-request frames carry a
+// user-data symbol vector (self-contained with H, or against a registered
+// channel handle) and the data center answers with the vector-perturbation
+// solution of internal/precoding, reusing the decode-response framing
+// (solution bits + energy = transmit power γ). Version-4 and older payloads
+// all still decode. Peers speaking a newer version may emit frame types this
 // implementation does not know; the client surfaces those as protocol errors
 // rather than discarding them silently.
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // Message types.
 const (
@@ -48,6 +54,8 @@ const (
 	msgRegisterChannel  uint8 = 3
 	msgRegisterResponse uint8 = 4
 	msgDecodeByChannel  uint8 = 5
+	msgPrecodeRequest   uint8 = 6
+	msgPrecodeByChannel uint8 = 7
 )
 
 // MaxFrameBytes bounds a frame payload; a 64×64 64-QAM request is ~130 KiB,
@@ -120,6 +128,41 @@ type DecodeByChannelRequest struct {
 	Y      []complex128
 	// DeadlineMicros and TargetBER carry the same per-decode QoS contract as
 	// DecodeRequest.
+	DeadlineMicros float64
+	TargetBER      float64
+}
+
+// PrecodeRequest is one downlink vector-perturbation search shipped to the
+// data center (protocol v5): find the perturbation minimizing the transmit
+// power of user-data symbol vector S through the downlink channel H
+// (Nu users × Nt antennas). The response reuses DecodeResponse framing: Bits
+// are the Gray solution bits of the perturbation constellation
+// (precoding.PerturbationFromGrayBits decodes them) and Energy is the
+// minimized transmit power γ = ‖P(s+τv)‖².
+type PrecodeRequest struct {
+	ID  uint64
+	Mod modulation.Modulation
+	// PerturbBits is the perturbation alphabet depth per dimension
+	// (0 = server default).
+	PerturbBits int
+	H           *linalg.Mat
+	S           []complex128
+	// DeadlineMicros and TargetBER carry the same per-request QoS contract
+	// as DecodeRequest.
+	DeadlineMicros float64
+	TargetBER      float64
+}
+
+// PrecodeByChannelRequest is the coherence-window form of PrecodeRequest:
+// one user-data symbol vector against a previously registered channel
+// handle, shrinking the per-vector fronthaul payload from O(Nu·Nt) to
+// O(Nu) — the downlink mirror of DecodeByChannelRequest.
+type PrecodeByChannelRequest struct {
+	ID     uint64
+	Handle uint64
+	// PerturbBits is the perturbation alphabet depth (0 = server default).
+	PerturbBits    int
+	S              []complex128
 	DeadlineMicros float64
 	TargetBER      float64
 }
@@ -430,6 +473,155 @@ func decodeDecodeByChannel(payload []byte) (*DecodeByChannelRequest, error) {
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in decode-by-channel request")
+	}
+	return req, nil
+}
+
+// encodePrecode serializes a PrecodeRequest payload.
+func encodePrecode(req *PrecodeRequest) ([]byte, error) {
+	if req.H == nil || req.H.Rows != len(req.S) {
+		return nil, errors.New("fronthaul: precode request shape mismatch")
+	}
+	if req.PerturbBits < 0 || req.PerturbBits > precoding.MaxPerturbBits {
+		return nil, fmt.Errorf("fronthaul: perturbation bits %d outside [0,%d]",
+			req.PerturbBits, precoding.MaxPerturbBits)
+	}
+	b := make([]byte, 0, 8+2+4+16*len(req.H.Data)+16*len(req.S)+16)
+	b = appendU64(b, req.ID)
+	b = append(b, byte(req.Mod), byte(req.PerturbBits))
+	b = appendU16(b, uint16(req.H.Rows))
+	b = appendU16(b, uint16(req.H.Cols))
+	for _, v := range req.H.Data {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	for _, v := range req.S {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
+	return b, nil
+}
+
+// decodePrecode parses a PrecodeRequest payload.
+func decodePrecode(payload []byte) (*PrecodeRequest, error) {
+	r := &reader{b: payload}
+	req := &PrecodeRequest{ID: r.u64()}
+	hdr := r.bytes(2)
+	if r.err != nil {
+		return nil, r.err
+	}
+	req.Mod = modulation.Modulation(hdr[0])
+	if _, err := modulation.Parse(req.Mod.String()); err != nil {
+		return nil, fmt.Errorf("fronthaul: bad modulation byte %d", hdr[0])
+	}
+	req.PerturbBits = int(hdr[1])
+	if req.PerturbBits > precoding.MaxPerturbBits {
+		return nil, fmt.Errorf("fronthaul: perturbation bits %d outside [0,%d]",
+			req.PerturbBits, precoding.MaxPerturbBits)
+	}
+	rows := int(r.u16())
+	cols := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rows < 1 || cols < 1 {
+		return nil, errors.New("fronthaul: empty channel matrix")
+	}
+	// A users > antennas shape is a *request* error, not a framing error:
+	// precoding.Compile rejects it and the server answers per-request, so
+	// one bad argument does not tear down a shared pipelined connection.
+	// Bound the allocation by what the payload can actually hold (16 bytes
+	// per complex entry) before trusting the header-declared shape.
+	if rows*cols > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: %d×%d channel exceeds payload", rows, cols)
+	}
+	req.H = linalg.NewMat(rows, cols)
+	for i := range req.H.Data {
+		re, im := r.f64(), r.f64()
+		req.H.Data[i] = complex(re, im)
+	}
+	req.S = make([]complex128, rows)
+	for i := range req.S {
+		re, im := r.f64(), r.f64()
+		req.S[i] = complex(re, im)
+	}
+	req.DeadlineMicros = r.f64()
+	req.TargetBER = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
+		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
+	}
+	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
+		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in precode request")
+	}
+	return req, nil
+}
+
+// encodePrecodeByChannel serializes a PrecodeByChannelRequest payload.
+func encodePrecodeByChannel(req *PrecodeByChannelRequest) ([]byte, error) {
+	if len(req.S) < 1 {
+		return nil, errors.New("fronthaul: empty symbol vector")
+	}
+	if req.PerturbBits < 0 || req.PerturbBits > precoding.MaxPerturbBits {
+		return nil, fmt.Errorf("fronthaul: perturbation bits %d outside [0,%d]",
+			req.PerturbBits, precoding.MaxPerturbBits)
+	}
+	b := make([]byte, 0, 8+8+1+4+16*len(req.S)+16)
+	b = appendU64(b, req.ID)
+	b = appendU64(b, req.Handle)
+	b = append(b, byte(req.PerturbBits))
+	b = appendU32(b, uint32(len(req.S)))
+	for _, v := range req.S {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
+	return b, nil
+}
+
+// decodePrecodeByChannel parses a PrecodeByChannelRequest payload.
+func decodePrecodeByChannel(payload []byte) (*PrecodeByChannelRequest, error) {
+	r := &reader{b: payload}
+	req := &PrecodeByChannelRequest{ID: r.u64(), Handle: r.u64()}
+	bits := r.bytes(1)
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	req.PerturbBits = int(bits[0])
+	if req.PerturbBits > precoding.MaxPerturbBits {
+		return nil, fmt.Errorf("fronthaul: perturbation bits %d outside [0,%d]",
+			req.PerturbBits, precoding.MaxPerturbBits)
+	}
+	if n < 1 || n > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: bad symbol-vector length %d", n)
+	}
+	req.S = make([]complex128, n)
+	for i := range req.S {
+		re, im := r.f64(), r.f64()
+		req.S[i] = complex(re, im)
+	}
+	req.DeadlineMicros = r.f64()
+	req.TargetBER = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
+		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
+	}
+	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
+		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in precode-by-channel request")
 	}
 	return req, nil
 }

@@ -14,6 +14,7 @@ import (
 	"quamax/internal/linalg"
 	"quamax/internal/metrics"
 	"quamax/internal/modulation"
+	"quamax/internal/precoding"
 	"quamax/internal/sched"
 )
 
@@ -25,15 +26,48 @@ type Dispatcher interface {
 }
 
 // Server is the data-center side: it accepts fronthaul connections and runs
-// each decode request through the QPU pool scheduler, which owns the backend
-// workers (simulated QPUs and classical solvers) and the deadline-aware
-// hybrid dispatch.
+// each decode or precode request through the QPU pool scheduler, which owns
+// the backend workers (simulated QPUs and classical solvers) and the
+// deadline-aware hybrid dispatch.
 type Server struct {
 	disp  Dispatcher
 	owned *sched.Scheduler // set when the server built its own pool
 
 	// Logf receives diagnostic messages; nil silences them.
 	Logf func(format string, args ...interface{})
+
+	// PrecodeBits is the default perturbation alphabet depth for precode
+	// requests that leave theirs zero (0 = precoding.DefaultPerturbBits).
+	// Set before Serve.
+	PrecodeBits int
+	// PrecodeCache bounds the compiled-VP-program LRU shared by all
+	// connections (0 = precoding.DefaultCache). Set before Serve.
+	PrecodeCache int
+
+	precodeOnce     sync.Once
+	precodePrograms *precoding.Cache
+}
+
+// precodeProgram resolves the compiled VP program for one precode request
+// through the server-wide LRU, so every symbol vector of a coherence window
+// pays the channel inversion and coupling compile once.
+func (s *Server) precodeProgram(mod modulation.Modulation, h *linalg.Mat, bits int) (*precoding.Program, error) {
+	s.precodeOnce.Do(func() {
+		s.precodePrograms = precoding.NewCache(s.PrecodeCache)
+	})
+	if bits == 0 {
+		bits = s.PrecodeBits
+	}
+	return s.precodePrograms.Get(mod, h, bits)
+}
+
+// PrecodeCacheStats snapshots the compiled-VP-program LRU counters (zero
+// before the first precode request).
+func (s *Server) PrecodeCacheStats() metrics.ChannelCacheStats {
+	s.precodeOnce.Do(func() {
+		s.precodePrograms = precoding.NewCache(s.PrecodeCache)
+	})
+	return s.precodePrograms.Stats()
 }
 
 // NewServer wraps a single QuAMax decoder as a one-QPU pool — the paper's
@@ -190,6 +224,63 @@ func (s *Server) handleConn(conn net.Conn) {
 			chanMu.Unlock()
 			write(msgRegisterResponse, encodeRegisterResponse(
 				&RegisterChannelResponse{ID: req.ID, Handle: handle}))
+
+		case msgPrecodeRequest:
+			req, err := decodePrecode(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			// Program resolution (O(Nu³) channel inversion on an LRU miss)
+			// runs in the request goroutine like every other heavy stage, so
+			// it cannot head-of-line-block pipelined frames.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prog, err := s.precodeProgram(req.Mod, req.H, req.PerturbBits)
+				if err != nil {
+					write(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: req.ID, Err: err.Error()}))
+					return
+				}
+				p := prog.Problem(req.S)
+				p.TargetBER = req.TargetBER
+				resp := s.process(ctx, req.ID, p, req.DeadlineMicros)
+				write(msgDecodeResponse, encodeResponse(resp))
+			}()
+
+		case msgPrecodeByChannel:
+			req, err := decodePrecodeByChannel(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			chanMu.Lock()
+			rc := channels[req.Handle]
+			chanMu.Unlock()
+			if rc == nil {
+				write(msgDecodeResponse, encodeResponse(&DecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("unknown channel handle %d", req.Handle)}))
+				continue
+			}
+			if len(req.S) != rc.h.Rows {
+				write(msgDecodeResponse, encodeResponse(&DecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("symbol vector has %d entries, channel serves %d users",
+						len(req.S), rc.h.Rows)}))
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prog, err := s.precodeProgram(rc.mod, rc.h, req.PerturbBits)
+				if err != nil {
+					write(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: req.ID, Err: err.Error()}))
+					return
+				}
+				p := prog.Problem(req.S)
+				p.TargetBER = req.TargetBER
+				resp := s.process(ctx, req.ID, p, req.DeadlineMicros)
+				write(msgDecodeResponse, encodeResponse(resp))
+			}()
 
 		case msgDecodeByChannel:
 			req, err := decodeDecodeByChannel(payload)

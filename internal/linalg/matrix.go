@@ -324,3 +324,13 @@ func PseudoInverse(a *Mat) (*Mat, error) {
 	}
 	return Mul(gramInv, ConjTranspose(a)), nil
 }
+
+// RightPseudoInverse returns aᴴ(aaᴴ)⁻¹, the right pseudo-inverse (a·R = I)
+// used by the downlink channel-inversion precoder. Requires full row rank.
+func RightPseudoInverse(a *Mat) (*Mat, error) {
+	gramInv, err := Inverse(Gram(ConjTranspose(a)))
+	if err != nil {
+		return nil, err
+	}
+	return Mul(ConjTranspose(a), gramInv), nil
+}

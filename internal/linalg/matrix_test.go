@@ -165,6 +165,21 @@ func TestPseudoInverseLeftInverse(t *testing.T) {
 	}
 }
 
+func TestRightPseudoInverseRightInverse(t *testing.T) {
+	src := rng.New(81)
+	a := randMat(src, 4, 8)
+	pinv, err := RightPseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(Mul(a, pinv), Identity(4)); d > 1e-8 {
+		t.Fatalf("A·pinv != I, diff %g", d)
+	}
+	if _, err := RightPseudoInverse(NewMat(2, 3)); err == nil {
+		t.Fatal("rank-deficient matrix accepted")
+	}
+}
+
 func TestQRProperties(t *testing.T) {
 	src := rng.New(9)
 	for trial := 0; trial < 20; trial++ {

@@ -1,0 +1,111 @@
+package precoding
+
+import (
+	"container/list"
+	"sync"
+
+	"quamax/internal/core"
+	"quamax/internal/linalg"
+	"quamax/internal/metrics"
+	"quamax/internal/modulation"
+)
+
+// DefaultCache is the compiled-VP-program LRU capacity when a Cache is built
+// with size zero — matching the decoder's compiled-channel default, so one
+// serving process recognizes the same number of concurrent coherence windows
+// on the downlink as on the uplink.
+const DefaultCache = core.DefaultChannelCache
+
+// cacheKey identifies one VP program family: the downlink channel
+// fingerprint (over the data modulation and H's exact bits) plus the
+// perturbation depth, which changes the alphabet and therefore the program.
+type cacheKey struct {
+	ck   core.ChannelKey
+	bits int
+}
+
+// Cache is a fingerprint-keyed LRU of compiled VP programs. It amortizes the
+// channel inversion and coupling compile across the symbol vectors of a
+// coherence window for callers that receive self-contained (mod, H, s)
+// requests — the fronthaul server and the Precoder. Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[cacheKey]*list.Element
+	lru       *list.List // of *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	prog *Program
+}
+
+// NewCache returns an LRU holding up to capacity compiled programs
+// (0 selects DefaultCache).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCache
+	}
+	return &Cache{
+		cap: capacity,
+		m:   make(map[cacheKey]*list.Element),
+		lru: list.New(),
+	}
+}
+
+// Get returns the compiled program for (dataMod, h, bits), compiling and
+// inserting on a miss. bits = 0 selects DefaultPerturbBits. Equal
+// fingerprints must mean identical channels (the same contract as the
+// decoder's compiled-channel cache); the canonical case is a caller
+// re-presenting the same estimated H for every symbol vector of a window.
+func (c *Cache) Get(dataMod modulation.Modulation, h *linalg.Mat, bits int) (*Program, error) {
+	if bits == 0 {
+		bits = DefaultPerturbBits
+	}
+	key := cacheKey{ck: core.FingerprintChannel(dataMod, h), bits: bits}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		prog := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		return prog, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock: the channel inversion is O(Nu³) and must not
+	// stall concurrent lookups.
+	prog, err := Compile(dataMod, h, bits)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// A concurrent Get won the race; keep the incumbent so every caller
+		// shares one program (and its coupling storage).
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).prog, nil
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, prog: prog})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return prog, nil
+}
+
+// Stats snapshots the cache counters in the same shape as the decoder's
+// compiled-channel cache, so pool observability can aggregate both.
+func (c *Cache) Stats() metrics.ChannelCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return metrics.ChannelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

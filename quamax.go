@@ -36,6 +36,7 @@ import (
 	"quamax/internal/metrics"
 	"quamax/internal/mimo"
 	"quamax/internal/modulation"
+	"quamax/internal/precoding"
 	"quamax/internal/rng"
 )
 
@@ -119,6 +120,28 @@ type InstanceConfig struct {
 
 // NoiseFree is the SNRdB value that disables channel noise.
 func NoiseFree() float64 { return math.Inf(1) }
+
+// Precoder is the downlink vector-perturbation precoder: it solves the
+// NP-hard transmit-power search min_v ‖H⁺(s+τv)‖² on a Decoder with the
+// same compile/execute economics as uplink decoding (see
+// internal/precoding).
+type Precoder = precoding.Precoder
+
+// VPProgram is one compiled downlink coherence window: the channel
+// inversion, the equivalent uplink Ising couplings, and the coherence
+// fingerprint.
+type VPProgram = precoding.Program
+
+// VPResult is one solved vector-perturbation search: the perturbation, the
+// precoded transmit vector, and the minimized transmit power γ.
+type VPResult = precoding.Result
+
+// NewPrecoder wraps a decoder as a VP precoder. perturbBits selects the
+// perturbation alphabet depth per dimension (0 = 1 bit, v ∈ {−1,0}²);
+// cacheSize bounds the compiled-program LRU (0 = default).
+func NewPrecoder(dec *Decoder, perturbBits, cacheSize int) (*Precoder, error) {
+	return precoding.NewPrecoder(dec, perturbBits, cacheSize)
+}
 
 // NewInstance draws one channel use: random data bits, a channel from the
 // configured model, AWGN at the requested SNR.

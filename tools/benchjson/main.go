@@ -1,35 +1,68 @@
 // Command benchjson runs the repository's tier-1 benchmarks and writes a
 // machine-readable JSON summary, so the performance trajectory across PRs
 // has concrete data points instead of prose claims. The default selection
-// covers the coherence-window acceptance benchmark and the decode-path
-// micro-benchmarks it amortizes; -bench overrides it with any `go test
-// -bench` regular expression.
+// covers the coherence-window and precode-window acceptance benchmarks and
+// the decode-path micro-benchmarks they amortize; -bench overrides it with
+// any `go test -bench` regular expression.
 //
 // Run it from the repository root:
 //
-//	go run ./tools/benchjson -out BENCH_PR3.json
+//	go run ./tools/benchjson -out BENCH_PR4.json
 //
 // Every benchmark line is parsed into its name, iteration count and metric
 // map (ns/op, B/op, custom metrics like symbols/s), preserving exactly what
 // the testing package reported.
+//
+// With -check, benchjson runs no benchmarks. Instead it audits the committed
+// BENCH_PR*.json history as a CI gate:
+//
+//   - the newest snapshot must contain the compiled-mode coherence-window
+//     (symbols/s) and precode-window (precodes/s) acceptance rows;
+//   - within the newest snapshot, compiled-mode throughput must be at least
+//     2× the per-symbol recompile mode at every window size W ≥ 14, and the
+//     precode benchmark's mean gamma must agree between modes (the
+//     equal-perturbation-quality half of the acceptance bar);
+//   - across snapshots recorded on the same goos/goarch, no headline
+//     throughput metric (any metric ending in "/s" on a compiled-mode
+//     gated-window row or a non-window benchmark) may regress more than
+//     15% from its best committed value.
+//
+// The intra-snapshot ratio checks are machine-independent; the history check
+// compares only numbers recorded into the repository, so the gate is
+// deterministic in CI.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// defaultBench selects the benchmarks the perf trajectory tracks: the
-// compile/execute acceptance benchmark plus the micro-benchmarks of the
-// stages it amortizes.
-const defaultBench = "BenchmarkCoherenceWindow|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+// defaultBench selects the benchmarks the perf trajectory tracks: the two
+// compile/execute acceptance benchmarks (uplink coherence windows, downlink
+// precode windows) plus the micro-benchmarks of the stages they amortize.
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+
+// maxRegression is the fractional headline-throughput loss tolerated against
+// the best committed snapshot before -check fails the build.
+const maxRegression = 0.15
+
+// minCompiledRatio is the required compiled/recompile throughput advantage
+// at every window size W ≥ minGatedWindow.
+const minCompiledRatio = 2.0
+
+// minGatedWindow is the smallest window size the ratio gate applies to
+// (W = 1 deliberately prices the split's overhead and is exempt).
+const minGatedWindow = 14
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -57,9 +90,19 @@ func main() {
 		bench     = flag.String("bench", defaultBench, "benchmark selection regexp (go test -bench)")
 		benchtime = flag.String("benchtime", "5x", "per-benchmark budget (go test -benchtime)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
-		out       = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		out       = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		check     = flag.Bool("check", false, "audit the committed BENCH_PR*.json history instead of running benchmarks")
 	)
 	flag.Parse()
+
+	if *check {
+		if err := checkHistory("."); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: history check ok")
+		return
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", *bench, "-benchtime", *benchtime, *pkg)
@@ -125,4 +168,185 @@ func parseMetrics(rest string) map[string]float64 {
 		metrics[fields[i+1]] = v
 	}
 	return metrics
+}
+
+// snapshot pairs a parsed history file with the PR number from its name.
+type snapshot struct {
+	path string
+	pr   int
+	Report
+}
+
+// historyFile extracts the PR ordinal from a BENCH_PR<N>.json name.
+var historyFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// windowRow destructures an acceptance-benchmark name like
+// "BenchmarkPrecodeWindow/W=14/mode=compiled".
+var windowRow = regexp.MustCompile(`^(Benchmark\w+Window)/W=(\d+)/mode=(compiled|recompile)$`)
+
+// loadHistory parses every BENCH_PR*.json in dir, ordered by PR number.
+func loadHistory(dir string) ([]snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshot
+	for _, e := range entries {
+		m := historyFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(m[1])
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		s := snapshot{path: e.Name(), pr: pr}
+		if err := json.Unmarshal(data, &s.Report); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		snaps = append(snaps, s)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].pr < snaps[j].pr })
+	return snaps, nil
+}
+
+// metric returns a named metric of a named result, if recorded.
+func (s *snapshot) metric(name, unit string) (float64, bool) {
+	for _, r := range s.Results {
+		if r.Name == name {
+			v, ok := r.Metrics[unit]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// checkHistory is the -check gate. See the package comment for the rules.
+func checkHistory(dir string) error {
+	snaps, err := loadHistory(dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no BENCH_PR*.json history found in %s", dir)
+	}
+	newest := snaps[len(snaps)-1]
+
+	var problems []string
+	problemf := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// 1. The acceptance benchmarks must be present in the newest snapshot.
+	required := map[string]string{
+		"BenchmarkCoherenceWindow": "symbols/s",
+		"BenchmarkPrecodeWindow":   "precodes/s",
+	}
+	present := map[string]bool{}
+	type window struct {
+		family string
+		w      int
+	}
+	rows := map[window]map[string]Result{} // mode → result
+	for _, r := range newest.Results {
+		m := windowRow.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		w, _ := strconv.Atoi(m[2])
+		key := window{family: m[1], w: w}
+		if rows[key] == nil {
+			rows[key] = map[string]Result{}
+		}
+		rows[key][m[3]] = r
+		if unit, ok := required[m[1]]; ok && m[3] == "compiled" {
+			if _, has := r.Metrics[unit]; has {
+				present[m[1]] = true
+			}
+		}
+	}
+	for family, unit := range required {
+		if !present[family] {
+			problemf("%s: missing compiled-mode %s rows with %q", newest.path, family, unit)
+		}
+	}
+
+	// 2. Intra-snapshot gates: compiled ≥ 2× recompile at every W ≥ 14, and
+	// equal mean gamma between precode modes (same seeds, bit-identical
+	// paths — any drift means the modes stopped solving the same problem).
+	for key, modes := range rows {
+		compiled, recompile := modes["compiled"], modes["recompile"]
+		if compiled.Name == "" || recompile.Name == "" {
+			continue
+		}
+		cg, cok := compiled.Metrics["gamma"]
+		rg, rok := recompile.Metrics["gamma"]
+		if cok && rok && math.Abs(cg-rg) > 1e-6*math.Max(1, math.Abs(rg)) {
+			problemf("%s: %s W=%d perturbation quality differs between modes (gamma %.6f vs %.6f)",
+				newest.path, key.family, key.w, cg, rg)
+		}
+		// The ratio gate only applies to families with a registered
+		// higher-is-better throughput metric; gating an unregistered family
+		// on ns/op would invert the comparison.
+		unit, ok := required[key.family]
+		if !ok || key.w < minGatedWindow {
+			continue
+		}
+		c, cok := compiled.Metrics[unit]
+		r, rok := recompile.Metrics[unit]
+		if cok && rok && !(c >= minCompiledRatio*r) {
+			problemf("%s: %s W=%d compiled %s %.1f < %g× recompile %.1f",
+				newest.path, key.family, key.w, unit, c, minCompiledRatio, r)
+		}
+	}
+
+	// 3. History: no headline throughput metric may fall >15% below its best
+	// committed value on the same platform. Headline rows are the
+	// compiled-mode window rows at gated sizes plus every non-window
+	// benchmark; recompile baselines and the W=1 overhead-pricing rows are
+	// deliberately exempt (they exist to be compared against, not to be
+	// protected, and are the noisiest rows in the set).
+	headline := func(name string) bool {
+		m := windowRow.FindStringSubmatch(name)
+		if m == nil {
+			return true
+		}
+		w, _ := strconv.Atoi(m[2])
+		return m[3] == "compiled" && w >= minGatedWindow
+	}
+	for _, old := range snaps[:len(snaps)-1] {
+		if old.GoOS != newest.GoOS || old.GoArch != newest.GoArch {
+			continue // cross-machine numbers are not comparable
+		}
+		for _, r := range old.Results {
+			if !headline(r.Name) {
+				continue
+			}
+			for unit, oldVal := range r.Metrics {
+				if !strings.HasSuffix(unit, "/s") || oldVal <= 0 {
+					continue
+				}
+				newVal, ok := newest.metric(r.Name, unit)
+				if !ok {
+					continue // benchmark or metric no longer recorded
+				}
+				if newVal < (1-maxRegression)*oldVal {
+					problemf("%s: %s %s regressed %.0f%% (%.1f → %.1f, recorded in %s)",
+						newest.path, r.Name, unit, 100*(1-newVal/oldVal), oldVal, newVal, old.path)
+				}
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchjson: "+p)
+		}
+		return fmt.Errorf("%d problem(s) in benchmark history", len(problems))
+	}
+	fmt.Printf("benchjson: audited %d snapshot(s), newest %s (%d results)\n",
+		len(snaps), newest.path, len(newest.Results))
+	return nil
 }

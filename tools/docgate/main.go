@@ -26,7 +26,8 @@ import (
 
 // fullDocPackages are the directories where every exported identifier must
 // carry a doc comment (ISSUE 2's godoc gate, extended to the compile/execute
-// split's home packages by ISSUE 3).
+// split's home packages by ISSUE 3 and to the downlink precoding subsystem
+// by ISSUE 4).
 var fullDocPackages = []string{
 	"internal/backend",
 	"internal/sched",
@@ -34,6 +35,7 @@ var fullDocPackages = []string{
 	"internal/qos",
 	"internal/reduction",
 	"internal/core",
+	"internal/precoding",
 }
 
 func main() {
