@@ -34,6 +34,7 @@ import (
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
 	"quamax/internal/sched"
+	"quamax/internal/softout"
 )
 
 // sharedEnv reuses embeddings/decoders across experiment benchmarks.
@@ -667,6 +668,71 @@ func BenchmarkPrecodeWindow(b *testing.B) {
 				b.ReportMetric(float64(precodes)/b.Elapsed().Seconds(), "precodes/s")
 				b.ReportMetric(gammaSum/float64(precodes), "gamma")
 			})
+		}
+	}
+}
+
+// BenchmarkSoftDecode prices the soft-output path against the hard decode
+// it extends, at an EQUAL anneal budget (the paper's Fig. 13 fixed-user
+// config: 14-user QPSK, Na = 100). The two modes run identical anneals on
+// identically-seeded streams; the soft mode additionally retains the read
+// ensemble and extracts per-bit LLRs (internal/softout), which is pure
+// classical post-processing — one Gray translation and one candidate-list
+// insert per read, reusing the energies the hard path already computed. The
+// acceptance bar (enforced by tools/benchjson -check against BENCH_PR5.json)
+// is soft overhead ≤ 1.5×: soft decodes/s must stay within 1.5× of hard.
+func BenchmarkSoftDecode(b *testing.B) {
+	in := benchInstance(b, modulation.QPSK, 14, 20)
+	spec := softout.Spec{NoiseVar: in.NoiseVariance()}
+	for _, mode := range []string{"hard", "soft"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			dec, err := quamax.NewDecoder(quamax.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := rng.New(3)
+			// Warm the embedding cache so placement search stays untimed.
+			if _, err := dec.Decode(in.Mod, in.H, in.Y, src); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "soft" {
+					if _, err := dec.DecodeSoft(in.Mod, in.H, in.Y, spec, src); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := dec.Decode(in.Mod, in.H, in.Y, src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decodes/s")
+		})
+	}
+}
+
+// BenchmarkSoftViterbi measures the soft-decision FEC decoder at a
+// 1,500-byte frame, the soft counterpart of BenchmarkViterbi.
+func BenchmarkSoftViterbi(b *testing.B) {
+	c := coding.NewWiFiCode()
+	src := rng.New(8)
+	data := src.Bits(12000)
+	coded := c.Encode(data)
+	llrs := make([]float64, len(coded))
+	for i, bit := range coded {
+		mag := 0.5 + 7*src.Float64()
+		if bit == 1 {
+			llrs[i] = mag
+		} else {
+			llrs[i] = -mag
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeSoft(llrs); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

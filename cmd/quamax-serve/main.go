@@ -20,7 +20,11 @@
 // sizes each QPU's compiled-channel LRU: protocol-v4 APs register an
 // estimated channel once per coherence window (fronthaul RegisterChannel)
 // and decode its symbols by handle, so the pool compiles H once and only
-// rewrites annealer biases per symbol. On SIGINT/SIGTERM the server stops
+// rewrites annealer biases per symbol. Protocol-v6 soft-decode requests
+// (per-bit LLRs from the anneal read ensemble, for soft-decision FEC chains)
+// are served by default; -soft=false rejects them cleanly and -llr-clamp
+// sets the default LLR bound / int8 quantization full scale for requests
+// that carry none. On SIGINT/SIGTERM the server stops
 // accepting connections, drains queued work, and prints the pool and planner
 // statistics.
 package main
@@ -65,6 +69,9 @@ func main() {
 
 		precodeBits  = flag.Int("precode-bits", 0, "default perturbation alphabet depth for downlink precode requests that carry none (0 = 1 bit/dimension)")
 		precodeCache = flag.Int("precode-cache", 0, "compiled VP-program LRU entries for downlink coherence windows (0 = default)")
+
+		soft     = flag.Bool("soft", true, "serve protocol-v6 soft-decode requests (per-bit LLRs from the anneal ensemble)")
+		llrClamp = flag.Float64("llr-clamp", 0, "default LLR magnitude bound / int8 quantization full scale for soft requests that carry none (0 = package default)")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -187,6 +194,8 @@ func main() {
 	srv.Logf = log.Printf
 	srv.PrecodeBits = *precodeBits
 	srv.PrecodeCache = *precodeCache
+	srv.DisableSoft = !*soft
+	srv.LLRClamp = *llrClamp
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

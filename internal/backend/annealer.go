@@ -8,6 +8,7 @@ import (
 	"quamax/internal/core"
 	"quamax/internal/metrics"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
 
 // Annealer adapts the simulated QPU (internal/core over internal/anneal) to
@@ -54,6 +55,15 @@ func (a *Annealer) params(p *Problem) anneal.Params {
 	return a.dec.Options().Params
 }
 
+// softSpec converts a problem's soft-output request into the decoder-level
+// spec (nil for hard problems).
+func softSpec(p *Problem) *softout.Spec {
+	if !p.Soft {
+		return nil
+	}
+	return &softout.Spec{NoiseVar: p.NoiseVar, Clamp: p.LLRClamp}
+}
+
 // EstimateMicros returns the modeled device occupancy of one run,
 // Na·(Ta+Tp) under the problem's effective anneal parameters. The chip is
 // busy for the full run regardless of slot amortization, so this — not the
@@ -74,15 +84,23 @@ func (a *Annealer) EstimateMicros(p *Problem) float64 {
 // and only the biases are rewritten for the rest of the window. The result
 // is bit-identical to the recompiling path. Reverse decodes always take the
 // recompiling path (their seeded physical init is per-symbol anyway).
+//
+// Soft problems (p.Soft) run the corresponding soft decode path and carry
+// per-bit LLRs in the Result; the hard bits are unchanged. A soft problem
+// requesting reverse annealing runs a forward soft anneal instead — the
+// reverse ensemble clusters around the linear seed, so its LLRs would be
+// biased toward the seed's decision rather than the posterior (the planner
+// never plans reverse for soft requests for the same reason).
 func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	params := a.params(p)
+	soft := softSpec(p)
 	var out *core.Outcome
 	var err error
 	switch {
-	case p.Reverse:
+	case p.Reverse && soft == nil:
 		out, err = a.dec.DecodeReverseWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
 		if errors.Is(err, core.ErrNoSeed) {
 			out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
@@ -91,8 +109,14 @@ func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Res
 		var cc *core.CompiledChannel
 		cc, err = a.dec.Compile(p.Mod, p.H)
 		if err == nil {
-			out, err = a.dec.DecodeCompiledWithParams(cc, p.Y, params, p.ChainJF, src)
+			if soft != nil {
+				out, err = a.dec.DecodeCompiledSoftWithParams(cc, p.Y, *soft, params, p.ChainJF, src)
+			} else {
+				out, err = a.dec.DecodeCompiledWithParams(cc, p.Y, params, p.ChainJF, src)
+			}
 		}
+	case soft != nil:
+		out, err = a.dec.DecodeSoftWithParams(p.Mod, p.H, p.Y, *soft, params, p.ChainJF, src)
 	default:
 		out, err = a.dec.DecodeWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
 	}
@@ -146,13 +170,13 @@ func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Sourc
 			if cerr != nil {
 				return nil, cerr
 			}
-			items[i] = core.CompiledBatchItem{CC: cc, Y: p.Y}
+			items[i] = core.CompiledBatchItem{CC: cc, Y: p.Y, Soft: softSpec(p)}
 		}
 		outs, err = a.dec.DecodeCompiledSharedRunWithParams(items, params, ps[0].ChainJF, src)
 	} else {
 		items := make([]core.BatchItem, len(ps))
 		for i, p := range ps {
-			items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y}
+			items[i] = core.BatchItem{Mod: p.Mod, H: p.H, Y: p.Y, Soft: softSpec(p)}
 		}
 		outs, err = a.dec.DecodeSharedRunWithParams(items, params, ps[0].ChainJF, src)
 	}
@@ -186,5 +210,7 @@ func (a *Annealer) result(out *core.Outcome, params anneal.Params, batched int) 
 		ComputeMicros: na * out.WallMicrosPerAnneal / pf,
 		Backend:       a.name,
 		Batched:       batched,
+		LLRs:          out.LLRs,
+		LLRSaturated:  out.LLRSaturated,
 	}
 }

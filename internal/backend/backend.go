@@ -55,6 +55,17 @@ type Problem struct {
 	// identical channels; core.FingerprintChannel is the canonical producer.
 	// Classical backends ignore it.
 	ChannelKey core.ChannelKey
+	// Soft requests per-bit LLRs alongside the hard decision (Result.LLRs):
+	// annealer backends retain the read ensemble (internal/softout),
+	// classical single-solution backends answer with saturated ±clamp LLRs.
+	// Soft problems batch freely with hard ones — the ensemble is per
+	// embedding slot — so batching needs no Soft compatibility rule.
+	Soft bool
+	// NoiseVar is the per-antenna complex noise variance σ² scaling LLRs on
+	// soft problems (0 leaves energies unscaled). Hard problems ignore it.
+	NoiseVar float64
+	// LLRClamp bounds |LLR| on soft problems (0 = softout.DefaultClamp).
+	LLRClamp float64
 }
 
 // Users returns the transmitter count Nt.
@@ -81,6 +92,13 @@ type Result struct {
 	// Batched is the number of problems that shared the solver run
 	// (1 for a solo run).
 	Batched int
+	// LLRs are the per-bit log-likelihood ratios of a soft decode
+	// (Problem.Soft; positive favors bit 1 — the internal/softout
+	// convention); nil on hard decodes.
+	LLRs []float64
+	// LLRSaturated counts the LLR entries that hit the clamp (soft decodes
+	// only) — aggregated into metrics.PoolStats.LLRSaturations.
+	LLRSaturated int
 }
 
 // Backend is a pluggable solver. Implementations must be safe for concurrent

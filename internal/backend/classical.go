@@ -7,7 +7,22 @@ import (
 
 	"quamax/internal/detector"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
+
+// fillClassicalSoft completes a classical single-solution result for a soft
+// problem: one candidate means every bit is "certain", so the LLRs saturate
+// to ±clamp from the hard decision (softout.Saturated) and every entry
+// counts as saturated. Feeding these to the soft Viterbi provably reproduces
+// hard-decision decoding, so a soft request that falls back to a classical
+// solver degrades gracefully instead of failing.
+func fillClassicalSoft(p *Problem, res *Result) {
+	if !p.Soft {
+		return
+	}
+	res.LLRs = softout.Saturated(res.Bits, p.LLRClamp)
+	res.LLRSaturated = len(res.LLRs)
+}
 
 // ClassicalSA adapts the logical-space simulated-annealing baseline
 // (internal/detector) to the Backend interface — the software solver a data
@@ -59,13 +74,15 @@ func (c *ClassicalSA) Solve(ctx context.Context, p *Problem, src *rng.Source) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Bits:          res.Bits,
 		Energy:        res.Metric,
 		ComputeMicros: float64(time.Since(start)) / float64(time.Microsecond),
 		Backend:       c.name,
 		Batched:       1,
-	}, nil
+	}
+	fillClassicalSoft(p, out)
+	return out, nil
 }
 
 // Sphere adapts the exact Schnorr–Euchner sphere decoder (§2.1) to the
@@ -135,11 +152,13 @@ func (s *Sphere) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Bits:          res.Bits,
 		Energy:        res.Metric,
 		ComputeMicros: elapsed,
 		Backend:       s.name,
 		Batched:       1,
-	}, nil
+	}
+	fillClassicalSoft(p, out)
+	return out, nil
 }

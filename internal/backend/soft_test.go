@@ -1,0 +1,138 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+	"quamax/internal/softout"
+)
+
+// softMod is the modulation the soft backend tests run at.
+const softMod = modulation.QPSK
+
+// TestAnnealerSolveSoft checks the solo soft path: LLRs present, lengths
+// right, hard bits identical to the hard decode on the same stream.
+func TestAnnealerSolveSoft(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInstance(t, 61, softMod, 4)
+	hardP := problemOf(in)
+	softP := problemOf(in)
+	softP.Soft = true
+	softP.NoiseVar = in.NoiseVariance()
+
+	hard, err := a.Solve(context.Background(), hardP, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAnnealer("qpu1", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := b.Solve(context.Background(), softP, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hard.Bits) != string(soft.Bits) {
+		t.Fatal("soft request changed the hard decision")
+	}
+	if hard.LLRs != nil {
+		t.Fatal("hard solve returned LLRs")
+	}
+	if len(soft.LLRs) != len(soft.Bits) {
+		t.Fatalf("%d LLRs for %d bits", len(soft.LLRs), len(soft.Bits))
+	}
+	for k, llr := range soft.LLRs {
+		if llr > 0 && soft.Bits[k] != 1 || llr < 0 && soft.Bits[k] != 0 {
+			t.Fatalf("bit %d: LLR %g disagrees with hard bit %d", k, llr, soft.Bits[k])
+		}
+	}
+}
+
+// TestAnnealerBatchMixesSoftAndHard proves Batchable needs no Soft rule:
+// soft and hard problems share one run, and only the soft one gets LLRs.
+func TestAnnealerBatchMixesSoftAndHard(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := testInstance(t, 71, softMod, 4)
+	inB := testInstance(t, 72, softMod, 4)
+	softP := problemOf(inA)
+	softP.Soft = true
+	softP.NoiseVar = inA.NoiseVariance()
+	hardP := problemOf(inB)
+	if !Batchable(softP, hardP) {
+		t.Fatal("soft and hard problems of equal shape must be batchable")
+	}
+	results, err := a.SolveBatch(context.Background(), []*Problem{softP, hardP}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].LLRs == nil {
+		t.Fatal("soft batch item lost its LLRs")
+	}
+	if results[1].LLRs != nil {
+		t.Fatal("hard batch item grew LLRs")
+	}
+}
+
+// TestAnnealerSoftReverseFallsForward checks a soft+reverse problem solves
+// (forward) instead of erroring, and still carries LLRs.
+func TestAnnealerSoftReverseFallsForward(t *testing.T) {
+	a, err := NewAnnealer("qpu0", testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInstance(t, 81, softMod, 4)
+	p := problemOf(in)
+	p.Soft = true
+	p.Reverse = true
+	res, err := a.Solve(context.Background(), p, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LLRs == nil {
+		t.Fatal("soft reverse request returned no LLRs")
+	}
+}
+
+// TestClassicalSoftSaturates checks the classical backends answer soft
+// requests with fully saturated LLRs matching their hard decision.
+func TestClassicalSoftSaturates(t *testing.T) {
+	in := testInstance(t, 91, softMod, 4)
+	for _, be := range []Backend{
+		NewClassicalSA("sa", 64, 40),
+		NewSphere("sphere", 1<<18),
+	} {
+		p := problemOf(in)
+		p.Soft = true
+		p.LLRClamp = 8
+		res, err := be.Solve(context.Background(), p, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.LLRs) != len(res.Bits) || res.LLRSaturated != len(res.Bits) {
+			t.Fatalf("%s: LLRs %d, saturated %d, bits %d",
+				be.Name(), len(res.LLRs), res.LLRSaturated, len(res.Bits))
+		}
+		for k, llr := range res.LLRs {
+			want := -8.0
+			if res.Bits[k] == 1 {
+				want = 8
+			}
+			if llr != want {
+				t.Fatalf("%s bit %d: LLR %g, want %g", be.Name(), k, llr, want)
+			}
+		}
+		// The saturated soft answer must reproduce the hard decision.
+		got := softout.HardDecisions(res.LLRs)
+		if string(got) != string(res.Bits) {
+			t.Fatalf("%s: saturated LLRs do not slice back to the hard bits", be.Name())
+		}
+	}
+}

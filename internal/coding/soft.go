@@ -1,0 +1,184 @@
+// Soft-decision Viterbi decoding over per-bit log-likelihood ratios — the
+// FEC half of the soft-output detection chain (internal/softout produces the
+// LLRs; this file consumes them). Branch metrics are reliability-weighted:
+// disagreeing with an LLR costs its magnitude, so confident detector bits
+// dominate the path metric while near-zero LLRs (bits the anneal ensemble
+// was unsure about) cost almost nothing to overrule. With every LLR
+// saturated to a common magnitude the metric degenerates to that magnitude
+// times the Hamming distance, which makes soft decoding provably
+// bit-identical to the hard decoder — the compatibility property
+// TestSoftViterbiSaturatedEqualsHard asserts.
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quamax/internal/softout"
+)
+
+// DecodeSoft runs soft-decision Viterbi over per-coded-bit LLRs (positive
+// favors bit 1, the internal/softout convention), assuming a terminated
+// trellis exactly like Decode. The branch metric for expecting bit e against
+// LLR λ is |λ| when the LLR's sign disagrees with e and 0 otherwise, so the
+// decoder minimizes the total reliability it has to contradict. The LLR
+// count must be a multiple of n and at least (K−1)·n.
+//
+// When every LLR carries the same magnitude (e.g. the ±clamp saturation of a
+// hard-decision front end), DecodeSoft returns exactly Decode's output on
+// the sign-sliced bits: the metrics become a common positive multiple of the
+// Hamming metrics, and the trellis sweep below mirrors Decode's iteration
+// and tie-breaking order.
+func (c *Convolutional) DecodeSoft(llrs []float64) ([]byte, error) {
+	n := len(c.Generators)
+	if len(llrs)%n != 0 {
+		return nil, fmt.Errorf("coding: %d LLRs not a multiple of %d", len(llrs), n)
+	}
+	steps := len(llrs) / n
+	if steps < c.K-1 {
+		return nil, errors.New("coding: frame shorter than the termination tail")
+	}
+	states := c.numStates()
+	inf := math.Inf(1)
+
+	// Precompute per-state, per-input expected outputs (same table as the
+	// hard decoder; see Decode).
+	expected := make([][2]uint32, states*2)
+	for s := 0; s < states; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (uint32(s) << 1) | uint32(in)
+			var bits uint32
+			for gi, g := range c.Generators {
+				bits |= uint32(parity32(reg&g)) << gi
+			}
+			next := reg & uint32(states-1)
+			expected[s*2+in] = [2]uint32{bits, next}
+		}
+	}
+
+	metric := make([]float64, states)
+	next := make([]float64, states)
+	for s := 1; s < states; s++ {
+		metric[s] = inf // encoder starts in the zero state
+	}
+	back := make([]uint32, steps*states)
+
+	// cost[gi][e] is the branch cost of expecting bit e at generator gi of
+	// the current step: |λ| when sign(λ) contradicts e, else 0.
+	cost := make([][2]float64, n)
+	for t := 0; t < steps; t++ {
+		for gi := 0; gi < n; gi++ {
+			l := llrs[t*n+gi]
+			cost[gi] = [2]float64{0, 0}
+			if l > 0 { // favors 1: expecting 0 contradicts it
+				cost[gi][0] = l
+			} else if l < 0 { // favors 0: expecting 1 contradicts it
+				cost[gi][1] = -l
+			}
+		}
+		for s := range next {
+			next[s] = inf
+		}
+		for s := 0; s < states; s++ {
+			if math.IsInf(metric[s], 1) {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				e := expected[s*2+in]
+				d := metric[s]
+				for gi := 0; gi < n; gi++ {
+					d += cost[gi][e[0]>>gi&1]
+				}
+				ns := int(e[1])
+				if d < next[ns] {
+					next[ns] = d
+					back[t*states+ns] = uint32(s)<<1 | uint32(in)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Terminated trellis: trace back from state 0.
+	data := make([]byte, steps)
+	state := 0
+	for t := steps - 1; t >= 0; t-- {
+		bp := back[t*states+state]
+		data[t] = byte(bp & 1)
+		state = int(bp >> 1)
+	}
+	return data[:steps-(c.K-1)], nil
+}
+
+// DeinterleaveLLRs inverts BlockInterleaver.Interleave for a soft stream:
+// the same index permutation applied to per-bit LLRs instead of bits, so a
+// receiver can deinterleave its soft information in lockstep with the hard
+// path (length must equal Size).
+func (b BlockInterleaver) DeinterleaveLLRs(llrs []float64) ([]float64, error) {
+	if len(llrs) != b.Size() {
+		return nil, fmt.Errorf("coding: deinterleaver got %d LLRs, want %d", len(llrs), b.Size())
+	}
+	out := make([]float64, len(llrs))
+	k := 0
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < b.Rows; r++ {
+			out[r*b.Cols+c] = llrs[k]
+			k++
+		}
+	}
+	return out, nil
+}
+
+// HardDecisions slices coded-bit LLRs to hard bits under the positive-means-1
+// convention (an exact zero slices to 0) — the front end of hard-decision
+// decoding when only soft information is on hand. It is softout's slicer,
+// re-exported here so the FEC layer's callers need not know where their
+// LLRs came from; the convention is defined in one place.
+func HardDecisions(llrs []float64) []byte { return softout.HardDecisions(llrs) }
+
+// FrameComparison is one codeword decoded both ways from the same received
+// LLRs: the soft path feeds them to DecodeSoft, the hard path slices them to
+// bits first and runs the classic Decode — exactly the comparison the
+// soft-output subsystem exists to win.
+type FrameComparison struct {
+	// HardBits and SoftBits are the decoded data bits of each path.
+	HardBits, SoftBits []byte
+	// HardBitErrors and SoftBitErrors count post-FEC mismatches against the
+	// transmitted data.
+	HardBitErrors, SoftBitErrors int
+	// HardFrameError and SoftFrameError report whether each decoded frame
+	// differs from the transmitted data anywhere.
+	HardFrameError, SoftFrameError bool
+}
+
+// CompareFrame is the coded-frame comparison harness: decode one received
+// codeword's LLRs with both the hard and the soft Viterbi paths and score
+// each against the transmitted data bits. llrs must cover exactly the
+// codeword Encode(data) produces.
+func CompareFrame(c *Convolutional, llrs []float64, data []byte) (*FrameComparison, error) {
+	want := (len(data) + c.K - 1) * len(c.Generators)
+	if len(llrs) != want {
+		return nil, fmt.Errorf("coding: %d LLRs for a %d-bit codeword", len(llrs), want)
+	}
+	hard, err := c.Decode(HardDecisions(llrs))
+	if err != nil {
+		return nil, err
+	}
+	soft, err := c.DecodeSoft(llrs)
+	if err != nil {
+		return nil, err
+	}
+	fc := &FrameComparison{HardBits: hard, SoftBits: soft}
+	for i := range data {
+		if hard[i] != data[i] {
+			fc.HardBitErrors++
+		}
+		if soft[i] != data[i] {
+			fc.SoftBitErrors++
+		}
+	}
+	fc.HardFrameError = fc.HardBitErrors > 0
+	fc.SoftFrameError = fc.SoftBitErrors > 0
+	return fc, nil
+}

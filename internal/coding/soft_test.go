@@ -1,0 +1,191 @@
+package coding
+
+import (
+	"testing"
+
+	"quamax/internal/rng"
+)
+
+// TestSoftViterbiSaturatedEqualsHard is the ISSUE's property test: with
+// every LLR saturated to a common ±clamp magnitude, DecodeSoft must decode
+// bit-identically to the hard Decode on the sign-sliced bits — including
+// frames with random bit errors, where tie-breaking inside the trellis
+// matters.
+func TestSoftViterbiSaturatedEqualsHard(t *testing.T) {
+	c := NewWiFiCode()
+	src := rng.New(11)
+	for _, clamp := range []float64{1, 8, 24} {
+		for trial := 0; trial < 40; trial++ {
+			data := src.Bits(20 + src.Intn(80))
+			coded := c.Encode(data)
+			// Flip a random subset of coded bits (up to ~20%).
+			rx := append([]byte(nil), coded...)
+			for i := range rx {
+				if src.Float64() < 0.2 {
+					rx[i] ^= 1
+				}
+			}
+			llrs := make([]float64, len(rx))
+			for i, b := range rx {
+				if b == 1 {
+					llrs[i] = clamp
+				} else {
+					llrs[i] = -clamp
+				}
+			}
+			hard, err := c.Decode(rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soft, err := c.DecodeSoft(llrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(hard) != string(soft) {
+				t.Fatalf("clamp %g trial %d: saturated soft decode diverged from hard decode", clamp, trial)
+			}
+		}
+	}
+}
+
+// TestSoftViterbiCleanCodeword decodes an error-free codeword with graded
+// reliabilities and must recover the data exactly.
+func TestSoftViterbiCleanCodeword(t *testing.T) {
+	c := NewWiFiCode()
+	src := rng.New(3)
+	data := src.Bits(64)
+	coded := c.Encode(data)
+	llrs := make([]float64, len(coded))
+	for i, b := range coded {
+		mag := 0.5 + 7*src.Float64()
+		if b == 1 {
+			llrs[i] = mag
+		} else {
+			llrs[i] = -mag
+		}
+	}
+	got, err := c.DecodeSoft(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("soft decode of a clean codeword failed")
+	}
+}
+
+// TestSoftViterbiOutperformsHardOnErasures builds the canonical case soft
+// decoding exists for: the corrupted bits are flagged by near-zero LLRs, so
+// the soft path decodes cleanly while the hard path (which sees only the
+// wrong signs) fails.
+func TestSoftViterbiOutperformsHardOnErasures(t *testing.T) {
+	c := NewWiFiCode()
+	src := rng.New(5)
+	wins := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		data := src.Bits(48)
+		coded := c.Encode(data)
+		llrs := make([]float64, len(coded))
+		for i, b := range coded {
+			if b == 1 {
+				llrs[i] = 8
+			} else {
+				llrs[i] = -8
+			}
+		}
+		// Corrupt a burst of bits but leave them marked unreliable.
+		start := src.Intn(len(coded) - 12)
+		for i := start; i < start+12; i++ {
+			sign := 1.0
+			if coded[i] == 1 {
+				sign = -1 // wrong way
+			}
+			llrs[i] = sign * 0.05
+		}
+		fc, err := CompareFrame(c, llrs, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.SoftBitErrors > fc.HardBitErrors {
+			t.Fatalf("trial %d: soft (%d errors) worse than hard (%d errors)",
+				trial, fc.SoftBitErrors, fc.HardBitErrors)
+		}
+		if fc.SoftBitErrors != 0 {
+			t.Fatalf("trial %d: soft decode failed on an erasure-marked burst (%d errors)",
+				trial, fc.SoftBitErrors)
+		}
+		if fc.HardFrameError && !fc.SoftFrameError {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Fatal("hard decoding never failed — the comparison exercised nothing")
+	}
+}
+
+// TestHardDecisions checks the sign-slicing convention.
+func TestHardDecisions(t *testing.T) {
+	got := HardDecisions([]float64{3, -2, 0, 0.001, -0.001})
+	want := []byte{1, 0, 0, 1, 0}
+	if string(got) != string(want) {
+		t.Fatalf("HardDecisions = %v, want %v", got, want)
+	}
+}
+
+// TestCompareFrameLengthCheck rejects mismatched LLR counts.
+func TestCompareFrameLengthCheck(t *testing.T) {
+	c := NewWiFiCode()
+	if _, err := CompareFrame(c, make([]float64, 10), make([]byte, 10)); err == nil {
+		t.Fatal("CompareFrame accepted a short LLR vector")
+	}
+}
+
+// TestDecodeSoftArgumentChecks mirrors the hard decoder's frame validation.
+func TestDecodeSoftArgumentChecks(t *testing.T) {
+	c := NewWiFiCode()
+	if _, err := c.DecodeSoft(make([]float64, 3)); err == nil {
+		t.Fatal("accepted LLR count not a multiple of n")
+	}
+	if _, err := c.DecodeSoft(make([]float64, 4)); err == nil {
+		t.Fatal("accepted frame shorter than the termination tail")
+	}
+}
+
+// TestDeinterleaveLLRsMatchesBitPath: the soft deinterleaver must apply the
+// exact permutation of the hard Deinterleave.
+func TestDeinterleaveLLRsMatchesBitPath(t *testing.T) {
+	il := BlockInterleaver{Rows: 4, Cols: 6}
+	src := rng.New(2)
+	bits := src.Bits(il.Size())
+	inter, err := il.Interleave(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llrs := make([]float64, len(inter))
+	for i, b := range inter {
+		llrs[i] = float64(i+1) * (2*float64(b) - 1) // sign encodes the bit
+	}
+	deBits, err := il.Deinterleave(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deLLRs, err := il.DeinterleaveLLRs(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(deBits) != string(bits) {
+		t.Fatal("bit deinterleave is not the inverse — test premise broken")
+	}
+	for i := range deLLRs {
+		want := byte(0)
+		if deLLRs[i] > 0 {
+			want = 1
+		}
+		if want != deBits[i] {
+			t.Fatalf("index %d: LLR permutation diverged from the bit permutation", i)
+		}
+	}
+	if _, err := il.DeinterleaveLLRs(llrs[:3]); err == nil {
+		t.Fatal("short LLR block accepted")
+	}
+}

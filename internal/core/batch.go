@@ -13,6 +13,7 @@ import (
 	"quamax/internal/qubo"
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
 
 // BatchItem is one decode request of a shared annealer run. Items in a batch
@@ -25,6 +26,10 @@ type BatchItem struct {
 	// Truth, when non-nil, fills the evaluation fields of the Outcome
 	// (Distribution, TxEnergy) exactly like DecodeInstance.
 	Truth *mimo.Instance
+	// Soft, when non-nil, requests per-bit LLRs for this item (the
+	// shared-run soft variant of DecodeSoft): each slot retains its own read
+	// ensemble, so soft and hard items mix freely in one run.
+	Soft *softout.Spec
 }
 
 // BatchSlots returns how many independent N-spin problems fit one annealer
@@ -75,6 +80,11 @@ func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Par
 		if logicals[i].N != logicals[0].N {
 			return nil, fmt.Errorf("core: batch mixes logical sizes %d and %d",
 				logicals[0].N, logicals[i].N)
+		}
+		if it.Soft != nil {
+			if err := it.Soft.Validate(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	n := logicals[0].N
@@ -130,6 +140,7 @@ func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Par
 			acc = metrics.NewAccumulator(n)
 			out.TxEnergy = logicals[i].Energy(qubo.SpinsFromBits(it.Truth.TxQUBOBits()))
 		}
+		sc := newSoftCollector(it.Soft, it.Mod, n)
 		off, np := offsets[i], packs[i].NumPhysical()
 		bestE := 0.0
 		var bestBits []byte
@@ -145,6 +156,7 @@ func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Par
 				rx := it.Mod.PostTranslate(qbits)
 				acc.Add(string(qbits), energy, it.Truth.BitErrors(rx))
 			}
+			sc.add(qbits, energy)
 		}
 		out.Energy = bestE
 		out.Bits = it.Mod.PostTranslate(bestBits)
@@ -152,6 +164,7 @@ func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Par
 		if acc != nil {
 			out.Distribution = acc.Distribution()
 		}
+		sc.finish(out)
 		outs[i] = out
 	}
 	return outs, nil

@@ -33,6 +33,7 @@ import (
 	"quamax/internal/qubo"
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
 
 // ChannelKey fingerprints a (modulation, H) pair for the compiled-channel
@@ -228,7 +229,7 @@ func (d *Decoder) ChannelCacheStats() metrics.ChannelCacheStats {
 // result is bit-identical to Decode(cc.Mod(), cc.Channel(), y, src) with the
 // same random stream.
 func (d *Decoder) DecodeCompiled(cc *CompiledChannel, y []complex128, src *rng.Source) (*Outcome, error) {
-	return d.decodeCompiled(cc, y, nil, d.opts.Params, 0, src)
+	return d.decodeCompiled(cc, y, nil, d.opts.Params, 0, nil, src)
 }
 
 // DecodeCompiledWithParams is DecodeCompiled with per-call run knobs
@@ -238,16 +239,16 @@ func (d *Decoder) DecodeCompiledWithParams(cc *CompiledChannel, y []complex128, 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return d.decodeCompiled(cc, y, nil, params, jf, src)
+	return d.decodeCompiled(cc, y, nil, params, jf, nil, src)
 }
 
 // DecodeInstanceCompiled decodes a generated instance through its compiled
 // channel, filling the evaluation fields like DecodeInstance.
 func (d *Decoder) DecodeInstanceCompiled(cc *CompiledChannel, in *mimo.Instance, src *rng.Source) (*Outcome, error) {
-	return d.decodeCompiled(cc, in.Y, in, d.opts.Params, 0, src)
+	return d.decodeCompiled(cc, in.Y, in, d.opts.Params, 0, nil, src)
 }
 
-func (d *Decoder) decodeCompiled(cc *CompiledChannel, y []complex128, truth *mimo.Instance, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
+func (d *Decoder) decodeCompiled(cc *CompiledChannel, y []complex128, truth *mimo.Instance, params anneal.Params, jf float64, soft *softout.Spec, src *rng.Source) (*Outcome, error) {
 	if src == nil {
 		return nil, errors.New("core: nil random source")
 	}
@@ -266,7 +267,7 @@ func (d *Decoder) decodeCompiled(cc *CompiledChannel, y []complex128, truth *mim
 	if err != nil {
 		return nil, err
 	}
-	return d.collect(cc.prog.Mod, logical, cc.emb, samples, truth, params, cc.slots, src), nil
+	return d.collect(cc.prog.Mod, logical, cc.emb, samples, truth, params, cc.slots, soft, src), nil
 }
 
 // fillChainFields spreads the logical fields along each chain per Eq. 11:
@@ -284,11 +285,15 @@ func fillChainFields(hphys, logicalH []float64, chainIdx [][]int32, jf float64, 
 
 // CompiledBatchItem is one decode of a compiled shared run: a compiled
 // channel plus the received vector observed through it. Truth, when non-nil,
-// fills the evaluation fields like DecodeInstance.
+// fills the evaluation fields like DecodeInstance. Soft, when non-nil,
+// requests per-bit LLRs for this item (the shared-run soft variant): each
+// slot retains its own read ensemble, so soft and hard items mix freely in
+// one run without affecting each other's results.
 type CompiledBatchItem struct {
 	CC    *CompiledChannel
 	Y     []complex128
 	Truth *mimo.Instance
+	Soft  *softout.Spec
 }
 
 // DecodeCompiledSharedRun is DecodeSharedRun for compiled channels: up to
@@ -320,6 +325,11 @@ func (d *Decoder) DecodeCompiledSharedRunWithParams(items []CompiledBatchItem, p
 		}
 		if it.CC.prog.N != n {
 			return nil, fmt.Errorf("core: batch mixes logical sizes %d and %d", n, it.CC.prog.N)
+		}
+		if it.Soft != nil {
+			if err := it.Soft.Validate(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	packs, err := d.packsFor(n)
@@ -374,6 +384,7 @@ func (d *Decoder) DecodeCompiledSharedRunWithParams(items []CompiledBatchItem, p
 			acc = metrics.NewAccumulator(n)
 			out.TxEnergy = logicals[i].Energy(qubo.SpinsFromBits(it.Truth.TxQUBOBits()))
 		}
+		sc := newSoftCollector(it.Soft, it.CC.prog.Mod, n)
 		off, np := offsets[i], packs[i].NumPhysical()
 		bestE := 0.0
 		var bestBits []byte
@@ -390,6 +401,7 @@ func (d *Decoder) DecodeCompiledSharedRunWithParams(items []CompiledBatchItem, p
 				rx := it.CC.prog.Mod.PostTranslate(qbits)
 				acc.Add(string(qbits), energy, it.Truth.BitErrors(rx))
 			}
+			sc.add(qbits, energy)
 		}
 		out.Energy = bestE
 		out.Bits = it.CC.prog.Mod.PostTranslate(bestBits)
@@ -397,6 +409,7 @@ func (d *Decoder) DecodeCompiledSharedRunWithParams(items []CompiledBatchItem, p
 		if acc != nil {
 			out.Distribution = acc.Distribution()
 		}
+		sc.finish(out)
 		outs[i] = out
 	}
 	return outs, nil

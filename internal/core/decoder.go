@@ -27,6 +27,7 @@ import (
 	"quamax/internal/qubo"
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
 
 // Options configure a Decoder. The zero value is completed by New with the
@@ -177,13 +178,26 @@ type Outcome struct {
 	// (DecodeInstance only); on a noise-free channel this is the ground
 	// energy 0.
 	TxEnergy float64
+	// LLRs are the per-data-bit max-log-MAP log-likelihood ratios computed
+	// over the read ensemble (positive favors bit 1, see internal/softout).
+	// Populated only by the soft decode paths (DecodeSoft and friends, or a
+	// batch item carrying a Soft spec); hard decodes leave it nil. Bits is
+	// always the hard decision of the best read, so soft outputs never
+	// change the hard result.
+	LLRs []float64
+	// LLRSaturated counts the LLR entries that hit the clamp (including
+	// ensemble-unanimous bits). Soft decodes only.
+	LLRSaturated int
+	// SoftCandidates is the number of distinct candidates the ensemble
+	// retained for LLR extraction. Soft decodes only.
+	SoftCandidates int
 }
 
 // Decode runs the QuAMax pipeline on a raw channel use. src drives the
 // annealer and tie-breaking; reuse one source across calls for independent
 // randomness.
 func (d *Decoder) Decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, src *rng.Source) (*Outcome, error) {
-	return d.decode(mod, h, y, nil, d.opts.Params, src)
+	return d.decode(mod, h, y, nil, d.opts.Params, nil, src)
 }
 
 // DecodeWithParams is Decode with per-call run knobs overriding the
@@ -195,18 +209,18 @@ func (d *Decoder) DecodeWithParams(mod modulation.Modulation, h *linalg.Mat, y [
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return d.decodeJF(mod, h, y, nil, params, jf, src)
+	return d.decodeJF(mod, h, y, nil, params, jf, nil, src)
 }
 
 // DecodeInstance decodes a generated instance and additionally fills the
 // evaluation fields (Distribution, TxEnergy) using the instance's ground
 // truth.
 func (d *Decoder) DecodeInstance(in *mimo.Instance, src *rng.Source) (*Outcome, error) {
-	return d.decode(in.Mod, in.H, in.Y, in, d.opts.Params, src)
+	return d.decode(in.Mod, in.H, in.Y, in, d.opts.Params, nil, src)
 }
 
-func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, src *rng.Source) (*Outcome, error) {
-	return d.decodeJF(mod, h, y, truth, params, 0, src)
+func (d *Decoder) decode(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, soft *softout.Spec, src *rng.Source) (*Outcome, error) {
+	return d.decodeJF(mod, h, y, truth, params, 0, soft, src)
 }
 
 // chainJF resolves a per-call chain-strength override (≤ 0 = configured).
@@ -217,7 +231,7 @@ func (d *Decoder) chainJF(jf float64) float64 {
 	return d.opts.JF
 }
 
-func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
+func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex128, truth *mimo.Instance, params anneal.Params, jf float64, soft *softout.Spec, src *rng.Source) (*Outcome, error) {
 	if src == nil {
 		return nil, errors.New("core: nil random source")
 	}
@@ -234,15 +248,18 @@ func (d *Decoder) decodeJF(mod modulation.Modulation, h *linalg.Mat, y []complex
 	if err != nil {
 		return nil, err
 	}
-	return d.collect(mod, logical, emb, samples, truth, params, slots, src), nil
+	return d.collect(mod, logical, emb, samples, truth, params, slots, soft, src), nil
 }
 
 // collect post-processes one run's samples into an Outcome: majority-vote
 // unembedding, logical-energy scoring against the (possibly per-symbol)
 // logical program, minimum-energy selection, and post-translation. It is
 // shared by the recompiling and compiled-channel decode paths, which is what
-// makes the two bit-identical given the same random stream.
-func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *embedding.Embedding, samples []anneal.Sample, truth *mimo.Instance, params anneal.Params, slots int, src *rng.Source) *Outcome {
+// makes the two bit-identical given the same random stream. soft, when
+// non-nil, additionally retains the read ensemble and fills the Outcome's
+// LLR fields (the hard fields are computed exactly as before — soft output
+// is purely additive).
+func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *embedding.Embedding, samples []anneal.Sample, truth *mimo.Instance, params anneal.Params, slots int, soft *softout.Spec, src *rng.Source) *Outcome {
 	out := &Outcome{
 		Pf:                  1,
 		WallMicrosPerAnneal: params.AnnealWallMicros(),
@@ -256,6 +273,7 @@ func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *e
 		acc = metrics.NewAccumulator(logical.N)
 		out.TxEnergy = logical.Energy(qubo.SpinsFromBits(truth.TxQUBOBits()))
 	}
+	sc := newSoftCollector(soft, mod, logical.N)
 
 	bestE := 0.0
 	var bestBits []byte
@@ -272,6 +290,7 @@ func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *e
 			rx := mod.PostTranslate(qbits)
 			acc.Add(string(qbits), energy, truth.BitErrors(rx))
 		}
+		sc.add(qbits, energy)
 	}
 	out.Energy = bestE
 	out.Bits = mod.PostTranslate(bestBits)
@@ -279,5 +298,6 @@ func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *e
 	if acc != nil {
 		out.Distribution = acc.Distribution()
 	}
+	sc.finish(out)
 	return out
 }

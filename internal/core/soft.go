@@ -1,0 +1,121 @@
+// Soft-output decode paths: the decoder-level half of internal/softout.
+// Every decode already scores each of the Na reads against the logical Ising
+// program (collect's minimum-energy selection); the soft paths retain those
+// (bits, energy) pairs as a candidate ensemble instead of discarding all but
+// the winner, and convert the ensemble into per-bit max-log-MAP LLRs scaled
+// by the noise variance. No extra objective evaluations are performed — the
+// energies are the ones the hard decision already computed — and the hard
+// fields of the Outcome (Bits, Energy, Symbols) are byte-identical to the
+// corresponding hard decode on the same random stream, a property the tests
+// assert for every path (solo, compiled, shared-run, compiled shared-run).
+package core
+
+import (
+	"quamax/internal/anneal"
+	"quamax/internal/linalg"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+	"quamax/internal/softout"
+)
+
+// softCollector accumulates one decode's read ensemble when soft output is
+// requested. A nil collector (hard decode) makes every method a no-op, so
+// the sample loops stay branch-free at the call sites.
+type softCollector struct {
+	spec softout.Spec
+	mod  modulation.Modulation
+	ens  *softout.Ensemble
+}
+
+// newSoftCollector builds a collector for an N-bit problem, or nil when no
+// soft spec was requested.
+func newSoftCollector(spec *softout.Spec, mod modulation.Modulation, nbits int) *softCollector {
+	if spec == nil {
+		return nil
+	}
+	s := spec.WithDefaults()
+	return &softCollector{spec: s, mod: mod, ens: softout.NewEnsemble(nbits, s.MaxCandidates)}
+}
+
+// add records one read: QUBO solution bits plus the logical energy the hard
+// path already computed. Candidates are stored as Gray data bits so the LLRs
+// line up with the transmitted bit stream the FEC layer consumes.
+func (sc *softCollector) add(qbits []byte, energy float64) {
+	if sc == nil {
+		return
+	}
+	sc.ens.Add(sc.mod.PostTranslate(qbits), energy)
+}
+
+// finish converts the ensemble into LLRs and fills the Outcome's soft fields.
+func (sc *softCollector) finish(out *Outcome) {
+	if sc == nil {
+		return
+	}
+	llrs, sat := sc.ens.LLRs(sc.spec)
+	out.LLRs = llrs
+	out.LLRSaturated = sat
+	out.SoftCandidates = sc.ens.Len()
+}
+
+// DecodeSoft is Decode with soft output: the Outcome additionally carries
+// per-bit LLRs computed from the read ensemble under spec (see
+// internal/softout for the max-log-MAP formula and sign convention). The
+// hard fields are bit-identical to Decode on the same random stream.
+func (d *Decoder) DecodeSoft(mod modulation.Modulation, h *linalg.Mat, y []complex128, spec softout.Spec, src *rng.Source) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return d.decodeJF(mod, h, y, nil, d.opts.Params, 0, &spec, src)
+}
+
+// DecodeSoftWithParams is DecodeSoft with per-call run knobs (jf ≤ 0 =
+// configured |J_F|) — the soft counterpart of DecodeWithParams for
+// planner-sized budgets.
+func (d *Decoder) DecodeSoftWithParams(mod modulation.Modulation, h *linalg.Mat, y []complex128, spec softout.Spec, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return d.decodeJF(mod, h, y, nil, params, jf, &spec, src)
+}
+
+// DecodeInstanceSoft decodes a generated instance with soft output, filling
+// the evaluation fields like DecodeInstance. A spec with NoiseVar ≤ 0 takes
+// the instance's own noise variance — the common case, since the instance
+// knows the σ² it was generated at.
+func (d *Decoder) DecodeInstanceSoft(in *mimo.Instance, spec softout.Spec, src *rng.Source) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.NoiseVar <= 0 {
+		spec.NoiseVar = in.NoiseVariance()
+	}
+	return d.decode(in.Mod, in.H, in.Y, in, d.opts.Params, &spec, src)
+}
+
+// DecodeCompiledSoft is DecodeCompiled with soft output: the execute phase
+// on an already-compiled channel, additionally retaining the read ensemble
+// for LLR extraction. Hard fields are bit-identical to DecodeCompiled (and
+// hence to Decode) on the same random stream.
+func (d *Decoder) DecodeCompiledSoft(cc *CompiledChannel, y []complex128, spec softout.Spec, src *rng.Source) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return d.decodeCompiled(cc, y, nil, d.opts.Params, 0, &spec, src)
+}
+
+// DecodeCompiledSoftWithParams is DecodeCompiledSoft with per-call run knobs
+// (jf ≤ 0 = configured |J_F|).
+func (d *Decoder) DecodeCompiledSoftWithParams(cc *CompiledChannel, y []complex128, spec softout.Spec, params anneal.Params, jf float64, src *rng.Source) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return d.decodeCompiled(cc, y, nil, params, jf, &spec, src)
+}

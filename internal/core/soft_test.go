@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/channel"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+	"quamax/internal/softout"
+)
+
+// softTestDecoder builds a small-chip decoder for quick soft-path tests.
+func softTestDecoder(t *testing.T, cache int) *Decoder {
+	t.Helper()
+	opts := Options{
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 40},
+	}
+	if cache > 0 {
+		opts.ChannelCache = cache
+	}
+	d, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func softTestInstance(t *testing.T, seed int64, mod modulation.Modulation, nt int, snr float64) *mimo.Instance {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: snr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestDecodeSoftHardFieldsIdentical proves soft output is purely additive:
+// on the same random stream, DecodeSoft's hard fields equal Decode's.
+func TestDecodeSoftHardFieldsIdentical(t *testing.T) {
+	for _, mod := range []modulation.Modulation{modulation.BPSK, modulation.QAM16} {
+		in := softTestInstance(t, 11, mod, 3, 12)
+		dec := softTestDecoder(t, 0)
+		hard, err := dec.Decode(mod, in.H, in.Y, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soft, err := dec.DecodeSoft(mod, in.H, in.Y, softout.Spec{NoiseVar: in.NoiseVariance()}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(hard.Bits) != string(soft.Bits) || hard.Energy != soft.Energy {
+			t.Fatalf("%v: soft decode changed the hard result: bits %v vs %v, energy %g vs %g",
+				mod, hard.Bits, soft.Bits, hard.Energy, soft.Energy)
+		}
+		if len(soft.LLRs) != len(soft.Bits) {
+			t.Fatalf("%v: %d LLRs for %d bits", mod, len(soft.LLRs), len(soft.Bits))
+		}
+		if hard.LLRs != nil {
+			t.Fatalf("%v: hard decode grew LLRs", mod)
+		}
+		if soft.SoftCandidates < 1 {
+			t.Fatalf("%v: no candidates retained", mod)
+		}
+	}
+}
+
+// TestDecodeSoftLLRSignsMatchHardDecision asserts the ISSUE's sign property:
+// wherever an LLR is strictly signed, it agrees with the best read's bit.
+func TestDecodeSoftLLRSignsMatchHardDecision(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := softTestInstance(t, 100+seed, modulation.QPSK, 4, 10)
+		dec := softTestDecoder(t, 0)
+		out, err := dec.DecodeSoft(in.Mod, in.H, in.Y, softout.Spec{NoiseVar: in.NoiseVariance()}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, llr := range out.LLRs {
+			if llr > 0 && out.Bits[k] != 1 {
+				t.Fatalf("seed %d bit %d: LLR %g > 0 but hard bit 0", seed, k, llr)
+			}
+			if llr < 0 && out.Bits[k] != 0 {
+				t.Fatalf("seed %d bit %d: LLR %g < 0 but hard bit 1", seed, k, llr)
+			}
+		}
+	}
+}
+
+// TestDecodeCompiledSoftMatchesDecodeSoft proves the compiled soft execute
+// phase is bit-identical — including the LLRs — to the recompiling soft path
+// on the same random stream.
+func TestDecodeCompiledSoftMatchesDecodeSoft(t *testing.T) {
+	in := softTestInstance(t, 21, modulation.QAM16, 3, 14)
+	spec := softout.Spec{NoiseVar: in.NoiseVariance()}
+
+	dec := softTestDecoder(t, 4)
+	want, err := dec.DecodeSoft(in.Mod, in.H, in.Y, spec, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec2 := softTestDecoder(t, 4)
+	cc, err := dec2.Compile(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec2.DecodeCompiledSoft(cc, in.Y, spec, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if string(want.Bits) != string(got.Bits) || want.Energy != got.Energy {
+		t.Fatalf("compiled soft hard fields diverge: %v/%g vs %v/%g",
+			want.Bits, want.Energy, got.Bits, got.Energy)
+	}
+	if len(want.LLRs) != len(got.LLRs) {
+		t.Fatalf("LLR lengths diverge: %d vs %d", len(want.LLRs), len(got.LLRs))
+	}
+	for k := range want.LLRs {
+		if math.Abs(want.LLRs[k]-got.LLRs[k]) > 1e-9 {
+			t.Fatalf("LLR[%d] diverges: %g vs %g", k, want.LLRs[k], got.LLRs[k])
+		}
+	}
+	if want.LLRSaturated != got.LLRSaturated || want.SoftCandidates != got.SoftCandidates {
+		t.Fatalf("soft stats diverge: sat %d/%d cands %d/%d",
+			want.LLRSaturated, got.LLRSaturated, want.SoftCandidates, got.SoftCandidates)
+	}
+}
+
+// TestSharedRunSoftMatchesSolo proves a shared-run item carrying a Soft spec
+// produces the same LLRs as a solo soft decode would under the same
+// slot-sample stream, and that soft and hard items mix freely in one run.
+func TestSharedRunSoftMatchesSolo(t *testing.T) {
+	mod := modulation.BPSK
+	inA := softTestInstance(t, 31, mod, 4, 8)
+	inB := softTestInstance(t, 32, mod, 4, 8)
+	spec := softout.Spec{NoiseVar: inA.NoiseVariance()}
+
+	dec := softTestDecoder(t, 0)
+	items := []BatchItem{
+		{Mod: mod, H: inA.H, Y: inA.Y, Soft: &spec},
+		{Mod: mod, H: inB.H, Y: inB.Y}, // hard item sharing the run
+	}
+	outs, err := dec.DecodeSharedRun(items, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].LLRs == nil || len(outs[0].LLRs) != len(outs[0].Bits) {
+		t.Fatalf("soft item has no LLRs: %v", outs[0].LLRs)
+	}
+	if outs[1].LLRs != nil {
+		t.Fatal("hard item grew LLRs from a mixed batch")
+	}
+
+	// The same batch without the Soft spec must be hard-bit-identical.
+	dec2 := softTestDecoder(t, 0)
+	hardItems := []BatchItem{
+		{Mod: mod, H: inA.H, Y: inA.Y},
+		{Mod: mod, H: inB.H, Y: inB.Y},
+	}
+	hardOuts, err := dec2.DecodeSharedRun(hardItems, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if string(outs[i].Bits) != string(hardOuts[i].Bits) || outs[i].Energy != hardOuts[i].Energy {
+			t.Fatalf("item %d: soft spec changed shared-run hard results", i)
+		}
+	}
+}
+
+// TestCompiledSharedRunSoftMatchesRecompiling proves the compiled shared-run
+// soft path agrees with the recompiling shared-run soft path, LLRs included.
+func TestCompiledSharedRunSoftMatchesRecompiling(t *testing.T) {
+	mod := modulation.QPSK
+	inA := softTestInstance(t, 41, mod, 2, 12)
+	inB := softTestInstance(t, 42, mod, 2, 12)
+	spec := softout.Spec{NoiseVar: inA.NoiseVariance()}
+
+	dec := softTestDecoder(t, 4)
+	want, err := dec.DecodeSharedRun([]BatchItem{
+		{Mod: mod, H: inA.H, Y: inA.Y, Soft: &spec},
+		{Mod: mod, H: inB.H, Y: inB.Y, Soft: &spec},
+	}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec2 := softTestDecoder(t, 4)
+	ccA, err := dec2.Compile(mod, inA.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccB, err := dec2.Compile(mod, inB.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec2.DecodeCompiledSharedRun([]CompiledBatchItem{
+		{CC: ccA, Y: inA.Y, Soft: &spec},
+		{CC: ccB, Y: inB.Y, Soft: &spec},
+	}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range want {
+		if string(want[i].Bits) != string(got[i].Bits) || want[i].Energy != got[i].Energy {
+			t.Fatalf("item %d: hard fields diverge between shared-run paths", i)
+		}
+		for k := range want[i].LLRs {
+			if math.Abs(want[i].LLRs[k]-got[i].LLRs[k]) > 1e-9 {
+				t.Fatalf("item %d LLR[%d]: %g vs %g", i, k, want[i].LLRs[k], got[i].LLRs[k])
+			}
+		}
+	}
+}
+
+// TestDecodeSoftRejectsBadSpec checks spec validation at every soft entry.
+func TestDecodeSoftRejectsBadSpec(t *testing.T) {
+	in := softTestInstance(t, 51, modulation.BPSK, 2, 10)
+	dec := softTestDecoder(t, 0)
+	bad := softout.Spec{Clamp: -1}
+	if _, err := dec.DecodeSoft(in.Mod, in.H, in.Y, bad, rng.New(1)); err == nil {
+		t.Fatal("DecodeSoft accepted a bad spec")
+	}
+	cc, err := dec.Compile(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeCompiledSoft(cc, in.Y, bad, rng.New(1)); err == nil {
+		t.Fatal("DecodeCompiledSoft accepted a bad spec")
+	}
+	if _, err := dec.DecodeSharedRun([]BatchItem{{Mod: in.Mod, H: in.H, Y: in.Y, Soft: &bad}}, rng.New(1)); err == nil {
+		t.Fatal("DecodeSharedRun accepted a bad item spec")
+	}
+}
+
+// TestDecodeInstanceSoftDefaultsNoiseVar checks the instance path fills σ²
+// from the instance when the spec leaves it unset.
+func TestDecodeInstanceSoftDefaultsNoiseVar(t *testing.T) {
+	in := softTestInstance(t, 61, modulation.QPSK, 2, 6)
+	dec := softTestDecoder(t, 0)
+	out, err := dec.DecodeInstanceSoft(in, softout.Spec{}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Distribution == nil {
+		t.Fatal("instance decode lost its evaluation fields")
+	}
+	want, err := softTestDecoder(t, 0).DecodeSoft(in.Mod, in.H, in.Y,
+		softout.Spec{NoiseVar: in.NoiseVariance()}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.LLRs {
+		if math.Abs(want.LLRs[k]-out.LLRs[k]) > 1e-9 {
+			t.Fatalf("LLR[%d]: instance %g vs explicit σ² %g", k, out.LLRs[k], want.LLRs[k])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"quamax/internal/linalg"
 	"quamax/internal/modulation"
 	"quamax/internal/precoding"
+	"quamax/internal/softout"
 )
 
 // Client is the AP side of the fronthaul. It is safe for concurrent use:
@@ -21,19 +22,21 @@ type Client struct {
 
 	writeMu sync.Mutex
 
-	mu         sync.Mutex
-	nextID     uint64
-	pending    map[uint64]chan *DecodeResponse
-	regPending map[uint64]chan *RegisterChannelResponse
-	closed     error
+	mu          sync.Mutex
+	nextID      uint64
+	pending     map[uint64]chan *DecodeResponse
+	regPending  map[uint64]chan *RegisterChannelResponse
+	softPending map[uint64]chan *SoftDecodeResponse
+	closed      error
 }
 
 // NewClient wraps an established connection and starts the response reader.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:       conn,
-		pending:    make(map[uint64]chan *DecodeResponse),
-		regPending: make(map[uint64]chan *RegisterChannelResponse),
+		conn:        conn,
+		pending:     make(map[uint64]chan *DecodeResponse),
+		regPending:  make(map[uint64]chan *RegisterChannelResponse),
+		softPending: make(map[uint64]chan *SoftDecodeResponse),
 	}
 	go c.readLoop()
 	return c
@@ -86,6 +89,19 @@ func (c *Client) readLoop() {
 			if ok {
 				ch <- resp
 			}
+		case msgSoftDecodeResponse:
+			resp, err := decodeSoftResponse(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch, ok := c.softPending[resp.ID]
+			delete(c.softPending, resp.ID)
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+			}
 		default:
 			// An unknown frame type means the peer speaks a different
 			// protocol generation; silently discarding it would strand the
@@ -108,6 +124,10 @@ func (c *Client) fail(err error) {
 	}
 	for id, ch := range c.regPending {
 		delete(c.regPending, id)
+		close(ch)
+	}
+	for id, ch := range c.softPending {
+		delete(c.softPending, id)
 		close(ch)
 	}
 }
@@ -165,51 +185,63 @@ func qosWire(deadline time.Duration, targetBER float64) (deadlineMicros, target 
 	return deadlineMicros, targetBER, nil
 }
 
-// decodeRoundTrip runs one decode-class request's lifecycle: allocate an ID,
-// register the pending slot, encode (the callback receives the ID), frame
-// and send, then wait for the matched DecodeResponse. Both the
-// self-contained and the decode-by-channel paths go through here, so the
-// lifecycle cannot drift between them.
-func (c *Client) decodeRoundTrip(msgType uint8, encode func(id uint64) ([]byte, error)) (*DecodeResponse, error) {
+// roundTrip runs one request's lifecycle over a pending table: allocate an
+// ID, register the slot, encode (the callback receives the ID), frame and
+// send, then wait for the matched response (a closed channel means the
+// connection died). Every request class — decode, register-channel,
+// soft-decode — goes through this one function, so the lifecycle (including
+// the abandon-on-local-failure ordering) cannot drift between them; callers
+// check their response's Err field afterward. The pending map must be one
+// of the Client's own tables (guarded by c.mu, drained by fail).
+func roundTrip[R any](c *Client, pending map[uint64]chan R, msgType uint8, encode func(id uint64) ([]byte, error)) (R, error) {
+	var zero R
 	c.mu.Lock()
 	if c.closed != nil {
 		c.mu.Unlock()
-		return nil, c.closed
+		return zero, c.closed
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *DecodeResponse, 1)
-	c.pending[id] = ch
+	ch := make(chan R, 1)
+	pending[id] = ch
 	c.mu.Unlock()
 
+	abandon := func() {
+		c.mu.Lock()
+		delete(pending, id)
+		c.mu.Unlock()
+	}
 	payload, err := encode(id)
 	if err != nil {
-		c.abandon(id)
-		return nil, err
+		abandon()
+		return zero, err
 	}
 	c.writeMu.Lock()
 	err = writeFrame(c.conn, msgType, payload)
 	c.writeMu.Unlock()
 	if err != nil {
-		c.abandon(id)
-		return nil, err
+		abandon()
+		return zero, err
 	}
 
 	resp, ok := <-ch
 	if !ok {
-		return nil, c.closedErr()
+		return zero, c.closedErr()
+	}
+	return resp, nil
+}
+
+// decodeRoundTrip is roundTrip over the decode-response table, converting a
+// remote error string into a Go error.
+func (c *Client) decodeRoundTrip(msgType uint8, encode func(id uint64) ([]byte, error)) (*DecodeResponse, error) {
+	resp, err := roundTrip(c, c.pending, msgType, encode)
+	if err != nil {
+		return nil, err
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("fronthaul: remote decode failed: %s", resp.Err)
 	}
 	return resp, nil
-}
-
-// abandon drops a pending slot after a local failure.
-func (c *Client) abandon(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
 }
 
 // RemoteChannel is a channel registered with the data center for a coherence
@@ -231,33 +263,11 @@ func (rc *RemoteChannel) Mod() modulation.Modulation { return rc.mod }
 // physical program — and every DecodeWithChannel call only rewrites the
 // y-dependent biases.
 func (c *Client) RegisterChannel(mod modulation.Modulation, h *linalg.Mat) (*RemoteChannel, error) {
-	c.mu.Lock()
-	if c.closed != nil {
-		c.mu.Unlock()
-		return nil, c.closed
-	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan *RegisterChannelResponse, 1)
-	c.regPending[id] = ch
-	c.mu.Unlock()
-
-	payload, err := encodeRegisterChannel(&RegisterChannelRequest{ID: id, Mod: mod, H: h})
+	resp, err := roundTrip(c, c.regPending, msgRegisterChannel, func(id uint64) ([]byte, error) {
+		return encodeRegisterChannel(&RegisterChannelRequest{ID: id, Mod: mod, H: h})
+	})
 	if err != nil {
-		c.abandonRegister(id)
 		return nil, err
-	}
-	c.writeMu.Lock()
-	err = writeFrame(c.conn, msgRegisterChannel, payload)
-	c.writeMu.Unlock()
-	if err != nil {
-		c.abandonRegister(id)
-		return nil, err
-	}
-
-	resp, ok := <-ch
-	if !ok {
-		return nil, c.closedErr()
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("fronthaul: channel registration failed: %s", resp.Err)
@@ -376,11 +386,80 @@ func (c *Client) PrecodeWithChannel(rc *RemoteChannel, s []complex128, perturbBi
 	return precodeResponse(len(s), resp)
 }
 
-// abandonRegister drops a pending registration slot after a local failure.
-func (c *Client) abandonRegister(id uint64) {
-	c.mu.Lock()
-	delete(c.regPending, id)
-	c.mu.Unlock()
+// SoftQoS is the per-request contract of a soft decode: the LLR scaling and
+// clamp plus the usual deadline/target-BER pair. The zero value is valid
+// (unscaled LLRs, server-default clamp, server-default deadline and target).
+type SoftQoS struct {
+	// NoiseVar is the AP's per-antenna complex noise variance estimate σ²
+	// (0 = unscaled energy differences).
+	NoiseVar float64
+	// LLRClamp bounds |LLR| and sets the quantization full scale
+	// (0 = server default).
+	LLRClamp float64
+	// Deadline and TargetBER as in DecodeQoS (≤ 0 = server default).
+	Deadline  time.Duration
+	TargetBER float64
+}
+
+// LLRs dequantizes the response's int8 LLR payload back to float64 at the
+// response clamp (softout.Dequantize).
+func (r *SoftDecodeResponse) LLRs() []float64 {
+	return softout.Dequantize(r.LLR8, r.Clamp)
+}
+
+// DecodeSoft ships one channel use to the data center requesting soft
+// output (protocol v6) and waits for the hard decision plus per-bit LLRs.
+// The LLRs ride the fronthaul as int8 at the response's clamp scale; use
+// SoftDecodeResponse.LLRs to recover float values for the FEC layer.
+func (c *Client) DecodeSoft(mod modulation.Modulation, h *linalg.Mat, y []complex128, q SoftQoS) (*SoftDecodeResponse, error) {
+	deadlineMicros, target, err := qosWire(q.Deadline, q.TargetBER)
+	if err != nil {
+		return nil, err
+	}
+	return c.softRoundTrip(msgSoftDecodeRequest, func(id uint64) ([]byte, error) {
+		return encodeSoftRequest(&SoftDecodeRequest{
+			ID: id, Mod: mod, H: h, Y: y,
+			NoiseVar: q.NoiseVar, LLRClamp: q.LLRClamp,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+}
+
+// DecodeSoftWithChannel is DecodeSoft against a registered channel: the
+// coherence window's H shipped once (RegisterChannel), every soft-decoded
+// symbol an O(Nr) frame tagged with the channel's fingerprint for
+// coherence-aware batching — exactly like DecodeWithChannel, soft.
+func (c *Client) DecodeSoftWithChannel(rc *RemoteChannel, y []complex128, q SoftQoS) (*SoftDecodeResponse, error) {
+	if rc == nil || rc.c != c {
+		return nil, errors.New("fronthaul: channel not registered on this client")
+	}
+	if len(y) != rc.rows {
+		return nil, fmt.Errorf("fronthaul: received vector has %d entries, channel has %d rows", len(y), rc.rows)
+	}
+	deadlineMicros, target, err := qosWire(q.Deadline, q.TargetBER)
+	if err != nil {
+		return nil, err
+	}
+	return c.softRoundTrip(msgSoftDecodeByChan, func(id uint64) ([]byte, error) {
+		return encodeSoftByChannel(&SoftDecodeByChannelRequest{
+			ID: id, Handle: rc.handle, Y: y,
+			NoiseVar: q.NoiseVar, LLRClamp: q.LLRClamp,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
+}
+
+// softRoundTrip is roundTrip over the soft-decode-response table, converting
+// a remote error string into a Go error.
+func (c *Client) softRoundTrip(msgType uint8, encode func(id uint64) ([]byte, error)) (*SoftDecodeResponse, error) {
+	resp, err := roundTrip(c, c.softPending, msgType, encode)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: remote soft decode failed: %s", resp.Err)
+	}
+	return resp, nil
 }
 
 // closedErr returns the connection's terminal error (or a generic one).

@@ -9,10 +9,12 @@ import (
 )
 
 // fuzzSeedFrames builds one valid payload per frame type of every protocol
-// generation still accepted on the wire (v2–v5), so the fuzzer starts from
+// generation still accepted on the wire (v2–v6), so the fuzzer starts from
 // the real grammar instead of random bytes: self-contained decode requests
 // with (v3+) and without (v2) the target-BER field, the v4 coherence frames,
-// the v5 precode frames, and both response shapes.
+// the v5 precode frames, the v6 soft-decode frames (including truncated LLR
+// payloads and zero-length LLR lists), and every response shape, plus an
+// unknown-version frame type a newer peer might emit.
 func fuzzSeedFrames(tb testing.TB) [][]byte {
 	tb.Helper()
 	h := linalg.MatFromRows([][]complex128{
@@ -58,6 +60,19 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	softReq, err := encodeSoftRequest(&SoftDecodeRequest{ID: 10, Mod: modulation.QAM16, H: h, Y: y,
+		NoiseVar: 0.04, LLRClamp: 16, DeadlineMicros: 1500, TargetBER: 1e-4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	softByChan, err := encodeSoftByChannel(&SoftDecodeByChannelRequest{ID: 11, Handle: 3, Y: y,
+		NoiseVar: 0.1, DeadlineMicros: 10, TargetBER: 1e-3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	softResp := encodeSoftResponse(&SoftDecodeResponse{ID: 12, Bits: []byte{1, 0, 1, 1},
+		Clamp: 24, LLR8: []int8{127, -127, 5, -9}, Saturated: 2,
+		Energy: 0.5, ComputeMicros: 80, Backend: "qpu0", Batched: 2})
 	seeds := [][]byte{
 		frame(msgDecodeRequest, v3, nil),
 		// A v2 peer's request ends at the deadline field.
@@ -70,10 +85,23 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 			Energy: 2.5, ComputeMicros: 12, Backend: "qpu0", Batched: 2}), nil),
 		frame(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: 7, Err: "boom"}), nil),
 		frame(msgRegisterResponse, encodeRegisterResponse(&RegisterChannelResponse{ID: 8, Handle: 4}), nil),
+		// The v6 soft-decode grammar.
+		frame(msgSoftDecodeRequest, softReq, nil),
+		frame(msgSoftDecodeByChan, softByChan, nil),
+		frame(msgSoftDecodeResponse, softResp, nil),
+		// A soft response whose LLR list is empty (error/hard-probe answers).
+		frame(msgSoftDecodeResponse, encodeSoftResponse(&SoftDecodeResponse{ID: 13, Err: "denied"}), nil),
+		// A soft response truncated inside its LLR payload.
+		append([]byte{msgSoftDecodeResponse}, softResp[:len(softResp)-30]...),
 		// Malformed shapes the decoders must reject without panicking.
 		{msgDecodeRequest},
 		{msgPrecodeRequest, 0, 0, 0},
+		{msgSoftDecodeRequest, 0, 0},
 		frame(99, []byte{1, 2, 3}, nil), // unknown type
+		// An unknown-version frame: the type right past this generation's
+		// (a v7 peer's downgrade probe) must be ignored by the decoders and
+		// surfaced — not crashed on — by the framing layer.
+		frame(msgSoftDecodeResponse+1, softResp, nil),
 		append([]byte{msgDecodeRequest}, bytes.Repeat([]byte{0xff}, 40)...),
 	}
 	return seeds
@@ -83,7 +111,7 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 // type, the rest is the payload handed to that type's decoder (the exact
 // situation of a server or client read loop after readFrame). No input may
 // panic, and any payload a decoder accepts must survive a re-encode +
-// re-decode round trip — the invariant that keeps v2–v5 compatibility
+// re-decode round trip — the invariant that keeps v2–v6 compatibility
 // honest.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, seed := range fuzzSeedFrames(f) {
@@ -154,6 +182,38 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if _, err := decodePrecodeByChannel(re); err != nil {
 				t.Fatalf("re-encoded precode-by-channel does not decode: %v", err)
+			}
+		case msgSoftDecodeRequest:
+			req, err := decodeSoftRequest(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeSoftRequest(req)
+			if err != nil {
+				t.Fatalf("accepted soft request does not re-encode: %v", err)
+			}
+			if _, err := decodeSoftRequest(re); err != nil {
+				t.Fatalf("re-encoded soft request does not decode: %v", err)
+			}
+		case msgSoftDecodeByChan:
+			req, err := decodeSoftByChannel(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeSoftByChannel(req)
+			if err != nil {
+				t.Fatalf("accepted soft-by-channel does not re-encode: %v", err)
+			}
+			if _, err := decodeSoftByChannel(re); err != nil {
+				t.Fatalf("re-encoded soft-by-channel does not decode: %v", err)
+			}
+		case msgSoftDecodeResponse:
+			resp, err := decodeSoftResponse(payload)
+			if err != nil {
+				return
+			}
+			if _, err := decodeSoftResponse(encodeSoftResponse(resp)); err != nil {
+				t.Fatalf("re-encoded soft response does not decode: %v", err)
 			}
 		case msgDecodeResponse:
 			resp, err := decodeResponse(payload)

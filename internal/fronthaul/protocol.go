@@ -42,20 +42,29 @@ import (
 // channel handle) and the data center answers with the vector-perturbation
 // solution of internal/precoding, reusing the decode-response framing
 // (solution bits + energy = transmit power γ). Version-4 and older payloads
-// all still decode. Peers speaking a newer version may emit frame types this
+// all still decode. Version 6 adds soft-output decoding: soft-decode request
+// frames (self-contained, or against a registered channel handle) carry the
+// noise variance and LLR clamp alongside the usual QoS contract, and the
+// data center answers with a soft-decode response whose per-bit LLRs ride as
+// a quantized int8 payload (softout.Quantize: ±clamp ↔ ±127, one byte per
+// bit instead of a float64). Version-5 and older payloads all still decode.
+// Peers speaking a newer version may emit frame types this
 // implementation does not know; the client surfaces those as protocol errors
 // rather than discarding them silently.
-const ProtocolVersion = 5
+const ProtocolVersion = 6
 
 // Message types.
 const (
-	msgDecodeRequest    uint8 = 1
-	msgDecodeResponse   uint8 = 2
-	msgRegisterChannel  uint8 = 3
-	msgRegisterResponse uint8 = 4
-	msgDecodeByChannel  uint8 = 5
-	msgPrecodeRequest   uint8 = 6
-	msgPrecodeByChannel uint8 = 7
+	msgDecodeRequest      uint8 = 1
+	msgDecodeResponse     uint8 = 2
+	msgRegisterChannel    uint8 = 3
+	msgRegisterResponse   uint8 = 4
+	msgDecodeByChannel    uint8 = 5
+	msgPrecodeRequest     uint8 = 6
+	msgPrecodeByChannel   uint8 = 7
+	msgSoftDecodeRequest  uint8 = 8
+	msgSoftDecodeByChan   uint8 = 9
+	msgSoftDecodeResponse uint8 = 10
 )
 
 // MaxFrameBytes bounds a frame payload; a 64×64 64-QAM request is ~130 KiB,
@@ -321,22 +330,16 @@ func decodeRequest(payload []byte) (*DecodeRequest, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	// Reject NaN/negative, and bound the magnitude so the µs→Duration
-	// conversion on the server cannot overflow int64 (float-to-int
-	// conversion of an out-of-range value is implementation-defined).
-	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
-		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
-	}
 	// The target BER was appended in protocol version 3; a version-2 payload
-	// ends here and reads as "no target".
+	// ends here and reads as "no target" (zero, which validates).
 	if r.off < len(payload) {
 		req.TargetBER = r.f64()
 		if r.err != nil {
 			return nil, r.err
 		}
-		if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
-			return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
-		}
+	}
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in request")
@@ -465,11 +468,8 @@ func decodeDecodeByChannel(payload []byte) (*DecodeByChannelRequest, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
-		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
-	}
-	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
-		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in decode-by-channel request")
@@ -552,11 +552,8 @@ func decodePrecode(payload []byte) (*PrecodeRequest, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
-		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
-	}
-	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
-		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in precode request")
@@ -614,11 +611,8 @@ func decodePrecodeByChannel(payload []byte) (*PrecodeByChannelRequest, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if !(req.DeadlineMicros >= 0) || req.DeadlineMicros > MaxDeadlineMicros {
-		return nil, fmt.Errorf("fronthaul: invalid deadline %g µs", req.DeadlineMicros)
-	}
-	if !(req.TargetBER >= 0) || req.TargetBER >= 1 {
-		return nil, fmt.Errorf("fronthaul: invalid target BER %g", req.TargetBER)
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
 	}
 	if r.off != len(payload) {
 		return nil, errors.New("fronthaul: trailing bytes in precode-by-channel request")

@@ -16,6 +16,7 @@ import (
 	"quamax/internal/modulation"
 	"quamax/internal/precoding"
 	"quamax/internal/sched"
+	"quamax/internal/softout"
 )
 
 // Dispatcher routes one decode problem to a solver. The QPU pool scheduler
@@ -43,6 +44,15 @@ type Server struct {
 	// PrecodeCache bounds the compiled-VP-program LRU shared by all
 	// connections (0 = precoding.DefaultCache). Set before Serve.
 	PrecodeCache int
+
+	// DisableSoft rejects protocol-v6 soft-decode requests with a clean
+	// error response (quamax-serve -soft=false) — for deployments whose
+	// planner tables were fitted for hard chains only. Set before Serve.
+	DisableSoft bool
+	// LLRClamp is the default LLR magnitude bound / quantization full scale
+	// for soft requests that carry none (0 = softout.DefaultClamp). Set
+	// before Serve.
+	LLRClamp float64
 
 	precodeOnce     sync.Once
 	precodePrograms *precoding.Cache
@@ -282,6 +292,53 @@ func (s *Server) handleConn(conn net.Conn) {
 				write(msgDecodeResponse, encodeResponse(resp))
 			}()
 
+		case msgSoftDecodeRequest:
+			req, err := decodeSoftRequest(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err, msgSoftDecodeResponse)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := s.processSoft(ctx, req.ID, &backend.Problem{
+					Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER,
+					Soft: true, NoiseVar: req.NoiseVar, LLRClamp: s.softClamp(req.LLRClamp),
+				}, req.DeadlineMicros)
+				write(msgSoftDecodeResponse, encodeSoftResponse(resp))
+			}()
+
+		case msgSoftDecodeByChan:
+			req, err := decodeSoftByChannel(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err, msgSoftDecodeResponse)
+				return
+			}
+			chanMu.Lock()
+			rc := channels[req.Handle]
+			chanMu.Unlock()
+			if rc == nil {
+				write(msgSoftDecodeResponse, encodeSoftResponse(&SoftDecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("unknown channel handle %d", req.Handle)}))
+				continue
+			}
+			if len(req.Y) != rc.h.Rows {
+				write(msgSoftDecodeResponse, encodeSoftResponse(&SoftDecodeResponse{
+					ID: req.ID, Err: fmt.Sprintf("received vector has %d entries, channel has %d rows",
+						len(req.Y), rc.h.Rows)}))
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := s.processSoft(ctx, req.ID, &backend.Problem{
+					Mod: rc.mod, H: rc.h, Y: req.Y, TargetBER: req.TargetBER,
+					ChannelKey: rc.key,
+					Soft:       true, NoiseVar: req.NoiseVar, LLRClamp: s.softClamp(req.LLRClamp),
+				}, req.DeadlineMicros)
+				write(msgSoftDecodeResponse, encodeSoftResponse(resp))
+			}()
+
 		case msgDecodeByChannel:
 			req, err := decodeDecodeByChannel(payload)
 			if err != nil {
@@ -322,20 +379,65 @@ func (s *Server) handleConn(conn net.Conn) {
 // badRequest logs a malformed payload and, when the request ID is
 // salvageable (first 8 bytes), answers with an error so a protocol-
 // mismatched client fails fast instead of blocking forever on a swallowed
-// request.
-func (s *Server) badRequest(conn net.Conn, writeMu *sync.Mutex, payload []byte, err error) {
+// request. respType selects the response framing — soft requests must be
+// answered with soft-decode responses or the client cannot match them —
+// and defaults to the decode response.
+func (s *Server) badRequest(conn net.Conn, writeMu *sync.Mutex, payload []byte, err error, respType ...uint8) {
 	s.logf("fronthaul: bad request: %v", err)
 	if len(payload) < 8 {
 		return
 	}
 	id := binary.LittleEndian.Uint64(payload)
-	resp := &DecodeResponse{ID: id, Err: fmt.Sprintf(
-		"bad request (server speaks protocol version %d): %v", ProtocolVersion, err)}
+	msg := fmt.Sprintf("bad request (server speaks protocol version %d): %v", ProtocolVersion, err)
+	frameType := msgDecodeResponse
+	frame := encodeResponse(&DecodeResponse{ID: id, Err: msg})
+	if len(respType) > 0 && respType[0] == msgSoftDecodeResponse {
+		frameType = msgSoftDecodeResponse
+		frame = encodeSoftResponse(&SoftDecodeResponse{ID: id, Err: msg})
+	}
 	writeMu.Lock()
-	werr := writeFrame(conn, msgDecodeResponse, encodeResponse(resp))
+	werr := writeFrame(conn, frameType, frame)
 	writeMu.Unlock()
 	if werr != nil {
 		s.logf("fronthaul: write error response: %v", werr)
+	}
+}
+
+// softClamp resolves the effective LLR clamp of one soft request: the
+// request's own bound, else the server default, else the package default.
+// The resolved value scales both the backend clamping and the response
+// quantization, so the two always agree.
+func (s *Server) softClamp(reqClamp float64) float64 {
+	if reqClamp > 0 {
+		return reqClamp
+	}
+	if s.LLRClamp > 0 {
+		return s.LLRClamp
+	}
+	return softout.DefaultClamp
+}
+
+// processSoft routes one soft decode through the pool and quantizes the
+// resulting LLRs onto the wire at the problem's clamp.
+func (s *Server) processSoft(ctx context.Context, id uint64, p *backend.Problem, deadlineMicros float64) *SoftDecodeResponse {
+	if s.DisableSoft {
+		return &SoftDecodeResponse{ID: id, Err: "soft decode disabled by server configuration"}
+	}
+	deadline := time.Duration(deadlineMicros * float64(time.Microsecond))
+	res, err := s.disp.Dispatch(ctx, p, deadline)
+	if err != nil {
+		return &SoftDecodeResponse{ID: id, Err: err.Error()}
+	}
+	return &SoftDecodeResponse{
+		ID:            id,
+		Bits:          res.Bits,
+		Clamp:         p.LLRClamp,
+		LLR8:          softout.Quantize(res.LLRs, p.LLRClamp),
+		Saturated:     res.LLRSaturated,
+		Energy:        res.Energy,
+		ComputeMicros: res.ComputeMicros,
+		Backend:       res.Backend,
+		Batched:       res.Batched,
 	}
 }
 

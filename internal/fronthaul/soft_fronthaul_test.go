@@ -1,0 +1,234 @@
+package fronthaul
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+	"quamax/internal/softout"
+)
+
+func TestSoftRequestCodecRoundTrip(t *testing.T) {
+	src := rng.New(621)
+	h := channel.Rayleigh{}.Generate(src, 3, 2)
+	req := &SoftDecodeRequest{
+		ID: 99, Mod: modulation.QAM16, H: h, Y: []complex128{1 + 2i, -1, 0.5i},
+		NoiseVar: 0.04, LLRClamp: 16, DeadlineMicros: 1500, TargetBER: 1e-4,
+	}
+	payload, err := encodeSoftRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeSoftRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 99 || back.Mod != modulation.QAM16 || back.NoiseVar != 0.04 ||
+		back.LLRClamp != 16 || back.DeadlineMicros != 1500 || back.TargetBER != 1e-4 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Corruption must be rejected: truncation, trailing bytes, bad fields.
+	if _, err := decodeSoftRequest(payload[:len(payload)-5]); err == nil {
+		t.Fatal("truncated soft request accepted")
+	}
+	if _, err := decodeSoftRequest(append(append([]byte(nil), payload...), 1)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := encodeSoftRequest(&SoftDecodeRequest{Mod: modulation.BPSK, H: h,
+		Y: []complex128{0, 0, 0}, NoiseVar: math.Inf(1)}); err == nil {
+		t.Fatal("infinite noise variance accepted")
+	}
+	if _, err := encodeSoftRequest(&SoftDecodeRequest{Mod: modulation.BPSK, H: h,
+		Y: []complex128{0, 0, 0}, LLRClamp: -2}); err == nil {
+		t.Fatal("negative clamp accepted")
+	}
+}
+
+func TestSoftByChannelCodecRoundTrip(t *testing.T) {
+	req := &SoftDecodeByChannelRequest{
+		ID: 4, Handle: 17, Y: []complex128{1, -1i},
+		NoiseVar: 0.1, LLRClamp: 8, DeadlineMicros: 10, TargetBER: 1e-3,
+	}
+	payload, err := encodeSoftByChannel(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeSoftByChannel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Handle != 17 || len(back.Y) != 2 || back.NoiseVar != 0.1 || back.LLRClamp != 8 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := decodeSoftByChannel(payload[:12]); err == nil {
+		t.Fatal("truncated soft-by-channel accepted")
+	}
+}
+
+func TestSoftResponseCodecRoundTrip(t *testing.T) {
+	resp := &SoftDecodeResponse{
+		ID: 6, Bits: []byte{1, 0, 1, 1}, Clamp: 24,
+		LLR8: []int8{127, -127, 3, -90}, Saturated: 2,
+		Energy: 1.25, ComputeMicros: 80, Backend: "qpu0", Batched: 2,
+	}
+	back, err := decodeSoftResponse(encodeSoftResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Saturated != 2 || back.Clamp != 24 || len(back.LLR8) != 4 ||
+		back.LLR8[1] != -127 || back.Backend != "qpu0" || back.Batched != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	llrs := back.LLRs()
+	if math.Abs(llrs[0]-24) > 1e-12 || math.Abs(llrs[1]+24) > 1e-12 {
+		t.Fatalf("dequantized full-scale LLRs: %v", llrs)
+	}
+
+	// Zero-length LLR list (error responses) is valid.
+	errResp := &SoftDecodeResponse{ID: 8, Err: "boom"}
+	back, err = decodeSoftResponse(encodeSoftResponse(errResp))
+	if err != nil || back.Err != "boom" || len(back.LLR8) != 0 {
+		t.Fatalf("error round trip: %+v, %v", back, err)
+	}
+
+	// Truncated LLR payload must be rejected, not mis-sliced.
+	full := encodeSoftResponse(resp)
+	if _, err := decodeSoftResponse(full[:len(full)-7]); err == nil {
+		t.Fatal("truncated soft response accepted")
+	}
+}
+
+// TestDecodeSoftOverPipe runs the full v6 loop: the client's soft decode
+// must return the same hard bits as a hard decode and LLRs within one
+// quantization step of the local soft decode.
+func TestDecodeSoftOverPipe(t *testing.T) {
+	dec := testDecoder(t)
+	server := NewServer(dec, 1)
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 623, modulation.QPSK, 4)
+	resp, err := client.DecodeSoft(in.Mod, in.H, in.Y, SoftQoS{NoiseVar: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BitErrors(resp.Bits) != 0 {
+		t.Fatalf("soft remote decode got %d bit errors", in.BitErrors(resp.Bits))
+	}
+	if len(resp.LLR8) != len(resp.Bits) {
+		t.Fatalf("%d LLRs for %d bits", len(resp.LLR8), len(resp.Bits))
+	}
+	if resp.Clamp != softout.DefaultClamp {
+		t.Fatalf("response clamp %g, want the package default %g", resp.Clamp, softout.DefaultClamp)
+	}
+	// A noise-free decode is ensemble-unanimous: every LLR saturates and the
+	// signs reproduce the bits.
+	if resp.Saturated == 0 {
+		t.Fatal("noise-free soft decode reported no saturation")
+	}
+	got := softout.HardDecisions(resp.LLRs())
+	if string(got) != string(resp.Bits) {
+		t.Fatal("dequantized LLR signs do not reproduce the hard bits")
+	}
+}
+
+// TestDecodeSoftWithChannelOverPipe drives the v6 by-channel path, including
+// the request-clamp override.
+func TestDecodeSoftWithChannelOverPipe(t *testing.T) {
+	dec := testDecoder(t)
+	server := NewServer(dec, 1)
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 625, modulation.QPSK, 4)
+	rc, err := client.RegisterChannel(in.Mod, in.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.DecodeSoftWithChannel(rc, in.Y, SoftQoS{NoiseVar: 0.01, LLRClamp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BitErrors(resp.Bits) != 0 {
+		t.Fatalf("soft by-channel decode got %d bit errors", in.BitErrors(resp.Bits))
+	}
+	if resp.Clamp != 8 {
+		t.Fatalf("request clamp override lost: response clamp %g", resp.Clamp)
+	}
+	// Shape mismatch answers per-request.
+	if _, err := client.DecodeSoftWithChannel(rc, in.Y[:2], SoftQoS{}); err == nil {
+		t.Fatal("short received vector accepted locally")
+	}
+	// Unknown handle answers with a soft error response.
+	bogus := &RemoteChannel{c: client, handle: 9999, mod: in.Mod, rows: len(in.Y)}
+	if _, err := client.DecodeSoftWithChannel(bogus, in.Y, SoftQoS{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown channel handle") {
+		t.Fatalf("unknown handle error = %v", err)
+	}
+}
+
+// TestServerDisableSoft checks -soft=false servers answer cleanly.
+func TestServerDisableSoft(t *testing.T) {
+	server := NewServer(testDecoder(t), 1)
+	server.DisableSoft = true
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	in := testInstance(t, 627, modulation.QPSK, 4)
+	_, err := client.DecodeSoft(in.Mod, in.H, in.Y, SoftQoS{})
+	if err == nil || !strings.Contains(err.Error(), "soft decode disabled") {
+		t.Fatalf("disabled soft decode error = %v", err)
+	}
+	// Hard decodes still serve.
+	if _, err := client.Decode(in.Mod, in.H, in.Y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerAnswersMalformedSoftRequest: a corrupt soft frame with a
+// salvageable ID must produce a soft-framed error so the soft caller
+// unblocks (not a decode-framed one the soft pending table cannot match).
+func TestServerAnswersMalformedSoftRequest(t *testing.T) {
+	server := NewServer(testDecoder(t), 1)
+	defer server.Close()
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	defer cliConn.Close()
+
+	payload := appendU64(nil, 31)         // valid ID...
+	payload = append(payload, 0xde, 0xad) // ...followed by garbage
+	done := make(chan error, 1)
+	go func() {
+		done <- writeFrame(cliConn, msgSoftDecodeRequest, payload)
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	msgType, resp, err := readFrame(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != msgSoftDecodeResponse {
+		t.Fatalf("malformed soft request answered with frame type %d", msgType)
+	}
+	back, err := decodeSoftResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 31 || !strings.Contains(back.Err, "bad request") {
+		t.Fatalf("soft error response: %+v", back)
+	}
+}

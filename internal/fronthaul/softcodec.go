@@ -1,0 +1,308 @@
+// Protocol v6 soft-decode framing: the wire half of the soft-output
+// detection subsystem. An AP that runs a soft-decision FEC chain requests
+// per-bit LLRs with a soft-decode frame (self-contained H+y, or y against a
+// registered channel handle), supplying the noise variance its channel
+// estimator already tracks; the data center answers with the hard decision
+// plus the LLR vector quantized to int8 at the response's clamp
+// (softout.Quantize), so the per-bit soft payload costs one byte on the
+// fronthaul instead of a float64.
+
+package fronthaul
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quamax/internal/linalg"
+	"quamax/internal/modulation"
+)
+
+// SoftDecodeRequest is one uplink channel use requesting soft output
+// (protocol v6): decode y through H and return per-bit LLRs alongside the
+// hard decision.
+type SoftDecodeRequest struct {
+	ID  uint64
+	Mod modulation.Modulation
+	H   *linalg.Mat
+	Y   []complex128
+	// NoiseVar is the AP-estimated per-antenna complex noise variance σ²
+	// scaling the LLRs (0 = unscaled energy differences).
+	NoiseVar float64
+	// LLRClamp bounds |LLR| and sets the int8 quantization full scale
+	// (0 = the server's configured default).
+	LLRClamp float64
+	// DeadlineMicros and TargetBER carry the same per-decode QoS contract as
+	// DecodeRequest.
+	DeadlineMicros float64
+	TargetBER      float64
+}
+
+// SoftDecodeByChannelRequest is the coherence-window form of
+// SoftDecodeRequest: one received vector against a previously registered
+// channel handle (protocol v4 registration), O(Nr) on the wire.
+type SoftDecodeByChannelRequest struct {
+	ID     uint64
+	Handle uint64
+	Y      []complex128
+	// NoiseVar, LLRClamp, DeadlineMicros and TargetBER as in
+	// SoftDecodeRequest.
+	NoiseVar       float64
+	LLRClamp       float64
+	DeadlineMicros float64
+	TargetBER      float64
+}
+
+// SoftDecodeResponse carries a soft decode back to the AP: the hard-decision
+// bits plus the per-bit LLRs as int8 wire values at full scale ±Clamp.
+type SoftDecodeResponse struct {
+	ID  uint64
+	Err string // empty on success
+	// Bits are the hard-decision data bits (identical to what a hard decode
+	// of the same problem would return).
+	Bits []byte
+	// Clamp is the LLR magnitude the quantization maps onto ±127 — the
+	// scale LLRs() dequantizes with.
+	Clamp float64
+	// LLR8 are the quantized per-bit LLRs (softout convention: positive
+	// favors bit 1), one entry per data bit.
+	LLR8 []int8
+	// Saturated counts the LLR entries that hit the clamp server-side.
+	Saturated int
+	// Energy, ComputeMicros, Backend and Batched carry the same solver
+	// metadata as DecodeResponse.
+	Energy        float64
+	ComputeMicros float64
+	Backend       string
+	Batched       int
+}
+
+// validateSoftScaling rejects unrepresentable noise-variance / clamp pairs
+// shared by both soft request forms.
+func validateSoftScaling(noiseVar, clamp float64) error {
+	if !(noiseVar >= 0) || math.IsInf(noiseVar, 0) {
+		return fmt.Errorf("fronthaul: invalid noise variance %g", noiseVar)
+	}
+	if !(clamp >= 0) || math.IsInf(clamp, 0) {
+		return fmt.Errorf("fronthaul: invalid LLR clamp %g", clamp)
+	}
+	return nil
+}
+
+// validateQoSWire rejects out-of-range deadline/target fields shared by
+// every request form: NaN/negative deadlines, deadlines past
+// MaxDeadlineMicros (so the µs→time.Duration conversion on the server
+// cannot overflow int64 — float-to-int conversion of an out-of-range value
+// is implementation-defined), and targets outside [0, 1).
+func validateQoSWire(deadlineMicros, targetBER float64) error {
+	if !(deadlineMicros >= 0) || deadlineMicros > MaxDeadlineMicros {
+		return fmt.Errorf("fronthaul: invalid deadline %g µs", deadlineMicros)
+	}
+	if !(targetBER >= 0) || targetBER >= 1 {
+		return fmt.Errorf("fronthaul: invalid target BER %g", targetBER)
+	}
+	return nil
+}
+
+// encodeSoftRequest serializes a SoftDecodeRequest payload.
+func encodeSoftRequest(req *SoftDecodeRequest) ([]byte, error) {
+	if req.H == nil || req.H.Rows != len(req.Y) {
+		return nil, errors.New("fronthaul: request shape mismatch")
+	}
+	if err := validateSoftScaling(req.NoiseVar, req.LLRClamp); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 8+1+4+16*len(req.H.Data)+16*len(req.Y)+32)
+	b = appendU64(b, req.ID)
+	b = append(b, byte(req.Mod))
+	b = appendU16(b, uint16(req.H.Rows))
+	b = appendU16(b, uint16(req.H.Cols))
+	for _, v := range req.H.Data {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	for _, v := range req.Y {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	b = appendF64(b, req.NoiseVar)
+	b = appendF64(b, req.LLRClamp)
+	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
+	return b, nil
+}
+
+// decodeSoftRequest parses a SoftDecodeRequest payload.
+func decodeSoftRequest(payload []byte) (*SoftDecodeRequest, error) {
+	r := &reader{b: payload}
+	req := &SoftDecodeRequest{ID: r.u64()}
+	modByte := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	req.Mod = modulation.Modulation(modByte[0])
+	if _, err := modulation.Parse(req.Mod.String()); err != nil {
+		return nil, fmt.Errorf("fronthaul: bad modulation byte %d", modByte[0])
+	}
+	rows := int(r.u16())
+	cols := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rows < 1 || cols < 1 {
+		return nil, errors.New("fronthaul: empty channel matrix")
+	}
+	// Bound the allocation by what the payload can actually hold (16 bytes
+	// per complex entry) before trusting the header-declared shape.
+	if rows*cols > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: %d×%d channel exceeds payload", rows, cols)
+	}
+	req.H = linalg.NewMat(rows, cols)
+	for i := range req.H.Data {
+		re, im := r.f64(), r.f64()
+		req.H.Data[i] = complex(re, im)
+	}
+	req.Y = make([]complex128, rows)
+	for i := range req.Y {
+		re, im := r.f64(), r.f64()
+		req.Y[i] = complex(re, im)
+	}
+	req.NoiseVar = r.f64()
+	req.LLRClamp = r.f64()
+	req.DeadlineMicros = r.f64()
+	req.TargetBER = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := validateSoftScaling(req.NoiseVar, req.LLRClamp); err != nil {
+		return nil, err
+	}
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in soft-decode request")
+	}
+	return req, nil
+}
+
+// encodeSoftByChannel serializes a SoftDecodeByChannelRequest payload.
+func encodeSoftByChannel(req *SoftDecodeByChannelRequest) ([]byte, error) {
+	if len(req.Y) < 1 {
+		return nil, errors.New("fronthaul: empty received vector")
+	}
+	if err := validateSoftScaling(req.NoiseVar, req.LLRClamp); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 8+8+4+16*len(req.Y)+32)
+	b = appendU64(b, req.ID)
+	b = appendU64(b, req.Handle)
+	b = appendU32(b, uint32(len(req.Y)))
+	for _, v := range req.Y {
+		b = appendF64(b, real(v))
+		b = appendF64(b, imag(v))
+	}
+	b = appendF64(b, req.NoiseVar)
+	b = appendF64(b, req.LLRClamp)
+	b = appendF64(b, req.DeadlineMicros)
+	b = appendF64(b, req.TargetBER)
+	return b, nil
+}
+
+// decodeSoftByChannel parses a SoftDecodeByChannelRequest payload.
+func decodeSoftByChannel(payload []byte) (*SoftDecodeByChannelRequest, error) {
+	r := &reader{b: payload}
+	req := &SoftDecodeByChannelRequest{ID: r.u64(), Handle: r.u64()}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 1 || n > len(payload)/16 {
+		return nil, fmt.Errorf("fronthaul: bad received-vector length %d", n)
+	}
+	req.Y = make([]complex128, n)
+	for i := range req.Y {
+		re, im := r.f64(), r.f64()
+		req.Y[i] = complex(re, im)
+	}
+	req.NoiseVar = r.f64()
+	req.LLRClamp = r.f64()
+	req.DeadlineMicros = r.f64()
+	req.TargetBER = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := validateSoftScaling(req.NoiseVar, req.LLRClamp); err != nil {
+		return nil, err
+	}
+	if err := validateQoSWire(req.DeadlineMicros, req.TargetBER); err != nil {
+		return nil, err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in soft-decode-by-channel request")
+	}
+	return req, nil
+}
+
+// encodeSoftResponse serializes a SoftDecodeResponse payload.
+func encodeSoftResponse(resp *SoftDecodeResponse) []byte {
+	b := make([]byte, 0, 8+2+len(resp.Err)+4+len(resp.Bits)+8+4+len(resp.LLR8)+4+16+2+len(resp.Backend)+2)
+	b = appendU64(b, resp.ID)
+	b = appendU16(b, uint16(len(resp.Err)))
+	b = append(b, resp.Err...)
+	b = appendU32(b, uint32(len(resp.Bits)))
+	b = append(b, resp.Bits...)
+	b = appendF64(b, resp.Clamp)
+	b = appendU32(b, uint32(len(resp.LLR8)))
+	for _, q := range resp.LLR8 {
+		b = append(b, byte(q))
+	}
+	b = appendU32(b, uint32(resp.Saturated))
+	b = appendF64(b, resp.Energy)
+	b = appendF64(b, resp.ComputeMicros)
+	b = appendU16(b, uint16(len(resp.Backend)))
+	b = append(b, resp.Backend...)
+	b = appendU16(b, uint16(resp.Batched))
+	return b
+}
+
+// decodeSoftResponse parses a SoftDecodeResponse payload. A zero-length LLR
+// list is valid (error responses, and hard-capable peers answering a soft
+// probe); the clamp must stay finite and non-negative so dequantization is
+// well defined.
+func decodeSoftResponse(payload []byte) (*SoftDecodeResponse, error) {
+	r := &reader{b: payload}
+	resp := &SoftDecodeResponse{ID: r.u64()}
+	errLen := int(r.u16())
+	resp.Err = string(r.bytes(errLen))
+	bitLen := int(r.u32())
+	resp.Bits = append([]byte(nil), r.bytes(bitLen)...)
+	resp.Clamp = r.f64()
+	llrLen := int(r.u32())
+	if r.err == nil && (llrLen < 0 || llrLen > len(payload)) {
+		return nil, fmt.Errorf("fronthaul: bad LLR payload length %d", llrLen)
+	}
+	raw := r.bytes(llrLen)
+	if r.err == nil {
+		resp.LLR8 = make([]int8, llrLen)
+		for i, v := range raw {
+			resp.LLR8[i] = int8(v)
+		}
+	}
+	resp.Saturated = int(r.u32())
+	resp.Energy = r.f64()
+	resp.ComputeMicros = r.f64()
+	backendLen := int(r.u16())
+	resp.Backend = string(r.bytes(backendLen))
+	resp.Batched = int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !(resp.Clamp >= 0) || math.IsInf(resp.Clamp, 0) {
+		return nil, fmt.Errorf("fronthaul: invalid LLR clamp %g in response", resp.Clamp)
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in soft-decode response")
+	}
+	return resp, nil
+}

@@ -30,6 +30,15 @@ type PoolStats struct {
 	// BatchRuns counts annealer runs that carried more than one problem;
 	// BatchedProblems the problems carried by those runs.
 	BatchRuns, BatchedProblems uint64
+	// SoftSolved counts completed soft-output decodes (problems that
+	// requested per-bit LLRs), whether solved by the pool or the fallback.
+	SoftSolved uint64
+	// LLRSaturations totals the LLR entries that hit the clamp across all
+	// soft decodes — the soft-quality health metric: a rising saturation
+	// share means the ensembles are collapsing to single candidates (or the
+	// clamp is too tight) and the "soft" outputs are degenerating into hard
+	// decisions.
+	LLRSaturations uint64
 	// SlotOccupancy is the mean fraction of available embedding slots
 	// actually filled per batched annealer run (0 when no batch ran).
 	SlotOccupancy float64
@@ -108,6 +117,8 @@ func (s PoolStats) Merge(o PoolStats) PoolStats {
 	out.DeadlineMisses += o.DeadlineMisses
 	out.BatchRuns += o.BatchRuns
 	out.BatchedProblems += o.BatchedProblems
+	out.SoftSolved += o.SoftSolved
+	out.LLRSaturations += o.LLRSaturations
 	if total := out.BatchRuns; total > 0 {
 		out.SlotOccupancy = (s.SlotOccupancy*float64(s.BatchRuns) +
 			o.SlotOccupancy*float64(o.BatchRuns)) / float64(total)
@@ -143,6 +154,10 @@ func (s PoolStats) String() string {
 	if s.BatchRuns > 0 {
 		fmt.Fprintf(&b, "\npool: batched runs=%d problems=%d slot-occupancy=%.0f%%",
 			s.BatchRuns, s.BatchedProblems, 100*s.SlotOccupancy)
+	}
+	if s.SoftSolved > 0 {
+		fmt.Fprintf(&b, "\npool: soft decodes=%d llr-saturations=%d (%.1f/decode)",
+			s.SoftSolved, s.LLRSaturations, float64(s.LLRSaturations)/float64(s.SoftSolved))
 	}
 	if c := s.ChannelCache; c.Hits+c.Misses > 0 {
 		fmt.Fprintf(&b, "\npool: channel cache hits=%d misses=%d evictions=%d (%.0f%% hit)",

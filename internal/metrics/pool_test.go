@@ -17,6 +17,8 @@ func samplePool() PoolStats {
 		DeadlineMisses:     1,
 		BatchRuns:          2,
 		BatchedProblems:    6,
+		SoftSolved:         3,
+		LLRSaturations:     12,
 		SlotOccupancy:      0.5,
 		Backends: []BackendStats{
 			{Name: "qpu0", Solved: 5, Errors: 1, BusyMicros: 1000, Utilization: 0.5},
@@ -45,6 +47,8 @@ func TestPoolStatsMergeCounters(t *testing.T) {
 		DeadlineMisses:     2,
 		BatchRuns:          6,
 		BatchedProblems:    12,
+		SoftSolved:         2,
+		LLRSaturations:     5,
 		SlotOccupancy:      0.25,
 		Backends: []BackendStats{
 			{Name: "qpu0", Solved: 3, BusyMicros: 500, Utilization: 0.25},
@@ -60,6 +64,9 @@ func TestPoolStatsMergeCounters(t *testing.T) {
 	}
 	if m.BatchRuns != 8 || m.BatchedProblems != 18 {
 		t.Fatalf("merged batch counters: %+v", m)
+	}
+	if m.SoftSolved != 5 || m.LLRSaturations != 17 {
+		t.Fatalf("merged soft counters: %+v", m)
 	}
 	// Occupancy re-weights by batch runs: (0.5·2 + 0.25·6)/8.
 	if want := (0.5*2 + 0.25*6) / 8; math.Abs(m.SlotOccupancy-want) > 1e-12 {
@@ -118,10 +125,13 @@ func TestPoolStatsMergeZeroValue(t *testing.T) {
 
 func TestPoolStatsString(t *testing.T) {
 	s := samplePool().String()
-	for _, want := range []string{"fallback=3", "planner=2", "batched runs=2", "qpu0", "sa"} {
+	for _, want := range []string{"fallback=3", "planner=2", "batched runs=2", "soft decodes=3", "llr-saturations=12", "qpu0", "sa"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendering misses %q:\n%s", want, s)
 		}
+	}
+	if strings.Contains(PoolStats{}.String(), "soft decodes") {
+		t.Fatal("String printed a soft line with no soft decodes")
 	}
 }
 

@@ -189,6 +189,13 @@ type Request struct {
 	// DeadlineMicros is the remaining processing budget in µs; 0 means
 	// unbounded.
 	DeadlineMicros float64
+	// Soft marks a soft-output request (per-bit LLRs feeding a soft-decision
+	// FEC chain). The planner relaxes the raw-BER target by
+	// SoftTargetRelief — soft-decision decoding recovers residual detector
+	// errors a hard chain would pass through — and plans forward-only, since
+	// a reverse ensemble clusters around its linear seed and yields biased
+	// LLRs.
+	Soft bool
 }
 
 // Plan is the planner's verdict for one request.
@@ -247,6 +254,17 @@ const (
 // unreachable target degrades to the classical fallback instead of an
 // unbounded run.
 const DefaultMaxReads = 1000
+
+// SoftTargetRelief is the LLR-aware effective-BER adjustment for soft
+// requests: the raw (pre-FEC) BER target the read-budget inversion uses is
+// the request's target × this factor. The justification is the classic
+// ~2 dB soft-decision coding gain: at the waterfall slopes of the fitted
+// curves, the soft chain tolerates roughly 4× the raw detector BER of the
+// hard chain for equal post-FEC quality, so spending hard-chain read budgets
+// on soft requests would over-provision exactly the way Kasi et al. warn
+// against. The floor guard still applies to the relieved target, so an
+// unreachable class stays a classical denial.
+const SoftTargetRelief = 4
 
 // Planner answers anneal-budget questions from a fitted table. It is safe
 // for concurrent use.
@@ -391,7 +409,7 @@ func predictBER(pt Point, reads int) float64 {
 func (pl *Planner) Plan(req Request) Plan {
 	p := pl.plan(req)
 	pl.mu.Lock()
-	pl.stats.record(p)
+	pl.stats.record(req, p)
 	pl.mu.Unlock()
 	return p
 }
@@ -435,14 +453,26 @@ func (pl *Planner) plan(req Request) Plan {
 		}
 	}
 
+	// The LLR-aware effective target: a soft request's FEC chain absorbs
+	// residual raw errors, so the inversion targets SoftTargetRelief× the
+	// requested BER (never past the 0.5 coin-flip bound).
+	target := req.TargetBER
+	if req.Soft {
+		target = math.Min(0.5, target*SoftTargetRelief)
+	}
+
 	type candidate struct {
 		mode  Mode
 		reads int
 		pt    Point
 	}
+	modes := []Mode{ModeForward, ModeReverse}
+	if req.Soft {
+		modes = modes[:1] // reverse ensembles yield seed-biased LLRs
+	}
 	var best *candidate
 	var failReason string
-	for _, mode := range []Mode{ModeForward, ModeReverse} {
+	for _, mode := range modes {
 		c, ok, reason := pl.table.classCurve(req.Mod, req.Nt, mode)
 		if !ok {
 			if mode == ModeForward {
@@ -457,7 +487,7 @@ func (pl *Planner) plan(req Request) Plan {
 			continue
 		}
 		pt := c.at(req.SNRdB)
-		reads, ok := readsFor(pt, req.TargetBER)
+		reads, ok := readsFor(pt, target)
 		if !ok {
 			if mode == ModeForward {
 				failReason = ReasonFloorAboveTarget
@@ -505,6 +535,9 @@ type Stats struct {
 	// Plans counts Plan calls; Quantum/Classical split the verdicts; Reverse
 	// counts quantum plans that chose reverse annealing.
 	Plans, Quantum, Classical, Reverse uint64
+	// Soft counts planning questions for soft-output requests (those whose
+	// targets were relieved by SoftTargetRelief).
+	Soft uint64
 	// ReadsPlanned totals NumAnneals over quantum plans (ReadsPlanned/Quantum
 	// is the mean planned budget — the over-provisioning metric of Kasi et
 	// al.).
@@ -513,12 +546,15 @@ type Stats struct {
 	ByReason map[string]uint64
 }
 
-func (s *Stats) record(p Plan) {
+func (s *Stats) record(req Request, p Plan) {
 	s.Plans++
 	if s.ByReason == nil {
 		s.ByReason = make(map[string]uint64)
 	}
 	s.ByReason[p.Reason]++
+	if req.Soft {
+		s.Soft++
+	}
 	if p.Quantum {
 		s.Quantum++
 		s.ReadsPlanned += uint64(p.Params.NumAnneals)
@@ -545,8 +581,8 @@ func (pl *Planner) Stats() Stats {
 // String renders a compact multi-line report suitable for logs.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "planner: plans=%d quantum=%d (reverse=%d) classical=%d",
-		s.Plans, s.Quantum, s.Reverse, s.Classical)
+	fmt.Fprintf(&b, "planner: plans=%d quantum=%d (reverse=%d) classical=%d soft=%d",
+		s.Plans, s.Quantum, s.Reverse, s.Classical, s.Soft)
 	if s.Quantum > 0 {
 		fmt.Fprintf(&b, " mean-reads=%.1f", float64(s.ReadsPlanned)/float64(s.Quantum))
 	}

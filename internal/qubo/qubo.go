@@ -51,6 +51,20 @@ func (p *Ising) jIdx(i, j int) int {
 	return i*p.N - i*(i+1)/2 + (j - i - 1)
 }
 
+// jCoords inverts jIdx: the (i, j) spin pair of flat upper-triangular
+// index k.
+func (p *Ising) jCoords(k int) (int, int) {
+	i, rowStart := 0, 0
+	for {
+		rowLen := p.N - i - 1
+		if k < rowStart+rowLen {
+			return i, k - rowStart + i + 1
+		}
+		rowStart += rowLen
+		i++
+	}
+}
+
 // SetJ sets the coupling between spins i and j (order-insensitive).
 func (p *Ising) SetJ(i, j int, v float64) {
 	if i > j {

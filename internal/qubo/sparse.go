@@ -24,6 +24,26 @@ func NewSparse(n int) *Sparse {
 	return &Sparse{N: n, H: make([]float64, n)}
 }
 
+// SparseFromIsing converts a dense logical Ising program into the edge-list
+// form the annealer consumes, carrying fields, couplings and offset over
+// verbatim. This is the "full-connectivity chip" programming path (paper §8:
+// next-generation topologies shrink or remove minor-embedding): the logical
+// problem runs on the machine directly, with no chains. Only the sparse
+// index's structurally-nonzero couplings are emitted.
+func SparseFromIsing(p *Ising) *Sparse {
+	s := NewSparse(p.N)
+	copy(s.H, p.H)
+	s.Offset = p.Offset
+	for _, k := range p.nz {
+		if p.J[k] == 0 {
+			continue // cleared after being set; structurally stale
+		}
+		i, j := p.jCoords(int(k))
+		s.AddEdge(i, j, p.J[k])
+	}
+	return s
+}
+
 // AddEdge appends a coupling term. Panics on out-of-range or self coupling.
 func (s *Sparse) AddEdge(i, j int, w float64) {
 	if i == j || i < 0 || j < 0 || i >= s.N || j >= s.N {

@@ -131,3 +131,55 @@ func TestSharedCouplings(t *testing.T) {
 		t.Fatal("shared sparse index disagrees with the source")
 	}
 }
+
+// TestSparseFromIsing checks the full-connectivity programming path: the
+// edge-list form must evaluate every random spin vector to exactly the dense
+// program's energy, and emit only structurally-nonzero couplings.
+func TestSparseFromIsing(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + src.Intn(12)
+		p := NewIsing(n)
+		p.Offset = src.Gauss(0, 2)
+		for i := 0; i < n; i++ {
+			p.H[i] = src.Gauss(0, 1)
+			for j := i + 1; j < n; j++ {
+				if src.Float64() < 0.5 {
+					p.SetJ(i, j, src.Gauss(0, 1))
+				}
+			}
+		}
+		s := SparseFromIsing(p)
+		nz := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if p.GetJ(i, j) != 0 {
+					nz++
+				}
+			}
+		}
+		if len(s.Edges) != nz {
+			t.Fatalf("trial %d: %d edges for %d nonzero couplings", trial, len(s.Edges), nz)
+		}
+		for rep := 0; rep < 10; rep++ {
+			spins := make([]int8, n)
+			for i := range spins {
+				spins[i] = 1
+				if src.Bool() {
+					spins[i] = -1
+				}
+			}
+			if got, want := s.Energy(spins), p.Energy(spins); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: sparse energy %g != dense %g", trial, got, want)
+			}
+		}
+	}
+	// A cleared coupling must not be emitted.
+	p := NewIsing(3)
+	p.SetJ(0, 1, 2)
+	p.SetJ(0, 1, 0)
+	p.SetJ(1, 2, 1)
+	if s := SparseFromIsing(p); len(s.Edges) != 1 || s.Edges[0].I != 1 || s.Edges[0].J != 2 {
+		t.Fatalf("cleared coupling emitted: %+v", s.Edges)
+	}
+}

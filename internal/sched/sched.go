@@ -109,6 +109,7 @@ type Scheduler struct {
 	fallbackDispatches, misses   uint64
 	plannerClassical             uint64
 	batchRuns, batchedProblems   uint64
+	softSolved, llrSaturations   uint64
 	occupancySum                 float64
 	perBackend                   []*backendCounters
 	fallbackCounters             *backendCounters
@@ -218,6 +219,7 @@ func (s *Scheduler) applyPlan(p *backend.Problem, deadline time.Duration) (*back
 	plan := s.cfg.Planner.Plan(qos.Request{
 		Mod: p.Mod, Nt: p.Users(), SNRdB: snr, TargetBER: target,
 		DeadlineMicros: float64(deadline) / float64(time.Microsecond),
+		Soft:           p.Soft,
 	})
 	if !plan.Quantum {
 		// With no classical solver to deny to, a deadline-driven denial
@@ -330,6 +332,10 @@ func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadlin
 	}
 	s.fallbackCounters.solved++
 	s.completed++
+	if p.Soft {
+		s.softSolved++
+		s.llrSaturations += uint64(res.LLRSaturated)
+	}
 	if deadline > 0 && s.now().After(started.Add(deadline)) {
 		s.misses++
 	}
@@ -408,6 +414,10 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 			}
 			ctr.solved++
 			s.completed++
+			if j.p.Soft {
+				s.softSolved++
+				s.llrSaturations += uint64(results[i].LLRSaturated)
+			}
 			if !j.deadline.IsZero() && s.now().After(j.deadline) {
 				s.misses++
 			}
@@ -545,6 +555,8 @@ func (s *Scheduler) Stats() metrics.PoolStats {
 		DeadlineMisses:     s.misses,
 		BatchRuns:          s.batchRuns,
 		BatchedProblems:    s.batchedProblems,
+		SoftSolved:         s.softSolved,
+		LLRSaturations:     s.llrSaturations,
 	}
 	if s.batchRuns > 0 {
 		st.SlotOccupancy = s.occupancySum / float64(s.batchRuns)

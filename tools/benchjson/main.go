@@ -7,7 +7,7 @@
 //
 // Run it from the repository root:
 //
-//	go run ./tools/benchjson -out BENCH_PR4.json
+//	go run ./tools/benchjson -out BENCH_PR5.json
 //
 // Every benchmark line is parsed into its name, iteration count and metric
 // map (ns/op, B/op, custom metrics like symbols/s), preserving exactly what
@@ -17,11 +17,14 @@
 // BENCH_PR*.json history as a CI gate:
 //
 //   - the newest snapshot must contain the compiled-mode coherence-window
-//     (symbols/s) and precode-window (precodes/s) acceptance rows;
+//     (symbols/s) and precode-window (precodes/s) acceptance rows, and the
+//     soft-vs-hard decode acceptance rows (BenchmarkSoftDecode, decodes/s);
 //   - within the newest snapshot, compiled-mode throughput must be at least
-//     2× the per-symbol recompile mode at every window size W ≥ 14, and the
+//     2× the per-symbol recompile mode at every window size W ≥ 14, the
 //     precode benchmark's mean gamma must agree between modes (the
-//     equal-perturbation-quality half of the acceptance bar);
+//     equal-perturbation-quality half of the acceptance bar), and the soft
+//     decode must stay within 1.5× of the hard decode at equal Na (LLR
+//     extraction is post-processing, not another anneal);
 //   - across snapshots recorded on the same goos/goarch, no headline
 //     throughput metric (any metric ending in "/s" on a compiled-mode
 //     gated-window row or a non-window benchmark) may regress more than
@@ -50,7 +53,7 @@ import (
 // defaultBench selects the benchmarks the perf trajectory tracks: the two
 // compile/execute acceptance benchmarks (uplink coherence windows, downlink
 // precode windows) plus the micro-benchmarks of the stages they amortize.
-const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
 
 // maxRegression is the fractional headline-throughput loss tolerated against
 // the best committed snapshot before -check fails the build.
@@ -63,6 +66,10 @@ const minCompiledRatio = 2.0
 // minGatedWindow is the smallest window size the ratio gate applies to
 // (W = 1 deliberately prices the split's overhead and is exempt).
 const minGatedWindow = 14
+
+// maxSoftOverhead is the tolerated soft-decode slowdown at equal Na: the
+// soft mode's decodes/s must be at least hard/maxSoftOverhead.
+const maxSoftOverhead = 1.5
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -90,7 +97,7 @@ func main() {
 		bench     = flag.String("bench", defaultBench, "benchmark selection regexp (go test -bench)")
 		benchtime = flag.String("benchtime", "5x", "per-benchmark budget (go test -benchtime)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
-		out       = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		out       = flag.String("out", "BENCH_PR5.json", "output JSON path")
 		check     = flag.Bool("check", false, "audit the committed BENCH_PR*.json history instead of running benchmarks")
 	)
 	flag.Parse()
@@ -270,6 +277,19 @@ func checkHistory(dir string) error {
 		if !present[family] {
 			problemf("%s: missing compiled-mode %s rows with %q", newest.path, family, unit)
 		}
+	}
+
+	// 1b. The soft-vs-hard decode acceptance rows (introduced with the
+	// soft-output subsystem): both modes present, and soft within the
+	// tolerated overhead of hard at equal Na.
+	softRate, softOK := newest.metric("BenchmarkSoftDecode/mode=soft", "decodes/s")
+	hardRate, hardOK := newest.metric("BenchmarkSoftDecode/mode=hard", "decodes/s")
+	switch {
+	case !softOK || !hardOK:
+		problemf("%s: missing BenchmarkSoftDecode mode=soft/mode=hard rows with \"decodes/s\"", newest.path)
+	case !(softRate*maxSoftOverhead >= hardRate):
+		problemf("%s: soft decode %.2f decodes/s slower than %gx hard %.2f decodes/s",
+			newest.path, softRate, maxSoftOverhead, hardRate)
 	}
 
 	// 2. Intra-snapshot gates: compiled ≥ 2× recompile at every W ≥ 14, and

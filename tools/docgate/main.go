@@ -4,8 +4,9 @@
 //     target that does not exist in the repository, or
 //   - an internal package lacks a package doc comment, or
 //   - an exported identifier in the fully-documented packages
-//     (internal/backend, internal/sched, internal/metrics, internal/qos)
-//     lacks a doc comment.
+//     (internal/backend, internal/sched, internal/metrics, internal/qos,
+//     internal/reduction, internal/core, internal/precoding,
+//     internal/softout) lacks a doc comment.
 //
 // Run it from the repository root:
 //
@@ -36,6 +37,7 @@ var fullDocPackages = []string{
 	"internal/reduction",
 	"internal/core",
 	"internal/precoding",
+	"internal/softout",
 }
 
 func main() {
