@@ -24,7 +24,13 @@
 // (per-bit LLRs from the anneal read ensemble, for soft-decision FEC chains)
 // are served by default; -soft=false rejects them cleanly and -llr-clamp
 // sets the default LLR bound / int8 quantization full scale for requests
-// that carry none. On SIGINT/SIGTERM the server stops
+// that carry none. -telemetry-addr starts the live telemetry plane: an HTTP
+// listener serving Prometheus text metrics at /metrics, the recent-trace ring
+// as JSON at /traces, and the standard net/http/pprof profiling endpoints at
+// /debug/pprof/; the same recorder also answers protocol-v7 stats polls
+// (`quamax -top addr` / `-watch`). -trace-out writes a JSON telemetry dump
+// (per-stage latency summaries plus the trace ring, ingestible by
+// tools/benchjson -traces) on shutdown. On SIGINT/SIGTERM the server stops
 // accepting connections, drains queued work, and prints the pool and planner
 // statistics.
 package main
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,8 +51,10 @@ import (
 	"quamax/internal/anneal"
 	"quamax/internal/backend"
 	"quamax/internal/fronthaul"
+	"quamax/internal/metrics"
 	"quamax/internal/qos"
 	"quamax/internal/sched"
+	"quamax/internal/telemetry"
 )
 
 func main() {
@@ -72,6 +81,10 @@ func main() {
 
 		soft     = flag.Bool("soft", true, "serve protocol-v6 soft-decode requests (per-bit LLRs from the anneal ensemble)")
 		llrClamp = flag.Float64("llr-clamp", 0, "default LLR magnitude bound / int8 quantization full scale for soft requests that carry none (0 = package default)")
+
+		telemetryAddr = flag.String("telemetry-addr", "", "HTTP listen address for the telemetry plane: /metrics (Prometheus), /traces (JSON ring) and /debug/pprof/ (empty = disabled)")
+		traceOut      = flag.String("trace-out", "", "write a JSON telemetry dump (per-stage summaries + trace ring) here on shutdown")
+		traceRing     = flag.Int("trace-ring", 0, "per-request trace ring capacity (0 = default)")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -123,12 +136,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quamax-serve: -pool must be at least 1")
 		os.Exit(1)
 	}
+	// One recorder feeds all exports: the HTTP plane, the v7 stats frames and
+	// the shutdown dump. Left nil (zero overhead) when no export is asked for.
+	var rec *telemetry.Recorder
+	if *telemetryAddr != "" || *traceOut != "" {
+		rec = telemetry.New(telemetry.Config{RingSize: *traceRing})
+	}
 	var workers []backend.Backend
 	for i := 0; i < *pool; i++ {
 		qpu, err := backend.NewAnnealer(fmt.Sprintf("qpu%d", i), opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if rec != nil {
+			qpu.Decoder().SetTelemetry(rec)
 		}
 		workers = append(workers, qpu)
 	}
@@ -173,6 +195,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		p.Telemetry = rec
 		budgetPlanner = p
 	}
 
@@ -184,6 +207,7 @@ func main() {
 		Planner:          budgetPlanner,
 		DefaultTargetBER: *targetBER,
 		Seed:             *seed,
+		Telemetry:        rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -196,9 +220,23 @@ func main() {
 	srv.PrecodeCache = *precodeCache
 	srv.DisableSoft = !*soft
 	srv.LLRClamp = *llrClamp
+	srv.Telemetry = rec
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *telemetryAddr != "" {
+		tl, err := net.Listen("tcp", *telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := telemetry.Mux(rec, func() (metrics.PoolStats, bool) { return scheduler.Stats(), true })
+		go func() {
+			if err := http.Serve(tl, mux); err != nil {
+				log.Printf("quamax-serve: telemetry server: %v", err)
+			}
+		}()
+		log.Printf("quamax-serve: telemetry on http://%s/metrics (traces at /traces, pprof at /debug/pprof/)", tl.Addr())
 	}
 	log.Printf("quamax-serve: %s on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
 		scheduler, l.Addr(), *anneals, *jf, *ta, *tp)
@@ -227,5 +265,13 @@ func main() {
 	log.Printf("quamax-serve: final stats\n%s", scheduler.Stats())
 	if budgetPlanner != nil {
 		log.Printf("quamax-serve: planner stats\n%s", budgetPlanner.Stats())
+	}
+	if *traceOut != "" {
+		st := scheduler.Stats()
+		if err := telemetry.BuildDump(rec, &st).WriteFile(*traceOut); err != nil {
+			log.Printf("quamax-serve: writing trace dump: %v", err)
+		} else {
+			log.Printf("quamax-serve: wrote telemetry dump (%d traces) to %s", rec.TraceCount(), *traceOut)
+		}
 	}
 }

@@ -8,6 +8,11 @@
 //
 // Experiment IDs: table1 table2 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15.
+//
+// It also fronts the serving telemetry plane (protocol v7):
+//
+//	quamax -top 127.0.0.1:9370             # one-shot serving stats
+//	quamax -top 127.0.0.1:9370 -watch 2s   # live redrawing table
 package main
 
 import (
@@ -169,8 +174,14 @@ func main() {
 		csvDir = flag.String("csv", "", "directory to also write <exp>.csv files into")
 		trace  = flag.String("trace", "", "QMTR trace file for fig15 (default: synthesize)")
 		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		top    = flag.String("top", "", "poll a serving data center's live stats (fronthaul address) and exit")
+		watch  = flag.Duration("watch", 0, "with -top, redraw the stats table every interval")
 	)
 	flag.Parse()
+
+	if topMain(*top, *watch) {
+		return
+	}
 
 	all := runners(*trace)
 	if *list {

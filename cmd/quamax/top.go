@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"quamax/internal/fronthaul"
+	"quamax/internal/telemetry"
+)
+
+// runTop polls a serving data center's protocol-v7 stats frame and renders
+// the live serving picture: pool counters, per-stage latency quantiles,
+// deadline slack and per-class anneal quality. interval 0 means one shot;
+// otherwise the table redraws every interval until interrupted.
+func runTop(addr string, interval time.Duration) error {
+	client, err := fronthaul.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for {
+		stats, err := client.PoolStats()
+		if err != nil {
+			return err
+		}
+		if interval > 0 {
+			fmt.Print("\033[H\033[2J") // home + clear between redraws
+		}
+		printStats(addr, stats)
+		if interval <= 0 {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fmtMicros renders a microsecond quantity as a rounded duration.
+func fmtMicros(us float64) string {
+	if us <= 0 {
+		return "-"
+	}
+	d := time.Duration(us * float64(time.Microsecond))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.Round(100 * time.Nanosecond).String()
+}
+
+// printStats writes one stats frame as the -top table.
+func printStats(addr string, stats *fronthaul.StatsResponse) {
+	p := &stats.Pool
+	fmt.Printf("quamax pool @ %s — uptime %s\n", addr, fmtMicros(stats.UptimeMicros))
+	fmt.Printf("  submitted %d  completed %d  failed %d  queue %d  occupancy %.0f%%\n",
+		p.Submitted, p.Completed, p.Failed, p.QueueDepth, 100*p.SlotOccupancy)
+	fmt.Printf("  fallback %d  planner-classical %d  deadline-misses %d  batch %d runs / %d problems  soft %d  llr-sat %d\n",
+		p.FallbackDispatches, p.PlannerClassical, p.DeadlineMisses,
+		p.BatchRuns, p.BatchedProblems, p.SoftSolved, p.LLRSaturations)
+	if cc := p.ChannelCache; cc.Hits+cc.Misses+cc.Evictions > 0 {
+		fmt.Printf("  channel cache: %d hits / %d misses / %d evictions\n", cc.Hits, cc.Misses, cc.Evictions)
+	}
+	if len(p.Backends) > 0 {
+		parts := make([]string, len(p.Backends))
+		for i, be := range p.Backends {
+			parts[i] = fmt.Sprintf("%s solved=%d errors=%d util=%.1f%%", be.Name, be.Solved, be.Errors, 100*be.Utilization)
+		}
+		fmt.Printf("  backends: %s\n", strings.Join(parts, "  |  "))
+	}
+
+	sn := stats.Telemetry
+	if sn == nil {
+		fmt.Println("  (server runs without a telemetry recorder — start quamax-serve with -telemetry-addr or -trace-out)")
+		return
+	}
+	fmt.Printf("telemetry: %d traces (%d failed), compile cache %d/%d hits\n",
+		sn.Traces, sn.Failed, sn.CompileHits, sn.CompileHits+sn.CompileMisses)
+	fmt.Printf("  %-8s %8s %10s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99", "max")
+	for i, name := range telemetry.StageNames() {
+		h := sn.Stages[i]
+		if h.Count == 0 {
+			continue
+		}
+		s := telemetry.Summarize(h)
+		fmt.Printf("  %-8s %8d %10s %10s %10s %10s\n", name, s.Count,
+			fmtMicros(s.P50Micros), fmtMicros(s.P95Micros), fmtMicros(s.P99Micros), fmtMicros(s.MaxMicros))
+	}
+	if sn.Wire.Count > 0 {
+		s := telemetry.Summarize(sn.Wire)
+		fmt.Printf("  %-8s %8d %10s %10s %10s %10s\n", "wire", s.Count,
+			fmtMicros(s.P50Micros), fmtMicros(s.P95Micros), fmtMicros(s.P99Micros), fmtMicros(s.MaxMicros))
+	}
+	if total := sn.SlackMet.Count + sn.SlackMissed.Count; total > 0 {
+		fmt.Printf("  deadline slack: %d met", sn.SlackMet.Count)
+		if sn.SlackMet.Count > 0 {
+			fmt.Printf(" (p50 %s)", fmtMicros(sn.SlackMet.Quantile(50)))
+		}
+		fmt.Printf(", %d missed", sn.SlackMissed.Count)
+		if sn.SlackMissed.Count > 0 {
+			fmt.Printf(" (p50 lateness %s)", fmtMicros(sn.SlackMissed.Quantile(50)))
+		}
+		fmt.Printf(" — %.1f%% miss rate\n", 100*float64(sn.SlackMissed.Count)/float64(total))
+	}
+	for _, class := range telemetry.SortedClasses(sn) {
+		q := sn.Quality[class]
+		llrSat := "-" // NaN = the class served no soft bits
+		if q.LLRBits > 0 {
+			llrSat = fmt.Sprintf("%.2f%%", 100*q.LLRSaturationRate())
+		}
+		fmt.Printf("  quality %-10s solves=%d reads=%d chain-breaks=%.2f%% llr-sat=%s best-energy p50=%.3g\n",
+			class, q.Solves, q.Reads, 100*q.ChainBreakRate(), llrSat,
+			q.BestEnergy.Quantile(50))
+	}
+}
+
+// topMain dispatches the -top/-watch mode; returns true when it handled the
+// invocation (main should exit).
+func topMain(addr string, watch time.Duration) bool {
+	if addr == "" {
+		return false
+	}
+	if err := runTop(addr, watch); err != nil {
+		fmt.Fprintln(os.Stderr, "quamax:", err)
+		os.Exit(1)
+	}
+	return true
+}

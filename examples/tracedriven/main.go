@@ -15,15 +15,23 @@
 // and only rewrites per-symbol biases — the cache hit/miss line in the final
 // pool stats shows the amortization.
 //
-//	go run ./examples/tracedriven [trace.qmtr]
+// The replay runs fully instrumented: a telemetry recorder traces every
+// request through admit → plan → queue → gather → compile → solve → respond,
+// and the run ends with the live per-stage latency breakdown, the
+// deadline-slack histogram, and the trace-to-counter reconciliation the
+// telemetry plane guarantees (submitted == completed + failed == traces).
+// Pass -trace-out to also write the JSON dump tools/benchjson ingests.
+//
+//	go run ./examples/tracedriven [-trace-out dump.json] [trace.qmtr]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
-	"os"
 	"sync"
+	"time"
 
 	"quamax"
 	"quamax/internal/backend"
@@ -33,6 +41,7 @@ import (
 	"quamax/internal/qos"
 	"quamax/internal/rng"
 	"quamax/internal/sched"
+	"quamax/internal/telemetry"
 	"quamax/internal/trace"
 )
 
@@ -41,16 +50,22 @@ const (
 	pick      = 8
 	window    = 4 // OFDM symbols per coherence window (one H, many y)
 	targetBER = 1e-4
+	// deadline is each dispatch's processing budget: generous enough that the
+	// planner's budget fits, tight enough that the slack histogram is
+	// informative about headroom.
+	deadline = 250 * time.Millisecond
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write the JSON telemetry dump here")
+	flag.Parse()
 	src := rng.New(2024)
 
 	var ds *trace.Dataset
 	var err error
-	if len(os.Args) > 1 {
-		ds, err = trace.Load(os.Args[1])
-		fmt.Printf("loaded trace %s\n", os.Args[1])
+	if flag.NArg() > 0 {
+		ds, err = trace.Load(flag.Arg(0))
+		fmt.Printf("loaded trace %s\n", flag.Arg(0))
 	} else {
 		cfg := trace.DefaultGeneratorConfig()
 		cfg.Uses = uses
@@ -63,24 +78,29 @@ func main() {
 	ds.NormalizeAveragePower()
 
 	// Data center: two simulated QPUs, a classical-SA fallback, and the
-	// TTS-driven anneal-budget planner (built-in coefficients).
+	// TTS-driven anneal-budget planner (built-in coefficients), all feeding
+	// one telemetry recorder.
+	rec := telemetry.New(telemetry.Config{})
 	var pool []backend.Backend
 	for _, name := range []string{"qpu0", "qpu1"} {
 		qpu, err := backend.NewAnnealer(name, quamax.Options{AmortizeParallel: true})
 		if err != nil {
 			log.Fatal(err)
 		}
+		qpu.Decoder().SetTelemetry(rec)
 		pool = append(pool, qpu)
 	}
 	planner, err := qos.NewPlanner(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	planner.Telemetry = rec
 	scheduler, err := sched.New(sched.Config{
-		Pool:     pool,
-		Fallback: backend.NewClassicalSA("sa", 128, 100),
-		Planner:  planner,
-		Seed:     7,
+		Pool:      pool,
+		Fallback:  backend.NewClassicalSA("sa", 128, 100),
+		Planner:   planner,
+		Seed:      7,
+		Telemetry: rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -143,7 +163,7 @@ func main() {
 					res, err := scheduler.Dispatch(context.Background(), &backend.Problem{
 						Mod: sb.in.Mod, H: sb.in.H, Y: sb.in.Y,
 						TargetBER: targetBER, ChannelKey: sb.key,
-					}, 0)
+					}, deadline)
 					results[use][sym] = result{res, err}
 				}(use, sym, sb)
 			}
@@ -176,6 +196,64 @@ func main() {
 	}
 
 	scheduler.Close()
-	fmt.Printf("\npool stats:\n%s\n", scheduler.Stats())
+	st := scheduler.Stats()
+	fmt.Printf("\npool stats:\n%s\n", st)
 	fmt.Printf("\nplanner stats:\n%s\n", planner.Stats())
+
+	// The live per-stage breakdown: where each request's wall time went.
+	sn := rec.Snapshot()
+	fmt.Printf("\nper-stage latency (all %d requests):\n", sn.Traces)
+	fmt.Printf("%-8s %8s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p95", "max")
+	for i, name := range telemetry.StageNames() {
+		h := sn.Stages[i]
+		if h.Count == 0 {
+			continue
+		}
+		s := telemetry.Summarize(h)
+		fmt.Printf("%-8s %8d %9.0fµs %9.0fµs %9.0fµs %9.0fµs\n",
+			name, s.Count, s.MeanMicros, s.P50Micros, s.P95Micros, s.MaxMicros)
+	}
+
+	// Deadline slack: how much of each request's budget was left at respond
+	// time (every dispatch above carried the same deadline).
+	fmt.Printf("\ndeadline slack (budget %v, %d met / %d missed):\n",
+		deadline, sn.SlackMet.Count, sn.SlackMissed.Count)
+	printSlackHistogram(sn.SlackMet)
+
+	// The reconciliation the telemetry plane guarantees: every submitted
+	// request finished as exactly one trace.
+	fmt.Printf("\nreconciliation: submitted=%d completed+failed=%d traces=%d (compile cache %d/%d hits)\n",
+		st.Submitted, st.Completed+st.Failed, sn.Traces, sn.CompileHits, sn.CompileHits+sn.CompileMisses)
+
+	if *traceOut != "" {
+		if err := telemetry.BuildDump(rec, &st).WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote telemetry dump (%d traces) to %s\n", rec.TraceCount(), *traceOut)
+	}
+}
+
+// printSlackHistogram renders the nonzero buckets of a slack histogram as
+// ASCII bars, one row per occupied latency bucket.
+func printSlackHistogram(h telemetry.Hist) {
+	if h.Count == 0 {
+		fmt.Println("  (no deadline-bearing requests)")
+		return
+	}
+	var peak uint64
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := make([]byte, (40*c+peak-1)/peak)
+		for j := range bar {
+			bar[j] = '#'
+		}
+		fmt.Printf("  ≤%9.0fµs %6d %s\n", telemetry.BucketBound(i), c, bar)
+	}
 }

@@ -3,6 +3,7 @@ package backend
 import (
 	"context"
 	"errors"
+	"time"
 
 	"quamax/internal/anneal"
 	"quamax/internal/core"
@@ -99,6 +100,8 @@ func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Res
 	soft := softSpec(p)
 	var out *core.Outcome
 	var err error
+	var compileMicros float64
+	var cacheHit bool
 	switch {
 	case p.Reverse && soft == nil:
 		out, err = a.dec.DecodeReverseWithParams(p.Mod, p.H, p.Y, params, p.ChainJF, src)
@@ -107,7 +110,9 @@ func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Res
 		}
 	case p.ChannelKey != 0:
 		var cc *core.CompiledChannel
-		cc, err = a.dec.Compile(p.Mod, p.H)
+		compileStart := time.Now()
+		cc, cacheHit, err = a.dec.CompileTracked(p.Mod, p.H)
+		compileMicros = float64(time.Since(compileStart)) / float64(time.Microsecond)
 		if err == nil {
 			if soft != nil {
 				out, err = a.dec.DecodeCompiledSoftWithParams(cc, p.Y, *soft, params, p.ChainJF, src)
@@ -123,7 +128,10 @@ func (a *Annealer) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return a.result(out, params, 1), nil
+	res := a.result(out, params, 1)
+	res.CompileMicros = compileMicros
+	res.CacheHit = cacheHit
+	return res, nil
 }
 
 // BatchSlots implements BatchBackend via the chip's geometric slot packing.
@@ -163,13 +171,18 @@ func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Sourc
 
 	var outs []*core.Outcome
 	var err error
+	compileMicros := make([]float64, len(ps))
+	cacheHits := make([]bool, len(ps))
 	if compiled {
 		items := make([]core.CompiledBatchItem, len(ps))
 		for i, p := range ps {
-			cc, cerr := a.dec.Compile(p.Mod, p.H)
+			compileStart := time.Now()
+			cc, hit, cerr := a.dec.CompileTracked(p.Mod, p.H)
 			if cerr != nil {
 				return nil, cerr
 			}
+			compileMicros[i] = float64(time.Since(compileStart)) / float64(time.Microsecond)
+			cacheHits[i] = hit
 			items[i] = core.CompiledBatchItem{CC: cc, Y: p.Y, Soft: softSpec(p)}
 		}
 		outs, err = a.dec.DecodeCompiledSharedRunWithParams(items, params, ps[0].ChainJF, src)
@@ -186,6 +199,8 @@ func (a *Annealer) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Sourc
 	results := make([]*Result, len(outs))
 	for i, out := range outs {
 		results[i] = a.result(out, params, len(ps))
+		results[i].CompileMicros = compileMicros[i]
+		results[i].CacheHit = cacheHits[i]
 	}
 	return results, nil
 }

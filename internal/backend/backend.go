@@ -99,6 +99,13 @@ type Result struct {
 	// LLRSaturated counts the LLR entries that hit the clamp (soft decodes
 	// only) — aggregated into metrics.PoolStats.LLRSaturations.
 	LLRSaturated int
+	// CompileMicros is the wall time this solve spent compiling (or looking
+	// up) the problem's channel program; nonzero only on compiled-channel
+	// paths (Problem.ChannelKey). CacheHit reports whether that lookup was
+	// served from the compiled-channel cache. Both feed the telemetry
+	// plane's StageCompile span.
+	CompileMicros float64
+	CacheHit      bool
 }
 
 // Backend is a pluggable solver. Implementations must be safe for concurrent

@@ -165,6 +165,7 @@ func (d *Decoder) DecodeSharedRunWithParams(items []BatchItem, params anneal.Par
 			out.Distribution = acc.Distribution()
 		}
 		sc.finish(out)
+		d.recordQuality(it.Mod, n, len(samples), out)
 		outs[i] = out
 	}
 	return outs, nil

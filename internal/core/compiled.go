@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"quamax/internal/anneal"
 	"quamax/internal/embedding"
@@ -178,6 +179,27 @@ func (cc *CompiledChannel) LogicalSpins() int { return cc.prog.N }
 // couplings and resolves the (itself cached) clique embedding; an insert past
 // the configured capacity evicts the least-recently-used channel.
 func (d *Decoder) Compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledChannel, error) {
+	cc, _, err := d.CompileTracked(mod, h)
+	return cc, err
+}
+
+// CompileTracked is Compile, additionally reporting whether the artifact was
+// served from the compiled-channel cache — the signal backends surface as
+// Result.CacheHit and the telemetry plane's compile-stage feeder.
+func (d *Decoder) CompileTracked(mod modulation.Modulation, h *linalg.Mat) (*CompiledChannel, bool, error) {
+	rec := d.telem.Load()
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	cc, hit, err := d.compile(mod, h)
+	if rec != nil && err == nil {
+		rec.ObserveCompile(float64(time.Since(start))/float64(time.Microsecond), hit)
+	}
+	return cc, hit, err
+}
+
+func (d *Decoder) compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledChannel, bool, error) {
 	key := FingerprintChannel(mod, h)
 	d.cacheMu.Lock()
 	if el, ok := d.cache[key]; ok {
@@ -185,7 +207,7 @@ func (d *Decoder) Compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledCh
 		d.hits++
 		cc := el.Value.(*CompiledChannel)
 		d.cacheMu.Unlock()
-		return cc, nil
+		return cc, true, nil
 	}
 	d.misses++
 	d.cacheMu.Unlock()
@@ -195,7 +217,7 @@ func (d *Decoder) Compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledCh
 	prog := reduction.CompileChannel(mod, h)
 	emb, slots, err := d.embeddingFor(prog.N)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	cc := &CompiledChannel{key: key, prog: prog, emb: emb, slots: slots, dec: d}
 
@@ -205,7 +227,7 @@ func (d *Decoder) Compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledCh
 		// A concurrent Compile won the race; keep the incumbent so every
 		// caller shares one artifact (and one set of physical templates).
 		d.lru.MoveToFront(el)
-		return el.Value.(*CompiledChannel), nil
+		return el.Value.(*CompiledChannel), false, nil
 	}
 	d.cache[key] = d.lru.PushFront(cc)
 	for d.lru.Len() > d.opts.ChannelCache {
@@ -214,7 +236,7 @@ func (d *Decoder) Compile(mod modulation.Modulation, h *linalg.Mat) (*CompiledCh
 		delete(d.cache, back.Value.(*CompiledChannel).key)
 		d.evictions++
 	}
-	return cc, nil
+	return cc, false, nil
 }
 
 // ChannelCacheStats snapshots the compiled-channel cache counters.
@@ -410,6 +432,7 @@ func (d *Decoder) DecodeCompiledSharedRunWithParams(items []CompiledBatchItem, p
 			out.Distribution = acc.Distribution()
 		}
 		sc.finish(out)
+		d.recordQuality(it.CC.prog.Mod, n, len(samples), out)
 		outs[i] = out
 	}
 	return outs, nil

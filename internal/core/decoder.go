@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"quamax/internal/anneal"
 	"quamax/internal/chimera"
@@ -28,6 +29,7 @@ import (
 	"quamax/internal/reduction"
 	"quamax/internal/rng"
 	"quamax/internal/softout"
+	"quamax/internal/telemetry"
 )
 
 // Options configure a Decoder. The zero value is completed by New with the
@@ -75,6 +77,10 @@ type Decoder struct {
 	lru          *list.List
 	hits, misses uint64
 	evictions    uint64
+
+	// telem, when set, receives per-solve anneal-quality samples and
+	// channel-compile timings (SetTelemetry).
+	telem atomic.Pointer[telemetry.Recorder]
 }
 
 // New returns a Decoder, filling unset options with the paper's defaults.
@@ -116,6 +122,29 @@ func New(opts Options) (*Decoder, error) {
 
 // Options returns the decoder's effective configuration.
 func (d *Decoder) Options() Options { return d.opts }
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry recorder: every
+// subsequent decode reports its anneal quality (best energy, chain breaks,
+// LLR saturation) per problem class, and every Compile reports its duration
+// and cache outcome. Safe to call concurrently with decodes.
+func (d *Decoder) SetTelemetry(rec *telemetry.Recorder) { d.telem.Store(rec) }
+
+// recordQuality reports one solve's anneal-quality sample to the attached
+// recorder, if any. n is the logical spin count; reads the sample count of
+// the run the outcome was distilled from.
+func (d *Decoder) recordQuality(mod modulation.Modulation, n, reads int, out *Outcome) {
+	rec := d.telem.Load()
+	if rec == nil {
+		return
+	}
+	rec.ObserveQuality(telemetry.Class(mod.String(), n/mod.BitsPerSymbol()), telemetry.QualityObservation{
+		BestEnergy:   out.Energy,
+		Reads:        reads,
+		ChainBreaks:  out.BrokenChains,
+		LLRBits:      len(out.LLRs),
+		LLRSaturated: out.LLRSaturated,
+	})
+}
 
 // embeddingFor returns (and caches) the clique embedding for N logical spins.
 func (d *Decoder) embeddingFor(n int) (*embedding.Embedding, int, error) {
@@ -299,5 +328,6 @@ func (d *Decoder) collect(mod modulation.Modulation, logical *qubo.Ising, emb *e
 		out.Distribution = acc.Distribution()
 	}
 	sc.finish(out)
+	d.recordQuality(mod, logical.N, len(samples), out)
 	return out
 }

@@ -22,21 +22,23 @@ type Client struct {
 
 	writeMu sync.Mutex
 
-	mu          sync.Mutex
-	nextID      uint64
-	pending     map[uint64]chan *DecodeResponse
-	regPending  map[uint64]chan *RegisterChannelResponse
-	softPending map[uint64]chan *SoftDecodeResponse
-	closed      error
+	mu           sync.Mutex
+	nextID       uint64
+	pending      map[uint64]chan *DecodeResponse
+	regPending   map[uint64]chan *RegisterChannelResponse
+	softPending  map[uint64]chan *SoftDecodeResponse
+	statsPending map[uint64]chan *StatsResponse
+	closed       error
 }
 
 // NewClient wraps an established connection and starts the response reader.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:        conn,
-		pending:     make(map[uint64]chan *DecodeResponse),
-		regPending:  make(map[uint64]chan *RegisterChannelResponse),
-		softPending: make(map[uint64]chan *SoftDecodeResponse),
+		conn:         conn,
+		pending:      make(map[uint64]chan *DecodeResponse),
+		regPending:   make(map[uint64]chan *RegisterChannelResponse),
+		softPending:  make(map[uint64]chan *SoftDecodeResponse),
+		statsPending: make(map[uint64]chan *StatsResponse),
 	}
 	go c.readLoop()
 	return c
@@ -102,6 +104,19 @@ func (c *Client) readLoop() {
 			if ok {
 				ch <- resp
 			}
+		case msgStatsResponse:
+			resp, err := decodeStatsResponse(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch, ok := c.statsPending[resp.ID]
+			delete(c.statsPending, resp.ID)
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+			}
 		default:
 			// An unknown frame type means the peer speaks a different
 			// protocol generation; silently discarding it would strand the
@@ -128,6 +143,10 @@ func (c *Client) fail(err error) {
 	}
 	for id, ch := range c.softPending {
 		delete(c.softPending, id)
+		close(ch)
+	}
+	for id, ch := range c.statsPending {
+		delete(c.statsPending, id)
 		close(ch)
 	}
 }
@@ -458,6 +477,24 @@ func (c *Client) softRoundTrip(msgType uint8, encode func(id uint64) ([]byte, er
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("fronthaul: remote soft decode failed: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// PoolStats polls the data center's live serving statistics (protocol v7):
+// the pool counter snapshot plus, when the server runs a telemetry recorder,
+// the full recorder snapshot with per-stage latency histograms, deadline
+// slack and anneal-quality aggregates. This is the frame behind
+// `quamax -top` and `-watch`.
+func (c *Client) PoolStats() (*StatsResponse, error) {
+	resp, err := roundTrip(c, c.statsPending, msgStatsRequest, func(id uint64) ([]byte, error) {
+		return encodeStatsRequest(&StatsRequest{ID: id}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: remote stats failed: %s", resp.Err)
 	}
 	return resp, nil
 }

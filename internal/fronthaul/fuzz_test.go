@@ -5,15 +5,61 @@ import (
 	"testing"
 
 	"quamax/internal/linalg"
+	"quamax/internal/metrics"
 	"quamax/internal/modulation"
+	"quamax/internal/telemetry"
 )
 
+// fuzzStatsResponse builds a fully populated v7 stats response: pool counters
+// with two backends, and a telemetry snapshot whose histograms span first,
+// middle and last buckets and whose quality map holds two classes.
+func fuzzStatsResponse() *StatsResponse {
+	hist := func(idx ...int) telemetry.Hist {
+		h := telemetry.Hist{Counts: make([]uint64, telemetry.NumBuckets), Min: 0.3, Max: 9000, Sum: 12345}
+		for i, ix := range idx {
+			h.Counts[ix] = uint64(i + 1)
+			h.Count += uint64(i + 1)
+		}
+		return h
+	}
+	sn := &telemetry.Snapshot{
+		UptimeMicros: 1e6, Finished: 41, Failed: 1, Traces: 42,
+		CompileHits: 30, CompileMisses: 12,
+		Wire:     hist(10, 40),
+		SlackMet: hist(55), SlackMissed: hist(0, telemetry.NumBuckets-1),
+		Quality: map[string]telemetry.QualityStats{
+			"QPSK/4":   {Solves: 40, Reads: 4000, ChainBreaks: 7, LLRBits: 320, LLRSaturated: 3, BestEnergy: hist(20, 21, 22)},
+			"16-QAM/8": {Solves: 2, Reads: 100, BestEnergy: hist(0)},
+		},
+	}
+	for i := range sn.Stages {
+		sn.Stages[i] = hist(i, i+8)
+	}
+	return &StatsResponse{
+		ID: 14, UptimeMicros: 1e6,
+		Pool: metrics.PoolStats{
+			QueueDepth: 2, Submitted: 42, Completed: 41, Failed: 1,
+			FallbackDispatches: 5, PlannerClassical: 3, DeadlineMisses: 2,
+			BatchRuns: 4, BatchedProblems: 12, SoftSolved: 6, LLRSaturations: 1,
+			SlotOccupancy: 0.75,
+			ChannelCache:  metrics.ChannelCacheStats{Hits: 30, Misses: 12, Evictions: 2},
+			Backends: []metrics.BackendStats{
+				{Name: "qpu0", Solved: 20, Errors: 1, BusyMicros: 5000, Utilization: 0.5},
+				{Name: "sa", Solved: 21, BusyMicros: 800, Utilization: 0.08},
+			},
+		},
+		Telemetry: sn,
+	}
+}
+
 // fuzzSeedFrames builds one valid payload per frame type of every protocol
-// generation still accepted on the wire (v2–v6), so the fuzzer starts from
+// generation still accepted on the wire (v2–v7), so the fuzzer starts from
 // the real grammar instead of random bytes: self-contained decode requests
 // with (v3+) and without (v2) the target-BER field, the v4 coherence frames,
 // the v5 precode frames, the v6 soft-decode frames (including truncated LLR
-// payloads and zero-length LLR lists), and every response shape, plus an
+// payloads and zero-length LLR lists), the v7 stats frames (including a
+// truncated histogram payload, an all-empty-histogram snapshot and a
+// telemetry-less response), and every response shape, plus an
 // unknown-version frame type a newer peer might emit.
 func fuzzSeedFrames(tb testing.TB) [][]byte {
 	tb.Helper()
@@ -73,6 +119,22 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	softResp := encodeSoftResponse(&SoftDecodeResponse{ID: 12, Bits: []byte{1, 0, 1, 1},
 		Clamp: 24, LLR8: []int8{127, -127, 5, -9}, Saturated: 2,
 		Energy: 0.5, ComputeMicros: 80, Backend: "qpu0", Batched: 2})
+	statsFull, err := encodeStatsResponse(fuzzStatsResponse())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	statsBare, err := encodeStatsResponse(&StatsResponse{ID: 15, Pool: metrics.PoolStats{
+		Submitted: 3, Completed: 3,
+		Backends: []metrics.BackendStats{{Name: "qpu0", Solved: 3, BusyMicros: 900, Utilization: 0.4}},
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	statsEmptyHists, err := encodeStatsResponse(&StatsResponse{ID: 16,
+		Telemetry: &telemetry.Snapshot{UptimeMicros: 5}})
+	if err != nil {
+		tb.Fatal(err)
+	}
 	seeds := [][]byte{
 		frame(msgDecodeRequest, v3, nil),
 		// A v2 peer's request ends at the deadline field.
@@ -93,15 +155,25 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		frame(msgSoftDecodeResponse, encodeSoftResponse(&SoftDecodeResponse{ID: 13, Err: "denied"}), nil),
 		// A soft response truncated inside its LLR payload.
 		append([]byte{msgSoftDecodeResponse}, softResp[:len(softResp)-30]...),
+		// The v7 stats grammar: the poll, a full telemetry snapshot, a pool-
+		// only response, and a telemetry block whose histograms are all empty.
+		frame(msgStatsRequest, encodeStatsRequest(&StatsRequest{ID: 14}), nil),
+		frame(msgStatsResponse, statsFull, nil),
+		frame(msgStatsResponse, statsBare, nil),
+		frame(msgStatsResponse, statsEmptyHists, nil),
+		// A stats response truncated inside a histogram's bucket list.
+		append([]byte{msgStatsResponse}, statsFull[:len(statsFull)-60]...),
+		// A stats response with a declared bucket entry but no bucket bytes.
+		{msgStatsResponse, 0, 0, 0},
 		// Malformed shapes the decoders must reject without panicking.
 		{msgDecodeRequest},
 		{msgPrecodeRequest, 0, 0, 0},
 		{msgSoftDecodeRequest, 0, 0},
 		frame(99, []byte{1, 2, 3}, nil), // unknown type
 		// An unknown-version frame: the type right past this generation's
-		// (a v7 peer's downgrade probe) must be ignored by the decoders and
+		// (a v8 peer's downgrade probe) must be ignored by the decoders and
 		// surfaced — not crashed on — by the framing layer.
-		frame(msgSoftDecodeResponse+1, softResp, nil),
+		frame(msgStatsResponse+1, statsFull, nil),
 		append([]byte{msgDecodeRequest}, bytes.Repeat([]byte{0xff}, 40)...),
 	}
 	return seeds
@@ -230,6 +302,29 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if _, err := decodeRegisterResponse(encodeRegisterResponse(resp)); err != nil {
 				t.Fatalf("re-encoded register response does not decode: %v", err)
+			}
+		case msgStatsRequest:
+			req, err := decodeStatsRequest(payload)
+			if err != nil {
+				return
+			}
+			if _, err := decodeStatsRequest(encodeStatsRequest(req)); err != nil {
+				t.Fatalf("re-encoded stats request does not decode: %v", err)
+			}
+		case msgStatsResponse:
+			resp, err := decodeStatsResponse(payload)
+			if err != nil {
+				return
+			}
+			re, err := encodeStatsResponse(resp)
+			if err != nil {
+				t.Fatalf("accepted stats response does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, payload) {
+				// The sparse histogram grammar is canonical (strictly
+				// increasing indexes, no zero counts), so decode∘encode must
+				// be the identity on accepted payloads.
+				t.Fatalf("stats response re-encode is not byte-identical")
 			}
 		}
 		// Whatever the type, the framing layer itself must stay panic-free on

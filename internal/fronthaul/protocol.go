@@ -48,10 +48,17 @@ import (
 // data center answers with a soft-decode response whose per-bit LLRs ride as
 // a quantized int8 payload (softout.Quantize: ±clamp ↔ ±127, one byte per
 // bit instead of a float64). Version-5 and older payloads all still decode.
+// Version 7 adds the telemetry plane: a stats-request frame polls the serving
+// pool and the data center answers with a stats-response carrying the pool
+// counter snapshot plus, when the server runs a telemetry recorder, the full
+// recorder snapshot — per-stage latency histograms (sparse-encoded: only
+// nonzero buckets ride the wire), deadline-slack histograms, compile-cache
+// counters and per-class anneal-quality aggregates — behind `quamax -top` and
+// `-watch`. Version-6 and older payloads all still decode.
 // Peers speaking a newer version may emit frame types this
 // implementation does not know; the client surfaces those as protocol errors
 // rather than discarding them silently.
-const ProtocolVersion = 6
+const ProtocolVersion = 7
 
 // Message types.
 const (
@@ -65,6 +72,8 @@ const (
 	msgSoftDecodeRequest  uint8 = 8
 	msgSoftDecodeByChan   uint8 = 9
 	msgSoftDecodeResponse uint8 = 10
+	msgStatsRequest       uint8 = 11
+	msgStatsResponse      uint8 = 12
 )
 
 // MaxFrameBytes bounds a frame payload; a 64×64 64-QAM request is ~130 KiB,

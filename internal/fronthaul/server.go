@@ -17,6 +17,7 @@ import (
 	"quamax/internal/precoding"
 	"quamax/internal/sched"
 	"quamax/internal/softout"
+	"quamax/internal/telemetry"
 )
 
 // Dispatcher routes one decode problem to a solver. The QPU pool scheduler
@@ -53,6 +54,12 @@ type Server struct {
 	// for soft requests that carry none (0 = softout.DefaultClamp). Set
 	// before Serve.
 	LLRClamp float64
+
+	// Telemetry, when non-nil, receives the server-side wall time of every
+	// request (the wire histogram) and is snapshotted into v7 stats
+	// responses. Set before Serve; share the same recorder with the
+	// scheduler and planner so `quamax -top` sees one coherent plane.
+	Telemetry *telemetry.Recorder
 
 	precodeOnce     sync.Once
 	precodePrograms *precoding.Cache
@@ -369,6 +376,28 @@ func (s *Server) handleConn(conn net.Conn) {
 				write(msgDecodeResponse, encodeResponse(resp))
 			}()
 
+		case msgStatsRequest:
+			req, err := decodeStatsRequest(payload)
+			if err != nil {
+				s.badRequest(conn, &writeMu, payload, err)
+				return
+			}
+			// Stats are a pure snapshot (no pool dispatch), so answer inline
+			// like channel registration.
+			resp := &StatsResponse{ID: req.ID}
+			if st, ok := s.Stats(); ok {
+				resp.Pool = st
+			}
+			if s.Telemetry != nil {
+				resp.Telemetry = s.Telemetry.Snapshot()
+				resp.UptimeMicros = resp.Telemetry.UptimeMicros
+			}
+			b, err := encodeStatsResponse(resp)
+			if err != nil {
+				b, _ = encodeStatsResponse(&StatsResponse{ID: req.ID, Err: err.Error()})
+			}
+			write(msgStatsResponse, b)
+
 		default:
 			s.logf("fronthaul: dropping unexpected message type %d (protocol version %d)",
 				msgType, ProtocolVersion)
@@ -424,6 +453,7 @@ func (s *Server) processSoft(ctx context.Context, id uint64, p *backend.Problem,
 		return &SoftDecodeResponse{ID: id, Err: "soft decode disabled by server configuration"}
 	}
 	deadline := time.Duration(deadlineMicros * float64(time.Microsecond))
+	defer s.observeWire(time.Now())
 	res, err := s.disp.Dispatch(ctx, p, deadline)
 	if err != nil {
 		return &SoftDecodeResponse{ID: id, Err: err.Error()}
@@ -441,9 +471,19 @@ func (s *Server) processSoft(ctx context.Context, id uint64, p *backend.Problem,
 	}
 }
 
+// observeWire feeds the server-side wall time of one request into the
+// telemetry wire histogram (the only feeder of that histogram). Call
+// deferred with the dispatch start time.
+func (s *Server) observeWire(start time.Time) {
+	if s.Telemetry != nil {
+		s.Telemetry.ObserveWire(float64(time.Since(start)) / float64(time.Microsecond))
+	}
+}
+
 // process routes one decode through the pool.
 func (s *Server) process(ctx context.Context, id uint64, p *backend.Problem, deadlineMicros float64) *DecodeResponse {
 	deadline := time.Duration(deadlineMicros * float64(time.Microsecond))
+	defer s.observeWire(time.Now())
 	res, err := s.disp.Dispatch(ctx, p, deadline)
 	if err != nil {
 		return &DecodeResponse{ID: id, Err: err.Error()}

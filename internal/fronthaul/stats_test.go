@@ -1,0 +1,148 @@
+package fronthaul
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"quamax/internal/backend"
+	"quamax/internal/modulation"
+	"quamax/internal/sched"
+	"quamax/internal/telemetry"
+)
+
+func TestStatsCodecRoundTrip(t *testing.T) {
+	want := fuzzStatsResponse()
+	payload, err := encodeStatsResponse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeStatsResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("stats round trip:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// A telemetry-less response (server without a recorder) round-trips too.
+	bare := &StatsResponse{ID: 3, Err: "pool draining"}
+	payload, err = encodeStatsResponse(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = decodeStatsResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, got) {
+		t.Fatalf("bare stats round trip: %+v", got)
+	}
+
+	req := &StatsRequest{ID: 99}
+	back, err := decodeStatsRequest(encodeStatsRequest(req))
+	if err != nil || back.ID != 99 {
+		t.Fatalf("stats request round trip: %+v, %v", back, err)
+	}
+}
+
+func TestStatsCodecRejectsCorruption(t *testing.T) {
+	payload, err := encodeStatsResponse(fuzzStatsResponse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeStatsResponse(payload[:len(payload)-5]); err == nil {
+		t.Fatal("truncated stats response accepted")
+	}
+	if _, err := decodeStatsResponse(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := decodeStatsRequest([]byte{1, 2}); err == nil {
+		t.Fatal("truncated stats request accepted")
+	}
+	if _, err := decodeStatsRequest(append(encodeStatsRequest(&StatsRequest{ID: 1}), 0)); err == nil {
+		t.Fatal("stats request trailing bytes accepted")
+	}
+
+	// The histogram grammar is canonical: out-of-order or repeated bucket
+	// indexes, zero counts and oversized entry counts are all rejected.
+	mustRejectHist := func(name string, raw []byte) {
+		t.Helper()
+		r := &reader{b: raw}
+		if _, err := readHist(r); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	u64 := func(v uint64) []byte { return appendU64(nil, v) }
+	f64x3 := appendF64(appendF64(appendF64(nil, 1), 2), 3)
+	mustRejectHist("zero-count bucket", append(append([]byte{1, 5}, u64(0)...), f64x3...))
+	mustRejectHist("repeated bucket index", append(append(append(append([]byte{2, 5}, u64(1)...), 5), u64(1)...), f64x3...))
+	mustRejectHist("bucket index past NumBuckets", append(append([]byte{1, telemetry.NumBuckets}, u64(1)...), f64x3...))
+	mustRejectHist("entry count past NumBuckets", append([]byte{telemetry.NumBuckets + 1}, f64x3...))
+	mustRejectHist("truncated bucket list", []byte{3, 0})
+}
+
+// Stats over the wire: an AP decodes through a telemetry-instrumented pool,
+// then polls the serving statistics and sees the decode it just made — the
+// pool counters, the finished trace, and the server-side wire histogram —
+// reconciled with each other.
+func TestPoolStatsOverWire(t *testing.T) {
+	rec := telemetry.New(telemetry.Config{})
+	dec := testDecoder(t)
+	dec.SetTelemetry(rec)
+	pool, err := sched.New(sched.Config{
+		Pool:      []backend.Backend{backend.AnnealerFromDecoder("qpu0", dec)},
+		Telemetry: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	server := NewPoolServer(pool)
+	server.Telemetry = rec
+	cliConn, srvConn := net.Pipe()
+	go server.handleConn(srvConn)
+	client := NewClient(cliConn)
+	defer client.Close()
+
+	const decodes = 3
+	for i := 0; i < decodes; i++ {
+		in := testInstance(t, int64(300+i), modulation.QPSK, 4)
+		if _, err := client.Decode(in.Mod, in.H, in.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats, err := client.PoolStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pool.Submitted != decodes || stats.Pool.Completed != decodes {
+		t.Fatalf("pool counters %d/%d, want %d submitted and completed",
+			stats.Pool.Submitted, stats.Pool.Completed, decodes)
+	}
+	sn := stats.Telemetry
+	if sn == nil {
+		t.Fatal("stats response carries no telemetry snapshot")
+	}
+	if sn.Traces != decodes || sn.Finished != decodes {
+		t.Fatalf("telemetry traces %d finished %d, want %d", sn.Traces, sn.Finished, decodes)
+	}
+	if got := sn.Stages[telemetry.StageE2E].Count; got != decodes {
+		t.Fatalf("e2e histogram holds %d observations, want %d", got, decodes)
+	}
+	if sn.Wire.Count != decodes {
+		t.Fatalf("wire histogram holds %d observations, want %d", sn.Wire.Count, decodes)
+	}
+	if sn.Wire.Sum <= 0 || sn.Wire.Max < sn.Wire.Min {
+		t.Fatalf("wire histogram not populated: %+v", sn.Wire)
+	}
+	// The anneal-quality plane rode along: one class, with reads accounted.
+	q, ok := sn.Quality["QPSK/4"]
+	if !ok || q.Solves == 0 || q.Reads == 0 {
+		t.Fatalf("quality class missing or empty: %+v", sn.Quality)
+	}
+	if stats.UptimeMicros <= 0 {
+		t.Fatal("uptime not reported")
+	}
+}

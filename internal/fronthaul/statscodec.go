@@ -1,0 +1,337 @@
+package fronthaul
+
+import (
+	"errors"
+	"fmt"
+
+	"quamax/internal/metrics"
+	"quamax/internal/telemetry"
+)
+
+// StatsRequest polls a live pool's counters and telemetry over the fronthaul
+// (protocol v7) — the frame behind `quamax -top`.
+type StatsRequest struct {
+	ID uint64
+}
+
+// StatsResponse answers a StatsRequest with the pool counter snapshot and,
+// when the server runs a telemetry recorder, the full telemetry snapshot
+// (stage latency histograms, deadline slack, per-class anneal quality).
+type StatsResponse struct {
+	ID  uint64
+	Err string // empty on success
+	// UptimeMicros is the server scheduler's lifetime at snapshot time.
+	UptimeMicros float64
+	// Pool is the scheduler counter snapshot (zero value when the server's
+	// dispatcher exports no stats).
+	Pool metrics.PoolStats
+	// Telemetry is the recorder snapshot; nil when the server runs without
+	// a telemetry plane.
+	Telemetry *telemetry.Snapshot
+}
+
+// encodeStatsRequest serializes a StatsRequest payload.
+func encodeStatsRequest(req *StatsRequest) []byte {
+	return appendU64(nil, req.ID)
+}
+
+// decodeStatsRequest parses a StatsRequest payload.
+func decodeStatsRequest(payload []byte) (*StatsRequest, error) {
+	r := &reader{b: payload}
+	req := &StatsRequest{ID: r.u64()}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in stats request")
+	}
+	return req, nil
+}
+
+// appendHist encodes a telemetry histogram sparsely: the number of nonzero
+// buckets, then (bucket index, count) pairs in increasing index order,
+// then the running sum and extrema. An empty histogram is one zero byte plus
+// the three float64 fields.
+func appendHist(b []byte, h telemetry.Hist) []byte {
+	nonzero := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	b = append(b, byte(nonzero))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		b = append(b, byte(i))
+		b = appendU64(b, c)
+	}
+	b = appendF64(b, h.Sum)
+	b = appendF64(b, h.Min)
+	b = appendF64(b, h.Max)
+	return b
+}
+
+// readHist decodes an appendHist payload, validating the canonical form:
+// strictly increasing bucket indexes below telemetry.NumBuckets and no
+// zero-count entries (so decode∘encode is the identity on the wire).
+func readHist(r *reader) (telemetry.Hist, error) {
+	var h telemetry.Hist
+	nb := r.bytes(1)
+	if r.err != nil {
+		return h, r.err
+	}
+	n := int(nb[0])
+	if n > telemetry.NumBuckets {
+		return h, fmt.Errorf("fronthaul: histogram with %d buckets exceeds %d", n, telemetry.NumBuckets)
+	}
+	if n > 0 {
+		h.Counts = make([]uint64, telemetry.NumBuckets)
+		prev := -1
+		for i := 0; i < n; i++ {
+			idxB := r.bytes(1)
+			count := r.u64()
+			if r.err != nil {
+				return h, r.err
+			}
+			idx := int(idxB[0])
+			if idx <= prev || idx >= telemetry.NumBuckets {
+				return h, fmt.Errorf("fronthaul: histogram bucket index %d out of order", idx)
+			}
+			if count == 0 {
+				return h, errors.New("fronthaul: zero-count histogram bucket")
+			}
+			prev = idx
+			h.Counts[idx] = count
+			h.Count += count
+		}
+	}
+	h.Sum = r.f64()
+	h.Min = r.f64()
+	h.Max = r.f64()
+	if r.err != nil {
+		return telemetry.Hist{}, r.err
+	}
+	return h, nil
+}
+
+// statsRespTelemetry is the flags bit marking a telemetry block.
+const statsRespTelemetry = 1 << 0
+
+// encodeStatsResponse serializes a StatsResponse payload.
+func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
+	if len(resp.Err) > 0xffff {
+		return nil, errors.New("fronthaul: oversized error string")
+	}
+	b := appendU64(nil, resp.ID)
+	b = appendU16(b, uint16(len(resp.Err)))
+	b = append(b, resp.Err...)
+	b = appendF64(b, resp.UptimeMicros)
+
+	p := &resp.Pool
+	if p.QueueDepth < 0 || len(p.Backends) > 0xffff {
+		return nil, errors.New("fronthaul: pool stats out of wire range")
+	}
+	b = appendU32(b, uint32(p.QueueDepth))
+	for _, v := range []uint64{
+		p.Submitted, p.Completed, p.Failed, p.FallbackDispatches,
+		p.PlannerClassical, p.DeadlineMisses, p.BatchRuns, p.BatchedProblems,
+		p.SoftSolved, p.LLRSaturations,
+	} {
+		b = appendU64(b, v)
+	}
+	b = appendF64(b, p.SlotOccupancy)
+	b = appendU64(b, p.ChannelCache.Hits)
+	b = appendU64(b, p.ChannelCache.Misses)
+	b = appendU64(b, p.ChannelCache.Evictions)
+	b = appendU16(b, uint16(len(p.Backends)))
+	for _, be := range p.Backends {
+		if len(be.Name) > 0xffff {
+			return nil, errors.New("fronthaul: oversized backend name")
+		}
+		b = appendU16(b, uint16(len(be.Name)))
+		b = append(b, be.Name...)
+		b = appendU64(b, be.Solved)
+		b = appendU64(b, be.Errors)
+		b = appendF64(b, be.BusyMicros)
+		b = appendF64(b, be.Utilization)
+	}
+
+	var flags byte
+	if resp.Telemetry != nil {
+		flags |= statsRespTelemetry
+	}
+	b = append(b, flags)
+	if sn := resp.Telemetry; sn != nil {
+		b = appendF64(b, sn.UptimeMicros)
+		b = appendU64(b, sn.Finished)
+		b = appendU64(b, sn.Failed)
+		b = appendU64(b, sn.CompileHits)
+		b = appendU64(b, sn.CompileMisses)
+		b = append(b, byte(telemetry.NumStages))
+		for i := range sn.Stages {
+			b = appendHist(b, sn.Stages[i])
+		}
+		b = appendHist(b, sn.Wire)
+		b = appendHist(b, sn.SlackMet)
+		b = appendHist(b, sn.SlackMissed)
+		classes := telemetry.SortedClasses(sn)
+		if len(classes) > 0xffff {
+			return nil, errors.New("fronthaul: oversized quality class set")
+		}
+		b = appendU16(b, uint16(len(classes)))
+		for _, c := range classes {
+			if len(c) > 0xffff {
+				return nil, errors.New("fronthaul: oversized quality class name")
+			}
+			q := sn.Quality[c]
+			b = appendU16(b, uint16(len(c)))
+			b = append(b, c...)
+			b = appendU64(b, q.Solves)
+			b = appendU64(b, q.Reads)
+			b = appendU64(b, q.ChainBreaks)
+			b = appendU64(b, q.LLRBits)
+			b = appendU64(b, q.LLRSaturated)
+			b = appendHist(b, q.BestEnergy)
+		}
+	}
+	return b, nil
+}
+
+// decodeStatsResponse parses a StatsResponse payload.
+func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
+	r := &reader{b: payload}
+	resp := &StatsResponse{ID: r.u64()}
+	errLen := int(r.u16())
+	if r.err == nil && errLen > len(payload)-r.off {
+		return nil, errShort
+	}
+	resp.Err = string(r.bytes(errLen))
+	resp.UptimeMicros = r.f64()
+
+	p := &resp.Pool
+	p.QueueDepth = int(r.u32())
+	for _, dst := range []*uint64{
+		&p.Submitted, &p.Completed, &p.Failed, &p.FallbackDispatches,
+		&p.PlannerClassical, &p.DeadlineMisses, &p.BatchRuns, &p.BatchedProblems,
+		&p.SoftSolved, &p.LLRSaturations,
+	} {
+		*dst = r.u64()
+	}
+	p.SlotOccupancy = r.f64()
+	p.ChannelCache.Hits = r.u64()
+	p.ChannelCache.Misses = r.u64()
+	p.ChannelCache.Evictions = r.u64()
+	nBackends := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each backend entry is at least 34 bytes; bound the allocation by what
+	// the payload can actually hold before trusting the declared count.
+	if nBackends > (len(payload)-r.off)/34 {
+		return nil, errors.New("fronthaul: backend count exceeds payload")
+	}
+	for i := 0; i < nBackends; i++ {
+		nameLen := int(r.u16())
+		if r.err == nil && nameLen > len(payload)-r.off {
+			return nil, errShort
+		}
+		be := metrics.BackendStats{Name: string(r.bytes(nameLen))}
+		be.Solved = r.u64()
+		be.Errors = r.u64()
+		be.BusyMicros = r.f64()
+		be.Utilization = r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.Backends = append(p.Backends, be)
+	}
+
+	flagsB := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	flags := flagsB[0]
+	if flags&^byte(statsRespTelemetry) != 0 {
+		return nil, fmt.Errorf("fronthaul: unknown stats flags %#x", flags)
+	}
+	if flags&statsRespTelemetry != 0 {
+		sn := &telemetry.Snapshot{}
+		sn.UptimeMicros = r.f64()
+		sn.Finished = r.u64()
+		sn.Failed = r.u64()
+		sn.CompileHits = r.u64()
+		sn.CompileMisses = r.u64()
+		nStages := r.bytes(1)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if int(nStages[0]) != telemetry.NumStages {
+			return nil, fmt.Errorf("fronthaul: stats frame with %d stages, want %d", nStages[0], telemetry.NumStages)
+		}
+		var err error
+		for i := range sn.Stages {
+			if sn.Stages[i], err = readHist(r); err != nil {
+				return nil, err
+			}
+		}
+		if sn.Wire, err = readHist(r); err != nil {
+			return nil, err
+		}
+		if sn.SlackMet, err = readHist(r); err != nil {
+			return nil, err
+		}
+		if sn.SlackMissed, err = readHist(r); err != nil {
+			return nil, err
+		}
+		sn.Traces = sn.Finished + sn.Failed
+		nClasses := int(r.u16())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Each class entry is at least 67 bytes (2 + 5·8 + empty hist).
+		if nClasses > (len(payload)-r.off)/67 {
+			return nil, errors.New("fronthaul: quality class count exceeds payload")
+		}
+		if nClasses > 0 {
+			sn.Quality = make(map[string]telemetry.QualityStats, nClasses)
+		}
+		prevName := ""
+		for i := 0; i < nClasses; i++ {
+			nameLen := int(r.u16())
+			if r.err == nil && nameLen > len(payload)-r.off {
+				return nil, errShort
+			}
+			name := string(r.bytes(nameLen))
+			var q telemetry.QualityStats
+			q.Solves = r.u64()
+			q.Reads = r.u64()
+			q.ChainBreaks = r.u64()
+			q.LLRBits = r.u64()
+			q.LLRSaturated = r.u64()
+			if q.BestEnergy, err = readHist(r); err != nil {
+				return nil, err
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			// Classes ride sorted (SortedClasses on encode); enforcing the
+			// order here makes the wire form canonical, so decode∘encode is
+			// the identity — the invariant the fuzzer holds the codec to.
+			if i > 0 && name <= prevName {
+				return nil, fmt.Errorf("fronthaul: quality class %q out of order", name)
+			}
+			prevName = name
+			sn.Quality[name] = q
+		}
+		resp.Telemetry = sn
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, errors.New("fronthaul: trailing bytes in stats response")
+	}
+	return resp, nil
+}

@@ -155,11 +155,13 @@ func (s PoolStats) String() string {
 		fmt.Fprintf(&b, "\npool: batched runs=%d problems=%d slot-occupancy=%.0f%%",
 			s.BatchRuns, s.BatchedProblems, 100*s.SlotOccupancy)
 	}
-	if s.SoftSolved > 0 {
-		fmt.Fprintf(&b, "\npool: soft decodes=%d llr-saturations=%d (%.1f/decode)",
-			s.SoftSolved, s.LLRSaturations, float64(s.LLRSaturations)/float64(s.SoftSolved))
+	if s.SoftSolved > 0 || s.LLRSaturations > 0 {
+		fmt.Fprintf(&b, "\npool: soft decodes=%d llr-saturations=%d", s.SoftSolved, s.LLRSaturations)
+		if s.SoftSolved > 0 {
+			fmt.Fprintf(&b, " (%.1f/decode)", float64(s.LLRSaturations)/float64(s.SoftSolved))
+		}
 	}
-	if c := s.ChannelCache; c.Hits+c.Misses > 0 {
+	if c := s.ChannelCache; c.Hits+c.Misses+c.Evictions > 0 {
 		fmt.Fprintf(&b, "\npool: channel cache hits=%d misses=%d evictions=%d (%.0f%% hit)",
 			c.Hits, c.Misses, c.Evictions, 100*c.HitRate())
 	}

@@ -5,27 +5,40 @@ import (
 	"sort"
 )
 
-// Mean returns the arithmetic mean (NaN for empty input). +Inf values
-// propagate, matching how mean TTB dominates median TTB in the paper when
-// long-running outliers exist.
+// Mean returns the arithmetic mean (NaN for empty input). NaN values are
+// skipped — a NaN is a missing measurement, not a number to average — while
+// ±Inf values propagate, matching how mean TTB dominates median TTB in the
+// paper when long-running outliers exist. All-NaN input yields NaN.
 func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
 		return math.NaN()
 	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return s / float64(n)
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
-// interpolation between order statistics. NaN for empty input.
+// interpolation between order statistics. NaN values are skipped (sorting
+// NaNs would scramble the order statistics); ±Inf values participate as the
+// extreme ranks. NaN for empty or all-NaN input.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
@@ -40,6 +53,14 @@ func Percentile(xs []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	frac := pos - float64(lo)
+	// Interpolating across an infinite endpoint would produce ±Inf·0 = NaN
+	// (e.g. between -Inf and +Inf); snap to the nearer order statistic.
+	if math.IsInf(sorted[lo], 0) || math.IsInf(sorted[hi], 0) {
+		if frac < 0.5 {
+			return sorted[lo]
+		}
+		return sorted[hi]
+	}
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
@@ -55,9 +76,10 @@ type BoxStats struct {
 	Finite, Total int
 }
 
-// Box summarizes xs. Infinite values are excluded from the percentiles but
-// counted in Total−Finite; Mean is over all values (so it inherits +Inf,
-// like the paper's mean-dominates-median observation).
+// Box summarizes xs. Infinite and NaN values are excluded from the
+// percentiles but counted in Total−Finite; Mean is over all non-NaN values
+// (so it inherits +Inf, like the paper's mean-dominates-median observation,
+// without letting a NaN poison the whole summary).
 func Box(xs []float64) BoxStats {
 	finite := make([]float64, 0, len(xs))
 	for _, x := range xs {

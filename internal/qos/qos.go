@@ -37,9 +37,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"quamax/internal/anneal"
 	"quamax/internal/modulation"
+	"quamax/internal/telemetry"
 )
 
 // Mode selects the annealing style a table point was fitted under.
@@ -274,6 +276,10 @@ type Planner struct {
 	// DefaultReads is the budget used when a request carries no target BER
 	// (0 = the paper's Na = 100).
 	DefaultReads int
+	// Telemetry, when set, receives the duration of every Plan call on the
+	// telemetry plane's StagePlan histogram (the planner owns that stage's
+	// histogram feed; see quamax/internal/telemetry). Set before serving.
+	Telemetry *telemetry.Recorder
 
 	table *Table
 
@@ -407,10 +413,18 @@ func predictBER(pt Point, reads int) float64 {
 // any condition the model cannot serve degrades to the classical fallback
 // with a tagged Reason.
 func (pl *Planner) Plan(req Request) Plan {
+	var start time.Time
+	if pl.Telemetry != nil {
+		start = time.Now()
+	}
 	p := pl.plan(req)
 	pl.mu.Lock()
 	pl.stats.record(req, p)
 	pl.mu.Unlock()
+	if pl.Telemetry != nil {
+		pl.Telemetry.ObserveStage(telemetry.StagePlan,
+			float64(time.Since(start))/float64(time.Microsecond))
+	}
 	return p
 }
 

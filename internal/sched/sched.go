@@ -50,7 +50,11 @@ import (
 	"quamax/internal/metrics"
 	"quamax/internal/qos"
 	"quamax/internal/rng"
+	"quamax/internal/telemetry"
 )
+
+// micros converts a duration to the telemetry plane's unit.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 // ErrClosed is returned by Dispatch after Close.
 var ErrClosed = errors.New("sched: scheduler closed")
@@ -78,6 +82,12 @@ type Config struct {
 	DefaultTargetBER float64
 	// DisableBatch turns off cross-request batching on BatchBackends.
 	DisableBatch bool
+	// Telemetry, when set, receives one trace per terminal request (spans
+	// for admit/plan/queue/gather/solve/respond/e2e plus deadline slack),
+	// finished at the same point the Completed/Failed counters move so the
+	// span count reconciles exactly with Stats. Nil disables tracing with
+	// no overhead on the dispatch path.
+	Telemetry *telemetry.Recorder
 	// Seed drives all solver randomness (per-worker independent streams).
 	Seed int64
 	// Now overrides the clock (tests); nil means time.Now.
@@ -133,6 +143,11 @@ type job struct {
 	est      float64   // pool service-time estimate (µs)
 	deadline time.Time // zero = none
 	done     chan jobResult
+
+	// Telemetry fields, set only when Config.Telemetry is configured.
+	tr         *telemetry.Trace
+	t0         time.Time // Dispatch entry
+	enqueuedAt time.Time
 }
 
 // New starts the pool workers and returns the scheduler.
@@ -245,7 +260,29 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
+	rec := s.cfg.Telemetry
+	var tr *telemetry.Trace
+	var t0 time.Time
+	if rec != nil {
+		t0 = s.now()
+	}
 	p, planDenied := s.applyPlan(p, deadline)
+	if rec != nil {
+		// Two clock reads bracket the plan; the trace record itself is built
+		// after the second read so its cost lands in admit, not plan. (The
+		// planner feeds the StagePlan histogram itself from inside Plan; this
+		// is the scheduler-side measurement carried on the trace.)
+		planEnd := s.now()
+		tr = &telemetry.Trace{
+			Class:       telemetry.Class(p.Mod.String(), p.Users()),
+			Soft:        p.Soft,
+			StartMicros: rec.SinceStartMicros(t0),
+		}
+		if deadline > 0 {
+			tr.DeadlineMicros = micros(deadline)
+		}
+		tr.Stages[telemetry.StagePlan] = micros(planEnd.Sub(t0))
+	}
 	// A planner denial that will route to the fallback never consults the
 	// pool, so don't charge the backends' estimators for it; every admission
 	// path below still records exactly one of plannerClassical/
@@ -272,7 +309,11 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 		s.fbWg.Add(1)
 		s.mu.Unlock()
 		defer s.fbWg.Done()
-		return s.runFallback(ctx, p, deadline)
+		if tr != nil {
+			tr.Fallback, tr.PlannerDenied = true, true
+			tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
+		}
+		return s.runFallback(ctx, p, deadline, tr, t0)
 	}
 
 	// Hybrid dispatch: if the projected pool completion time blows the
@@ -294,13 +335,22 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 			s.fbWg.Add(1)
 			s.mu.Unlock()
 			defer s.fbWg.Done()
-			return s.runFallback(ctx, p, deadline)
+			if tr != nil {
+				tr.Fallback = true
+				tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
+			}
+			return s.runFallback(ctx, p, deadline, tr, t0)
 		}
 	}
 
 	j := &job{ctx: ctx, p: p, est: est, done: make(chan jobResult, 1)}
 	if deadline > 0 {
 		j.deadline = s.now().Add(deadline)
+	}
+	if tr != nil {
+		j.tr, j.t0 = tr, t0
+		j.enqueuedAt = s.now()
+		tr.Stages[telemetry.StageAdmit] = admitSpan(j.enqueuedAt.Sub(t0), tr)
 	}
 	s.queue = append(s.queue, j)
 	s.queuedMicros += est
@@ -316,15 +366,45 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 	}
 }
 
+// admitSpan is the admission span: entry-to-decision wall time minus the
+// planner's share (already carried as StagePlan), clamped nonnegative.
+func admitSpan(sinceEntry time.Duration, tr *telemetry.Trace) float64 {
+	a := micros(sinceEntry) - tr.Stages[telemetry.StagePlan]
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
 // runFallback solves p on the fallback backend, on the caller's goroutine.
-func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadline time.Duration) (*backend.Result, error) {
+// tr/t0 carry the request's telemetry trace when tracing is enabled.
+func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadline time.Duration, tr *telemetry.Trace, t0 time.Time) (*backend.Result, error) {
 	started := s.now()
 	res, err := s.fallback.Solve(ctx, p, s.splitSource())
-	elapsed := float64(s.now().Sub(started)) / float64(time.Microsecond)
+	solveEnd := s.now()
+	elapsed := micros(solveEnd.Sub(started))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fallbackCounters.busyMicros += elapsed
+	if tr != nil {
+		defer func() {
+			end := s.now()
+			tr.Backend = s.fallback.Name()
+			tr.Failed = err != nil
+			if res != nil {
+				tr.CacheHit = res.CacheHit
+				tr.Stages[telemetry.StageCompile] = res.CompileMicros
+			}
+			tr.Stages[telemetry.StageSolve] = elapsed
+			tr.Stages[telemetry.StageRespond] = micros(end.Sub(solveEnd))
+			tr.Stages[telemetry.StageE2E] = micros(end.Sub(t0))
+			if deadline > 0 {
+				tr.SlackMicros = micros(started.Add(deadline).Sub(end))
+			}
+			s.cfg.Telemetry.FinishTrace(*tr)
+		}()
+	}
 	if err != nil {
 		s.fallbackCounters.errors++
 		s.failed++
@@ -367,6 +447,10 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 		s.inflightMicros += head.est
 		s.mu.Unlock()
 
+		var popAt time.Time
+		if head.tr != nil {
+			popAt = s.now()
+		}
 		batch := []*job{head}
 		slots := 1
 		if bb, ok := be.(backend.BatchBackend); ok && !s.cfg.DisableBatch {
@@ -380,6 +464,18 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 				s.mu.Unlock()
 			}
 		}
+		if head.tr != nil {
+			// The head waited until it was popped and is charged the run
+			// assembly (slot resolution + gathering); batch riders stayed
+			// effectively queued until gathering finished. Spans stay
+			// disjoint so they partition each request's e2e.
+			gatherEnd := s.now()
+			head.tr.Stages[telemetry.StageQueue] = micros(popAt.Sub(head.enqueuedAt))
+			head.tr.Stages[telemetry.StageGather] = micros(gatherEnd.Sub(popAt))
+			for _, j := range batch[1:] {
+				j.tr.Stages[telemetry.StageQueue] = micros(gatherEnd.Sub(j.enqueuedAt))
+			}
+		}
 
 		// Drop jobs whose submitter already gave up.
 		live := batch[:0]
@@ -389,6 +485,15 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 				s.mu.Lock()
 				s.failed++
 				s.inflightMicros -= j.est
+				if j.tr != nil {
+					end := s.now()
+					j.tr.Failed = true
+					j.tr.Stages[telemetry.StageE2E] = micros(end.Sub(j.t0))
+					if !j.deadline.IsZero() {
+						j.tr.SlackMicros = micros(j.deadline.Sub(end))
+					}
+					s.cfg.Telemetry.FinishTrace(*j.tr)
+				}
 				s.mu.Unlock()
 				continue
 			}
@@ -400,7 +505,8 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 
 		started := s.now()
 		results, err := s.solve(be, live, slots, src)
-		elapsed := float64(s.now().Sub(started)) / float64(time.Microsecond)
+		solveEnd := s.now()
+		elapsed := micros(solveEnd.Sub(started))
 
 		s.mu.Lock()
 		ctr.busyMicros += elapsed
@@ -409,6 +515,7 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 			if err != nil {
 				ctr.errors++
 				s.failed++
+				s.finishPoolTrace(j, nil, err, be.Name(), elapsed, solveEnd, len(live))
 				j.done <- jobResult{err: err}
 				continue
 			}
@@ -421,10 +528,38 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 			if !j.deadline.IsZero() && s.now().After(j.deadline) {
 				s.misses++
 			}
+			s.finishPoolTrace(j, results[i], nil, be.Name(), elapsed, solveEnd, len(live))
 			j.done <- jobResult{res: results[i]}
 		}
 		s.mu.Unlock()
 	}
+}
+
+// finishPoolTrace fills and finishes a pool-solved (or pool-failed) job's
+// trace. Called under s.mu at the same point the Completed/Failed counters
+// move, so traces reconcile exactly with Stats. No-op when tracing is off.
+func (s *Scheduler) finishPoolTrace(j *job, res *backend.Result, err error, beName string, solveMicros float64, solveEnd time.Time, batched int) {
+	if j.tr == nil {
+		return
+	}
+	end := s.now()
+	j.tr.Backend = beName
+	j.tr.Batched = batched
+	j.tr.Failed = err != nil
+	if res != nil {
+		if res.Backend != "" {
+			j.tr.Backend = res.Backend
+		}
+		j.tr.CacheHit = res.CacheHit
+		j.tr.Stages[telemetry.StageCompile] = res.CompileMicros
+	}
+	j.tr.Stages[telemetry.StageSolve] = solveMicros
+	j.tr.Stages[telemetry.StageRespond] = micros(end.Sub(solveEnd))
+	j.tr.Stages[telemetry.StageE2E] = micros(end.Sub(j.t0))
+	if !j.deadline.IsZero() {
+		j.tr.SlackMicros = micros(j.deadline.Sub(end))
+	}
+	s.cfg.Telemetry.FinishTrace(*j.tr)
 }
 
 // gatherBatchLocked extends an already-popped head job with batch-compatible

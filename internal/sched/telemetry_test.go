@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"quamax/internal/backend"
+	"quamax/internal/modulation"
+	"quamax/internal/qos"
+	"quamax/internal/telemetry"
+)
+
+// The telemetry plane's core contract: every terminal request — pool-solved,
+// fallback-solved, planner-denied, or discarded after context cancellation —
+// finishes exactly one trace, so the span count reconciles exactly with the
+// PoolStats counters (Submitted == Completed + Failed == traces).
+func TestTelemetryTracesReconcileAcrossPaths(t *testing.T) {
+	rec := telemetry.New(telemetry.Config{})
+	pl, err := qos.NewPlanner(plannerTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Telemetry = rec
+	pool := &fakeBackend{name: "qpu", est: 100, gate: make(chan struct{})}
+	fb := &fakeBackend{name: "fb", est: 10}
+	s, err := New(Config{Pool: []backend.Backend{pool}, Fallback: fb, Planner: pl, Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job A occupies the worker (gated); job B is canceled while queued and
+	// must be discarded — with a trace — when the worker surfaces it.
+	pa, _ := testProblem(t, 970, modulation.QPSK, 4)
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.Dispatch(context.Background(), pa, 0)
+		aDone <- err
+	}()
+	for {
+		s.mu.Lock()
+		inflight := s.inflightMicros > 0
+		s.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pb, _ := testProblem(t, 971, modulation.QPSK, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := s.Dispatch(ctx, pb, 0)
+		bDone <- err
+	}()
+	for {
+		s.mu.Lock()
+		depth := len(s.queue)
+		s.mu.Unlock()
+		if depth == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-bDone; err != context.Canceled {
+		t.Fatalf("canceled dispatch returned %v", err)
+	}
+	pool.gate <- struct{}{} // release job A's solve
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue-pressure fallback (unmeetable deadline) and planner denial
+	// (8 users exceeds every fitted size), both deadline-bearing.
+	pc, _ := testProblem(t, 972, modulation.QPSK, 4)
+	if _, err := s.Dispatch(context.Background(), pc, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	pd, _ := testProblem(t, 973, modulation.QPSK, 8)
+	pd.TargetBER = 1e-3
+	if _, err := s.Dispatch(context.Background(), pd, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	sn := rec.Snapshot()
+	if st.Submitted != 4 {
+		t.Fatalf("submitted = %d, want 4", st.Submitted)
+	}
+	if sn.Traces != st.Submitted || sn.Traces != st.Completed+st.Failed {
+		t.Fatalf("traces=%d submitted=%d completed+failed=%d: not reconciled",
+			sn.Traces, st.Submitted, st.Completed+st.Failed)
+	}
+	if sn.Failed != st.Failed || sn.Failed != 1 {
+		t.Fatalf("failed traces = %d, pool failed = %d, want 1", sn.Failed, st.Failed)
+	}
+	if got := sn.Stages[telemetry.StageE2E].Count; got != sn.Traces {
+		t.Fatalf("e2e histogram count = %d, want %d", got, sn.Traces)
+	}
+	// The planner ran for the one target-BER request (it owns StagePlan).
+	if sn.Stages[telemetry.StagePlan].Count != 1 {
+		t.Fatalf("plan histogram count = %d, want 1", sn.Stages[telemetry.StagePlan].Count)
+	}
+	// Two requests carried deadlines; each landed in exactly one slack side.
+	if got := sn.SlackMet.Count + sn.SlackMissed.Count; got != 2 {
+		t.Fatalf("slack observations = %d, want 2", got)
+	}
+
+	traces := rec.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(traces))
+	}
+	var denied, fallbacks, failed int
+	for _, tr := range traces {
+		if tr.Class != "QPSK/4" && tr.Class != "QPSK/8" {
+			t.Fatalf("unexpected class %q", tr.Class)
+		}
+		if tr.PlannerDenied {
+			denied++
+			if !tr.Fallback || tr.Backend != "fb" {
+				t.Fatalf("planner-denied trace not marked fallback: %+v", tr)
+			}
+		}
+		if tr.Fallback {
+			fallbacks++
+		}
+		if tr.Failed {
+			failed++
+			if tr.Stages[telemetry.StageE2E] <= 0 {
+				t.Fatalf("failed trace missing e2e span: %+v", tr)
+			}
+		}
+	}
+	if denied != 1 || fallbacks != 2 || failed != 1 {
+		t.Fatalf("denied/fallbacks/failed = %d/%d/%d, want 1/2/1", denied, fallbacks, failed)
+	}
+}
+
+// With no Recorder configured, dispatch must not record anything anywhere —
+// the nil path is the zero-overhead default.
+func TestNoTelemetryByDefault(t *testing.T) {
+	pool := &fakeBackend{name: "qpu", est: 100}
+	s, err := New(Config{Pool: []backend.Backend{pool}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := testProblem(t, 980, modulation.QPSK, 4)
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertReconciled(t, s)
+}

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// The latency histograms use a fixed log-scale bucket layout: BucketsPerDecade
+// buckets per factor of ten, starting at HistBase microseconds. With 96
+// buckets that spans 12 decades — 0.1µs to ~28h — which covers everything from
+// a channel-cache hit to a stuck queue, in bounded memory (one uint64 per
+// bucket), so a recorder never grows with traffic and snapshots merge by
+// entrywise addition exactly like metrics.PoolStats.Merge.
+const (
+	// NumBuckets is the fixed bucket count of every Histogram.
+	NumBuckets = 96
+	// BucketsPerDecade sets the log resolution: each bucket spans a factor
+	// of 10^(1/8) ≈ 1.33, i.e. quantile estimates are within ~15% of truth.
+	BucketsPerDecade = 8
+	// HistBase is the upper bound of the growth law's bucket -1 in
+	// microseconds; bucket 0 covers (0, HistBase·10^(1/8)].
+	HistBase = 0.1
+)
+
+// bucketBounds[i] is the inclusive upper bound, in microseconds, of bucket i.
+// The last bucket's bound is +Inf (catch-all).
+var bucketBounds [NumBuckets]float64
+
+func init() {
+	for i := 0; i < NumBuckets-1; i++ {
+		bucketBounds[i] = HistBase * math.Pow(10, float64(i+1)/BucketsPerDecade)
+	}
+	bucketBounds[NumBuckets-1] = math.Inf(1)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i in microseconds
+// (+Inf for the last bucket). It panics if i is out of range.
+func BucketBound(i int) float64 { return bucketBounds[i] }
+
+// bucketIndex maps a nonnegative value to its bucket.
+func bucketIndex(v float64) int {
+	if v <= HistBase {
+		return 0
+	}
+	// Smallest i with v <= bounds[i], i.e. ceil(BPD·(log10 v − log10 base))−1.
+	i := int(math.Ceil(BucketsPerDecade*(math.Log10(v)-math.Log10(HistBase)))) - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a live, concurrency-safe log-scale histogram. Observe is
+// lock-free (one atomic add per bucket plus CAS loops for the running sum and
+// extrema), so it can sit on the scheduler's hot path. Read it via Snapshot.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits; initialized lazily via count==0 CAS path
+	max    atomic.Uint64 // float64 bits
+	init   atomic.Bool
+}
+
+// Observe records one value in microseconds. NaN observations are dropped;
+// negative values clamp to zero; +Inf lands in the catch-all bucket and is
+// clamped to the largest finite bound for the running sum so means stay
+// finite.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if math.IsInf(v, 1) {
+		v = bucketBounds[NumBuckets-2]
+	}
+	h.counts[i].Add(1)
+	if h.init.CompareAndSwap(false, true) {
+		// First observer seeds the extrema; racing observers fold in below.
+		h.min.Store(math.Float64bits(v))
+		h.max.Store(math.Float64bits(v))
+	}
+	atomicAddFloat(&h.sum, v)
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+	h.count.Add(1)
+}
+
+func atomicAddFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may tear a
+// snapshot by at most the in-flight observations (counts and sum are read
+// per-field); for reporting that skew is negligible and bounded.
+func (h *Histogram) Snapshot() Hist {
+	var s Hist
+	if h.count.Load() == 0 {
+		return s
+	}
+	s.Counts = make([]uint64, NumBuckets)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	s.Min = math.Float64frombits(h.min.Load())
+	s.Max = math.Float64frombits(h.max.Load())
+	return s
+}
+
+// Hist is an immutable histogram snapshot: per-bucket counts under the fixed
+// log-scale layout plus the running sum and exact extrema. The zero value is
+// an empty histogram. Snapshots merge by addition, wire-encode sparsely
+// (fronthaul v7), and render to Prometheus exposition format.
+type Hist struct {
+	// Counts holds per-bucket observation counts; nil or length NumBuckets.
+	Counts []uint64 `json:"counts,omitempty"`
+	// Count is the total number of observations (== sum of Counts).
+	Count uint64 `json:"count"`
+	// Sum is the sum of observed values in microseconds (+Inf observations
+	// contribute the largest finite bucket bound).
+	Sum float64 `json:"sum"`
+	// Min and Max are the exact observed extrema (0 when Count == 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Merge returns the entrywise aggregate of two snapshots, the multi-shard
+// rollup operation (compare metrics.PoolStats.Merge).
+func (h Hist) Merge(o Hist) Hist {
+	if o.Count == 0 {
+		return h
+	}
+	if h.Count == 0 {
+		return o
+	}
+	out := Hist{
+		Counts: make([]uint64, NumBuckets),
+		Count:  h.Count + o.Count,
+		Sum:    h.Sum + o.Sum,
+		Min:    math.Min(h.Min, o.Min),
+		Max:    math.Max(h.Max, o.Max),
+	}
+	for i := range out.Counts {
+		if h.Counts != nil {
+			out.Counts[i] += h.Counts[i]
+		}
+		if o.Counts != nil {
+			out.Counts[i] += o.Counts[i]
+		}
+	}
+	return out
+}
+
+// Mean returns Sum/Count, or NaN when empty.
+func (h Hist) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the p-th percentile (p in [0,100]) by geometric
+// interpolation within the covering bucket, clamped to the exact observed
+// extrema. Returns NaN when empty.
+func (h Hist) Quantile(p float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return h.Min
+	}
+	if p >= 100 {
+		return h.Max
+	}
+	rank := p / 100 * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := h.Min
+		if i > 0 {
+			lo = math.Max(lo, bucketBounds[i-1])
+		}
+		hi := math.Min(h.Max, bucketBounds[i])
+		if hi <= lo {
+			return clamp(lo, h.Min, h.Max)
+		}
+		if math.IsInf(hi, 1) {
+			return clamp(h.Max, h.Min, h.Max)
+		}
+		frac := (rank - prev) / float64(c)
+		// Geometric interpolation matches the log-scale bucket widths.
+		if lo <= 0 {
+			return clamp(lo+(hi-lo)*frac, h.Min, h.Max)
+		}
+		return clamp(lo*math.Pow(hi/lo, frac), h.Min, h.Max)
+	}
+	return h.Max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

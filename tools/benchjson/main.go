@@ -17,14 +17,18 @@
 // BENCH_PR*.json history as a CI gate:
 //
 //   - the newest snapshot must contain the compiled-mode coherence-window
-//     (symbols/s) and precode-window (precodes/s) acceptance rows, and the
-//     soft-vs-hard decode acceptance rows (BenchmarkSoftDecode, decodes/s);
+//     (symbols/s) and precode-window (precodes/s) acceptance rows, the
+//     soft-vs-hard decode acceptance rows (BenchmarkSoftDecode, decodes/s),
+//     and the paired telemetry-overhead row
+//     (BenchmarkSchedulerPlanner/telemetry, off-/on-dispatches/s);
 //   - within the newest snapshot, compiled-mode throughput must be at least
 //     2× the per-symbol recompile mode at every window size W ≥ 14, the
 //     precode benchmark's mean gamma must agree between modes (the
-//     equal-perturbation-quality half of the acceptance bar), and the soft
+//     equal-perturbation-quality half of the acceptance bar), the soft
 //     decode must stay within 1.5× of the hard decode at equal Na (LLR
-//     extraction is post-processing, not another anneal);
+//     extraction is post-processing, not another anneal), and the
+//     telemetry=on dispatch rate must stay within 5% of telemetry=off (the
+//     observability plane must be cheap enough to leave on);
 //   - across snapshots recorded on the same goos/goarch, no headline
 //     throughput metric (any metric ending in "/s" on a compiled-mode
 //     gated-window row or a non-window benchmark) may regress more than
@@ -33,6 +37,14 @@
 // The intra-snapshot ratio checks are machine-independent; the history check
 // compares only numbers recorded into the repository, so the gate is
 // deterministic in CI.
+//
+// With -traces, benchjson ingests a telemetry trace dump (the JSON written
+// by quamax-serve/examples/tracedriven -trace-out) instead of running
+// benchmarks, and emits one BENCH row per pipeline stage with
+// p50/p95/p99/mean/max latency columns — the per-stage distributions join
+// the same machine-readable trajectory the throughput rows live in:
+//
+//	go run ./tools/benchjson -traces dump.json -out TRACES.json
 package main
 
 import (
@@ -48,12 +60,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"quamax/internal/telemetry"
 )
 
 // defaultBench selects the benchmarks the perf trajectory tracks: the two
 // compile/execute acceptance benchmarks (uplink coherence windows, downlink
 // precode windows) plus the micro-benchmarks of the stages they amortize.
-const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkSchedulerPlanner|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
 
 // maxRegression is the fractional headline-throughput loss tolerated against
 // the best committed snapshot before -check fails the build.
@@ -70,6 +84,14 @@ const minGatedWindow = 14
 // maxSoftOverhead is the tolerated soft-decode slowdown at equal Na: the
 // soft mode's decodes/s must be at least hard/maxSoftOverhead.
 const maxSoftOverhead = 1.5
+
+// maxTelemetryOverhead is the tolerated serving-path slowdown with the
+// telemetry recorder attached: BenchmarkSchedulerPlanner/telemetry's
+// on-dispatches/s must be at least off-dispatches/s/maxTelemetryOverhead.
+// The bound prices the whole tracing tax — trace allocation, per-stage
+// clock reads, histogram observations and the ring append — against a
+// realistic minimum solve (benchSolveMicros in the root bench harness).
+const maxTelemetryOverhead = 1.05
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -99,6 +121,7 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "BENCH_PR5.json", "output JSON path")
 		check     = flag.Bool("check", false, "audit the committed BENCH_PR*.json history instead of running benchmarks")
+		traces    = flag.String("traces", "", "telemetry trace dump (-trace-out JSON) to ingest instead of running benchmarks")
 	)
 	flag.Parse()
 
@@ -108,6 +131,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("benchjson: history check ok")
+		return
+	}
+
+	if *traces != "" {
+		if err := ingestTraces(*traces, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -175,6 +206,73 @@ func parseMetrics(rest string) map[string]float64 {
 		metrics[fields[i+1]] = v
 	}
 	return metrics
+}
+
+// ingestTraces converts a telemetry trace dump into BENCH rows: one row per
+// occupied pipeline stage (plus the fronthaul wire and the deadline-slack
+// sides) carrying p50/p95/p99/mean/max latency columns in microseconds. The
+// latency units deliberately do not end in "/s", so trace rows never enter
+// the throughput-regression gate. When the dump carries a pool snapshot,
+// the telemetry plane's reconciliation invariant is enforced before
+// anything is written: Submitted == Completed+Failed == trace count.
+func ingestTraces(path, out string) error {
+	d, err := telemetry.ReadDump(path)
+	if err != nil {
+		return err
+	}
+	if d.Snapshot == nil {
+		return fmt.Errorf("%s: dump has no snapshot", path)
+	}
+	if p := d.Pool; p != nil {
+		if p.Submitted != p.Completed+p.Failed || p.Submitted != d.Snapshot.Traces {
+			return fmt.Errorf("%s: traces do not reconcile with pool counters: submitted=%d completed+failed=%d traces=%d",
+				path, p.Submitted, p.Completed+p.Failed, d.Snapshot.Traces)
+		}
+	}
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Bench:     "traces:" + path,
+	}
+	row := func(name string, s telemetry.StageSummary) {
+		if s.Count == 0 {
+			return
+		}
+		report.Results = append(report.Results, Result{
+			Name:       name,
+			Iterations: int64(s.Count),
+			Metrics: map[string]float64{
+				"p50-µs":  s.P50Micros,
+				"p95-µs":  s.P95Micros,
+				"p99-µs":  s.P99Micros,
+				"mean-µs": s.MeanMicros,
+				"max-µs":  s.MaxMicros,
+			},
+		})
+	}
+	for _, name := range telemetry.StageNames() {
+		row("TraceStage/"+name, d.Stages[name])
+	}
+	row("TraceWire", d.Wire)
+	row("TraceSlack/met", d.SlackMet)
+	row("TraceSlack/missed", d.SlackMissed)
+	if len(report.Results) == 0 {
+		return fmt.Errorf("%s: dump holds no observations", path)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %d trace rows (%d traces) to %s\n",
+		len(report.Results), d.Snapshot.Traces, out)
+	return nil
 }
 
 // snapshot pairs a parsed history file with the PR number from its name.
@@ -290,6 +388,20 @@ func checkHistory(dir string) error {
 	case !(softRate*maxSoftOverhead >= hardRate):
 		problemf("%s: soft decode %.2f decodes/s slower than %gx hard %.2f decodes/s",
 			newest.path, softRate, maxSoftOverhead, hardRate)
+	}
+
+	// 1c. The telemetry-overhead row (introduced with the telemetry plane):
+	// a paired measurement carrying both modes' dispatch rates, with the
+	// instrumented serving path within the tolerated tax of the
+	// uninstrumented one.
+	offRate, offOK := newest.metric("BenchmarkSchedulerPlanner/telemetry", "off-dispatches/s")
+	onRate, onOK := newest.metric("BenchmarkSchedulerPlanner/telemetry", "on-dispatches/s")
+	switch {
+	case !offOK || !onOK:
+		problemf("%s: missing BenchmarkSchedulerPlanner/telemetry row with \"off-dispatches/s\" and \"on-dispatches/s\"", newest.path)
+	case !(onRate*maxTelemetryOverhead >= offRate):
+		problemf("%s: telemetry-on dispatch rate %.2f/s more than %g%% below telemetry-off %.2f/s",
+			newest.path, onRate, 100*(maxTelemetryOverhead-1), offRate)
 	}
 
 	// 2. Intra-snapshot gates: compiled ≥ 2× recompile at every W ≥ 14, and
