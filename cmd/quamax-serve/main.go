@@ -7,10 +7,16 @@
 //	quamax-serve -listen :9370 -pool 4 -backends sa -deadline 2ms -target-ber 1e-4
 //
 // -pool sets the number of simulated annealer workers; -backends appends
-// classical solvers ("sa", "sphere") as extra pool workers, the first of
+// classical solvers ("sa", "sphere", "pt" — plain simulated annealing, the
+// exact sphere decoder, or replica-exchange parallel tempering on the
+// bit-parallel multi-spin engine) as extra pool workers, the first of
 // which also serves as the deadline fallback; -deadline and -target-ber are
 // the default per-request budget and QoS target when the AP does not send
-// its own. The planner (disable with -planner=false) sizes each request's
+// its own. With a "pt" backend present the planner also sizes a
+// replica-exchange budget (sweeps, then ladders) into every classical
+// verdict, so deadline-denied requests run the most PT effort that fits
+// (-pt-rungs/-pt-ladders/-pt-sweeps set the full-effort ceiling). The
+// planner (disable with -planner=false) sizes each request's
 // read budget from a fitted TTS table: -tts-table names a table produced by
 //
 //	quamax-serve -calibrate -tts-table tts.json
@@ -75,6 +81,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "solver random seed")
 		saSweeps  = flag.Int("sa-sweeps", 128, "classical SA sweeps per restart")
 		saResets  = flag.Int("sa-restarts", 100, "classical SA restarts")
+
+		ptRungs   = flag.Int("pt-rungs", 0, "parallel-tempering temperature rungs per ladder (0 = engine default)")
+		ptLadders = flag.Int("pt-ladders", 0, "parallel-tempering independent ladders (0 = engine default)")
+		ptSweeps  = flag.Int("pt-sweeps", 0, "parallel-tempering sweeps per rung (0 = engine default)")
 
 		precodeBits  = flag.Int("precode-bits", 0, "default perturbation alphabet depth for downlink precode requests that carry none (0 = 1 bit/dimension)")
 		precodeCache = flag.Int("precode-cache", 0, "compiled VP-program LRU entries for downlink coherence windows (0 = default)")
@@ -155,6 +165,7 @@ func main() {
 		workers = append(workers, qpu)
 	}
 	var fallback backend.Backend
+	havePT := false
 	if *backends != "" {
 		for _, name := range strings.Split(*backends, ",") {
 			var be backend.Backend
@@ -163,10 +174,13 @@ func main() {
 				be = backend.NewClassicalSA("sa", *saSweeps, *saResets)
 			case "sphere":
 				be = backend.NewSphere("sphere", 1<<20)
+			case "pt":
+				be = backend.NewParallelTempering("pt", *ptRungs, *ptLadders, *ptSweeps)
+				havePT = true
 			case "":
 				continue
 			default:
-				fmt.Fprintf(os.Stderr, "quamax-serve: unknown backend %q (want sa or sphere)\n", name)
+				fmt.Fprintf(os.Stderr, "quamax-serve: unknown backend %q (want sa, sphere or pt)\n", name)
 				os.Exit(1)
 			}
 			workers = append(workers, be)
@@ -196,6 +210,16 @@ func main() {
 			os.Exit(1)
 		}
 		p.Telemetry = rec
+		if havePT {
+			// Classical verdicts carry a deadline-sized replica-exchange
+			// budget the pool's PT backend honors (backend.Problem.PT).
+			p.PT = &qos.PTCost{
+				MicrosPerSpinSweep: backend.DefaultPTMicrosPerSpinSweep,
+				Params: anneal.PTParams{
+					Rungs: *ptRungs, Ladders: *ptLadders, Sweeps: *ptSweeps,
+				},
+			}
+		}
 		budgetPlanner = p
 	}
 

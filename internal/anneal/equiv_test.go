@@ -1,0 +1,196 @@
+package anneal
+
+// Differential harness: the packed multi-spin sweep must produce BIT-IDENTICAL
+// per-replica trajectories, energies and spins to its scalar twin (MSScalar) —
+// same arithmetic, same operation order, same rng stream discipline — across
+// modulation-compiled programs (BPSK/QPSK/16-QAM reductions), a Chimera-
+// embedded device program, and random CSR instances. Any divergence in the
+// packed loop's bit tricks (sign-transfer accepts, grid-unit draws, XOR flip
+// scatter) shows up here as a first-divergence sweep index.
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/channel"
+	"quamax/internal/chimera"
+	"quamax/internal/embedding"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// gnpSparse builds a random CSR instance: n spins, each pair coupled with
+// probability density, Gaussian fields and couplings.
+func gnpSparse(src *rng.Source, n int, density float64) *qubo.Sparse {
+	p := qubo.NewSparse(n)
+	for i := 0; i < n; i++ {
+		p.H[i] = src.Gauss(0, 1)
+		for j := i + 1; j < n; j++ {
+			if src.Float64() < density {
+				p.AddEdge(i, j, src.Gauss(0, 1))
+			}
+		}
+	}
+	p.Offset = src.Gauss(0, 0.5)
+	return p
+}
+
+// modulationProgram compiles the logical Ising program of one random MIMO
+// detection instance — the reduction output the full-connectivity path runs.
+func modulationProgram(t testing.TB, mod modulation.Modulation, nt int, seed int64) *qubo.Sparse {
+	t.Helper()
+	in, err := mimo.Generate(rng.New(seed), mimo.Config{
+		Mod: mod, Nt: nt, Nr: nt, Channel: channel.RandomPhase{}, SNRdB: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qubo.SparseFromIsing(reduction.ReduceToIsing(in.Mod, in.H, in.Y))
+}
+
+// embeddedProgram compiles a BPSK instance onto Chimera chains — the
+// device-shaped CSR (chains, couplers, per-qubit fields) the machine sweeps.
+func embeddedProgram(t testing.TB) *qubo.Sparse {
+	t.Helper()
+	emb, err := embedding.Embed(chimera.New(4), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := mimo.Generate(rng.New(12), mimo.Config{
+		Mod: modulation.BPSK, Nt: 12, Nr: 12, Channel: channel.RandomPhase{}, SNRdB: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := emb.EmbedIsing(reduction.ReduceToIsing(in.Mod, in.H, in.Y), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep.Phys
+}
+
+// equivPrograms is the differential corpus: every program family the engine
+// serves in production plus adversarial random graphs.
+func equivPrograms(t testing.TB) map[string]*qubo.Sparse {
+	return map[string]*qubo.Sparse{
+		"bpsk":        modulationProgram(t, modulation.BPSK, 10, 101),
+		"qpsk":        modulationProgram(t, modulation.QPSK, 7, 102),
+		"qam16":       modulationProgram(t, modulation.QAM16, 4, 103),
+		"chimera":     embeddedProgram(t),
+		"rand-dense":  gnpSparse(rng.New(5), 40, 0.5),
+		"rand-sparse": gnpSparse(rng.New(6), 60, 0.08),
+		"fields-only": gnpSparse(rng.New(7), 16, 0),
+	}
+}
+
+// runEquiv drives a packed block and its per-replica scalar twins through an
+// identical β schedule from identically-split sources, asserting bit-equal
+// energies after every sweep and bit-equal spins at the end.
+func runEquiv(t *testing.T, prog *qubo.Sparse, replicas int, seed int64, sched MSSchedule) {
+	t.Helper()
+	k, err := NewMSKernel(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identically-seeded parents yield identical child streams: the block
+	// and the twins consume the same randomness in the same order.
+	blockSrcs := rng.New(seed).SplitN(replicas)
+	twinSrcs := rng.New(seed).SplitN(replicas)
+	block, err := k.NewBlock(replicas, blockSrcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := make([]*MSScalar, replicas)
+	for r := range twins {
+		twins[r] = k.NewScalar(twinSrcs[r])
+	}
+	block.Init()
+	for _, tw := range twins {
+		tw.Init()
+	}
+	for r, tw := range twins {
+		if math.Float64bits(block.Energy(r)) != math.Float64bits(tw.Energy()) {
+			t.Fatalf("replica %d: initial energy mismatch: packed %v scalar %v",
+				r, block.Energy(r), tw.Energy())
+		}
+	}
+	for s := 0; s < sched.Sweeps; s++ {
+		beta := sched.beta(s)
+		block.SetAllBeta(beta)
+		block.Sweep()
+		for r, tw := range twins {
+			tw.SetBeta(beta)
+			tw.Sweep()
+			if math.Float64bits(block.Energy(r)) != math.Float64bits(tw.Energy()) {
+				t.Fatalf("replica %d diverged at sweep %d (β=%g): packed %v scalar %v",
+					r, s, beta, block.Energy(r), tw.Energy())
+			}
+		}
+	}
+	for r, tw := range twins {
+		ps, ss := block.Spins(r), tw.Spins()
+		for i := range ps {
+			if ps[i] != ss[i] {
+				t.Fatalf("replica %d: spin %d differs after run: packed %d scalar %d",
+					r, i, ps[i], ss[i])
+			}
+		}
+		// The incrementally-maintained energy must agree with a from-scratch
+		// evaluation of the final state (plain float tolerance — the sum
+		// orders differ).
+		e := prog.Energy(ps)
+		if math.Abs(e-block.Energy(r)) > 1e-9*(1+math.Abs(e)) {
+			t.Fatalf("replica %d: incremental energy %v drifted from evaluated %v",
+				r, block.Energy(r), e)
+		}
+	}
+}
+
+// TestPackedMatchesScalarSweep is the differential harness over golden seeds.
+func TestPackedMatchesScalarSweep(t *testing.T) {
+	sched := MSSchedule{BetaInitial: 0.4, BetaFinal: 6, Sweeps: 15}
+	for name, prog := range equivPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 42, 1337} {
+				runEquiv(t, prog, 7, seed, sched)
+			}
+		})
+	}
+}
+
+// TestPackedFullWidth pins the 64-replica word edge cases (the mask covers
+// the whole word; replica 63's flip bit lands in the sign position).
+func TestPackedFullWidth(t *testing.T) {
+	prog := gnpSparse(rng.New(9), 24, 0.3)
+	runEquiv(t, prog, MaxReplicasPerBlock, 4, MSSchedule{BetaInitial: 0.3, BetaFinal: 8, Sweeps: 10})
+	runEquiv(t, prog, 1, 4, MSSchedule{BetaInitial: 0.3, BetaFinal: 8, Sweeps: 10})
+}
+
+// TestRunMultiSpinDeterministicAcrossWorkers pins the engine's contract that
+// worker count never changes results: replica r always owns the r-th child
+// stream.
+func TestRunMultiSpinDeterministicAcrossWorkers(t *testing.T) {
+	prog := gnpSparse(rng.New(14), 30, 0.25)
+	sched := MSSchedule{BetaInitial: 0.3, BetaFinal: 8, Sweeps: 12}
+	s1, e1, err := RunMultiSpin(prog, sched, 150, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, e4, err := RunMultiSpin(prog, sched, 150, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range e1 {
+		if math.Float64bits(e1[r]) != math.Float64bits(e4[r]) {
+			t.Fatalf("replica %d: energy differs across worker counts", r)
+		}
+		for i := range s1[r].Spins {
+			if s1[r].Spins[i] != s4[r].Spins[i] {
+				t.Fatalf("replica %d: spin %d differs across worker counts", r, i)
+			}
+		}
+	}
+}

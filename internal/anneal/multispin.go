@@ -1,0 +1,731 @@
+package anneal
+
+// Bit-parallel multi-spin anneal engine (ROADMAP "raw-speed anneal engine").
+//
+// The scalar simulator above (annealState.sweep) recomputes every spin's
+// local field from its adjacency on every visit — O(degree) float work per
+// spin per sweep per replica, which is what makes BenchmarkAnneal48BPSK the
+// hot path under every benchmark. This engine rebuilds that inner loop for
+// machine speed:
+//
+//   - Multi-spin coding. Up to 64 independent replicas run in one block;
+//     spin i of replica r is bit r of words[i], so a Metropolis flip is one
+//     XOR against an accept mask and a replica's whole configuration costs
+//     n bits instead of n bytes. All replicas share one coupling program
+//     (one flat CSR walk serves 64 trajectories).
+//   - Incremental local fields. lam[i·R+r] caches 2·(h_i + Σ_k J_ik·σ_k),
+//     the doubled local field of spin i in replica r (doubled so the flip
+//     energy dE = −2·σ_i·λ_i is a single sign transfer with no multiply).
+//     A visit is then O(1); only an accepted flip pays the O(degree)
+//     neighbor walk, scattering the precomputed per-edge deltas ±4·J_ik
+//     (flipW) into the neighbors' cached doubled fields.
+//   - Branchless accept pass. Downhill moves (dE sign bit set) are gathered
+//     into a bitmask with pure ALU ops — no data-dependent branches — and
+//     only the uphill minority walks the Metropolis draw path.
+//   - Cheap draws. Each replica owns a splitmix64 stream (seeded from its
+//     rng.Source child at construction) and the acceptance probability uses
+//     expNegY, a deterministic interpolated 2^(−k/32) table, not math.Exp;
+//     the accept bit is accumulated without a data-dependent branch.
+//     Uphill proposals past the rejection cut (β·dE ≈ 36.74, acceptance
+//     below the draw's resolution) are rejected without consuming a draw.
+//   - Incremental energies. energy[r] accumulates the accepted dEs, so
+//     per-replica energies are always available (the parallel-tempering
+//     scheduler in pt.go reads them at every exchange attempt) without an
+//     O(n + |E|) evaluation.
+//
+// The packed sweep is held by a scalar twin (MSScalar) with the identical
+// arithmetic, operation order and stream discipline: one splitmix64 stream
+// per replica, one rng.Source Bool per spin at init, one draw per uphill
+// proposal below the rejection cut, all in spin order. The differential
+// harness (equiv_test.go), the metamorphic tests and FuzzSweepEquivalence
+// prove the two paths produce bit-identical per-replica trajectories, spins
+// and energies; the CI bench gate (tools/benchjson) holds the ≥5× speedup
+// over the scalar device simulator at equal-or-better success probability.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"quamax/internal/qubo"
+	"quamax/internal/rng"
+)
+
+// MaxReplicasPerBlock is the multi-spin word width: how many independent
+// replicas one MSBlock packs (bit r of every word belongs to replica r).
+const MaxReplicasPerBlock = 64
+
+// The acceptance probability exp(−β·dE) is evaluated on a 1/32-octave grid:
+// expTab[k] = 2^(−k/32), linearly interpolated (relative error < 6e-5, well
+// under Metropolis sampling noise; the bench gate's gsrate holds the
+// sampling quality). Proposals are scored directly in grid units
+// y = β·dE·32·log₂e, with β pre-scaled once per sweep, so a draw costs one
+// multiply, one truncation, two adjacent loads and a fused interpolation —
+// no math.Exp on the hot path.
+//
+// rejectCutY is the grid position above which an uphill proposal is
+// rejected without consuming a random draw: it corresponds to
+// β·dE ≈ 36.74, where exp(−β·dE) < 2⁻⁵³ — below the resolution of a
+// Float64 draw. Both the packed and the scalar sweep apply the same cut, so
+// the two paths stay bit-identical.
+const (
+	expTabLast = 1696 // last interpolation interval start; 1696/(32·log₂e) ≈ 36.74
+	rejectCutY = float64(expTabLast)
+	yPerBeta   = 32 * math.Log2E // grid units per unit of β·dE
+)
+
+// splitmix64 constants (Vigna). Each replica's acceptance stream is the
+// splitmix64 sequence from its seed: state += smixGamma, output = mix64.
+const smixGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 output permutation.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextFloat advances replica stream s and returns a uniform draw in [0, 1)
+// with 53 random bits — the engine's Metropolis draw on both sweep paths.
+func nextFloat(s *uint64) float64 {
+	*s += smixGamma
+	return float64(mix64(*s)>>11) * 0x1p-53
+}
+
+// expTab[k] = 2^(−k/32); one spare entry past expTabLast so interpolation
+// at the cut never reads out of bounds.
+var (
+	expTab    [expTabLast + 2]float64
+	expTabOne sync.Once
+)
+
+func initExpTab() {
+	for k := range expTab {
+		expTab[k] = math.Exp2(-float64(k) / 32)
+	}
+}
+
+// expNegY approximates exp(−β·dE) for a proposal already scored in grid
+// units y = β·dE·yPerBeta ∈ [0, rejectCutY): table lookup plus linear
+// interpolation. Deterministic by construction — both sweep paths call it
+// with bit-identical arguments and get bit-identical probabilities.
+func expNegY(y float64) float64 {
+	n := int(y)
+	a := expTab[n]
+	return a + (expTab[n+1]-a)*(y-float64(n))
+}
+
+// MSKernel is a sparse Ising program compiled for the multi-spin engine:
+// the flat-CSR adjacency both sweep paths walk, the per-edge doubled-field
+// deltas (4·J, applied with the sign of the flipped spin), and the original
+// edge list for from-scratch energy evaluation. A kernel is immutable and
+// shared by any number of concurrent blocks.
+type MSKernel struct {
+	n      int
+	offset float64
+	h      []float64 // linear fields, len n
+	start  []int32   // CSR row offsets, len n+1
+	nbr    []int32   // neighbor spin per directed edge, len 2|E|
+	w      []float64 // coupling J per directed edge, len 2|E|
+	flipW  []float64 // precomputed doubled-field flip delta 4·J per directed edge
+
+	ei, ej []int32   // undirected edge list (energy evaluation)
+	ew     []float64 // undirected edge weights
+}
+
+// NewMSKernel compiles a sparse Ising program (coefficients taken verbatim —
+// callers wanting the device's analog-range normalization divide by
+// Machine.Scale first). Duplicate edges are merged by summation, mirroring
+// qubo.Sparse.ToDense.
+func NewMSKernel(prog *qubo.Sparse) (*MSKernel, error) {
+	if prog.N == 0 {
+		return nil, errors.New("anneal: empty program")
+	}
+	expTabOne.Do(initExpTab)
+	type key struct{ i, j int32 }
+	merged := make(map[key]float64, len(prog.Edges))
+	order := make([]key, 0, len(prog.Edges))
+	for _, e := range prog.Edges {
+		i, j := int32(e.I), int32(e.J)
+		if i > j {
+			i, j = j, i
+		}
+		k := key{i, j}
+		if _, seen := merged[k]; !seen {
+			order = append(order, k)
+		}
+		merged[k] += e.W
+	}
+	k := &MSKernel{
+		n:      prog.N,
+		offset: prog.Offset,
+		h:      append([]float64(nil), prog.H...),
+	}
+	deg := make([]int32, prog.N)
+	for _, e := range order {
+		deg[e.i]++
+		deg[e.j]++
+	}
+	k.start = make([]int32, prog.N+1)
+	for i := 0; i < prog.N; i++ {
+		k.start[i+1] = k.start[i] + deg[i]
+	}
+	// Rows are filled in ascending-undirected-edge order below and then
+	// sorted by neighbor index, so the flip scatter walks each spin's
+	// neighbor rows in ascending address order (prefetch-friendly). Both
+	// sweep paths share this kernel, so the row order — which fixes the
+	// float summation order of localField2 — is identical for both.
+	m := int(k.start[prog.N])
+	k.nbr = make([]int32, m)
+	k.w = make([]float64, m)
+	k.flipW = make([]float64, m)
+	fill := append([]int32(nil), k.start[:prog.N]...)
+	k.ei = make([]int32, len(order))
+	k.ej = make([]int32, len(order))
+	k.ew = make([]float64, len(order))
+	for idx, e := range order {
+		wgt := merged[e]
+		k.ei[idx], k.ej[idx], k.ew[idx] = e.i, e.j, wgt
+		for _, pair := range [2][2]int32{{e.i, e.j}, {e.j, e.i}} {
+			p := fill[pair[0]]
+			k.nbr[p] = pair[1]
+			k.w[p] = wgt
+			k.flipW[p] = 4 * wgt
+			fill[pair[0]]++
+		}
+	}
+	for i := 0; i < prog.N; i++ {
+		lo, hi := int(k.start[i]), int(k.start[i+1])
+		sort.Sort(&rowSorter{k.nbr[lo:hi], k.w[lo:hi], k.flipW[lo:hi]})
+	}
+	return k, nil
+}
+
+// rowSorter orders one CSR row by neighbor index, keeping weights aligned.
+type rowSorter struct {
+	nbr   []int32
+	w     []float64
+	flipW []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.nbr) }
+func (s *rowSorter) Less(i, j int) bool { return s.nbr[i] < s.nbr[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.nbr[i], s.nbr[j] = s.nbr[j], s.nbr[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+	s.flipW[i], s.flipW[j] = s.flipW[j], s.flipW[i]
+}
+
+// N returns the spin count the kernel was compiled for.
+func (k *MSKernel) N() int { return k.n }
+
+// Offset returns the program's constant energy offset.
+func (k *MSKernel) Offset() float64 { return k.offset }
+
+// localField2 computes spin i's DOUBLED local field 2·(h_i + Σ J_ik·σ_k)
+// from scratch for one replica's spin reader (σ(j) ∈ {−1,+1}). Both sweep
+// paths initialize their cached fields through this one walk so their float
+// operation order is identical. (Doubling by 2 is exact in IEEE-754, so the
+// doubled representation tracks the plain field bit-for-bit.)
+func (k *MSKernel) localField2(i int, sigma func(int32) float64) float64 {
+	f := k.h[i]
+	for p := k.start[i]; p < k.start[i+1]; p++ {
+		f += k.w[p] * sigma(k.nbr[p])
+	}
+	return 2 * f
+}
+
+// energyOf evaluates the program energy of one replica from scratch, in the
+// fixed field-then-edge order both paths share.
+func (k *MSKernel) energyOf(sigma func(int32) float64) float64 {
+	e := k.offset
+	for i := 0; i < k.n; i++ {
+		e += k.h[i] * sigma(int32(i))
+	}
+	for idx := range k.ew {
+		e += k.ew[idx] * sigma(k.ei[idx]) * sigma(k.ej[idx])
+	}
+	return e
+}
+
+// MSBlock is one bit-packed group of up to 64 replicas annealing one kernel.
+// Bit r of words[i] holds spin i of replica r (set = +1); lam caches every
+// replica's doubled local fields; energy tracks every replica's program
+// energy incrementally; beta is each replica's current inverse temperature
+// (a shared schedule for plain SA, one ladder rung each under parallel
+// tempering). A block is not safe for concurrent use — concurrency comes
+// from running independent blocks (RunMultiSpin, RunPT).
+type MSBlock struct {
+	k        *MSKernel
+	replicas int
+	mask     uint64    // low `replicas` bits set
+	words    []uint64  // len n
+	lam      []float64 // doubled fields, len n·replicas, row-major by spin
+	energy   []float64 // len replicas
+	beta     []float64 // len replicas
+	bscaled  []float64 // beta·yPerBeta, the sweep's grid-unit multiplier
+	state    []uint64  // splitmix64 stream per replica
+	srcs     []*rng.Source
+
+	rScratch []int32  // flipped-replica indices, per-spin scratch
+	sScratch []uint64 // matching pre-flip sign bits (bit 63)
+}
+
+// NewBlock allocates a block of `replicas` trajectories. srcs supplies one
+// child source per replica (the stream discipline the differential harness
+// pins): construction consumes one Uint64 from each to seed the replica's
+// splitmix64 acceptance stream, and Init later consumes one Bool per spin
+// from each for the starting state.
+func (k *MSKernel) NewBlock(replicas int, srcs []*rng.Source) (*MSBlock, error) {
+	if replicas < 1 || replicas > MaxReplicasPerBlock {
+		return nil, fmt.Errorf("anneal: block of %d replicas outside [1,%d]", replicas, MaxReplicasPerBlock)
+	}
+	if len(srcs) != replicas {
+		return nil, fmt.Errorf("anneal: %d sources for %d replicas", len(srcs), replicas)
+	}
+	b := &MSBlock{
+		k:        k,
+		replicas: replicas,
+		mask:     ^uint64(0) >> uint(64-replicas),
+		words:    make([]uint64, k.n),
+		lam:      make([]float64, k.n*replicas),
+		energy:   make([]float64, replicas),
+		beta:     make([]float64, replicas),
+		bscaled:  make([]float64, replicas),
+		state:    make([]uint64, replicas),
+		srcs:     srcs,
+		rScratch: make([]int32, replicas),
+		sScratch: make([]uint64, replicas),
+	}
+	for r, src := range srcs {
+		b.state[r] = src.Uint64()
+	}
+	return b, nil
+}
+
+// Replicas returns the number of packed trajectories.
+func (b *MSBlock) Replicas() int { return b.replicas }
+
+// SetBeta sets replica r's inverse temperature.
+func (b *MSBlock) SetBeta(r int, beta float64) {
+	b.beta[r] = beta
+	b.bscaled[r] = beta * yPerBeta
+}
+
+// SetAllBeta sets every replica's inverse temperature (the SA schedule).
+func (b *MSBlock) SetAllBeta(beta float64) {
+	for r := range b.beta {
+		b.beta[r] = beta
+		b.bscaled[r] = beta * yPerBeta
+	}
+}
+
+// Beta returns replica r's current inverse temperature.
+func (b *MSBlock) Beta(r int) float64 { return b.beta[r] }
+
+// Init draws every replica's initial state uniformly at random — one Bool
+// per spin from the replica's own source, in spin order, exactly as the
+// scalar twin draws — then rebuilds the cached fields and energies.
+func (b *MSBlock) Init() {
+	for i := range b.words {
+		var w uint64
+		for r := 0; r < b.replicas; r++ {
+			if b.srcs[r].Bool() {
+				w |= 1 << uint(r)
+			}
+		}
+		b.words[i] = w
+	}
+	b.recompute()
+}
+
+// InitFrom installs explicit initial states (spins[r][i] ∈ {−1,+1}), the
+// warm-start/metamorphic entry point: no randomness is consumed.
+func (b *MSBlock) InitFrom(spins [][]int8) error {
+	if len(spins) != b.replicas {
+		return fmt.Errorf("anneal: %d initial states for %d replicas", len(spins), b.replicas)
+	}
+	for r, s := range spins {
+		if len(s) != b.k.n {
+			return fmt.Errorf("anneal: replica %d initial state has %d spins, want %d", r, len(s), b.k.n)
+		}
+		for i, v := range s {
+			if v == 1 {
+				b.words[i] |= 1 << uint(r)
+			} else {
+				b.words[i] &^= 1 << uint(r)
+			}
+		}
+	}
+	b.recompute()
+	return nil
+}
+
+// recompute rebuilds lam and energy from the current spins via the kernel's
+// shared from-scratch walks.
+func (b *MSBlock) recompute() {
+	R := b.replicas
+	for r := 0; r < R; r++ {
+		sigma := b.sigmaReader(r)
+		for i := 0; i < b.k.n; i++ {
+			b.lam[i*R+r] = b.k.localField2(i, sigma)
+		}
+		b.energy[r] = b.k.energyOf(sigma)
+	}
+}
+
+// sigmaReader returns replica r's ±1 spin reader.
+func (b *MSBlock) sigmaReader(r int) func(int32) float64 {
+	mask := uint64(1) << uint(r)
+	return func(i int32) float64 {
+		if b.words[i]&mask != 0 {
+			return 1
+		}
+		return -1
+	}
+}
+
+// Sweep performs one Metropolis pass over all spins for every replica in
+// the block. Per spin: a branchless pass gathers the downhill replicas
+// (dE = −σ_i·λ_i has its sign bit set) into an accept mask; the uphill
+// remainder walks the draw path (rejection cut, then one splitmix64 draw
+// against expNeg); the flips land as one XOR; and only flipped replicas pay
+// the neighbor walk that scatters the precomputed ±4J deltas.
+func (b *MSBlock) Sweep() {
+	k := b.k
+	R := b.replicas
+	lam := b.lam
+	words := b.words
+	bscaled := b.bscaled
+	state := b.state
+	energy := b.energy
+	rS := b.rScratch
+	sS := b.sScratch
+	starts := k.start
+	nbrs := k.nbr
+	flipWs := k.flipW
+	for i := 0; i < k.n; i++ {
+		w := words[i]
+		base := i * R
+		row := lam[base : base+R : base+R]
+		// Pass 1 (branchless): dE = −σ_i·λ_i as a sign transfer on the
+		// doubled field; sign bit set ⇒ dE < 0 (or −0) ⇒ accept outright.
+		var flips uint64
+		for r := 0; r < R; r++ {
+			deb := math.Float64bits(row[r]) ^ (((w >> uint(r)) & 1) << 63)
+			flips |= (deb >> 63) << uint(r)
+		}
+		// Pass 2: the uphill remainder runs the Metropolis draw in grid
+		// units (dE = |λ| here — the sign transfer came out non-negative).
+		// The accept bit is a flag materialization, not a branch, so the
+		// draw's inherent unpredictability never stalls the pipeline.
+		for f := b.mask &^ flips; f != 0; f &= f - 1 {
+			r := trailingZeros(f)
+			y := bscaled[r] * math.Abs(row[r])
+			if y >= rejectCutY {
+				continue // acceptance below draw resolution: reject, no draw
+			}
+			var bit uint64
+			if nextFloat(&state[r]) < expNegY(y) {
+				bit = 1
+			}
+			flips |= bit << uint(r)
+		}
+		if flips == 0 {
+			continue
+		}
+		words[i] = w ^ flips
+		// Collect flipped replicas once (index + pre-flip sign bit), paying
+		// the accepted dE into each energy; then scatter the flip deltas:
+		// flipping σ_i moves every neighbor's doubled field by −4·σ_i·J.
+		nf := 0
+		for f := flips; f != 0; f &= f - 1 {
+			r := trailingZeros(f)
+			sgn := ((w >> uint(r)) & 1) << 63
+			rS[nf] = int32(r)
+			sS[nf] = sgn
+			energy[r] += math.Float64frombits(math.Float64bits(row[r]) ^ sgn)
+			nf++
+		}
+		for p := starts[i]; p < starts[i+1]; p++ {
+			jb := int(nbrs[p]) * R
+			d4 := math.Float64bits(flipWs[p])
+			for c := 0; c < nf; c++ {
+				lam[jb+int(rS[c])] += math.Float64frombits(d4 ^ sS[c])
+			}
+		}
+	}
+}
+
+// Energy returns replica r's incrementally-maintained program energy.
+func (b *MSBlock) Energy(r int) float64 { return b.energy[r] }
+
+// Energies copies all replica energies.
+func (b *MSBlock) Energies() []float64 { return append([]float64(nil), b.energy...) }
+
+// Spins extracts replica r's configuration as ±1 spins.
+func (b *MSBlock) Spins(r int) []int8 {
+	out := make([]int8, b.k.n)
+	mask := uint64(1) << uint(r)
+	for i, w := range b.words {
+		if w&mask != 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// MSScalar is the engine's scalar twin: one replica, plain int8 spins, the
+// same incremental doubled fields, the same arithmetic in the same order,
+// and the same stream discipline as one bit-lane of MSBlock. It exists to
+// hold the packed path honest — the differential and fuzz harnesses require
+// bit-identical trajectories — and as the readable reference for the packed
+// loop's semantics.
+type MSScalar struct {
+	k       *MSKernel
+	spins   []int8
+	lam     []float64 // doubled fields
+	energy  float64
+	beta    float64
+	bscaled float64 // beta·yPerBeta
+	state   uint64
+	src     *rng.Source
+}
+
+// NewScalar allocates a scalar twin over the kernel, consuming one Uint64
+// from src to seed the acceptance stream (as NewBlock does per replica).
+func (k *MSKernel) NewScalar(src *rng.Source) *MSScalar {
+	expTabOne.Do(initExpTab)
+	return &MSScalar{
+		k:     k,
+		spins: make([]int8, k.n),
+		lam:   make([]float64, k.n),
+		state: src.Uint64(),
+		src:   src,
+	}
+}
+
+// SetBeta sets the inverse temperature.
+func (s *MSScalar) SetBeta(beta float64) {
+	s.beta = beta
+	s.bscaled = beta * yPerBeta
+}
+
+// Init draws a uniform random state (one Bool per spin, in spin order) and
+// rebuilds fields and energy.
+func (s *MSScalar) Init() {
+	for i := range s.spins {
+		if s.src.Bool() {
+			s.spins[i] = 1
+		} else {
+			s.spins[i] = -1
+		}
+	}
+	s.recompute()
+}
+
+// InitFrom installs an explicit initial state; no randomness is consumed.
+func (s *MSScalar) InitFrom(spins []int8) error {
+	if len(spins) != s.k.n {
+		return fmt.Errorf("anneal: initial state has %d spins, want %d", len(spins), s.k.n)
+	}
+	copy(s.spins, spins)
+	s.recompute()
+	return nil
+}
+
+func (s *MSScalar) recompute() {
+	sigma := func(i int32) float64 { return float64(s.spins[i]) }
+	for i := 0; i < s.k.n; i++ {
+		s.lam[i] = s.k.localField2(i, sigma)
+	}
+	s.energy = s.k.energyOf(sigma)
+}
+
+// Sweep performs one Metropolis pass — the scalar mirror of MSBlock.Sweep,
+// operation for operation.
+func (s *MSScalar) Sweep() {
+	k := s.k
+	for i := 0; i < k.n; i++ {
+		var spinBit uint64
+		if s.spins[i] == 1 {
+			spinBit = 1
+		}
+		deb := math.Float64bits(s.lam[i]) ^ (spinBit << 63)
+		if deb>>63 == 0 { // uphill (dE ≥ 0): Metropolis draw
+			y := s.bscaled * math.Abs(s.lam[i])
+			if y >= rejectCutY {
+				continue
+			}
+			if !(nextFloat(&s.state) < expNegY(y)) {
+				continue
+			}
+		}
+		for p := k.start[i]; p < k.start[i+1]; p++ {
+			delta := math.Float64frombits(math.Float64bits(k.flipW[p]) ^ (spinBit << 63))
+			s.lam[k.nbr[p]] += delta
+		}
+		s.spins[i] = -s.spins[i]
+		s.energy += math.Float64frombits(deb)
+	}
+}
+
+// Energy returns the incrementally-maintained program energy.
+func (s *MSScalar) Energy() float64 { return s.energy }
+
+// Spins returns a copy of the current configuration.
+func (s *MSScalar) Spins() []int8 { return append([]int8(nil), s.spins...) }
+
+// trailingZeros finds the lowest set bit's index (bits.TrailingZeros64 is a
+// compiler intrinsic on amd64, so this is a single TZCNT in the hot loop).
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }
+
+// MSSchedule is the simulated-annealing schedule of a multi-spin run: a
+// geometric β ramp over Sweeps passes with an optional fixed-temperature
+// pause, mirroring the device simulator's Ta/Tp semantics so a run is
+// comparable sweep-for-sweep with Machine.Run.
+type MSSchedule struct {
+	// BetaInitial and BetaFinal bound the geometric ramp.
+	BetaInitial, BetaFinal float64
+	// Sweeps is the ramp length (≥ 1).
+	Sweeps int
+	// PauseSweeps holds the schedule for this many extra sweeps at the
+	// PauseAt ramp position (0 disables).
+	PauseSweeps int
+	// PauseAt is the ramp index where the pause sits.
+	PauseAt int
+}
+
+// ScheduleFromParams converts device-style run knobs into the engine's sweep
+// schedule under the machine's calibration constants — the bridge that makes
+// engine runs comparable to Machine runs at equal Ta/Tp.
+func ScheduleFromParams(m *Machine, p Params) MSSchedule {
+	ramp := int(math.Round(m.SweepsPerMicrosecond * p.AnnealTimeMicros))
+	if ramp < 1 {
+		ramp = 1
+	}
+	pause := 0
+	if p.PauseTimeMicros > 0 {
+		pause = int(math.Round(m.SweepsPerMicrosecond * p.PauseTimeMicros))
+	}
+	return MSSchedule{
+		BetaInitial: m.BetaInitial,
+		BetaFinal:   m.BetaFinal,
+		Sweeps:      ramp,
+		PauseSweeps: pause,
+		PauseAt:     int(p.PausePosition * float64(ramp)),
+	}
+}
+
+// beta evaluates the geometric ramp at sweep index s.
+func (sc MSSchedule) beta(s int) float64 {
+	f := float64(s) / float64(sc.Sweeps-1)
+	if sc.Sweeps == 1 {
+		f = 1
+	}
+	return sc.BetaInitial * math.Exp(math.Log(sc.BetaFinal/sc.BetaInitial)*f)
+}
+
+// validate checks the schedule knobs.
+func (sc MSSchedule) validate() error {
+	if sc.Sweeps < 1 {
+		return errors.New("anneal: schedule needs at least one sweep")
+	}
+	if sc.BetaInitial <= 0 || sc.BetaFinal <= 0 {
+		return errors.New("anneal: schedule betas must be positive")
+	}
+	if sc.PauseSweeps < 0 {
+		return errors.New("anneal: negative pause sweeps")
+	}
+	return nil
+}
+
+// run drives one block (or one scalar twin via the setBeta/sweep closures)
+// through the schedule: ramp sweeps with the pause inserted at PauseAt,
+// exactly as annealState.anneal orders them.
+func (sc MSSchedule) run(setBeta func(float64), sweep func()) {
+	for s := 0; s < sc.Sweeps; s++ {
+		setBeta(sc.beta(s))
+		sweep()
+		if sc.PauseSweeps > 0 && s == sc.PauseAt {
+			bp := sc.beta(s)
+			for k := 0; k < sc.PauseSweeps; k++ {
+				setBeta(bp)
+				sweep()
+			}
+		}
+	}
+}
+
+// RunMultiSpin executes `replicas` independent simulated anneals of prog
+// through the multi-spin engine and returns every final state with its
+// energy. Replicas pack into 64-wide blocks; blocks run on up to `workers`
+// goroutines (≤ 0 means one). The run is deterministic given src: replica r
+// always owns the r-th child stream regardless of worker count.
+func RunMultiSpin(prog *qubo.Sparse, sched MSSchedule, replicas, workers int, src *rng.Source) ([]Sample, []float64, error) {
+	if err := sched.validate(); err != nil {
+		return nil, nil, err
+	}
+	if replicas < 1 {
+		return nil, nil, errors.New("anneal: need at least one replica")
+	}
+	k, err := NewMSKernel(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs := src.SplitN(replicas)
+	nBlocks := (replicas + MaxReplicasPerBlock - 1) / MaxReplicasPerBlock
+	blocks := make([]*MSBlock, nBlocks)
+	for b := range blocks {
+		lo := b * MaxReplicasPerBlock
+		hi := lo + MaxReplicasPerBlock
+		if hi > replicas {
+			hi = replicas
+		}
+		blk, err := k.NewBlock(hi-lo, srcs[lo:hi])
+		if err != nil {
+			return nil, nil, err
+		}
+		blocks[b] = blk
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	var wg sync.WaitGroup
+	next := make(chan *MSBlock, nBlocks)
+	for _, blk := range blocks {
+		next <- blk
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range next {
+				blk.Init()
+				sched.run(blk.SetAllBeta, blk.Sweep)
+			}
+		}()
+	}
+	wg.Wait()
+	samples := make([]Sample, replicas)
+	energies := make([]float64, replicas)
+	for b, blk := range blocks {
+		lo := b * MaxReplicasPerBlock
+		for r := 0; r < blk.Replicas(); r++ {
+			samples[lo+r] = Sample{Spins: blk.Spins(r)}
+			energies[lo+r] = blk.Energy(r)
+		}
+	}
+	return samples, energies, nil
+}

@@ -35,6 +35,11 @@ type Problem struct {
 	// knobs for this problem — the per-request anneal budget the QoS planner
 	// sizes (reads, anneal time, pause). Classical backends ignore it.
 	Anneal *anneal.Params
+	// PT, when non-nil, overrides the parallel-tempering backend's run knobs
+	// for this problem — the per-request replica-exchange budget (ladders,
+	// rungs, sweeps) the QoS planner sizes against the deadline. Other
+	// backends ignore it.
+	PT *anneal.PTParams
 	// ChainJF, when positive, overrides the annealer backend's ferromagnetic
 	// chain strength |J_F| for this problem, so the run matches the operating
 	// point the planner's TTS table was fitted at (e.g. 16-QAM fits want

@@ -1,0 +1,85 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"quamax/internal/anneal"
+	"quamax/internal/modulation"
+	"quamax/internal/rng"
+)
+
+func TestParallelTemperingSolve(t *testing.T) {
+	c := NewParallelTempering("pt", 0, 0, 0)
+	in := testInstance(t, 91, modulation.QPSK, 4)
+	p := problemOf(in)
+	res, err := c.Solve(context.Background(), p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("PT backend: %d bit errors on a noise-free channel", errs)
+	}
+	if res.Backend != "pt" || res.Batched != 1 {
+		t.Fatalf("result metadata: %+v", res)
+	}
+	if res.ComputeMicros <= 0 {
+		t.Fatal("no compute time reported")
+	}
+}
+
+func TestParallelTemperingEstimate(t *testing.T) {
+	c := NewParallelTempering("pt", 8, 2, 50)
+	c.MicrosPerSpinSweep = 1
+	in := testInstance(t, 92, modulation.QPSK, 4) // 8 logical spins
+	p := problemOf(in)
+	// sweeps·rungs·ladders·n·µ·(1+n/64) = 50·8·2·8·1·1.125 = 7200.
+	if est := c.EstimateMicros(p); est != 7200 {
+		t.Fatalf("EstimateMicros = %g, want 7200", est)
+	}
+	// A planner override re-prices the run; zero knobs price at defaults.
+	p.PT = &anneal.PTParams{Rungs: 4, Ladders: 1, Sweeps: 10}
+	if est := c.EstimateMicros(p); est != 10*4*1*8*1.125 {
+		t.Fatalf("overridden EstimateMicros = %g, want %g", est, 10*4*1*8*1.125)
+	}
+	p.PT = &anneal.PTParams{}
+	if est := c.EstimateMicros(p); est != 100*16*4*8*1.125 {
+		t.Fatalf("default-priced EstimateMicros = %g, want %g", est, 100*16*4*8*1.125)
+	}
+}
+
+// A per-request PT budget must actually steer the solve: a starved budget and
+// the backend default must both run (the noise-free instance keeps the answer
+// checkable), and the override must not leak into later unbudgeted solves.
+func TestParallelTemperingBudgetOverride(t *testing.T) {
+	c := NewParallelTempering("pt", 0, 0, 0)
+	in := testInstance(t, 93, modulation.QPSK, 4)
+	budgeted := problemOf(in)
+	budgeted.PT = &anneal.PTParams{Rungs: 4, Ladders: 1, Sweeps: 12}
+	res, err := c.Solve(context.Background(), budgeted, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(res.Bits); errs != 0 {
+		t.Fatalf("budgeted PT solve: %d bit errors on a noise-free channel", errs)
+	}
+	plain, err := c.Solve(context.Background(), problemOf(in), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := in.BitErrors(plain.Bits); errs != 0 {
+		t.Fatalf("default PT solve after override: %d bit errors", errs)
+	}
+	if d := c.PT.Params; d.Rungs != 0 || d.Ladders != 0 || d.Sweeps != 0 {
+		t.Fatalf("request budget leaked into backend defaults: %+v", d)
+	}
+}
+
+func TestParallelTemperingHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := testInstance(t, 94, modulation.BPSK, 4)
+	if _, err := NewParallelTempering("pt", 0, 0, 0).Solve(ctx, problemOf(in), rng.New(1)); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

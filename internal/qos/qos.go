@@ -223,9 +223,71 @@ type Plan struct {
 	PredictedMicros float64
 	// PredictedBER is the model's expected BER at the planned budget.
 	PredictedBER float64
+	// PT, set only on classical verdicts of a PT-aware planner (Planner.PT),
+	// is the deadline-sized replica-exchange budget for the fallback solve:
+	// the most parallel-tempering effort (sweeps, then ladders) that fits the
+	// request's remaining time under the configured cost model. Nil when the
+	// planner has no PT cost model or nothing fits.
+	PT *anneal.PTParams
 	// Reason tags the decision for stats and debugging (see the Reason*
 	// constants).
 	Reason string
+}
+
+// PTCost configures the planner's parallel-tempering fallback sizing: the
+// full-effort run knobs a deadline scales down from, and the per-spin-sweep
+// wall cost of the packed engine (backend.DefaultPTMicrosPerSpinSweep is the
+// measured value; the planner cannot import backend, so the caller wires it).
+type PTCost struct {
+	// MicrosPerSpinSweep is the wall cost of one packed Metropolis update of
+	// one spin on one rung — the same constant the PT backend's
+	// EstimateMicros uses, so planned budgets and admission agree.
+	MicrosPerSpinSweep float64
+	// Params is the full-effort configuration (zero fields take the engine
+	// defaults: 16 rungs, 4 ladders, 100 sweeps).
+	Params anneal.PTParams
+}
+
+// minPTSweeps is the smallest per-ladder sweep count worth dispatching: below
+// this the ladder cannot mix through even one exchange cycle per rung pair.
+const minPTSweeps = 8
+
+// sizePT attaches a deadline-sized PT budget to a classical verdict: sweeps
+// shrink first (quality degrades gracefully with sweeps), then ladders; when
+// even one ladder at minPTSweeps does not fit, the plan carries no PT budget.
+func (pl *Planner) sizePT(req Request, p *Plan) {
+	if pl.PT == nil {
+		return
+	}
+	pt := pl.PT.Params
+	if pt.Rungs == 0 {
+		pt.Rungs = 16
+	}
+	if pt.Ladders == 0 {
+		pt.Ladders = 4
+	}
+	if pt.Sweeps == 0 {
+		pt.Sweeps = 100
+	}
+	maxSweeps := pt.Sweeps
+	if req.DeadlineMicros > 0 {
+		n := float64(req.Nt * req.Mod.BitsPerSymbol())
+		unit := float64(pt.Rungs) * n * pl.PT.MicrosPerSpinSweep * (1 + n/64)
+		for {
+			pt.Sweeps = int(req.DeadlineMicros / (unit * float64(pt.Ladders)))
+			if pt.Sweeps >= minPTSweeps || pt.Ladders == 1 {
+				break
+			}
+			pt.Ladders--
+		}
+		if pt.Sweeps < minPTSweeps {
+			return
+		}
+		if pt.Sweeps > maxSweeps {
+			pt.Sweeps = maxSweeps
+		}
+	}
+	p.PT = &pt
 }
 
 // Decision reasons reported in Plan.Reason and aggregated in Stats.
@@ -280,6 +342,10 @@ type Planner struct {
 	// telemetry plane's StagePlan histogram (the planner owns that stage's
 	// histogram feed; see quamax/internal/telemetry). Set before serving.
 	Telemetry *telemetry.Recorder
+	// PT, when set, makes classical verdicts carry a deadline-sized
+	// replica-exchange budget (Plan.PT) for pools with a parallel-tempering
+	// backend. Set before serving.
+	PT *PTCost
 
 	table *Table
 
@@ -418,6 +484,9 @@ func (pl *Planner) Plan(req Request) Plan {
 		start = time.Now()
 	}
 	p := pl.plan(req)
+	if !p.Quantum {
+		pl.sizePT(req, &p)
+	}
 	pl.mu.Lock()
 	pl.stats.record(req, p)
 	pl.mu.Unlock()
@@ -552,6 +621,9 @@ type Stats struct {
 	// Soft counts planning questions for soft-output requests (those whose
 	// targets were relieved by SoftTargetRelief).
 	Soft uint64
+	// PT counts classical verdicts that carried a deadline-sized
+	// parallel-tempering budget (Plan.PT).
+	PT uint64
 	// ReadsPlanned totals NumAnneals over quantum plans (ReadsPlanned/Quantum
 	// is the mean planned budget — the over-provisioning metric of Kasi et
 	// al.).
@@ -577,6 +649,9 @@ func (s *Stats) record(req Request, p Plan) {
 		}
 	} else {
 		s.Classical++
+		if p.PT != nil {
+			s.PT++
+		}
 	}
 }
 
@@ -595,8 +670,8 @@ func (pl *Planner) Stats() Stats {
 // String renders a compact multi-line report suitable for logs.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "planner: plans=%d quantum=%d (reverse=%d) classical=%d soft=%d",
-		s.Plans, s.Quantum, s.Reverse, s.Classical, s.Soft)
+	fmt.Fprintf(&b, "planner: plans=%d quantum=%d (reverse=%d) classical=%d (pt=%d) soft=%d",
+		s.Plans, s.Quantum, s.Reverse, s.Classical, s.PT, s.Soft)
 	if s.Quantum > 0 {
 		fmt.Fprintf(&b, " mean-reads=%.1f", float64(s.ReadsPlanned)/float64(s.Quantum))
 	}

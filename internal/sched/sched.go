@@ -241,7 +241,15 @@ func (s *Scheduler) applyPlan(p *backend.Problem, deadline time.Duration) (*back
 		// still carries the clamped best-effort budget — strictly better
 		// than running the static configuration.
 		if s.fallback != nil || plan.Params.NumAnneals < 1 {
-			return p, true
+			if plan.PT == nil {
+				return p, true
+			}
+			// A PT-aware planner sized a replica-exchange budget for the
+			// fallback solve; carry it on a copy (callers reuse Problems).
+			q := *p
+			q.TargetBER = target
+			q.PT = plan.PT
+			return &q, true
 		}
 	}
 	q := *p
@@ -250,6 +258,7 @@ func (s *Scheduler) applyPlan(p *backend.Problem, deadline time.Duration) (*back
 	q.Anneal = &params
 	q.ChainJF = plan.JF
 	q.Reverse = plan.Reverse
+	q.PT = plan.PT
 	return &q, false
 }
 

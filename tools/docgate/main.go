@@ -6,7 +6,8 @@
 //   - an exported identifier in the fully-documented packages
 //     (internal/backend, internal/sched, internal/metrics, internal/qos,
 //     internal/reduction, internal/core, internal/precoding,
-//     internal/softout, internal/telemetry) lacks a doc comment.
+//     internal/softout, internal/telemetry, internal/anneal) lacks a doc
+//     comment.
 //
 // Run it from the repository root:
 //
@@ -28,7 +29,8 @@ import (
 // fullDocPackages are the directories where every exported identifier must
 // carry a doc comment (ISSUE 2's godoc gate, extended to the compile/execute
 // split's home packages by ISSUE 3, to the downlink precoding subsystem by
-// ISSUE 4, and to the telemetry plane by ISSUE 6).
+// ISSUE 4, to the telemetry plane by ISSUE 6, and to the anneal engine by
+// ISSUE 7).
 var fullDocPackages = []string{
 	"internal/backend",
 	"internal/sched",
@@ -39,6 +41,7 @@ var fullDocPackages = []string{
 	"internal/precoding",
 	"internal/softout",
 	"internal/telemetry",
+	"internal/anneal",
 }
 
 func main() {
