@@ -39,6 +39,16 @@
 // tools/benchjson -traces) on shutdown. On SIGINT/SIGTERM the server stops
 // accepting connections, drains queued work, and prints the pool and planner
 // statistics.
+//
+// -shards N splits the data center into N independent scheduler pools behind
+// a channel-affinity router (internal/router): every -pool/-backends worker
+// set is instantiated per shard, consistent hashing on the channel
+// fingerprint keeps each registered coherence window's compiled program
+// sticky to one shard, un-keyed requests balance by power-of-two-choices, and
+// -shed-threshold arms tagged backpressure shedding when a shard's
+// deadline-miss EWMA climbs past it. -pipeline-depth bounds the per-connection
+// in-flight window of the protocol-v8 pipelined fronthaul (0 = default).
+// Per-shard PoolStats ride the stats frame and the shutdown report.
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"quamax/internal/fronthaul"
 	"quamax/internal/metrics"
 	"quamax/internal/qos"
+	"quamax/internal/router"
 	"quamax/internal/sched"
 	"quamax/internal/telemetry"
 )
@@ -95,6 +106,10 @@ func main() {
 		telemetryAddr = flag.String("telemetry-addr", "", "HTTP listen address for the telemetry plane: /metrics (Prometheus), /traces (JSON ring) and /debug/pprof/ (empty = disabled)")
 		traceOut      = flag.String("trace-out", "", "write a JSON telemetry dump (per-stage summaries + trace ring) here on shutdown")
 		traceRing     = flag.Int("trace-ring", 0, "per-request trace ring capacity (0 = default)")
+
+		shardsN       = flag.Int("shards", 1, "independent scheduler pools behind the channel-affinity router (the full -pool/-backends worker set per shard)")
+		pipeDepth     = flag.Int("pipeline-depth", 0, "per-connection in-flight request window (0 = default)")
+		shedThreshold = flag.Float64("shed-threshold", 0, "deadline-miss EWMA above which a shard sheds keyed load with a tagged error (0 = never shed)")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -152,42 +167,62 @@ func main() {
 	if *telemetryAddr != "" || *traceOut != "" {
 		rec = telemetry.New(telemetry.Config{RingSize: *traceRing})
 	}
-	var workers []backend.Backend
-	for i := 0; i < *pool; i++ {
-		qpu, err := backend.NewAnnealer(fmt.Sprintf("qpu%d", i), opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if rec != nil {
-			qpu.Decoder().SetTelemetry(rec)
-		}
-		workers = append(workers, qpu)
+	if *shardsN < 1 {
+		fmt.Fprintln(os.Stderr, "quamax-serve: -shards must be at least 1")
+		os.Exit(1)
 	}
-	var fallback backend.Backend
+	// Validate -backends (and note a PT backend for planner budgets) before
+	// building any shard's worker set.
 	havePT := false
 	if *backends != "" {
 		for _, name := range strings.Split(*backends, ",") {
-			var be backend.Backend
 			switch strings.TrimSpace(name) {
-			case "sa":
-				be = backend.NewClassicalSA("sa", *saSweeps, *saResets)
-			case "sphere":
-				be = backend.NewSphere("sphere", 1<<20)
+			case "sa", "sphere", "":
 			case "pt":
-				be = backend.NewParallelTempering("pt", *ptRungs, *ptLadders, *ptSweeps)
 				havePT = true
-			case "":
-				continue
 			default:
 				fmt.Fprintf(os.Stderr, "quamax-serve: unknown backend %q (want sa, sphere or pt)\n", name)
 				os.Exit(1)
 			}
-			workers = append(workers, be)
-			if fallback == nil {
-				fallback = be
+		}
+	}
+	// buildWorkers instantiates one shard's worker set. prefix namespaces the
+	// backend names ("" for a single pool, "sN/" per shard) so per-shard
+	// PoolStats merge without colliding.
+	buildWorkers := func(prefix string) ([]backend.Backend, backend.Backend) {
+		var workers []backend.Backend
+		for i := 0; i < *pool; i++ {
+			qpu, err := backend.NewAnnealer(fmt.Sprintf("%sqpu%d", prefix, i), opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if rec != nil {
+				qpu.Decoder().SetTelemetry(rec)
+			}
+			workers = append(workers, qpu)
+		}
+		var fallback backend.Backend
+		if *backends != "" {
+			for _, name := range strings.Split(*backends, ",") {
+				var be backend.Backend
+				switch strings.TrimSpace(name) {
+				case "sa":
+					be = backend.NewClassicalSA(prefix+"sa", *saSweeps, *saResets)
+				case "sphere":
+					be = backend.NewSphere(prefix+"sphere", 1<<20)
+				case "pt":
+					be = backend.NewParallelTempering(prefix+"pt", *ptRungs, *ptLadders, *ptSweeps)
+				default:
+					continue
+				}
+				workers = append(workers, be)
+				if fallback == nil {
+					fallback = be
+				}
 			}
 		}
+		return workers, fallback
 	}
 
 	var budgetPlanner *qos.Planner
@@ -223,22 +258,55 @@ func main() {
 		budgetPlanner = p
 	}
 
-	scheduler, err := sched.New(sched.Config{
-		Pool:             workers,
-		Fallback:         fallback,
-		DefaultDeadline:  *deadline,
-		DisableBatch:     !*batch,
-		Planner:          budgetPlanner,
-		DefaultTargetBER: *targetBER,
-		Seed:             *seed,
-		Telemetry:        rec,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// The shard fleet: one scheduler pool per shard (the planner, with its own
+	// internal lock, and the telemetry recorder are shared — traces carry the
+	// shard index).
+	var schedulers []*sched.Scheduler
+	var shards []router.Shard
+	for i := 0; i < *shardsN; i++ {
+		prefix := ""
+		if *shardsN > 1 {
+			prefix = fmt.Sprintf("s%d/", i)
+		}
+		workers, fallback := buildWorkers(prefix)
+		s, err := sched.New(sched.Config{
+			Pool:             workers,
+			Fallback:         fallback,
+			DefaultDeadline:  *deadline,
+			DisableBatch:     !*batch,
+			Planner:          budgetPlanner,
+			DefaultTargetBER: *targetBER,
+			Seed:             *seed + int64(i),
+			ShardID:          i,
+			Telemetry:        rec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		schedulers = append(schedulers, s)
+		shards = append(shards, s)
+	}
+	var disp fronthaul.Dispatcher = schedulers[0]
+	statsFn := schedulers[0].Stats
+	var rt *router.Router
+	if *shardsN > 1 {
+		r, err := router.New(router.Config{
+			Shards:        shards,
+			ShedThreshold: *shedThreshold,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rt = r
+		disp = r
+		statsFn = r.Stats
 	}
 
-	srv := fronthaul.NewPoolServer(scheduler)
+	srv := fronthaul.NewPoolServer(disp)
+	srv.PipelineDepth = *pipeDepth
 	srv.Logf = log.Printf
 	srv.PrecodeBits = *precodeBits
 	srv.PrecodeCache = *precodeCache
@@ -254,7 +322,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mux := telemetry.Mux(rec, func() (metrics.PoolStats, bool) { return scheduler.Stats(), true })
+		mux := telemetry.Mux(rec, func() (metrics.PoolStats, bool) { return statsFn(), true })
 		go func() {
 			if err := http.Serve(tl, mux); err != nil {
 				log.Printf("quamax-serve: telemetry server: %v", err)
@@ -262,8 +330,13 @@ func main() {
 		}()
 		log.Printf("quamax-serve: telemetry on http://%s/metrics (traces at /traces, pprof at /debug/pprof/)", tl.Addr())
 	}
-	log.Printf("quamax-serve: %s on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
-		scheduler, l.Addr(), *anneals, *jf, *ta, *tp)
+	if rt != nil {
+		log.Printf("quamax-serve: %s on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
+			rt, l.Addr(), *anneals, *jf, *ta, *tp)
+	} else {
+		log.Printf("quamax-serve: %s on %s (Na=%d, |J_F|=%g, Ta=%gµs, Tp=%gµs)",
+			schedulers[0], l.Addr(), *anneals, *jf, *ta, *tp)
+	}
 
 	// Graceful shutdown: stop accepting, drain the pool, report stats.
 	sigs := make(chan os.Signal, 1)
@@ -280,18 +353,28 @@ func main() {
 		}
 	}
 	drained := make(chan struct{})
-	go func() { scheduler.Close(); close(drained) }()
+	go func() {
+		for _, s := range schedulers {
+			s.Close()
+		}
+		close(drained)
+	}()
 	select {
 	case <-drained:
 	case <-time.After(30 * time.Second):
 		log.Printf("quamax-serve: drain timed out")
 	}
-	log.Printf("quamax-serve: final stats\n%s", scheduler.Stats())
+	if rt != nil {
+		for i, st := range rt.ShardStats() {
+			log.Printf("quamax-serve: shard %d stats (sheds=%d)\n%s", i, rt.ShedCount(i), st)
+		}
+	}
+	log.Printf("quamax-serve: final stats\n%s", statsFn())
 	if budgetPlanner != nil {
 		log.Printf("quamax-serve: planner stats\n%s", budgetPlanner.Stats())
 	}
 	if *traceOut != "" {
-		st := scheduler.Stats()
+		st := statsFn()
 		if err := telemetry.BuildDump(rec, &st).WriteFile(*traceOut); err != nil {
 			log.Printf("quamax-serve: writing trace dump: %v", err)
 		} else {

@@ -1,10 +1,20 @@
-// Command tracegen synthesizes a many-antenna channel trace in the QMTR
-// format consumed by the fig15 experiment and the tracedriven example (a
-// stand-in for the Argos 96×8 dataset of paper §5.5 — see internal/trace).
+// Command tracegen synthesizes channel traces in the QMTR format consumed by
+// the fig15 experiment and the tracedriven example.
+//
+// Two modes:
+//
+//   - argos (default): one cell's many-antenna measurement trace, a stand-in
+//     for the Argos 96×8 dataset of paper §5.5 (see internal/trace).
+//   - multiuser: a data-center request trace — many cells with Zipf-skewed
+//     popularity, a large subscriber population, per-user coherence windows —
+//     the offered load of the sharded serving tier (BenchmarkShardedServe,
+//     examples/tracedriven -multiuser). The QMTR file holds one snapshot per
+//     coherence window.
 //
 // Usage:
 //
 //	tracegen -out argos96x8.qmtr -uses 500
+//	tracegen -mode multiuser -out cells.qmtr -cells 64 -population 1000000 -requests 10000
 package main
 
 import (
@@ -18,34 +28,88 @@ import (
 
 func main() {
 	var (
+		mode     = flag.String("mode", "argos", "trace mode: argos (one cell's measurements) or multiuser (data-center request trace)")
 		out      = flag.String("out", "trace.qmtr", "output file path")
-		antennas = flag.Int("antennas", 96, "base-station antennas")
-		users    = flag.Int("users", 8, "static users")
-		uses     = flag.Int("uses", 200, "channel uses to generate")
+		antennas = flag.Int("antennas", 96, "base-station antennas (argos) / AP antennas per cell (multiuser)")
+		users    = flag.Int("users", 8, "static users (argos) / multiplexed streams per decode (multiuser)")
+		uses     = flag.Int("uses", 200, "channel uses to generate (argos mode)")
 		ricean   = flag.Float64("k", 3, "Ricean K factor (linear)")
-		doppler  = flag.Float64("doppler", 0.02, "AR(1) innovation weight per use")
+		doppler  = flag.Float64("doppler", 0.02, "AR(1) innovation weight (per use in argos mode, per window in multiuser mode)")
 		shadow   = flag.Float64("shadow", 2, "log-normal shadowing std (dB)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+
+		cells      = flag.Int("cells", 64, "cells served (multiuser mode)")
+		population = flag.Int("population", 1_000_000, "total subscriber population (multiuser mode)")
+		requests   = flag.Int("requests", 10_000, "decode requests to draw (multiuser mode)")
+		zipf       = flag.Float64("zipf", 1.1, "Zipf cell-popularity exponent (multiuser mode)")
+		window     = flag.Int("window", 16, "mean coherence-window length in decodes (multiuser mode)")
 	)
 	flag.Parse()
 
-	cfg := trace.GeneratorConfig{
-		Antennas:    *antennas,
-		Users:       *users,
-		Uses:        *uses,
-		RiceanK:     *ricean,
-		Doppler:     *doppler,
-		ShadowStdDB: *shadow,
-	}
-	ds, err := trace.Generate(rng.New(*seed), cfg)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	ds.NormalizeAveragePower()
-	if err := ds.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	switch *mode {
+	case "argos":
+		cfg := trace.GeneratorConfig{
+			Antennas:    *antennas,
+			Users:       *users,
+			Uses:        *uses,
+			RiceanK:     *ricean,
+			Doppler:     *doppler,
+			ShadowStdDB: *shadow,
+		}
+		ds, err := trace.Generate(rng.New(*seed), cfg)
+		if err != nil {
+			fail(err)
+		}
+		ds.NormalizeAveragePower()
+		if err := ds.Save(*out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s: %d antennas x %d users x %d uses\n", *out, ds.Antennas, ds.Users, len(ds.Snapshots))
+
+	case "multiuser":
+		cfg := trace.MultiUserConfig{
+			Cells:       *cells,
+			Users:       *population,
+			Requests:    *requests,
+			ZipfS:       *zipf,
+			Antennas:    *antennas,
+			CellUsers:   *users,
+			WindowUses:  *window,
+			RiceanK:     *ricean,
+			Doppler:     *doppler,
+			ShadowStdDB: *shadow,
+		}
+		if *antennas == 96 && *users == 8 {
+			// The argos-shaped defaults are oversized for per-decode systems;
+			// fall back to the data-center decode shape unless overridden.
+			cfg.Antennas = trace.DefaultMultiUserConfig().Antennas
+			cfg.CellUsers = trace.DefaultMultiUserConfig().CellUsers
+		}
+		tr, err := trace.GenerateMultiUser(rng.New(*seed), cfg)
+		if err != nil {
+			fail(err)
+		}
+		ds := tr.Dataset()
+		ds.NormalizeAveragePower()
+		if err := ds.Save(*out); err != nil {
+			fail(err)
+		}
+		counts := tr.CellCounts()
+		hottest := 0
+		for _, n := range counts {
+			if n > hottest {
+				hottest = n
+			}
+		}
+		fmt.Printf("wrote %s: %d requests over %d cells (hottest %d), %d coherence windows of %dx%d\n",
+			*out, len(tr.Requests), tr.Cells, hottest, tr.Windows, ds.Antennas, ds.Users)
+
+	default:
+		fail(fmt.Errorf("tracegen: unknown mode %q (argos or multiuser)", *mode))
 	}
-	fmt.Printf("wrote %s: %d antennas x %d users x %d uses\n", *out, ds.Antennas, ds.Users, len(ds.Snapshots))
 }

@@ -22,7 +22,15 @@
 // telemetry plane guarantees (submitted == completed + failed == traces).
 // Pass -trace-out to also write the JSON dump tools/benchjson ingests.
 //
+// With -multiuser the replay switches to the data-center view (PR 8): a
+// Zipf-skewed multi-cell request trace (internal/trace.GenerateMultiUser) is
+// dispatched through the sharded router front tier — N independent scheduler
+// pools, channel-affinity consistent hashing keeping every coherence window's
+// compiled channel sticky to one shard — and the run ends with the per-shard
+// PoolStats breakdown, the merged aggregate, and the affinity/cache evidence.
+//
 //	go run ./examples/tracedriven [-trace-out dump.json] [trace.qmtr]
+//	go run ./examples/tracedriven -multiuser [-shards 4]
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"quamax/internal/mimo"
 	"quamax/internal/qos"
 	"quamax/internal/rng"
+	"quamax/internal/router"
 	"quamax/internal/sched"
 	"quamax/internal/telemetry"
 	"quamax/internal/trace"
@@ -58,7 +67,13 @@ const (
 
 func main() {
 	traceOut := flag.String("trace-out", "", "write the JSON telemetry dump here")
+	multiuser := flag.Bool("multiuser", false, "replay a multi-cell request trace through the sharded router tier")
+	shards := flag.Int("shards", 4, "scheduler pools behind the router (with -multiuser)")
 	flag.Parse()
+	if *multiuser {
+		runMultiUser(*shards)
+		return
+	}
 	src := rng.New(2024)
 
 	var ds *trace.Dataset
@@ -256,4 +271,119 @@ func printSlackHistogram(h telemetry.Hist) {
 		}
 		fmt.Printf("  ≤%9.0fµs %6d %s\n", telemetry.BucketBound(i), c, bar)
 	}
+}
+
+// runMultiUser is the -multiuser replay: a Zipf multi-cell request trace
+// through the router-fronted shard fleet.
+func runMultiUser(nShards int) {
+	if nShards < 1 {
+		log.Fatal("need at least one shard")
+	}
+	src := rng.New(5005)
+	cfg := trace.DefaultMultiUserConfig()
+	cfg.Cells = 16
+	// A compact population keeps users returning, so coherence windows are
+	// revisited and the per-shard channel caches actually amortize.
+	cfg.Users = 64
+	cfg.Requests = 240
+	cfg.WindowUses = 8
+	cfg.Antennas, cfg.CellUsers = 4, 4
+	tr, err := trace.GenerateMultiUser(src, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dataset() shares the window matrices, so normalizing it normalizes the
+	// per-request channels in place.
+	tr.Dataset().NormalizeAveragePower()
+	fmt.Printf("multi-user trace: %d requests, %d cells (Zipf s=%g), %d coherence windows\n",
+		len(tr.Requests), tr.Cells, cfg.ZipfS, tr.Windows)
+
+	// The shard fleet: one QPU pool + SA fallback per shard, one shared
+	// telemetry recorder (traces carry the shard index).
+	rec := telemetry.New(telemetry.Config{})
+	var schedulers []*sched.Scheduler
+	var shards []router.Shard
+	for i := 0; i < nShards; i++ {
+		qpu, err := backend.NewAnnealer(fmt.Sprintf("s%d/qpu0", i), quamax.Options{AmortizeParallel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		qpu.Decoder().SetTelemetry(rec)
+		s, err := sched.New(sched.Config{
+			Pool:      []backend.Backend{qpu},
+			Fallback:  backend.NewClassicalSA(fmt.Sprintf("s%d/sa", i), 128, 100),
+			Seed:      int64(100 + i),
+			ShardID:   i,
+			Telemetry: rec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedulers = append(schedulers, s)
+		shards = append(shards, s)
+	}
+	rt, err := router.New(router.Config{Shards: shards, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The whole trace is offered at once, so per-request budgets must absorb
+	// the queueing delay of 240 requests on nShards single-QPU pools.
+	const muDeadline = 10 * time.Second
+
+	const mod = quamax.BPSK
+	type outcome struct {
+		shard int
+		res   *backend.Result
+		err   error
+	}
+	outcomes := make([]outcome, len(tr.Requests))
+	var wg sync.WaitGroup
+	for i, r := range tr.Requests {
+		key := core.FingerprintChannel(mod, r.H)
+		bits := src.Bits(cfg.CellUsers * mod.BitsPerSymbol())
+		inst, err := mimo.FromParts(src, mimo.Config{
+			Mod: mod, Nt: cfg.CellUsers, Nr: cfg.Antennas,
+			Channel: channel.Fixed{H: r.H, Label: "cell"}, SNRdB: 28,
+		}, r.H, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, key core.ChannelKey, inst *mimo.Instance) {
+			defer wg.Done()
+			res, derr := rt.Dispatch(context.Background(), &backend.Problem{
+				Mod: inst.Mod, H: inst.H, Y: inst.Y,
+				TargetBER: targetBER, ChannelKey: key,
+			}, muDeadline)
+			outcomes[i] = outcome{shard: rt.ShardFor(key), res: res, err: derr}
+		}(i, key, inst)
+	}
+	wg.Wait()
+	for _, s := range schedulers {
+		s.Close()
+	}
+
+	for i, o := range outcomes {
+		if o.err != nil {
+			log.Fatalf("request %d: %v", i, o.err)
+		}
+	}
+
+	fmt.Printf("\nper-shard breakdown (affinity keeps each window on one shard):\n")
+	for i, st := range rt.ShardStats() {
+		fmt.Printf("shard %d: submitted=%d completed=%d cache hits=%d misses=%d (hit rate %.0f%%)\n",
+			i, st.Submitted, st.Completed, st.ChannelCache.Hits, st.ChannelCache.Misses,
+			100*st.ChannelCache.HitRate())
+	}
+	agg := rt.Stats()
+	fmt.Printf("\naggregate (PoolStats.Merge of the breakdown):\n%s\n", agg)
+	fmt.Printf("reconciliation: submitted=%d completed+failed=%d across %d shards\n",
+		agg.Submitted, agg.Completed+agg.Failed, nShards)
+
+	// Shard attribution rides the telemetry traces too.
+	perShard := make([]int, nShards)
+	for _, t := range rec.Traces() {
+		perShard[t.Shard]++
+	}
+	fmt.Printf("telemetry traces per shard: %v\n", perShard)
 }

@@ -14,9 +14,34 @@ import (
 	"quamax/internal/softout"
 )
 
+// ErrClientClosed tags deliberate connection teardown: Close drains every
+// in-flight request with it (wrapped or verbatim), so callers blocked in
+// Await or a blocking call distinguish "the AP closed the connection" from a
+// transport failure via errors.Is(err, ErrClientClosed).
+var ErrClientClosed = errors.New("fronthaul: client closed")
+
+// ResponseIDError reports a response frame whose ID matched no in-flight
+// request — a duplicate delivery or a peer answering a request this client
+// never issued. Either way the ID space is corrupt and the demux can no
+// longer trust any match, so the connection is torn down with this error
+// (recover it from any pending call's failure via errors.As).
+type ResponseIDError struct {
+	// MsgType is the wire frame type that carried the unmatched ID.
+	MsgType uint8
+	// ID is the unmatched response ID.
+	ID uint64
+}
+
+func (e *ResponseIDError) Error() string {
+	return fmt.Sprintf("fronthaul: response frame type %d carries unknown request ID %d", e.MsgType, e.ID)
+}
+
 // Client is the AP side of the fronthaul. It is safe for concurrent use:
 // requests are pipelined on one connection and matched to responses by ID,
-// so every OFDM subcarrier can be decoded in flight simultaneously.
+// so every OFDM subcarrier can be decoded in flight simultaneously. The
+// Submit*/Await API exposes the pipelining directly — many in-flight
+// requests per connection with out-of-order responses — and the blocking
+// calls are thin submit-then-await wrappers.
 type Client struct {
 	conn net.Conn
 
@@ -53,11 +78,39 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
-// Close tears down the connection; in-flight requests fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection. Every in-flight request is drained
+// immediately with ErrClientClosed — callers blocked in Await or a blocking
+// call return with the tagged error instead of hanging until the read loop
+// notices the dead socket.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.conn.Close()
+}
 
-// readLoop dispatches responses to waiting callers.
+// deliver hands one decoded response to the caller waiting on its ID. An
+// unmatched ID is a protocol-integrity failure: the connection is torn down
+// with a typed *ResponseIDError (satisfying every pending call) and deliver
+// reports false so the read loop exits.
+func deliver[R any](c *Client, msgType uint8, pending map[uint64]chan R, id uint64, resp R) bool {
+	c.mu.Lock()
+	ch, ok := pending[id]
+	delete(pending, id)
+	c.mu.Unlock()
+	if !ok {
+		c.fail(&ResponseIDError{MsgType: msgType, ID: id})
+		return false
+	}
+	ch <- resp
+	return true
+}
+
+// readLoop is the per-connection demux: it dispatches out-of-order responses
+// to the callers waiting on their IDs.
 func (c *Client) readLoop() {
+	// The demux only exits with the terminal error set, at which point the
+	// connection is unusable; closing it here unblocks a peer mid-write and
+	// any concurrent submit instead of leaving them wedged on a dead socket.
+	defer c.conn.Close()
 	for {
 		msgType, payload, err := readFrame(c.conn)
 		if err != nil {
@@ -71,12 +124,8 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			ch, ok := c.pending[resp.ID]
-			delete(c.pending, resp.ID)
-			c.mu.Unlock()
-			if ok {
-				ch <- resp
+			if !deliver(c, msgType, c.pending, resp.ID, resp) {
+				return
 			}
 		case msgRegisterResponse:
 			resp, err := decodeRegisterResponse(payload)
@@ -84,12 +133,8 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			ch, ok := c.regPending[resp.ID]
-			delete(c.regPending, resp.ID)
-			c.mu.Unlock()
-			if ok {
-				ch <- resp
+			if !deliver(c, msgType, c.regPending, resp.ID, resp) {
+				return
 			}
 		case msgSoftDecodeResponse:
 			resp, err := decodeSoftResponse(payload)
@@ -97,12 +142,8 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			ch, ok := c.softPending[resp.ID]
-			delete(c.softPending, resp.ID)
-			c.mu.Unlock()
-			if ok {
-				ch <- resp
+			if !deliver(c, msgType, c.softPending, resp.ID, resp) {
+				return
 			}
 		case msgStatsResponse:
 			resp, err := decodeStatsResponse(payload)
@@ -110,12 +151,8 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			ch, ok := c.statsPending[resp.ID]
-			delete(c.statsPending, resp.ID)
-			c.mu.Unlock()
-			if ok {
-				ch <- resp
+			if !deliver(c, msgType, c.statsPending, resp.ID, resp) {
+				return
 			}
 		default:
 			// An unknown frame type means the peer speaks a different
@@ -128,11 +165,14 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail aborts all pending calls.
+// fail aborts all pending calls. The first terminal error wins: a Close
+// racing the read loop's socket error keeps its ErrClientClosed tag.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.closed = err
+	if c.closed == nil {
+		c.closed = err
+	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		close(ch)
@@ -172,16 +212,11 @@ func (c *Client) DecodeWithDeadline(mod modulation.Modulation, h *linalg.Mat, y 
 // and targetBER ≤ 0 each select the server default; targetBER ≥ 1 is a
 // local argument error (the wire protocol rejects it server-side too).
 func (c *Client) DecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration, targetBER float64) (*DecodeResponse, error) {
-	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	dc, err := c.SubmitDecodeQoS(mod, h, y, deadline, targetBER)
 	if err != nil {
 		return nil, err
 	}
-	return c.decodeRoundTrip(msgDecodeRequest, func(id uint64) ([]byte, error) {
-		return encodeRequest(&DecodeRequest{
-			ID: id, Mod: mod, H: h, Y: y,
-			DeadlineMicros: deadlineMicros, TargetBER: target,
-		})
-	})
+	return dc.Await()
 }
 
 // qosWire validates and clamps the per-request QoS contract shared by every
@@ -204,20 +239,25 @@ func qosWire(deadline time.Duration, targetBER float64) (deadlineMicros, target 
 	return deadlineMicros, targetBER, nil
 }
 
-// roundTrip runs one request's lifecycle over a pending table: allocate an
-// ID, register the slot, encode (the callback receives the ID), frame and
-// send, then wait for the matched response (a closed channel means the
-// connection died). Every request class — decode, register-channel,
-// soft-decode — goes through this one function, so the lifecycle (including
-// the abandon-on-local-failure ordering) cannot drift between them; callers
-// check their response's Err field afterward. The pending map must be one
-// of the Client's own tables (guarded by c.mu, drained by fail).
-func roundTrip[R any](c *Client, pending map[uint64]chan R, msgType uint8, encode func(id uint64) ([]byte, error)) (R, error) {
-	var zero R
+// call is one in-flight pipelined request: the slot submit registered plus
+// the channel its response (or teardown) arrives on.
+type call[R any] struct {
+	c  *Client
+	ch chan R
+}
+
+// submit runs the send half of one request's lifecycle over a pending table:
+// allocate an ID, register the slot, encode (the callback receives the ID),
+// frame and send. Every request class — decode, register-channel,
+// soft-decode, stats — goes through this one function, so the lifecycle
+// (including the abandon-on-local-failure ordering) cannot drift between
+// them. The pending map must be one of the Client's own tables (guarded by
+// c.mu, drained by fail).
+func submit[R any](c *Client, pending map[uint64]chan R, msgType uint8, encode func(id uint64) ([]byte, error)) (*call[R], error) {
 	c.mu.Lock()
 	if c.closed != nil {
 		c.mu.Unlock()
-		return zero, c.closed
+		return nil, c.closed
 	}
 	c.nextID++
 	id := c.nextID
@@ -233,21 +273,39 @@ func roundTrip[R any](c *Client, pending map[uint64]chan R, msgType uint8, encod
 	payload, err := encode(id)
 	if err != nil {
 		abandon()
-		return zero, err
+		return nil, err
 	}
 	c.writeMu.Lock()
 	err = writeFrame(c.conn, msgType, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		abandon()
-		return zero, err
+		return nil, err
 	}
+	return &call[R]{c: c, ch: ch}, nil
+}
 
-	resp, ok := <-ch
+// await blocks for the matched response; a closed channel means the
+// connection died (or Close drained the call) and the terminal error is
+// surfaced. Callers check their response's Err field afterward.
+func (k *call[R]) await() (R, error) {
+	resp, ok := <-k.ch
 	if !ok {
-		return zero, c.closedErr()
+		var zero R
+		return zero, k.c.closedErr()
 	}
 	return resp, nil
+}
+
+// roundTrip is submit + await: the blocking request lifecycle every
+// non-pipelined call is a thin wrapper over.
+func roundTrip[R any](c *Client, pending map[uint64]chan R, msgType uint8, encode func(id uint64) ([]byte, error)) (R, error) {
+	k, err := submit(c, pending, msgType, encode)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	return k.await()
 }
 
 // decodeRoundTrip is roundTrip over the decode-response table, converting a
@@ -261,6 +319,53 @@ func (c *Client) decodeRoundTrip(msgType uint8, encode func(id uint64) ([]byte, 
 		return nil, fmt.Errorf("fronthaul: remote decode failed: %s", resp.Err)
 	}
 	return resp, nil
+}
+
+// DecodeCall is one in-flight pipelined decode request, returned by the
+// Submit* decode methods. Await blocks until the matched response arrives —
+// responses return out of order, so many calls may be awaited in any order —
+// and converts a remote error string into a Go error exactly like the
+// blocking calls. Await must be called exactly once per call.
+type DecodeCall struct {
+	k *call[*DecodeResponse]
+}
+
+// Await blocks for the decode response.
+func (dc *DecodeCall) Await() (*DecodeResponse, error) {
+	resp, err := dc.k.await()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: remote decode failed: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// submitDecode is the pipelined half of decodeRoundTrip.
+func (c *Client) submitDecode(msgType uint8, encode func(id uint64) ([]byte, error)) (*DecodeCall, error) {
+	k, err := submit(c, c.pending, msgType, encode)
+	if err != nil {
+		return nil, err
+	}
+	return &DecodeCall{k: k}, nil
+}
+
+// SubmitDecodeQoS is the pipelined form of DecodeQoS: it ships the request
+// and returns immediately with the in-flight handle. The frame is on the
+// wire when SubmitDecodeQoS returns, so an AP can keep a window of many
+// decodes in flight on one connection and Await them as responses arrive.
+func (c *Client) SubmitDecodeQoS(mod modulation.Modulation, h *linalg.Mat, y []complex128, deadline time.Duration, targetBER float64) (*DecodeCall, error) {
+	deadlineMicros, target, err := qosWire(deadline, targetBER)
+	if err != nil {
+		return nil, err
+	}
+	return c.submitDecode(msgDecodeRequest, func(id uint64) ([]byte, error) {
+		return encodeRequest(&DecodeRequest{
+			ID: id, Mod: mod, H: h, Y: y,
+			DeadlineMicros: deadlineMicros, TargetBER: target,
+		})
+	})
 }
 
 // RemoteChannel is a channel registered with the data center for a coherence
@@ -300,6 +405,19 @@ func (c *Client) RegisterChannel(mod modulation.Modulation, h *linalg.Mat) (*Rem
 // decoded this way are tagged with the channel's fingerprint, so the data
 // center batches same-window symbols onto an already-programmed annealer.
 func (c *Client) DecodeWithChannel(rc *RemoteChannel, y []complex128, deadline time.Duration, targetBER float64) (*DecodeResponse, error) {
+	dc, err := c.SubmitDecodeWithChannel(rc, y, deadline, targetBER)
+	if err != nil {
+		return nil, err
+	}
+	return dc.Await()
+}
+
+// SubmitDecodeWithChannel is the pipelined form of DecodeWithChannel: the
+// per-symbol decode of a coherence window ships immediately and the caller
+// holds the in-flight handle, so a whole window of symbols can ride the wire
+// concurrently and the data center's coherence-aware batching sees them all
+// at once instead of one per round trip.
+func (c *Client) SubmitDecodeWithChannel(rc *RemoteChannel, y []complex128, deadline time.Duration, targetBER float64) (*DecodeCall, error) {
 	if rc == nil || rc.c != c {
 		return nil, errors.New("fronthaul: channel not registered on this client")
 	}
@@ -310,7 +428,7 @@ func (c *Client) DecodeWithChannel(rc *RemoteChannel, y []complex128, deadline t
 	if err != nil {
 		return nil, err
 	}
-	return c.decodeRoundTrip(msgDecodeByChannel, func(id uint64) ([]byte, error) {
+	return c.submitDecode(msgDecodeByChannel, func(id uint64) ([]byte, error) {
 		return encodeDecodeByChannel(&DecodeByChannelRequest{
 			ID: id, Handle: rc.handle, Y: y,
 			DeadlineMicros: deadlineMicros, TargetBER: target,
@@ -449,6 +567,36 @@ func (c *Client) DecodeSoft(mod modulation.Modulation, h *linalg.Mat, y []comple
 // symbol an O(Nr) frame tagged with the channel's fingerprint for
 // coherence-aware batching — exactly like DecodeWithChannel, soft.
 func (c *Client) DecodeSoftWithChannel(rc *RemoteChannel, y []complex128, q SoftQoS) (*SoftDecodeResponse, error) {
+	sc, err := c.SubmitDecodeSoftWithChannel(rc, y, q)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Await()
+}
+
+// SoftDecodeCall is one in-flight pipelined soft decode, returned by
+// SubmitDecodeSoftWithChannel. Await blocks for the matched response and
+// converts a remote error string into a Go error; call it exactly once.
+type SoftDecodeCall struct {
+	k *call[*SoftDecodeResponse]
+}
+
+// Await blocks for the soft-decode response.
+func (sc *SoftDecodeCall) Await() (*SoftDecodeResponse, error) {
+	resp, err := sc.k.await()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("fronthaul: remote soft decode failed: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// SubmitDecodeSoftWithChannel is the pipelined form of
+// DecodeSoftWithChannel: the soft per-symbol decode ships immediately and
+// the caller holds the in-flight handle.
+func (c *Client) SubmitDecodeSoftWithChannel(rc *RemoteChannel, y []complex128, q SoftQoS) (*SoftDecodeCall, error) {
 	if rc == nil || rc.c != c {
 		return nil, errors.New("fronthaul: channel not registered on this client")
 	}
@@ -459,13 +607,17 @@ func (c *Client) DecodeSoftWithChannel(rc *RemoteChannel, y []complex128, q Soft
 	if err != nil {
 		return nil, err
 	}
-	return c.softRoundTrip(msgSoftDecodeByChan, func(id uint64) ([]byte, error) {
+	k, err := submit(c, c.softPending, msgSoftDecodeByChan, func(id uint64) ([]byte, error) {
 		return encodeSoftByChannel(&SoftDecodeByChannelRequest{
 			ID: id, Handle: rc.handle, Y: y,
 			NoiseVar: q.NoiseVar, LLRClamp: q.LLRClamp,
 			DeadlineMicros: deadlineMicros, TargetBER: target,
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
+	return &SoftDecodeCall{k: k}, nil
 }
 
 // softRoundTrip is roundTrip over the soft-decode-response table, converting

@@ -2,6 +2,9 @@ package fronthaul
 
 import (
 	"bytes"
+	"errors"
+	"net"
+	"strings"
 	"testing"
 
 	"quamax/internal/linalg"
@@ -10,9 +13,10 @@ import (
 	"quamax/internal/telemetry"
 )
 
-// fuzzStatsResponse builds a fully populated v7 stats response: pool counters
-// with two backends, and a telemetry snapshot whose histograms span first,
-// middle and last buckets and whose quality map holds two classes.
+// fuzzStatsResponse builds a fully populated stats response: pool counters
+// with two backends, a telemetry snapshot whose histograms span first,
+// middle and last buckets and whose quality map holds two classes, and a
+// v8 per-shard breakdown.
 func fuzzStatsResponse() *StatsResponse {
 	hist := func(idx ...int) telemetry.Hist {
 		h := telemetry.Hist{Counts: make([]uint64, telemetry.NumBuckets), Min: 0.3, Max: 9000, Sum: 12345}
@@ -49,6 +53,17 @@ func fuzzStatsResponse() *StatsResponse {
 			},
 		},
 		Telemetry: sn,
+		Shards: []metrics.PoolStats{
+			{
+				Submitted: 30, Completed: 30, BatchRuns: 3, SlotOccupancy: 0.5,
+				ChannelCache: metrics.ChannelCacheStats{Hits: 20, Misses: 8},
+				Backends:     []metrics.BackendStats{{Name: "s0/qpu0", Solved: 30, BusyMicros: 4000, Utilization: 0.4}},
+			},
+			{
+				Submitted: 12, Completed: 11, Failed: 1, BatchRuns: 1, SlotOccupancy: 1,
+				ChannelCache: metrics.ChannelCacheStats{Hits: 10, Misses: 4, Evictions: 2},
+			},
+		},
 	}
 }
 
@@ -176,6 +191,37 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		frame(msgStatsResponse+1, statsFull, nil),
 		append([]byte{msgDecodeRequest}, bytes.Repeat([]byte{0xff}, 40)...),
 	}
+	// A stats response whose shards flag is set but whose shard count is
+	// zero — non-canonical (it would re-encode without the flag), rejected.
+	// statsBare carries neither telemetry nor shards, so its final byte is
+	// the flags byte.
+	zeroShards := append([]byte(nil), statsBare...)
+	zeroShards[len(zeroShards)-1] |= statsRespShards
+	zeroShards = append(zeroShards, 0, 0)
+	seeds = append(seeds, frame(msgStatsResponse, zeroShards, nil))
+	// The v8 pipelined streams: a connection's read loop sees many frames
+	// back to back, responses returning out of order and interleaved across
+	// request classes, and teardown can truncate the stream mid-frame. These
+	// seeds exercise the whole-stream drain at the end of the fuzz body.
+	wire := func(msgType uint8, payload []byte) []byte {
+		var b []byte
+		b = appendU32(b, uint32(len(payload)))
+		b = append(b, msgType)
+		return append(b, payload...)
+	}
+	respFrame := func(id uint64) []byte {
+		return wire(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: id, Bits: []byte{1, 0},
+			Energy: 1, ComputeMicros: 5, Backend: "qpu0"}))
+	}
+	outOfOrder := append(append(respFrame(3), respFrame(1)...), respFrame(2)...)
+	interleaved := append(append(append(respFrame(2),
+		wire(msgSoftDecodeResponse, softResp)...),
+		wire(msgRegisterResponse, encodeRegisterResponse(&RegisterChannelResponse{ID: 4, Handle: 7}))...),
+		wire(msgStatsResponse, statsBare)...)
+	truncatedMid := append(append(respFrame(1), respFrame(2)...), respFrame(3)[:7]...)
+	forgedLen := append(respFrame(1), wire(msgDecodeResponse, nil)...)
+	forgedLen[len(forgedLen)-2] = 0xff // second frame claims a ~4GB payload
+	seeds = append(seeds, outOfOrder, interleaved, truncatedMid, forgedLen)
 	return seeds
 }
 
@@ -328,7 +374,104 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		}
 		// Whatever the type, the framing layer itself must stay panic-free on
-		// the raw bytes (truncated headers, forged lengths).
-		_, _, _ = readFrame(bytes.NewReader(data))
+		// the raw bytes read as a pipelined stream: many frames back to back
+		// (out-of-order responses, interleaved classes), truncated mid-frame,
+		// or with forged lengths. Drain until the first framing error, the
+		// exact loop a v8 connection's read side runs.
+		r := bytes.NewReader(data)
+		for {
+			if _, _, err := readFrame(r); err != nil {
+				break
+			}
+		}
 	})
+}
+
+// FuzzClientDemux drives a live Client's per-connection demux with a
+// fuzz-chosen response script: each script byte answers one request ID in
+// [0,5), so responses arrive out of order, duplicated (an already-answered
+// ID), or for requests never issued. The invariants: no delivery may panic
+// or wedge, an unmatched ID must tear the connection down with the typed
+// *ResponseIDError, and every in-flight call must return — a matched
+// response, the ID error, or the teardown tag — once the peer goes away.
+func FuzzClientDemux(f *testing.F) {
+	f.Add([]byte{1, 2, 3}) // in order
+	f.Add([]byte{3, 1, 2}) // out of order, all matched
+	f.Add([]byte{2})       // partial delivery, then peer close
+	f.Add([]byte{1, 1, 2}) // duplicate ID: second delivery collides
+	f.Add([]byte{0})       // ID never allocated by this client
+	f.Add([]byte{4, 1})    // ID above every issued request
+	f.Add([]byte{})        // peer closes without answering
+	f.Fuzz(func(t *testing.T, script []byte) {
+		h := linalg.MatFromRows([][]complex128{{1, 0}, {0, 1}})
+		y := []complex128{1, -1}
+		cliConn, srvConn := net.Pipe()
+		c := NewClient(cliConn)
+		defer c.Close()
+		// Peer harness: swallow the request frames so submits never block on
+		// the synchronous pipe.
+		go func() {
+			for {
+				if _, _, err := readFrame(srvConn); err != nil {
+					return
+				}
+			}
+		}()
+		// Three in-flight pipelined decodes: IDs 1, 2, 3.
+		var calls []*DecodeCall
+		for i := 0; i < 3; i++ {
+			dc, err := c.SubmitDecodeQoS(modulation.BPSK, h, y, 0, 0)
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			calls = append(calls, dc)
+		}
+		for _, b := range script {
+			id := uint64(b % 5)
+			err := writeFrame(srvConn, msgDecodeResponse,
+				encodeResponse(&DecodeResponse{ID: id, Bits: []byte{1, 0}}))
+			if err != nil {
+				// The demux tore the connection down mid-script (collision);
+				// that is the expected path, not a failure.
+				break
+			}
+		}
+		srvConn.Close()
+		for i, dc := range calls {
+			resp, err := dc.Await()
+			if err == nil {
+				if resp == nil || len(resp.Bits) == 0 {
+					t.Fatalf("call %d delivered an empty response", i)
+				}
+				continue
+			}
+			var ide *ResponseIDError
+			if errors.As(err, &ide) {
+				// The teardown error names the colliding ID, which must be
+				// either never issued (0 or > 3) or an in-range ID the script
+				// answered more than once.
+				if ide.MsgType != msgDecodeResponse ||
+					(ide.ID >= 1 && ide.ID <= 3 && !duplicated(script, ide.ID)) {
+					t.Fatalf("call %d: ID error for %d which was neither unknown nor duplicated (script %v)", i, ide.ID, script)
+				}
+				continue
+			}
+			// Otherwise the peer closed or Close drained the call — both are
+			// tagged teardown paths, never a hang.
+			if !errors.Is(err, ErrClientClosed) && !strings.Contains(err.Error(), "connection lost") {
+				t.Fatalf("call %d: untyped teardown error %v", i, err)
+			}
+		}
+	})
+}
+
+// duplicated reports whether id is answered more than once by script.
+func duplicated(script []byte, id uint64) bool {
+	n := 0
+	for _, b := range script {
+		if uint64(b%5) == id {
+			n++
+		}
+	}
+	return n > 1
 }

@@ -55,10 +55,20 @@ import (
 // nonzero buckets ride the wire), deadline-slack histograms, compile-cache
 // counters and per-class anneal-quality aggregates — behind `quamax -top` and
 // `-watch`. Version-6 and older payloads all still decode.
+// Version 8 makes the connection pipelined: because every request frame
+// already carries a client-chosen ID that the response echoes, a client may
+// keep many frames in flight on one connection and the server answers
+// out of order as shards finish, holding a bounded in-flight window (reads
+// stall once the window fills, which is the backpressure signal). The wire
+// layout is unchanged — v2–v7 clients that wait for each response before
+// sending the next frame observe exactly the old lockstep behaviour. The
+// stats response grows an optional per-shard PoolStats breakdown behind a new
+// flags bit for servers fronting a sharded router; v7 payloads (flag absent)
+// still decode.
 // Peers speaking a newer version may emit frame types this
 // implementation does not know; the client surfaces those as protocol errors
 // rather than discarding them silently.
-const ProtocolVersion = 7
+const ProtocolVersion = 8
 
 // Message types.
 const (

@@ -61,6 +61,14 @@ type Server struct {
 	// scheduler and planner so `quamax -top` sees one coherent plane.
 	Telemetry *telemetry.Recorder
 
+	// PipelineDepth bounds the in-flight window per connection: how many
+	// requests may be in service (dispatched but unanswered) at once. When
+	// the window is full the connection's read loop stops pulling frames, so
+	// backpressure lands on the socket instead of growing an unbounded
+	// goroutine set — a client pipelining faster than the pool drains simply
+	// sees its writes stall. 0 = DefaultPipelineDepth. Set before Serve.
+	PipelineDepth int
+
 	precodeOnce     sync.Once
 	precodePrograms *precoding.Cache
 }
@@ -119,13 +127,38 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Stats reports pool statistics when the dispatcher exports them.
+// Stats reports pool statistics when the dispatcher exports them. For a
+// sharded router dispatcher this is the PoolStats.Merge aggregate.
 func (s *Server) Stats() (metrics.PoolStats, bool) {
 	type statser interface{ Stats() metrics.PoolStats }
 	if st, ok := s.disp.(statser); ok {
 		return st.Stats(), true
 	}
 	return metrics.PoolStats{}, false
+}
+
+// ShardStats reports the per-shard breakdown when the dispatcher is a
+// sharded front tier (internal/router). Single-pool dispatchers report none.
+func (s *Server) ShardStats() ([]metrics.PoolStats, bool) {
+	type shardStatser interface{ ShardStats() []metrics.PoolStats }
+	if st, ok := s.disp.(shardStatser); ok {
+		return st.ShardStats(), true
+	}
+	return nil, false
+}
+
+// DefaultPipelineDepth is the per-connection in-flight window when the
+// server does not configure one: deep enough to keep a multi-worker shard
+// busy from one AP, small enough that a misbehaving client cannot hold
+// thousands of goroutines.
+const DefaultPipelineDepth = 64
+
+// pipelineDepth resolves the configured in-flight window.
+func (s *Server) pipelineDepth() int {
+	if s.PipelineDepth > 0 {
+		return s.PipelineDepth
+	}
+	return DefaultPipelineDepth
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -166,31 +199,70 @@ type registeredChannel struct {
 // is stale anyway (a decode against an evicted handle gets a clean error).
 const MaxChannelsPerConn = 256
 
+// outFrame is one response awaiting the connection's writer goroutine.
+type outFrame struct {
+	msgType uint8
+	payload []byte
+}
+
 // handleConn processes one AP connection. The connection's lifetime bounds a
 // context so that queued work from a disconnected AP is discarded instead of
 // burning pool time. Registered channels are connection-scoped: handles die
 // with the connection, exactly like a coherence window dies with its AP
 // association.
+//
+// The connection is fully pipelined and multiplexed: the read loop pulls
+// frames and hands dispatch-class requests to per-request goroutines, a
+// bounded in-flight window (pipelineDepth) caps how many are in service at
+// once — a full window stalls the read loop, pushing backpressure onto the
+// socket — and one writer goroutine serializes the out-of-order responses
+// back onto the wire.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	var writeMu sync.Mutex // responses from concurrent decodes interleave
+	depth := s.pipelineDepth()
+
+	// Writer: the single goroutine that touches the connection's write side.
+	// Request goroutines finish by enqueueing; the channel closes only after
+	// every producer is reaped, then the writer drains and exits.
+	out := make(chan outFrame, depth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for f := range out {
+			if err := writeFrame(conn, f.msgType, f.payload); err != nil {
+				s.logf("fronthaul: write response: %v", err)
+			}
+		}
+	}()
+	defer func() { close(out); <-writerDone }()
+
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	// Deferred after wg.Wait so it runs first: a dropped connection cancels
-	// queued dispatches, then the in-flight goroutines are reaped.
+	// queued dispatches, then the in-flight goroutines are reaped, and only
+	// then does the writer shut down.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// The in-flight window: spawn blocks while depth requests are already in
+	// service, so the read loop stops consuming frames until a slot frees.
+	sem := make(chan struct{}, depth)
+	spawn := func(fn func()) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}()
+	}
 
 	var chanMu sync.Mutex
 	channels := make(map[uint64]*registeredChannel)
 	var nextHandle uint64
 
 	write := func(msgType uint8, payload []byte) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := writeFrame(conn, msgType, payload); err != nil {
-			s.logf("fronthaul: write response: %v", err)
-		}
+		out <- outFrame{msgType: msgType, payload: payload}
 	}
 	for {
 		msgType, payload, err := readFrame(conn)
@@ -201,22 +273,20 @@ func (s *Server) handleConn(conn net.Conn) {
 		case msgDecodeRequest:
 			req, err := decodeRequest(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				resp := s.process(ctx, req.ID, &backend.Problem{
 					Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER,
 				}, req.DeadlineMicros)
 				write(msgDecodeResponse, encodeResponse(resp))
-			}()
+			})
 
 		case msgRegisterChannel:
 			req, err := decodeRegisterChannel(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
 			// Registration is pure bookkeeping (the pool's compiled-channel
@@ -245,15 +315,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		case msgPrecodeRequest:
 			req, err := decodePrecode(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
 			// Program resolution (O(Nu³) channel inversion on an LRU miss)
 			// runs in the request goroutine like every other heavy stage, so
 			// it cannot head-of-line-block pipelined frames.
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				prog, err := s.precodeProgram(req.Mod, req.H, req.PerturbBits)
 				if err != nil {
 					write(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: req.ID, Err: err.Error()}))
@@ -263,12 +331,12 @@ func (s *Server) handleConn(conn net.Conn) {
 				p.TargetBER = req.TargetBER
 				resp := s.process(ctx, req.ID, p, req.DeadlineMicros)
 				write(msgDecodeResponse, encodeResponse(resp))
-			}()
+			})
 
 		case msgPrecodeByChannel:
 			req, err := decodePrecodeByChannel(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
 			chanMu.Lock()
@@ -285,9 +353,7 @@ func (s *Server) handleConn(conn net.Conn) {
 						len(req.S), rc.h.Rows)}))
 				continue
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				prog, err := s.precodeProgram(rc.mod, rc.h, req.PerturbBits)
 				if err != nil {
 					write(msgDecodeResponse, encodeResponse(&DecodeResponse{ID: req.ID, Err: err.Error()}))
@@ -297,28 +363,26 @@ func (s *Server) handleConn(conn net.Conn) {
 				p.TargetBER = req.TargetBER
 				resp := s.process(ctx, req.ID, p, req.DeadlineMicros)
 				write(msgDecodeResponse, encodeResponse(resp))
-			}()
+			})
 
 		case msgSoftDecodeRequest:
 			req, err := decodeSoftRequest(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err, msgSoftDecodeResponse)
+				s.badRequest(write, payload, err, msgSoftDecodeResponse)
 				return
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				resp := s.processSoft(ctx, req.ID, &backend.Problem{
 					Mod: req.Mod, H: req.H, Y: req.Y, TargetBER: req.TargetBER,
 					Soft: true, NoiseVar: req.NoiseVar, LLRClamp: s.softClamp(req.LLRClamp),
 				}, req.DeadlineMicros)
 				write(msgSoftDecodeResponse, encodeSoftResponse(resp))
-			}()
+			})
 
 		case msgSoftDecodeByChan:
 			req, err := decodeSoftByChannel(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err, msgSoftDecodeResponse)
+				s.badRequest(write, payload, err, msgSoftDecodeResponse)
 				return
 			}
 			chanMu.Lock()
@@ -335,21 +399,19 @@ func (s *Server) handleConn(conn net.Conn) {
 						len(req.Y), rc.h.Rows)}))
 				continue
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				resp := s.processSoft(ctx, req.ID, &backend.Problem{
 					Mod: rc.mod, H: rc.h, Y: req.Y, TargetBER: req.TargetBER,
 					ChannelKey: rc.key,
 					Soft:       true, NoiseVar: req.NoiseVar, LLRClamp: s.softClamp(req.LLRClamp),
 				}, req.DeadlineMicros)
 				write(msgSoftDecodeResponse, encodeSoftResponse(resp))
-			}()
+			})
 
 		case msgDecodeByChannel:
 			req, err := decodeDecodeByChannel(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
 			chanMu.Lock()
@@ -366,20 +428,18 @@ func (s *Server) handleConn(conn net.Conn) {
 						len(req.Y), rc.h.Rows)}))
 				continue
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			spawn(func() {
 				resp := s.process(ctx, req.ID, &backend.Problem{
 					Mod: rc.mod, H: rc.h, Y: req.Y, TargetBER: req.TargetBER,
 					ChannelKey: rc.key,
 				}, req.DeadlineMicros)
 				write(msgDecodeResponse, encodeResponse(resp))
-			}()
+			})
 
 		case msgStatsRequest:
 			req, err := decodeStatsRequest(payload)
 			if err != nil {
-				s.badRequest(conn, &writeMu, payload, err)
+				s.badRequest(write, payload, err)
 				return
 			}
 			// Stats are a pure snapshot (no pool dispatch), so answer inline
@@ -387,6 +447,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			resp := &StatsResponse{ID: req.ID}
 			if st, ok := s.Stats(); ok {
 				resp.Pool = st
+			}
+			if per, ok := s.ShardStats(); ok {
+				resp.Shards = per
 			}
 			if s.Telemetry != nil {
 				resp.Telemetry = s.Telemetry.Snapshot()
@@ -411,7 +474,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // request. respType selects the response framing — soft requests must be
 // answered with soft-decode responses or the client cannot match them —
 // and defaults to the decode response.
-func (s *Server) badRequest(conn net.Conn, writeMu *sync.Mutex, payload []byte, err error, respType ...uint8) {
+func (s *Server) badRequest(write func(uint8, []byte), payload []byte, err error, respType ...uint8) {
 	s.logf("fronthaul: bad request: %v", err)
 	if len(payload) < 8 {
 		return
@@ -424,12 +487,7 @@ func (s *Server) badRequest(conn net.Conn, writeMu *sync.Mutex, payload []byte, 
 		frameType = msgSoftDecodeResponse
 		frame = encodeSoftResponse(&SoftDecodeResponse{ID: id, Err: msg})
 	}
-	writeMu.Lock()
-	werr := writeFrame(conn, frameType, frame)
-	writeMu.Unlock()
-	if werr != nil {
-		s.logf("fronthaul: write error response: %v", werr)
-	}
+	write(frameType, frame)
 }
 
 // softClamp resolves the effective LLR clamp of one soft request: the

@@ -28,6 +28,10 @@ type StatsResponse struct {
 	// Telemetry is the recorder snapshot; nil when the server runs without
 	// a telemetry plane.
 	Telemetry *telemetry.Snapshot
+	// Shards is the per-shard PoolStats breakdown (protocol v8), shard index
+	// order; nil when the server runs a single pool. Pool remains the merged
+	// aggregate, so v7 consumers lose only the breakdown, not the totals.
+	Shards []metrics.PoolStats
 }
 
 // encodeStatsRequest serializes a StatsRequest payload.
@@ -116,20 +120,16 @@ func readHist(r *reader) (telemetry.Hist, error) {
 	return h, nil
 }
 
-// statsRespTelemetry is the flags bit marking a telemetry block.
-const statsRespTelemetry = 1 << 0
+// statsRespTelemetry is the flags bit marking a telemetry block;
+// statsRespShards the per-shard PoolStats breakdown block (protocol v8).
+const (
+	statsRespTelemetry = 1 << 0
+	statsRespShards    = 1 << 1
+)
 
-// encodeStatsResponse serializes a StatsResponse payload.
-func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
-	if len(resp.Err) > 0xffff {
-		return nil, errors.New("fronthaul: oversized error string")
-	}
-	b := appendU64(nil, resp.ID)
-	b = appendU16(b, uint16(len(resp.Err)))
-	b = append(b, resp.Err...)
-	b = appendF64(b, resp.UptimeMicros)
-
-	p := &resp.Pool
+// appendPoolStats encodes one PoolStats block (the aggregate and each
+// per-shard entry share this layout).
+func appendPoolStats(b []byte, p *metrics.PoolStats) ([]byte, error) {
 	if p.QueueDepth < 0 || len(p.Backends) > 0xffff {
 		return nil, errors.New("fronthaul: pool stats out of wire range")
 	}
@@ -157,10 +157,71 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 		b = appendF64(b, be.BusyMicros)
 		b = appendF64(b, be.Utilization)
 	}
+	return b, nil
+}
+
+// readPoolStats decodes one appendPoolStats block.
+func readPoolStats(r *reader, payload []byte, p *metrics.PoolStats) error {
+	p.QueueDepth = int(r.u32())
+	for _, dst := range []*uint64{
+		&p.Submitted, &p.Completed, &p.Failed, &p.FallbackDispatches,
+		&p.PlannerClassical, &p.DeadlineMisses, &p.BatchRuns, &p.BatchedProblems,
+		&p.SoftSolved, &p.LLRSaturations,
+	} {
+		*dst = r.u64()
+	}
+	p.SlotOccupancy = r.f64()
+	p.ChannelCache.Hits = r.u64()
+	p.ChannelCache.Misses = r.u64()
+	p.ChannelCache.Evictions = r.u64()
+	nBackends := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	// Each backend entry is at least 34 bytes; bound the allocation by what
+	// the payload can actually hold before trusting the declared count.
+	if nBackends > (len(payload)-r.off)/34 {
+		return errors.New("fronthaul: backend count exceeds payload")
+	}
+	for i := 0; i < nBackends; i++ {
+		nameLen := int(r.u16())
+		if r.err == nil && nameLen > len(payload)-r.off {
+			return errShort
+		}
+		be := metrics.BackendStats{Name: string(r.bytes(nameLen))}
+		be.Solved = r.u64()
+		be.Errors = r.u64()
+		be.BusyMicros = r.f64()
+		be.Utilization = r.f64()
+		if r.err != nil {
+			return r.err
+		}
+		p.Backends = append(p.Backends, be)
+	}
+	return r.err
+}
+
+// encodeStatsResponse serializes a StatsResponse payload.
+func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
+	if len(resp.Err) > 0xffff {
+		return nil, errors.New("fronthaul: oversized error string")
+	}
+	b := appendU64(nil, resp.ID)
+	b = appendU16(b, uint16(len(resp.Err)))
+	b = append(b, resp.Err...)
+	b = appendF64(b, resp.UptimeMicros)
+
+	var err error
+	if b, err = appendPoolStats(b, &resp.Pool); err != nil {
+		return nil, err
+	}
 
 	var flags byte
 	if resp.Telemetry != nil {
 		flags |= statsRespTelemetry
+	}
+	if len(resp.Shards) > 0 {
+		flags |= statsRespShards
 	}
 	b = append(b, flags)
 	if sn := resp.Telemetry; sn != nil {
@@ -196,6 +257,17 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 			b = appendHist(b, q.BestEnergy)
 		}
 	}
+	if len(resp.Shards) > 0 {
+		if len(resp.Shards) > 0xffff {
+			return nil, errors.New("fronthaul: oversized shard set")
+		}
+		b = appendU16(b, uint16(len(resp.Shards)))
+		for i := range resp.Shards {
+			if b, err = appendPoolStats(b, &resp.Shards[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return b, nil
 }
 
@@ -210,42 +282,8 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 	resp.Err = string(r.bytes(errLen))
 	resp.UptimeMicros = r.f64()
 
-	p := &resp.Pool
-	p.QueueDepth = int(r.u32())
-	for _, dst := range []*uint64{
-		&p.Submitted, &p.Completed, &p.Failed, &p.FallbackDispatches,
-		&p.PlannerClassical, &p.DeadlineMisses, &p.BatchRuns, &p.BatchedProblems,
-		&p.SoftSolved, &p.LLRSaturations,
-	} {
-		*dst = r.u64()
-	}
-	p.SlotOccupancy = r.f64()
-	p.ChannelCache.Hits = r.u64()
-	p.ChannelCache.Misses = r.u64()
-	p.ChannelCache.Evictions = r.u64()
-	nBackends := int(r.u16())
-	if r.err != nil {
-		return nil, r.err
-	}
-	// Each backend entry is at least 34 bytes; bound the allocation by what
-	// the payload can actually hold before trusting the declared count.
-	if nBackends > (len(payload)-r.off)/34 {
-		return nil, errors.New("fronthaul: backend count exceeds payload")
-	}
-	for i := 0; i < nBackends; i++ {
-		nameLen := int(r.u16())
-		if r.err == nil && nameLen > len(payload)-r.off {
-			return nil, errShort
-		}
-		be := metrics.BackendStats{Name: string(r.bytes(nameLen))}
-		be.Solved = r.u64()
-		be.Errors = r.u64()
-		be.BusyMicros = r.f64()
-		be.Utilization = r.f64()
-		if r.err != nil {
-			return nil, r.err
-		}
-		p.Backends = append(p.Backends, be)
+	if err := readPoolStats(r, payload, &resp.Pool); err != nil {
+		return nil, err
 	}
 
 	flagsB := r.bytes(1)
@@ -253,7 +291,7 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 		return nil, r.err
 	}
 	flags := flagsB[0]
-	if flags&^byte(statsRespTelemetry) != 0 {
+	if flags&^byte(statsRespTelemetry|statsRespShards) != 0 {
 		return nil, fmt.Errorf("fronthaul: unknown stats flags %#x", flags)
 	}
 	if flags&statsRespTelemetry != 0 {
@@ -326,6 +364,27 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 			sn.Quality[name] = q
 		}
 		resp.Telemetry = sn
+	}
+	if flags&statsRespShards != 0 {
+		nShards := int(r.u16())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// A set flag with zero shards would re-encode without the flag,
+		// breaking the canonical decode∘encode identity — reject it. Each
+		// shard block is at least 118 bytes (4 + 13·8 + empty backend set).
+		if nShards == 0 {
+			return nil, errors.New("fronthaul: shards flag set with zero shards")
+		}
+		if nShards > (len(payload)-r.off)/118 {
+			return nil, errors.New("fronthaul: shard count exceeds payload")
+		}
+		resp.Shards = make([]metrics.PoolStats, nShards)
+		for i := range resp.Shards {
+			if err := readPoolStats(r, payload, &resp.Shards[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -107,6 +107,60 @@ func TestPoolStatsMergeBackendsByName(t *testing.T) {
 	}
 }
 
+// TestPoolStatsMergeAssociative folds three per-shard snapshots both ways —
+// (a·b)·c and a·(b·c) — and checks every counter, the re-weighted occupancy
+// and the by-name backend merge agree: the invariant that lets a sharded
+// router's Stats() fold per-shard breakdowns in any order.
+func TestPoolStatsMergeAssociative(t *testing.T) {
+	a := samplePool()
+	b := PoolStats{
+		QueueDepth: 1, Submitted: 4, Completed: 4, FallbackDispatches: 1,
+		BatchRuns: 6, BatchedProblems: 12, SlotOccupancy: 0.25,
+		ChannelCache: ChannelCacheStats{Hits: 3, Misses: 1},
+		Backends: []BackendStats{
+			{Name: "qpu0", Solved: 3, BusyMicros: 500, Utilization: 0.25},
+			{Name: "sphere", Solved: 1, BusyMicros: 40, Utilization: 0.02},
+		},
+	}
+	c := PoolStats{
+		Submitted: 9, Completed: 8, Failed: 1, DeadlineMisses: 4,
+		BatchRuns: 2, BatchedProblems: 2, SoftSolved: 1, SlotOccupancy: 1,
+		ChannelCache: ChannelCacheStats{Hits: 5, Misses: 5, Evictions: 1},
+		Backends:     []BackendStats{{Name: "sa", Solved: 8, BusyMicros: 300, Utilization: 0.3}},
+	}
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left.Submitted != right.Submitted || left.Completed != right.Completed ||
+		left.Failed != right.Failed || left.QueueDepth != right.QueueDepth ||
+		left.FallbackDispatches != right.FallbackDispatches ||
+		left.DeadlineMisses != right.DeadlineMisses ||
+		left.BatchRuns != right.BatchRuns || left.BatchedProblems != right.BatchedProblems ||
+		left.SoftSolved != right.SoftSolved || left.ChannelCache != right.ChannelCache {
+		t.Fatalf("counter fold is order-dependent:\nleft  %+v\nright %+v", left, right)
+	}
+	if math.Abs(left.SlotOccupancy-right.SlotOccupancy) > 1e-12 {
+		t.Fatalf("occupancy fold is order-dependent: %g vs %g", left.SlotOccupancy, right.SlotOccupancy)
+	}
+	fold := func(m PoolStats) map[string]BackendStats {
+		byName := map[string]BackendStats{}
+		for _, be := range m.Backends {
+			byName[be.Name] = be
+		}
+		return byName
+	}
+	lb, rb := fold(left), fold(right)
+	if len(lb) != len(rb) {
+		t.Fatalf("backend sets differ: %v vs %v", lb, rb)
+	}
+	for name, l := range lb {
+		r, ok := rb[name]
+		if !ok || l.Solved != r.Solved || l.Errors != r.Errors ||
+			math.Abs(l.BusyMicros-r.BusyMicros) > 1e-9 || math.Abs(l.Utilization-r.Utilization) > 1e-12 {
+			t.Fatalf("backend %q folds order-dependently: %+v vs %+v", name, l, r)
+		}
+	}
+}
+
 func TestPoolStatsMergeZeroValue(t *testing.T) {
 	a := samplePool()
 	m := a.Merge(PoolStats{})

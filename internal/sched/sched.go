@@ -88,6 +88,10 @@ type Config struct {
 	// span count reconciles exactly with Stats. Nil disables tracing with
 	// no overhead on the dispatch path.
 	Telemetry *telemetry.Recorder
+	// ShardID stamps every trace this scheduler emits when one Recorder is
+	// shared across a sharded router, attributing queue/gather spans to the
+	// pool that served them. Zero for a single-pool deployment.
+	ShardID int
 	// Seed drives all solver randomness (per-worker independent streams).
 	Seed int64
 	// Now overrides the clock (tests); nil means time.Now.
@@ -285,6 +289,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 		tr = &telemetry.Trace{
 			Class:       telemetry.Class(p.Mod.String(), p.Users()),
 			Soft:        p.Soft,
+			Shard:       s.cfg.ShardID,
 			StartMicros: rec.SinceStartMicros(t0),
 		}
 		if deadline > 0 {

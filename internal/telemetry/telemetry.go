@@ -104,6 +104,10 @@ type Trace struct {
 	// subset the QoS planner denied outright.
 	Fallback      bool `json:"fallback,omitempty"`
 	PlannerDenied bool `json:"planner_denied,omitempty"`
+	// Shard is the serving-pool index that handled the request when the
+	// recorder is shared across a sharded router (0 for a single pool), so
+	// queue and gather spans attribute per shard.
+	Shard int `json:"shard,omitempty"`
 	// StartMicros is the dispatch-entry time as microseconds since the
 	// recorder was created.
 	StartMicros float64 `json:"start_micros"`

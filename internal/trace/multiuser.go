@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"quamax/internal/linalg"
+	"quamax/internal/rng"
+)
+
+// MultiUserConfig controls the synthetic cellular request-trace generator:
+// the offered load of a centralized data center absorbing many cells' uplink
+// decodes (§2's C-RAN framing), rather than one link's channel evolution.
+// Cell popularity is Zipf-distributed — a few hot cells dominate, a long tail
+// stays cold — and every user carries its own coherence window, re-estimating
+// its channel (new fingerprint, new compiled program) after a geometrically
+// distributed number of decodes.
+type MultiUserConfig struct {
+	// Cells is the number of cells the data center serves.
+	Cells int
+	// Users is the total subscriber population, split evenly across cells.
+	// Only users that actually appear in the trace materialize state, so
+	// million-user populations cost memory proportional to the drawn set.
+	Users int
+	// Requests is the number of uplink decodes to draw.
+	Requests int
+	// ZipfS is the Zipf popularity exponent across cells: request rate of the
+	// r-th most popular cell ∝ 1/(r+1)^s. 0 = uniform.
+	ZipfS float64
+	// Antennas is the AP antenna count per cell (rows of each channel);
+	// CellUsers the spatially multiplexed streams per decode (columns).
+	Antennas, CellUsers int
+	// WindowUses is the mean coherence-window length in decodes: how many
+	// requests a user's channel estimate serves before re-estimation. Window
+	// lengths are geometric with this mean, so windows are per-user and
+	// ragged, exactly like real mobility.
+	WindowUses int
+	// RiceanK, Doppler and ShadowStdDB carry the GeneratorConfig channel
+	// model: LoS-to-scatter ratio, AR(1) innovation weight applied at each
+	// window rollover, and per-user log-normal shadowing spread in dB.
+	RiceanK, Doppler, ShadowStdDB float64
+}
+
+// DefaultMultiUserConfig is a data-center-scale load shape: many cells with
+// skewed popularity, a million subscribers, pedestrian channel dynamics and
+// Argos-like 8-stream decodes.
+func DefaultMultiUserConfig() MultiUserConfig {
+	return MultiUserConfig{
+		Cells:       64,
+		Users:       1_000_000,
+		Requests:    10_000,
+		ZipfS:       1.1,
+		Antennas:    8,
+		CellUsers:   8,
+		WindowUses:  16,
+		RiceanK:     3,
+		Doppler:     0.05,
+		ShadowStdDB: 2,
+	}
+}
+
+// Request is one uplink decode in a multi-user trace.
+type Request struct {
+	// Cell is the serving cell; User the subscriber whose coherence stream
+	// the decode rides (a global ID in [0, Users)).
+	Cell, User int
+	// Window is the user's coherence-window ordinal (0-based): requests with
+	// equal (User, Window) share the same channel estimate — and therefore
+	// the same fingerprint, compiled program and cache entry downstream.
+	Window int
+	// H is the window's channel estimate (Antennas × CellUsers). Requests of
+	// one window share the same *linalg.Mat, so pointer identity is window
+	// identity.
+	H *linalg.Mat
+}
+
+// MultiUserTrace is a generated request sequence plus its shape metadata.
+type MultiUserTrace struct {
+	// Cells, Antennas and CellUsers echo the config.
+	Cells, Antennas, CellUsers int
+	// Windows is the total number of distinct coherence windows drawn.
+	Windows int
+	// Requests is the decode sequence in arrival order.
+	Requests []Request
+}
+
+// muUserState is one drawn user's live channel state.
+type muUserState struct {
+	remaining int
+	window    int
+	h         *linalg.Mat
+	scatter   *linalg.Mat
+	losPhase  []float64 // per-column ULA phase increments
+	gain      float64
+}
+
+// GenerateMultiUser synthesizes a cellular request trace. Deterministic
+// given src.
+func GenerateMultiUser(src *rng.Source, cfg MultiUserConfig) (*MultiUserTrace, error) {
+	if cfg.Cells < 1 || cfg.Users < cfg.Cells || cfg.Requests < 1 {
+		return nil, errors.New("trace: need ≥1 cell, ≥1 request and at least one user per cell")
+	}
+	if cfg.Antennas < 1 || cfg.CellUsers < 1 {
+		return nil, errors.New("trace: antennas and cell users must be positive")
+	}
+	if cfg.WindowUses < 1 {
+		return nil, errors.New("trace: mean window length must be ≥ 1 use")
+	}
+	if cfg.ZipfS < 0 || math.IsNaN(cfg.ZipfS) {
+		return nil, fmt.Errorf("trace: Zipf exponent %g must be ≥ 0", cfg.ZipfS)
+	}
+	if cfg.Doppler < 0 || cfg.Doppler >= 1 {
+		return nil, fmt.Errorf("trace: Doppler %g outside [0,1)", cfg.Doppler)
+	}
+
+	// Cell popularity CDF: cell c (already "ranked" by index) draws with
+	// weight (c+1)^−s.
+	cdf := make([]float64, cfg.Cells)
+	sum := 0.0
+	for c := range cdf {
+		sum += math.Pow(float64(c+1), -cfg.ZipfS)
+		cdf[c] = sum
+	}
+	for c := range cdf {
+		cdf[c] /= sum
+	}
+
+	perCell := cfg.Users / cfg.Cells
+	rho := 1 - cfg.Doppler
+	innovW := math.Sqrt(1 - rho*rho)
+	kLin := cfg.RiceanK
+	losW := math.Sqrt(kLin / (kLin + 1))
+	scatW := math.Sqrt(1 / (kLin + 1))
+
+	tr := &MultiUserTrace{Cells: cfg.Cells, Antennas: cfg.Antennas, CellUsers: cfg.CellUsers}
+	users := make(map[int]*muUserState)
+
+	// geomLen draws a geometric window length with mean WindowUses (≥ 1).
+	geomLen := func() int {
+		if cfg.WindowUses == 1 {
+			return 1
+		}
+		p := 1 / float64(cfg.WindowUses)
+		u := src.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		n := 1 + int(math.Log(1-u)/math.Log(1-p))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	rebuild := func(st *muUserState) {
+		h := linalg.NewMat(cfg.Antennas, cfg.CellUsers)
+		g := complex(st.gain, 0)
+		for u := 0; u < cfg.CellUsers; u++ {
+			phase := st.losPhase[u]
+			for a := 0; a < cfg.Antennas; a++ {
+				theta := phase * float64(a)
+				v := complex(losW, 0)*complex(math.Cos(theta), math.Sin(theta)) +
+					complex(scatW, 0)*st.scatter.At(a, u)
+				h.Set(a, u, g*v)
+			}
+		}
+		st.h = h
+	}
+
+	for i := 0; i < cfg.Requests; i++ {
+		cell := sort.SearchFloat64s(cdf, src.Float64())
+		if cell >= cfg.Cells {
+			cell = cfg.Cells - 1
+		}
+		user := cell*perCell + src.Intn(perCell)
+		st := users[user]
+		if st == nil {
+			st = &muUserState{
+				gain:     math.Pow(10, src.Gauss(0, cfg.ShadowStdDB)/20),
+				losPhase: make([]float64, cfg.CellUsers),
+				scatter:  linalg.NewMat(cfg.Antennas, cfg.CellUsers),
+			}
+			for u := range st.losPhase {
+				st.losPhase[u] = math.Pi * math.Sin(math.Pi*(src.Float64()-0.5))
+			}
+			for j := range st.scatter.Data {
+				st.scatter.Data[j] = src.ComplexNorm()
+			}
+			st.remaining = geomLen()
+			rebuild(st)
+			tr.Windows++
+			users[user] = st
+		} else if st.remaining == 0 {
+			// Window rollover: the scatter component evolves AR(1), the user
+			// re-estimates, and downstream caches see a fresh fingerprint.
+			for j := range st.scatter.Data {
+				st.scatter.Data[j] = complex(rho, 0)*st.scatter.Data[j] +
+					complex(innovW, 0)*src.ComplexNorm()
+			}
+			st.window++
+			st.remaining = geomLen()
+			rebuild(st)
+			tr.Windows++
+		}
+		st.remaining--
+		tr.Requests = append(tr.Requests, Request{Cell: cell, User: user, Window: st.window, H: st.h})
+	}
+	return tr, nil
+}
+
+// Dataset flattens the trace's distinct coherence-window channels into a
+// Dataset (one snapshot per window, first-appearance order), so a generated
+// multi-user trace can ride the QMTR file format unchanged.
+func (tr *MultiUserTrace) Dataset() *Dataset {
+	ds := &Dataset{Antennas: tr.Antennas, Users: tr.CellUsers}
+	seen := make(map[*linalg.Mat]bool)
+	for _, r := range tr.Requests {
+		if !seen[r.H] {
+			seen[r.H] = true
+			ds.Snapshots = append(ds.Snapshots, r.H)
+		}
+	}
+	return ds
+}
+
+// CellCounts tallies requests per cell — the observed popularity histogram.
+func (tr *MultiUserTrace) CellCounts() []int {
+	counts := make([]int, tr.Cells)
+	for _, r := range tr.Requests {
+		counts[r.Cell]++
+	}
+	return counts
+}

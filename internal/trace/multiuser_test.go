@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"quamax/internal/rng"
+)
+
+func muConfig() MultiUserConfig {
+	cfg := DefaultMultiUserConfig()
+	cfg.Cells = 16
+	cfg.Users = 16000
+	cfg.Requests = 3000
+	return cfg
+}
+
+func TestMultiUserDeterministic(t *testing.T) {
+	a, err := GenerateMultiUser(rng.New(42), muConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMultiUser(rng.New(42), muConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) || a.Windows != b.Windows {
+		t.Fatalf("shape differs across identical seeds: %d/%d vs %d/%d",
+			len(a.Requests), a.Windows, len(b.Requests), b.Windows)
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.Cell != rb.Cell || ra.User != rb.User || ra.Window != rb.Window {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+		for j := range ra.H.Data {
+			if ra.H.Data[j] != rb.H.Data[j] {
+				t.Fatalf("request %d channel differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestMultiUserZipfSkew checks the popularity law: with s > 1 the hottest
+// cell must dominate a uniform share and the tail must stay cold.
+func TestMultiUserZipfSkew(t *testing.T) {
+	cfg := muConfig()
+	cfg.ZipfS = 1.2
+	tr, err := GenerateMultiUser(rng.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.CellCounts()
+	uniform := float64(cfg.Requests) / float64(cfg.Cells)
+	if float64(counts[0]) < 2*uniform {
+		t.Fatalf("hottest cell drew %d requests, want ≥ 2× the uniform share %.0f", counts[0], uniform)
+	}
+	if float64(counts[cfg.Cells-1]) > uniform {
+		t.Fatalf("coldest cell drew %d requests, want < the uniform share %.0f", counts[cfg.Cells-1], uniform)
+	}
+	// s = 0 is uniform: every cell within 3σ of the mean share.
+	cfg.ZipfS = 0
+	flat, err := GenerateMultiUser(rng.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := math.Sqrt(uniform)
+	for c, n := range flat.CellCounts() {
+		if math.Abs(float64(n)-uniform) > 6*sigma {
+			t.Fatalf("uniform trace cell %d drew %d, want %.0f ± %.0f", c, n, uniform, 6*sigma)
+		}
+	}
+}
+
+// TestMultiUserCoherenceWindows checks the window contract: requests with
+// equal (User, Window) share one channel matrix (pointer identity — the
+// downstream fingerprint/cache key), windows advance monotonically per user,
+// and rollovers change the channel.
+func TestMultiUserCoherenceWindows(t *testing.T) {
+	cfg := muConfig()
+	cfg.WindowUses = 4
+	tr, err := GenerateMultiUser(rng.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastWindow := map[int]int{}
+	windowH := map[[2]int]*Request{}
+	rollovers := 0
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.H.Rows != cfg.Antennas || r.H.Cols != cfg.CellUsers {
+			t.Fatalf("request %d channel is %dx%d, want %dx%d", i, r.H.Rows, r.H.Cols, cfg.Antennas, cfg.CellUsers)
+		}
+		if w, ok := lastWindow[r.User]; ok {
+			if r.Window < w {
+				t.Fatalf("user %d window went backward: %d after %d", r.User, r.Window, w)
+			}
+			if r.Window > w {
+				rollovers++
+				prev := windowH[[2]int{r.User, w}]
+				if prev.H == r.H {
+					t.Fatalf("user %d window %d reuses the previous window's channel", r.User, r.Window)
+				}
+			}
+		}
+		lastWindow[r.User] = r.Window
+		key := [2]int{r.User, r.Window}
+		if prev, ok := windowH[key]; ok {
+			if prev.H != r.H {
+				t.Fatalf("user %d window %d saw two different channels", r.User, r.Window)
+			}
+		} else {
+			windowH[key] = r
+		}
+	}
+	if rollovers == 0 {
+		t.Fatal("no window ever rolled over (mean length 4 over 3000 requests)")
+	}
+	if tr.Windows != len(windowH) {
+		t.Fatalf("trace reports %d windows, observed %d", tr.Windows, len(windowH))
+	}
+	// Users home to their own cell: one serving cell per user.
+	cellOf := map[int]int{}
+	for _, r := range tr.Requests {
+		if c, ok := cellOf[r.User]; ok && c != r.Cell {
+			t.Fatalf("user %d served by cells %d and %d", r.User, c, r.Cell)
+		}
+		cellOf[r.User] = r.Cell
+	}
+}
+
+// TestMultiUserDataset checks the flattener: one snapshot per distinct
+// window, in first-appearance order, with the trace's decode shape.
+func TestMultiUserDataset(t *testing.T) {
+	cfg := muConfig()
+	cfg.Requests = 500
+	tr, err := GenerateMultiUser(rng.New(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tr.Dataset()
+	if ds.Antennas != cfg.Antennas || ds.Users != cfg.CellUsers {
+		t.Fatalf("dataset shape %dx%d, want %dx%d", ds.Antennas, ds.Users, cfg.Antennas, cfg.CellUsers)
+	}
+	if len(ds.Snapshots) != tr.Windows {
+		t.Fatalf("dataset holds %d snapshots, trace drew %d windows", len(ds.Snapshots), tr.Windows)
+	}
+	if ds.Snapshots[0] != tr.Requests[0].H {
+		t.Fatal("dataset snapshots are not in first-appearance order")
+	}
+}
+
+func TestMultiUserRejectsBadConfig(t *testing.T) {
+	base := muConfig()
+	for name, mutate := range map[string]func(*MultiUserConfig){
+		"no cells":         func(c *MultiUserConfig) { c.Cells = 0 },
+		"fewer users":      func(c *MultiUserConfig) { c.Users = c.Cells - 1 },
+		"no requests":      func(c *MultiUserConfig) { c.Requests = 0 },
+		"no antennas":      func(c *MultiUserConfig) { c.Antennas = 0 },
+		"no streams":       func(c *MultiUserConfig) { c.CellUsers = 0 },
+		"zero window":      func(c *MultiUserConfig) { c.WindowUses = 0 },
+		"negative zipf":    func(c *MultiUserConfig) { c.ZipfS = -1 },
+		"doppler at 1":     func(c *MultiUserConfig) { c.Doppler = 1 },
+		"negative doppler": func(c *MultiUserConfig) { c.Doppler = -0.5 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateMultiUser(rng.New(1), cfg); err == nil {
+			t.Fatalf("%s: config accepted", name)
+		}
+	}
+}

@@ -22,7 +22,10 @@
 //     the paired telemetry-overhead row
 //     (BenchmarkSchedulerPlanner/telemetry, off-/on-dispatches/s), and the
 //     anneal-engine acceptance rows
-//     (BenchmarkAnneal48BPSK/mode=scalar and /mode=multispin, ns/op + gsrate);
+//     (BenchmarkAnneal48BPSK/mode=scalar and /mode=multispin, ns/op + gsrate),
+//     and the sharded-serving acceptance rows
+//     (BenchmarkShardedServe/shards=1 and /shards=4, decodes/s + missrate +
+//     cachehit);
 //   - within the newest snapshot, compiled-mode throughput must be at least
 //     2× the per-symbol recompile mode at every window size W ≥ 14, the
 //     precode benchmark's mean gamma must agree between modes (the
@@ -33,7 +36,11 @@
 //     observability plane must be cheap enough to leave on), and the
 //     bit-parallel multi-spin engine must clear 5× the scalar device
 //     simulator's ns/op at a ground-state success rate no more than 0.02
-//     below it (speed bought by butchering solution quality does not count);
+//     below it (speed bought by butchering solution quality does not count),
+//     and the 4-shard serving tier must clear 2.5× the single pool's
+//     decodes/s with no deadline-miss regression and a compiled-channel hit
+//     rate within 5 points of the single pool's (throughput bought by
+//     shattering cache affinity does not count either);
 //   - across snapshots recorded on the same goos/goarch, no headline
 //     throughput metric (any metric ending in "/s" on a compiled-mode
 //     gated-window row or a non-window benchmark) may regress more than
@@ -79,7 +86,7 @@ import (
 // defaultBench selects the benchmarks the perf trajectory tracks: the two
 // compile/execute acceptance benchmarks (uplink coherence windows, downlink
 // precode windows) plus the micro-benchmarks of the stages they amortize.
-const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkSchedulerPlanner|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkSchedulerPlanner|BenchmarkShardedServe|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
 
 // maxRegression is the fractional headline-throughput loss tolerated against
 // the best committed snapshot (after median-drift correction) before -check
@@ -120,6 +127,23 @@ const minMultiSpinSpeedup = 5.0
 // multi-spin engine against the scalar device simulator on the same
 // benchmark: a speedup that costs more than this much quality fails the gate.
 const maxGSRateLoss = 0.02
+
+// minShardSpeedup is the required decodes/s advantage of the 4-shard serving
+// tier over the single pool on BenchmarkShardedServe's fixed offered load.
+// The benchmark paces decodes on simulated QPU occupancy, so the ratio
+// measures the router's ability to keep N devices fed (affinity placement
+// balance included), not host core count.
+const minShardSpeedup = 2.5
+
+// maxShardCacheLoss is the tolerated compiled-channel hit-rate deficit
+// (absolute points) of the sharded tier against the single pool: affinity
+// routing must preserve cache locality, not shatter it.
+const maxShardCacheLoss = 0.05
+
+// maxShardMissEps absorbs float formatting noise in the missrate comparison;
+// the benchmark's deadlines are generous enough that both modes record
+// exactly zero.
+const maxShardMissEps = 1e-9
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -449,6 +473,35 @@ func checkHistory(dir string) error {
 	case !(msSR+maxGSRateLoss >= scalarSR):
 		problemf("%s: multi-spin anneal gsrate %.3f more than %g below scalar %.3f",
 			newest.path, msSR, maxGSRateLoss, scalarSR)
+	}
+
+	// 1e. The sharded-serving acceptance rows (introduced with the front-tier
+	// router): shards=1 and shards=4 present with decodes/s, missrate and
+	// cachehit; 4 shards at least minShardSpeedup× the single pool's
+	// decodes/s, no deadline-miss regression, and the compiled-channel hit
+	// rate within maxShardCacheLoss of the single pool's.
+	s1Rate, s1RateOK := newest.metric("BenchmarkShardedServe/shards=1", "decodes/s")
+	s4Rate, s4RateOK := newest.metric("BenchmarkShardedServe/shards=4", "decodes/s")
+	s1Miss, s1MissOK := newest.metric("BenchmarkShardedServe/shards=1", "missrate")
+	s4Miss, s4MissOK := newest.metric("BenchmarkShardedServe/shards=4", "missrate")
+	s1Hit, s1HitOK := newest.metric("BenchmarkShardedServe/shards=1", "cachehit")
+	s4Hit, s4HitOK := newest.metric("BenchmarkShardedServe/shards=4", "cachehit")
+	switch {
+	case !s1RateOK || !s4RateOK || !s1MissOK || !s4MissOK || !s1HitOK || !s4HitOK:
+		problemf("%s: missing BenchmarkShardedServe shards=1/shards=4 rows with \"decodes/s\", \"missrate\" and \"cachehit\"", newest.path)
+	default:
+		if !(s4Rate >= minShardSpeedup*s1Rate) {
+			problemf("%s: 4-shard serving %.1f decodes/s below %g× single-pool %.1f (%.2fx)",
+				newest.path, s4Rate, minShardSpeedup, s1Rate, s4Rate/s1Rate)
+		}
+		if s4Miss > s1Miss+maxShardMissEps {
+			problemf("%s: 4-shard missrate %.4f worse than single-pool %.4f",
+				newest.path, s4Miss, s1Miss)
+		}
+		if s1Hit-s4Hit > maxShardCacheLoss {
+			problemf("%s: 4-shard cache hit rate %.3f more than %g below single-pool %.3f",
+				newest.path, s4Hit, maxShardCacheLoss, s1Hit)
+		}
 	}
 
 	// 2. Intra-snapshot gates: compiled ≥ 2× recompile at every W ≥ 14, and

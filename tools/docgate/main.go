@@ -6,7 +6,8 @@
 //   - an exported identifier in the fully-documented packages
 //     (internal/backend, internal/sched, internal/metrics, internal/qos,
 //     internal/reduction, internal/core, internal/precoding,
-//     internal/softout, internal/telemetry, internal/anneal) lacks a doc
+//     internal/softout, internal/telemetry, internal/anneal,
+//     internal/router) lacks a doc
 //     comment.
 //
 // Run it from the repository root:
@@ -42,6 +43,7 @@ var fullDocPackages = []string{
 	"internal/softout",
 	"internal/telemetry",
 	"internal/anneal",
+	"internal/router",
 }
 
 func main() {
