@@ -40,6 +40,15 @@
 // accepting connections, drains queued work, and prints the pool and planner
 // statistics.
 //
+// -cost-aware turns on fleet-economics dispatch: every backend publishes a
+// capability descriptor (latency model, $/solve, J/solve — internal/backend
+// Capabilities), and the scheduler diverts requests whose planned anneal
+// budget is classically easy (at most -cost-easy-reads) to the cheapest
+// backend whose latency estimate still meets the deadline. Per-backend spend
+// and energy counters ride the v7 stats frame, `quamax -top`, and the
+// Prometheus export. cmd/fleetsim sweeps QPU-count × traffic-mix grids over
+// the same scheduler to pick the cost-optimal fleet shape offline.
+//
 // -shards N splits the data center into N independent scheduler pools behind
 // a channel-affinity router (internal/router): every -pool/-backends worker
 // set is instantiated per shard, consistent hashing on the channel
@@ -110,6 +119,9 @@ func main() {
 		shardsN       = flag.Int("shards", 1, "independent scheduler pools behind the channel-affinity router (the full -pool/-backends worker set per shard)")
 		pipeDepth     = flag.Int("pipeline-depth", 0, "per-connection in-flight request window (0 = default)")
 		shedThreshold = flag.Float64("shed-threshold", 0, "deadline-miss EWMA above which a shard sheds keyed load with a tagged error (0 = never shed)")
+
+		costAware     = flag.Bool("cost-aware", false, "divert planner-sized easy requests to the cheapest backend by $/solve (capability descriptors) when QPU reads buy no extra QoS")
+		costEasyReads = flag.Int("cost-easy-reads", 0, "largest planner anneal budget still considered classically easy for cost diversion (0 = default)")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -276,6 +288,8 @@ func main() {
 			DisableBatch:     !*batch,
 			Planner:          budgetPlanner,
 			DefaultTargetBER: *targetBER,
+			CostAware:        *costAware,
+			CostEasyReads:    *costEasyReads,
 			Seed:             *seed + int64(i),
 			ShardID:          i,
 			Telemetry:        rec,

@@ -51,6 +51,28 @@ func fmtMicros(us float64) string {
 	return d.Round(100 * time.Nanosecond).String()
 }
 
+// fmtMicroUSD renders a micro-USD spend at the most readable scale.
+func fmtMicroUSD(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("$%.2f", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fm$", v/1e3)
+	}
+	return fmt.Sprintf("%.1fµ$", v)
+}
+
+// fmtMilliJ renders a millijoule energy total at the most readable scale.
+func fmtMilliJ(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fkJ", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fJ", v/1e3)
+	}
+	return fmt.Sprintf("%.1fmJ", v)
+}
+
 // printStats writes one stats frame as the -top table.
 func printStats(addr string, stats *fronthaul.StatsResponse) {
 	p := &stats.Pool
@@ -67,6 +89,9 @@ func printStats(addr string, stats *fronthaul.StatsResponse) {
 		parts := make([]string, len(p.Backends))
 		for i, be := range p.Backends {
 			parts[i] = fmt.Sprintf("%s solved=%d errors=%d util=%.1f%%", be.Name, be.Solved, be.Errors, 100*be.Utilization)
+			if be.SpendMicroUSD > 0 || be.EnergyMilliJ > 0 {
+				parts[i] += fmt.Sprintf(" spend=%s energy=%s", fmtMicroUSD(be.SpendMicroUSD), fmtMilliJ(be.EnergyMilliJ))
+			}
 		}
 		fmt.Printf("  backends: %s\n", strings.Join(parts, "  |  "))
 	}

@@ -9,7 +9,11 @@
 // configuration; odd subcarriers additionally carry a deadline shorter than
 // a single anneal, so the run also shows the hybrid dispatch of
 // arXiv:2010.00682: those route to the classical fallback while the rest
-// share batched, right-sized annealer runs.
+// share batched, right-sized annealer runs. The scheduler runs cost-aware
+// (sched.Config.CostAware): every backend publishes a capability descriptor
+// with a $/solve and J/solve cost model, easy QoS classes divert to the
+// cheapest solver that still meets their deadline, and the final pool stats
+// price each backend's work in micro-USD and millijoules.
 //
 //	go run ./examples/cran
 package main
@@ -62,10 +66,11 @@ func main() {
 		log.Fatal(err)
 	}
 	scheduler, err := sched.New(sched.Config{
-		Pool:     pool,
-		Fallback: backend.NewClassicalSA("sa", 128, 100),
-		Planner:  planner,
-		Seed:     99,
+		Pool:      pool,
+		Fallback:  backend.NewClassicalSA("sa", 128, 100),
+		Planner:   planner,
+		CostAware: true, // price dispatch with the capability descriptors
+		Seed:      99,
 	})
 	if err != nil {
 		log.Fatal(err)

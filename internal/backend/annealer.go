@@ -23,6 +23,7 @@ import (
 type Annealer struct {
 	name string
 	dec  *core.Decoder
+	caps *Capabilities
 }
 
 // NewAnnealer builds a simulated QPU backend with the given decoder options
@@ -32,17 +33,32 @@ func NewAnnealer(name string, opts core.Options) (*Annealer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Annealer{name: name, dec: dec}, nil
+	return AnnealerFromDecoder(name, dec), nil
 }
 
 // AnnealerFromDecoder wraps an existing decoder (sharing its embedding
 // caches) as a Backend.
 func AnnealerFromDecoder(name string, dec *core.Decoder) *Annealer {
-	return &Annealer{name: name, dec: dec}
+	a := &Annealer{name: name, dec: dec}
+	slots, err := dec.BatchSlots(2)
+	if err != nil || slots < 1 {
+		slots = 1
+	}
+	a.caps = &Capabilities{
+		Name:          name,
+		Latency:       a.occupancyMicros,
+		Cost:          DefaultQPUCostModel,
+		Qubits:        dec.Options().Graph.NumWorkingQubits(),
+		MaxBatchSlots: slots,
+		Features:      FeatureBatch | FeatureReverse | FeatureSoft | FeatureQuantum,
+	}
+	return a
 }
 
-// Name implements Backend.
-func (a *Annealer) Name() string { return a.name }
+// Describe implements Backend. The annealer advertises quantum hardware with
+// batch, reverse-anneal and soft-output support, priced at the leased-QPU
+// cost model.
+func (a *Annealer) Describe() *Capabilities { return a.caps }
 
 // Decoder exposes the wrapped QuAMax decoder.
 func (a *Annealer) Decoder() *core.Decoder { return a.dec }
@@ -65,11 +81,12 @@ func softSpec(p *Problem) *softout.Spec {
 	return &softout.Spec{NoiseVar: p.NoiseVar, Clamp: p.LLRClamp}
 }
 
-// EstimateMicros returns the modeled device occupancy of one run,
-// Na·(Ta+Tp) under the problem's effective anneal parameters. The chip is
-// busy for the full run regardless of slot amortization, so this — not the
-// amortized per-problem time — is what queue waits accumulate.
-func (a *Annealer) EstimateMicros(p *Problem) float64 {
+// occupancyMicros is the descriptor's latency hook: the modeled device
+// occupancy of one run, Na·(Ta+Tp) under the problem's effective anneal
+// parameters. The chip is busy for the full run regardless of slot
+// amortization, so this — not the amortized per-problem time — is what queue
+// waits accumulate.
+func (a *Annealer) occupancyMicros(p *Problem) float64 {
 	params := a.params(p)
 	return float64(params.NumAnneals) * params.AnnealWallMicros()
 }

@@ -117,13 +117,12 @@ type Result struct {
 // Solve calls (the scheduler may run one instance behind several workers) and
 // must honor ctx cancellation at least between coarse solve phases.
 type Backend interface {
-	// Name identifies the backend in results and pool stats.
-	Name() string
-	// EstimateMicros predicts the compute latency of one Solve of p — the
-	// quantity the scheduler's deadline-aware dispatch sums into projected
-	// queue waits. For the annealer this is modeled device time; classical
-	// backends use cost models or measured moving averages.
-	EstimateMicros(p *Problem) float64
+	// Describe returns the backend's capability descriptor: identity,
+	// latency model, per-solve economics, batch geometry and feature set.
+	// The returned pointer is stable for the backend's lifetime and must be
+	// treated as read-only; every dispatch decision (deadline projection,
+	// cost-aware routing, stats attribution) flows through it.
+	Describe() *Capabilities
 	// Solve decodes one problem. src drives any stochastic component and is
 	// owned by the caller (typically a per-worker stream).
 	Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error)

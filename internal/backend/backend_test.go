@@ -72,8 +72,8 @@ func TestAnnealerSolve(t *testing.T) {
 	if res.ComputeMicros <= 0 {
 		t.Fatal("no compute time reported")
 	}
-	if est := a.EstimateMicros(problemOf(in)); est != 40*2 {
-		t.Fatalf("EstimateMicros = %g, want Na·(Ta+Tp) = 80", est)
+	if est := a.Describe().PredictMicros(problemOf(in)); est != 40*2 {
+		t.Fatalf("PredictMicros = %g, want Na·(Ta+Tp) = 80", est)
 	}
 }
 
@@ -137,8 +137,8 @@ func TestClassicalSASolve(t *testing.T) {
 	if res.Backend != "sa" {
 		t.Fatalf("backend name %q", res.Backend)
 	}
-	if est := c.EstimateMicros(p); est <= 0 {
-		t.Fatalf("EstimateMicros = %g", est)
+	if est := c.Describe().PredictMicros(p); est <= 0 {
+		t.Fatalf("PredictMicros = %g", est)
 	}
 }
 
@@ -146,7 +146,7 @@ func TestSphereSolveAndAdaptiveEstimate(t *testing.T) {
 	s := NewSphere("sphere", 0)
 	in := testInstance(t, 51, modulation.QPSK, 4)
 	p := problemOf(in)
-	if est := s.EstimateMicros(p); est != s.PriorMicros {
+	if est := s.Describe().PredictMicros(p); est != s.PriorMicros {
 		t.Fatalf("cold estimate %g, want prior %g", est, s.PriorMicros)
 	}
 	res, err := s.Solve(context.Background(), p, rng.New(5))
@@ -156,7 +156,7 @@ func TestSphereSolveAndAdaptiveEstimate(t *testing.T) {
 	if errs := in.BitErrors(res.Bits); errs != 0 {
 		t.Fatalf("sphere backend: %d bit errors (exact ML on noise-free channel)", errs)
 	}
-	if est := s.EstimateMicros(p); est == s.PriorMicros {
+	if est := s.Describe().PredictMicros(p); est == s.PriorMicros {
 		t.Fatal("estimate not updated from measurement")
 	}
 }

@@ -33,10 +33,12 @@ type ClassicalSA struct {
 	name string
 	// SA holds the annealing effort knobs; mutate before first use only.
 	SA *detector.ClassicalSA
-	// MicrosPerSpinSweep calibrates EstimateMicros: one Metropolis update of
-	// one spin costs about this much wall time. The default is measured on
-	// the bench harness; it only steers admission, not correctness.
+	// MicrosPerSpinSweep calibrates the latency model: one Metropolis update
+	// of one spin costs about this much wall time. The default is measured
+	// on the bench harness; it only steers admission, not correctness.
 	MicrosPerSpinSweep float64
+
+	caps *Capabilities
 }
 
 // DefaultMicrosPerSpinSweep is the measured per-spin-update cost of the SA
@@ -46,20 +48,30 @@ const DefaultMicrosPerSpinSweep = 0.004
 // NewClassicalSA builds the SA backend with the given effort (restarts ≈ Na
 // for parity with the QPU, per detector.NewClassicalSA).
 func NewClassicalSA(name string, sweeps, restarts int) *ClassicalSA {
-	return &ClassicalSA{
+	c := &ClassicalSA{
 		name:               name,
 		SA:                 detector.NewClassicalSA(sweeps, restarts),
 		MicrosPerSpinSweep: DefaultMicrosPerSpinSweep,
 	}
+	c.caps = &Capabilities{
+		Name:          name,
+		Latency:       c.estimate,
+		Cost:          DefaultClassicalCostModel,
+		MaxBatchSlots: 1,
+		Features:      FeatureSoft,
+	}
+	return c
 }
 
-// Name implements Backend.
-func (c *ClassicalSA) Name() string { return c.name }
+// Describe implements Backend: a conventional single-solution CPU solver,
+// priced at the classical core cost model, answering soft requests with
+// saturated LLRs.
+func (c *ClassicalSA) Describe() *Capabilities { return c.caps }
 
-// EstimateMicros models the deterministic SA cost: sweeps × restarts × N
-// spin updates. The quadratic local-field cost in N is folded into the
-// per-spin constant at the pool's typical sizes.
-func (c *ClassicalSA) EstimateMicros(p *Problem) float64 {
+// estimate is the descriptor's latency hook, modeling the deterministic SA
+// cost: sweeps × restarts × N spin updates. The quadratic local-field cost
+// in N is folded into the per-spin constant at the pool's typical sizes.
+func (c *ClassicalSA) estimate(p *Problem) float64 {
 	n := float64(p.LogicalSpins())
 	return float64(c.SA.Sweeps) * float64(c.SA.Restarts) * n * c.MicrosPerSpinSweep * (1 + n/16)
 }
@@ -88,8 +100,8 @@ func (c *ClassicalSA) Solve(ctx context.Context, p *Problem, src *rng.Source) (*
 // Sphere adapts the exact Schnorr–Euchner sphere decoder (§2.1) to the
 // Backend interface: the throughput-optimal classical reference whose
 // latency is input-dependent (exponential worst case, Table 1). Because no
-// closed-form cost model exists, EstimateMicros is a measured exponential
-// moving average per problem shape, seeded with PriorMicros.
+// closed-form cost model exists, the descriptor's latency hook is a measured
+// exponential moving average per problem shape, seeded with PriorMicros.
 type Sphere struct {
 	name string
 	// Opts tune the underlying search; set MaxVisitedNodes to bound
@@ -97,6 +109,8 @@ type Sphere struct {
 	Opts detector.SphereOptions
 	// PriorMicros seeds the latency estimate before any measurement.
 	PriorMicros float64
+
+	caps *Capabilities
 
 	mu   sync.Mutex
 	ewma map[sphereKey]float64
@@ -110,20 +124,31 @@ type sphereKey struct {
 // NewSphere builds the sphere-decoder backend. maxVisitedNodes bounds each
 // search (0 = unlimited — beware exponential tails at low SNR).
 func NewSphere(name string, maxVisitedNodes int) *Sphere {
-	return &Sphere{
+	s := &Sphere{
 		name:        name,
 		Opts:        detector.SphereOptions{MaxVisitedNodes: maxVisitedNodes},
 		PriorMicros: 500,
 		ewma:        make(map[sphereKey]float64),
 	}
+	s.caps = &Capabilities{
+		Name:          name,
+		Latency:       s.estimate,
+		Cost:          DefaultClassicalCostModel,
+		MaxBatchSlots: 1,
+		Features:      FeatureSoft,
+	}
+	return s
 }
 
-// Name implements Backend.
-func (s *Sphere) Name() string { return s.name }
+// Describe implements Backend: the exact classical reference solver, priced
+// at the classical core cost model, answering soft requests with saturated
+// LLRs.
+func (s *Sphere) Describe() *Capabilities { return s.caps }
 
-// EstimateMicros returns the moving-average measured latency for this
-// problem shape, or the prior if the shape has not been solved yet.
-func (s *Sphere) EstimateMicros(p *Problem) float64 {
+// estimate is the descriptor's latency hook: the moving-average measured
+// latency for this problem shape, or the prior if the shape has not been
+// solved yet.
+func (s *Sphere) estimate(p *Problem) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if est, ok := s.ewma[sphereKey{byte(p.Mod), p.Users()}]; ok {

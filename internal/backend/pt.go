@@ -19,10 +19,12 @@ type ParallelTempering struct {
 	name string
 	// PT holds the default effort knobs; mutate before first use only.
 	PT *detector.ParallelTempering
-	// MicrosPerSpinSweep calibrates EstimateMicros: one packed Metropolis
+	// MicrosPerSpinSweep calibrates the latency model: one packed Metropolis
 	// update of one spin across one ladder lane costs about this much wall
 	// time. It only steers admission, not correctness.
 	MicrosPerSpinSweep float64
+
+	caps *Capabilities
 }
 
 // DefaultPTMicrosPerSpinSweep is the measured per-spin-per-rung update cost
@@ -35,15 +37,25 @@ const DefaultPTMicrosPerSpinSweep = 0.0008
 // effort (zero knobs take the engine defaults: 16 rungs, 4 ladders, 100
 // sweeps, auto β ladder).
 func NewParallelTempering(name string, rungs, ladders, sweeps int) *ParallelTempering {
-	return &ParallelTempering{
+	c := &ParallelTempering{
 		name:               name,
 		PT:                 detector.NewParallelTempering(rungs, ladders, sweeps),
 		MicrosPerSpinSweep: DefaultPTMicrosPerSpinSweep,
 	}
+	c.caps = &Capabilities{
+		Name:          name,
+		Latency:       c.estimate,
+		Cost:          DefaultClassicalCostModel,
+		MaxBatchSlots: 1,
+		Features:      FeatureSoft | FeaturePT,
+	}
+	return c
 }
 
-// Name implements Backend.
-func (c *ParallelTempering) Name() string { return c.name }
+// Describe implements Backend: the strongest classical stand-in for the QPU,
+// priced at the classical core cost model, honoring per-request PT budgets
+// and answering soft requests with saturated LLRs.
+func (c *ParallelTempering) Describe() *Capabilities { return c.caps }
 
 // params resolves the effective run knobs for one problem: the per-request
 // planner override when present, the backend defaults otherwise.
@@ -54,11 +66,11 @@ func (c *ParallelTempering) params(p *Problem) anneal.PTParams {
 	return c.PT.Params
 }
 
-// EstimateMicros models the deterministic PT cost: sweeps × rungs × ladders
-// × N packed spin updates (zero knobs priced at the engine defaults). The
-// super-linear local-field scatter cost in N is folded into the per-spin
-// constant at the pool's typical sizes.
-func (c *ParallelTempering) EstimateMicros(p *Problem) float64 {
+// estimate is the descriptor's latency hook, modeling the deterministic PT
+// cost: sweeps × rungs × ladders × N packed spin updates (zero knobs priced
+// at the engine defaults). The super-linear local-field scatter cost in N is
+// folded into the per-spin constant at the pool's typical sizes.
+func (c *ParallelTempering) estimate(p *Problem) float64 {
 	pt := c.params(p)
 	rungs, ladders, sweeps := pt.Rungs, pt.Ladders, pt.Sweeps
 	if rungs == 0 {

@@ -34,17 +34,17 @@ func TestParallelTemperingEstimate(t *testing.T) {
 	in := testInstance(t, 92, modulation.QPSK, 4) // 8 logical spins
 	p := problemOf(in)
 	// sweeps·rungs·ladders·n·µ·(1+n/64) = 50·8·2·8·1·1.125 = 7200.
-	if est := c.EstimateMicros(p); est != 7200 {
-		t.Fatalf("EstimateMicros = %g, want 7200", est)
+	if est := c.Describe().PredictMicros(p); est != 7200 {
+		t.Fatalf("PredictMicros = %g, want 7200", est)
 	}
 	// A planner override re-prices the run; zero knobs price at defaults.
 	p.PT = &anneal.PTParams{Rungs: 4, Ladders: 1, Sweeps: 10}
-	if est := c.EstimateMicros(p); est != 10*4*1*8*1.125 {
-		t.Fatalf("overridden EstimateMicros = %g, want %g", est, 10*4*1*8*1.125)
+	if est := c.Describe().PredictMicros(p); est != 10*4*1*8*1.125 {
+		t.Fatalf("overridden PredictMicros = %g, want %g", est, 10*4*1*8*1.125)
 	}
 	p.PT = &anneal.PTParams{}
-	if est := c.EstimateMicros(p); est != 100*16*4*8*1.125 {
-		t.Fatalf("default-priced EstimateMicros = %g, want %g", est, 100*16*4*8*1.125)
+	if est := c.Describe().PredictMicros(p); est != 100*16*4*8*1.125 {
+		t.Fatalf("default-priced PredictMicros = %g, want %g", est, 100*16*4*8*1.125)
 	}
 }
 

@@ -118,7 +118,7 @@ func TestClassicalSoftSaturates(t *testing.T) {
 		}
 		if len(res.LLRs) != len(res.Bits) || res.LLRSaturated != len(res.Bits) {
 			t.Fatalf("%s: LLRs %d, saturated %d, bits %d",
-				be.Name(), len(res.LLRs), res.LLRSaturated, len(res.Bits))
+				be.Describe().Name, len(res.LLRs), res.LLRSaturated, len(res.Bits))
 		}
 		for k, llr := range res.LLRs {
 			want := -8.0
@@ -126,13 +126,13 @@ func TestClassicalSoftSaturates(t *testing.T) {
 				want = 8
 			}
 			if llr != want {
-				t.Fatalf("%s bit %d: LLR %g, want %g", be.Name(), k, llr, want)
+				t.Fatalf("%s bit %d: LLR %g, want %g", be.Describe().Name, k, llr, want)
 			}
 		}
 		// The saturated soft answer must reproduce the hard decision.
 		got := softout.HardDecisions(res.LLRs)
 		if string(got) != string(res.Bits) {
-			t.Fatalf("%s: saturated LLRs do not slice back to the hard bits", be.Name())
+			t.Fatalf("%s: saturated LLRs do not slice back to the hard bits", be.Describe().Name)
 		}
 	}
 }

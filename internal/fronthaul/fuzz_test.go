@@ -14,9 +14,9 @@ import (
 )
 
 // fuzzStatsResponse builds a fully populated stats response: pool counters
-// with two backends, a telemetry snapshot whose histograms span first,
-// middle and last buckets and whose quality map holds two classes, and a
-// v8 per-shard breakdown.
+// with two backends (both carrying spend/energy economics), a telemetry
+// snapshot whose histograms span first, middle and last buckets and whose
+// quality map holds two classes, and a v8 per-shard breakdown.
 func fuzzStatsResponse() *StatsResponse {
 	hist := func(idx ...int) telemetry.Hist {
 		h := telemetry.Hist{Counts: make([]uint64, telemetry.NumBuckets), Min: 0.3, Max: 9000, Sum: 12345}
@@ -48,8 +48,10 @@ func fuzzStatsResponse() *StatsResponse {
 			SlotOccupancy: 0.75,
 			ChannelCache:  metrics.ChannelCacheStats{Hits: 30, Misses: 12, Evictions: 2},
 			Backends: []metrics.BackendStats{
-				{Name: "qpu0", Solved: 20, Errors: 1, BusyMicros: 5000, Utilization: 0.5},
-				{Name: "sa", Solved: 21, BusyMicros: 800, Utilization: 0.08},
+				{Name: "qpu0", Solved: 20, Errors: 1, BusyMicros: 5000, Utilization: 0.5,
+					SpendMicroUSD: 2777.5, EnergyMilliJ: 125000},
+				{Name: "sa", Solved: 21, BusyMicros: 800, Utilization: 0.08,
+					SpendMicroUSD: 0.25, EnergyMilliJ: 12},
 			},
 		},
 		Telemetry: sn,
@@ -57,7 +59,8 @@ func fuzzStatsResponse() *StatsResponse {
 			{
 				Submitted: 30, Completed: 30, BatchRuns: 3, SlotOccupancy: 0.5,
 				ChannelCache: metrics.ChannelCacheStats{Hits: 20, Misses: 8},
-				Backends:     []metrics.BackendStats{{Name: "s0/qpu0", Solved: 30, BusyMicros: 4000, Utilization: 0.4}},
+				Backends: []metrics.BackendStats{{Name: "s0/qpu0", Solved: 30, BusyMicros: 4000, Utilization: 0.4,
+					SpendMicroUSD: 2222, EnergyMilliJ: 100000}},
 			},
 			{
 				Submitted: 12, Completed: 11, Failed: 1, BatchRuns: 1, SlotOccupancy: 1,
@@ -73,8 +76,9 @@ func fuzzStatsResponse() *StatsResponse {
 // with (v3+) and without (v2) the target-BER field, the v4 coherence frames,
 // the v5 precode frames, the v6 soft-decode frames (including truncated LLR
 // payloads and zero-length LLR lists), the v7 stats frames (including a
-// truncated histogram payload, an all-empty-histogram snapshot and a
-// telemetry-less response), and every response shape, plus an
+// truncated histogram payload, an all-empty-histogram snapshot, a
+// telemetry-less response, and the flag-gated trailing economics block with
+// its non-canonical all-zero form), and every response shape, plus an
 // unknown-version frame type a newer peer might emit.
 func fuzzSeedFrames(tb testing.TB) [][]byte {
 	tb.Helper()
@@ -199,6 +203,16 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	zeroShards[len(zeroShards)-1] |= statsRespShards
 	zeroShards = append(zeroShards, 0, 0)
 	seeds = append(seeds, frame(msgStatsResponse, zeroShards, nil))
+	// The economics twin: the flag is set but every spend/energy pair is
+	// zero — non-canonical for the same reason (a re-encode would drop the
+	// flag), rejected. statsBare lists one pool backend, so the trailing
+	// block is one all-zero f64 pair.
+	zeroEcon := append([]byte(nil), statsBare...)
+	zeroEcon[len(zeroEcon)-1] |= statsRespEconomics
+	zeroEcon = append(zeroEcon, make([]byte, 16)...)
+	seeds = append(seeds, frame(msgStatsResponse, zeroEcon, nil))
+	// A stats response truncated inside the trailing economics block.
+	seeds = append(seeds, append([]byte{msgStatsResponse}, statsFull[:len(statsFull)-9]...))
 	// The v8 pipelined streams: a connection's read loop sees many frames
 	// back to back, responses returning out of order and interleaved across
 	// request classes, and teardown can truncate the stream mid-frame. These

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"quamax/internal/backend"
+	"quamax/internal/metrics"
 	"quamax/internal/modulation"
 	"quamax/internal/sched"
 	"quamax/internal/telemetry"
@@ -62,6 +63,25 @@ func TestStatsCodecRejectsCorruption(t *testing.T) {
 	}
 	if _, err := decodeStatsRequest(append(encodeStatsRequest(&StatsRequest{ID: 1}), 0)); err == nil {
 		t.Fatal("stats request trailing bytes accepted")
+	}
+
+	// The trailing economics block is flag-gated and canonical: a truncated
+	// block and a flag-with-all-zero-counters payload are both rejected.
+	if _, err := decodeStatsResponse(payload[:len(payload)-9]); err == nil {
+		t.Fatal("stats response truncated inside the economics block accepted")
+	}
+	bare, err := encodeStatsResponse(&StatsResponse{ID: 2, Pool: metrics.PoolStats{
+		Submitted: 1, Completed: 1,
+		Backends: []metrics.BackendStats{{Name: "qpu0", Solved: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroEcon := append([]byte(nil), bare...)
+	zeroEcon[len(zeroEcon)-1] |= statsRespEconomics
+	zeroEcon = append(zeroEcon, make([]byte, 16)...)
+	if _, err := decodeStatsResponse(zeroEcon); err == nil {
+		t.Fatal("economics flag with all-zero counters accepted")
 	}
 
 	// The histogram grammar is canonical: out-of-order or repeated bucket

@@ -121,10 +121,15 @@ func readHist(r *reader) (telemetry.Hist, error) {
 }
 
 // statsRespTelemetry is the flags bit marking a telemetry block;
-// statsRespShards the per-shard PoolStats breakdown block (protocol v8).
+// statsRespShards the per-shard PoolStats breakdown block (protocol v8);
+// statsRespEconomics the trailing spend/energy block (one f64 pair per
+// backend entry, aggregate then shards — PR 9's fleet-economics counters).
+// Like the shards bit, each flag rides only when its block carries data, so
+// pre-economics decodes stay byte-compatible.
 const (
 	statsRespTelemetry = 1 << 0
 	statsRespShards    = 1 << 1
+	statsRespEconomics = 1 << 2
 )
 
 // appendPoolStats encodes one PoolStats block (the aggregate and each
@@ -223,6 +228,10 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 	if len(resp.Shards) > 0 {
 		flags |= statsRespShards
 	}
+	econ := economicsPresent(resp)
+	if econ {
+		flags |= statsRespEconomics
+	}
 	b = append(b, flags)
 	if sn := resp.Telemetry; sn != nil {
 		b = appendF64(b, sn.UptimeMicros)
@@ -268,7 +277,44 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 			}
 		}
 	}
+	if econ {
+		b = appendEconomics(b, &resp.Pool)
+		for i := range resp.Shards {
+			b = appendEconomics(b, &resp.Shards[i])
+		}
+	}
 	return b, nil
+}
+
+// economicsPresent reports whether any backend entry carries nonzero spend
+// or energy — the condition under which the economics block (and its flag
+// bit) rides the frame. Tying the bit to the data keeps the wire form
+// canonical: an all-zero response re-encodes without the block, byte-equal.
+func economicsPresent(resp *StatsResponse) bool {
+	pools := make([]*metrics.PoolStats, 0, len(resp.Shards)+1)
+	pools = append(pools, &resp.Pool)
+	for i := range resp.Shards {
+		pools = append(pools, &resp.Shards[i])
+	}
+	for _, p := range pools {
+		for _, be := range p.Backends {
+			if be.SpendMicroUSD != 0 || be.EnergyMilliJ != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// appendEconomics encodes one pool's per-backend (spend, energy) pairs. The
+// pair count is implied by the pool block's own backend count, decoded
+// earlier in the frame, so the block carries no redundant length.
+func appendEconomics(b []byte, p *metrics.PoolStats) []byte {
+	for _, be := range p.Backends {
+		b = appendF64(b, be.SpendMicroUSD)
+		b = appendF64(b, be.EnergyMilliJ)
+	}
+	return b
 }
 
 // decodeStatsResponse parses a StatsResponse payload.
@@ -291,7 +337,7 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 		return nil, r.err
 	}
 	flags := flagsB[0]
-	if flags&^byte(statsRespTelemetry|statsRespShards) != 0 {
+	if flags&^byte(statsRespTelemetry|statsRespShards|statsRespEconomics) != 0 {
 		return nil, fmt.Errorf("fronthaul: unknown stats flags %#x", flags)
 	}
 	if flags&statsRespTelemetry != 0 {
@@ -384,6 +430,27 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 			if err := readPoolStats(r, payload, &resp.Shards[i]); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if flags&statsRespEconomics != 0 {
+		readEcon := func(p *metrics.PoolStats) {
+			for i := range p.Backends {
+				p.Backends[i].SpendMicroUSD = r.f64()
+				p.Backends[i].EnergyMilliJ = r.f64()
+			}
+		}
+		readEcon(&resp.Pool)
+		for i := range resp.Shards {
+			readEcon(&resp.Shards[i])
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		// A set flag over all-zero counters would re-encode without the
+		// block, breaking the canonical decode∘encode identity — reject it
+		// (the shards-flag rule, applied to economics).
+		if !economicsPresent(resp) {
+			return nil, errors.New("fronthaul: economics flag set with zero counters")
 		}
 	}
 	if r.err != nil {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -88,6 +89,13 @@ type BackendStats struct {
 	// worker bound to the backend; can exceed 1 when several workers share
 	// one backend instance).
 	Utilization float64
+	// SpendMicroUSD is the cumulative spend charged against this backend's
+	// device occupancy through its capability descriptor's cost model
+	// (backend.Capabilities), in micro-dollars.
+	SpendMicroUSD float64
+	// EnergyMilliJ is the cumulative energy drawn at the descriptor's device
+	// power over the same occupancy, in millijoules.
+	EnergyMilliJ float64
 }
 
 // MissRate returns the fraction of completed problems that missed their
@@ -130,6 +138,8 @@ func (s PoolStats) Merge(o PoolStats) PoolStats {
 	index := make(map[string]int)
 	for _, lists := range [][]BackendStats{s.Backends, o.Backends} {
 		for _, be := range lists {
+			be.SpendMicroUSD = finiteOrZero(be.SpendMicroUSD)
+			be.EnergyMilliJ = finiteOrZero(be.EnergyMilliJ)
 			i, ok := index[be.Name]
 			if !ok {
 				index[be.Name] = len(out.Backends)
@@ -140,6 +150,8 @@ func (s PoolStats) Merge(o PoolStats) PoolStats {
 			out.Backends[i].Errors += be.Errors
 			out.Backends[i].BusyMicros += be.BusyMicros
 			out.Backends[i].Utilization += be.Utilization
+			out.Backends[i].SpendMicroUSD += be.SpendMicroUSD
+			out.Backends[i].EnergyMilliJ += be.EnergyMilliJ
 		}
 	}
 	return out
@@ -168,6 +180,18 @@ func (s PoolStats) String() string {
 	for _, be := range s.Backends {
 		fmt.Fprintf(&b, "\npool: backend %-10s solved=%d errors=%d busy=%.0fµs util=%.1f%%",
 			be.Name, be.Solved, be.Errors, be.BusyMicros, 100*be.Utilization)
+		if spend, energy := finiteOrZero(be.SpendMicroUSD), finiteOrZero(be.EnergyMilliJ); spend > 0 || energy > 0 {
+			fmt.Fprintf(&b, " spend=%.1fµUSD energy=%.1fmJ", spend, energy)
+		}
 	}
 	return b.String()
+}
+
+// finiteOrZero treats a non-finite accounting value (a failed measurement)
+// as a missing one, so spend/energy aggregates never absorb NaN or ±Inf.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }

@@ -98,11 +98,15 @@ func TestPoolStatsStringCoversEveryField(t *testing.T) {
 		"SlotOccupancy": 0.56,   // %.0f%% of 100·v
 		"BusyMicros":    9876,   // %.0fµs
 		"Utilization":   0.0783, // %.1f%% of 100·v
+		"SpendMicroUSD": 1234.5, // %.1fµUSD
+		"EnergyMilliJ":  42.5,   // %.1fmJ
 	}
 	floatRender := map[string]string{
 		"SlotOccupancy": "56%",
 		"BusyMicros":    "9876µs",
 		"Utilization":   "7.8%",
+		"SpendMicroUSD": "1234.5µUSD",
+		"EnergyMilliJ":  "42.5mJ",
 	}
 
 	var s PoolStats
@@ -149,6 +153,25 @@ func TestPoolStatsStringCoversEveryField(t *testing.T) {
 		if !strings.Contains(out, sub) {
 			t.Errorf("String() omits field %s (expected substring %q):\n%s", path, sub, out)
 		}
+	}
+}
+
+// Spend/energy accounting must treat non-finite addends as missing
+// measurements: one NaN (or ±Inf) sample must never poison the merged
+// aggregate a multi-pool deployment reports upward.
+func TestPoolStatsMergeGuardsNonFiniteEconomics(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	a := PoolStats{Backends: []BackendStats{{Name: "qpu", SpendMicroUSD: 10, EnergyMilliJ: nan}}}
+	b := PoolStats{Backends: []BackendStats{{Name: "qpu", SpendMicroUSD: inf, EnergyMilliJ: 5}}}
+	m := a.Merge(b)
+	if got := m.Backends[0].SpendMicroUSD; got != 10 {
+		t.Errorf("merged spend = %g, want 10 (Inf addend dropped)", got)
+	}
+	if got := m.Backends[0].EnergyMilliJ; got != 5 {
+		t.Errorf("merged energy = %g, want 5 (NaN addend dropped)", got)
+	}
+	if out := (PoolStats{Backends: []BackendStats{{Name: "be0", SpendMicroUSD: nan, EnergyMilliJ: inf}}}).String(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("String renders non-finite economics:\n%s", out)
 	}
 }
 

@@ -240,8 +240,9 @@ type Plan struct {
 // measured value; the planner cannot import backend, so the caller wires it).
 type PTCost struct {
 	// MicrosPerSpinSweep is the wall cost of one packed Metropolis update of
-	// one spin on one rung — the same constant the PT backend's
-	// EstimateMicros uses, so planned budgets and admission agree.
+	// one spin on one rung — the same constant behind the PT backend's
+	// capability-descriptor latency model, so planned budgets and admission
+	// agree.
 	MicrosPerSpinSweep float64
 	// Params is the full-effort configuration (zero fields take the engine
 	// defaults: 16 rungs, 4 ladders, 100 sweeps).

@@ -231,8 +231,12 @@ func TestSheddingDisabledByDefault(t *testing.T) {
 // instantBackend is a minimal real backend for scheduler-backed shards.
 type instantBackend struct{ name string }
 
-func (b *instantBackend) Name() string                              { return b.name }
-func (b *instantBackend) EstimateMicros(p *backend.Problem) float64 { return 1 }
+func (b *instantBackend) Describe() *backend.Capabilities {
+	return &backend.Capabilities{
+		Name:    b.name,
+		Latency: func(p *backend.Problem) float64 { return 1 },
+	}
+}
 func (b *instantBackend) Solve(ctx context.Context, p *backend.Problem, src *rng.Source) (*backend.Result, error) {
 	return &backend.Result{Bits: []byte{0}, Backend: b.name}, nil
 }

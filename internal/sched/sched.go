@@ -30,6 +30,15 @@
 //     reads (Kasi et al., arXiv:2109.01465) and queue waits shrink with
 //     problem difficulty.
 //
+//   - Cost-aware dispatch. With Config.CostAware set, each admission also
+//     consults the backends' capability descriptors (backend.Capabilities):
+//     when the classical fallback solves a decode strictly cheaper than the
+//     cheapest pool backend, meets the deadline on its own, and the decode
+//     is classically safe (no BER target, or a planner-sized easy budget),
+//     it diverts there — spend minimization subject to the QoS constraints,
+//     the deployment economics of Kasi et al. (arXiv:2109.01465). Spend and
+//     energy are accounted per backend through the same descriptors.
+//
 //   - Graceful drain. Close stops admission, lets queued and in-flight work
 //     finish, and then stops the workers, so a serving process can shut down
 //     without dropping accepted requests.
@@ -59,6 +68,12 @@ func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsec
 // ErrClosed is returned by Dispatch after Close.
 var ErrClosed = errors.New("sched: scheduler closed")
 
+// DefaultCostEasyReads is the planned-read budget below which a decode
+// counts as an easy SNR class for cost-aware dispatch: at these budgets the
+// fitted TTS tables put the classical fallback at or past the annealer's
+// success probability, so routing for price cannot cost the BER target.
+const DefaultCostEasyReads = 16
+
 // Config assembles a Scheduler.
 type Config struct {
 	// Pool lists the worker backends; one worker goroutine per entry. The
@@ -82,6 +97,17 @@ type Config struct {
 	DefaultTargetBER float64
 	// DisableBatch turns off cross-request batching on BatchBackends.
 	DisableBatch bool
+	// CostAware enables spend-minimizing dispatch: a problem the Fallback
+	// can solve strictly cheaper (per its Capabilities cost model) diverts
+	// there at admission — but only when the fallback's own latency estimate
+	// meets the deadline and the decode is classically safe: either it
+	// carries no BER target, or the QoS planner sized an easy budget
+	// (planned reads ≤ CostEasyReads). Hard SNR classes keep their QPU
+	// dispatch regardless of price — the TTS table says those reads pay.
+	CostAware bool
+	// CostEasyReads bounds the planned anneal-read budget a target-carrying
+	// decode may have and still divert for cost (0 = DefaultCostEasyReads).
+	CostEasyReads int
 	// Telemetry, when set, receives one trace per terminal request (spans
 	// for admit/plan/queue/gather/solve/respond/e2e plus deadline slack),
 	// finished at the same point the Completed/Failed counters move so the
@@ -130,10 +156,21 @@ type Scheduler struct {
 }
 
 type backendCounters struct {
-	name       string
-	solved     uint64
-	errors     uint64
-	busyMicros float64
+	caps          *backend.Capabilities
+	name          string
+	solved        uint64
+	errors        uint64
+	busyMicros    float64
+	spendMicroUSD float64
+	energyMilliJ  float64
+}
+
+// charge accounts one device run's economics against the backend: occupancy
+// priced and powered through its capability descriptor. The descriptor's
+// accessors guard non-finite occupancy, so the counters never absorb NaN.
+func (c *backendCounters) charge(busyMicros float64) {
+	c.spendMicroUSD += c.caps.SpendMicroUSD(busyMicros)
+	c.energyMilliJ += c.caps.EnergyMilliJ(busyMicros)
 }
 
 type jobResult struct {
@@ -172,7 +209,8 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for _, be := range cfg.Pool {
-		s.perBackend = append(s.perBackend, &backendCounters{name: be.Name()})
+		caps := describe(be)
+		s.perBackend = append(s.perBackend, &backendCounters{caps: caps, name: caps.Name})
 	}
 	if cfg.Fallback != nil {
 		// A fallback that also serves in the pool shares its counters, so
@@ -184,7 +222,8 @@ func New(cfg Config) (*Scheduler, error) {
 			}
 		}
 		if s.fallbackCounters == nil {
-			s.fallbackCounters = &backendCounters{name: cfg.Fallback.Name()}
+			caps := describe(cfg.Fallback)
+			s.fallbackCounters = &backendCounters{caps: caps, name: caps.Name}
 		}
 	}
 	for i, be := range cfg.Pool {
@@ -201,16 +240,39 @@ func (s *Scheduler) splitSource() *rng.Source {
 	return s.src.Split()
 }
 
+// describe returns be's capability descriptor, substituting an empty one for
+// an implementation that declares none, so dispatch never dereferences nil.
+func describe(be backend.Backend) *backend.Capabilities {
+	if caps := be.Describe(); caps != nil {
+		return caps
+	}
+	return &backend.Capabilities{}
+}
+
 // poolEstimate is the best-case pool service time for p: the minimum
-// estimate over the distinct pool backends.
+// predicted latency over the pool backends' capability descriptors.
 func (s *Scheduler) poolEstimate(p *backend.Problem) float64 {
-	est := s.cfg.Pool[0].EstimateMicros(p)
+	est := describe(s.cfg.Pool[0]).PredictMicros(p)
 	for _, be := range s.cfg.Pool[1:] {
-		if e := be.EstimateMicros(p); e < est {
+		if e := describe(be).PredictMicros(p); e < est {
 			est = e
 		}
 	}
 	return est
+}
+
+// poolSpend is the cheapest projected spend for one solve of p on the pool:
+// the minimum over backends of their descriptor-priced predicted latency.
+func (s *Scheduler) poolSpend(p *backend.Problem) float64 {
+	var min float64
+	for i, be := range s.cfg.Pool {
+		caps := describe(be)
+		spend := caps.SpendMicroUSD(caps.PredictMicros(p))
+		if i == 0 || spend < min {
+			min = spend
+		}
+	}
+	return min
 }
 
 // applyPlan consults the QoS planner for a problem carrying a target BER
@@ -266,6 +328,34 @@ func (s *Scheduler) applyPlan(p *backend.Problem, deadline time.Duration) (*back
 	return &q, false
 }
 
+// divertForCost decides cost-aware dispatch for p after planning: divert to
+// the fallback when it is strictly cheaper than the cheapest pool backend
+// (per the capability descriptors' cost models) AND the fallback's own
+// latency estimate meets the deadline AND the decode is classically safe —
+// no BER target, or a planner-sized easy budget (reads ≤ CostEasyReads).
+// Hard SNR classes never divert: their large read budgets are exactly where
+// the TTS table says QPU time pays for itself.
+func (s *Scheduler) divertForCost(p *backend.Problem, deadline time.Duration) bool {
+	if !s.cfg.CostAware || s.fallback == nil {
+		return false
+	}
+	fbCaps := describe(s.fallback)
+	fbEst := fbCaps.PredictMicros(p)
+	if deadline > 0 && fbEst > float64(deadline)/float64(time.Microsecond) {
+		return false
+	}
+	if p.TargetBER > 0 {
+		easy := s.cfg.CostEasyReads
+		if easy <= 0 {
+			easy = DefaultCostEasyReads
+		}
+		if p.Anneal == nil || p.Anneal.NumAnneals > easy {
+			return false
+		}
+	}
+	return fbCaps.SpendMicroUSD(fbEst) < s.poolSpend(p)
+}
+
 // Dispatch submits one problem and blocks until it is solved, the context is
 // canceled, or the scheduler is closed. deadline ≤ 0 selects the configured
 // default. It implements fronthaul.Dispatcher.
@@ -303,8 +393,10 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 	// fallbackDispatches/queue so the Stats totals reconcile (Submitted ==
 	// Completed + Failed once drained — asserted in sched_test).
 	var est float64
+	var costDivert bool
 	if !planDenied || s.fallback == nil {
 		est = s.poolEstimate(p)
+		costDivert = !planDenied && s.divertForCost(p, deadline)
 	}
 
 	s.mu.Lock()
@@ -325,6 +417,21 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 		defer s.fbWg.Done()
 		if tr != nil {
 			tr.Fallback, tr.PlannerDenied = true, true
+			tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
+		}
+		return s.runFallback(ctx, p, deadline, tr, t0)
+	}
+
+	// Cost-aware dispatch: the fallback solves this decode strictly cheaper
+	// without risking its deadline or a planned BER target (divertForCost),
+	// so spend-minimization routes it off the expensive pool.
+	if costDivert {
+		s.fallbackDispatches++
+		s.fbWg.Add(1)
+		s.mu.Unlock()
+		defer s.fbWg.Done()
+		if tr != nil {
+			tr.Fallback = true
 			tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
 		}
 		return s.runFallback(ctx, p, deadline, tr, t0)
@@ -401,10 +508,11 @@ func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadlin
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fallbackCounters.busyMicros += elapsed
+	s.fallbackCounters.charge(elapsed)
 	if tr != nil {
 		defer func() {
 			end := s.now()
-			tr.Backend = s.fallback.Name()
+			tr.Backend = s.fallbackCounters.name
 			tr.Failed = err != nil
 			if res != nil {
 				tr.CacheHit = res.CacheHit
@@ -524,12 +632,13 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 
 		s.mu.Lock()
 		ctr.busyMicros += elapsed
+		ctr.charge(elapsed)
 		for i, j := range live {
 			s.inflightMicros -= j.est
 			if err != nil {
 				ctr.errors++
 				s.failed++
-				s.finishPoolTrace(j, nil, err, be.Name(), elapsed, solveEnd, len(live))
+				s.finishPoolTrace(j, nil, err, ctr.name, elapsed, solveEnd, len(live))
 				j.done <- jobResult{err: err}
 				continue
 			}
@@ -542,7 +651,7 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 			if !j.deadline.IsZero() && s.now().After(j.deadline) {
 				s.misses++
 			}
-			s.finishPoolTrace(j, results[i], nil, be.Name(), elapsed, solveEnd, len(live))
+			s.finishPoolTrace(j, results[i], nil, ctr.name, elapsed, solveEnd, len(live))
 			j.done <- jobResult{res: results[i]}
 		}
 		s.mu.Unlock()
@@ -745,10 +854,12 @@ func (s *Scheduler) Stats() metrics.PoolStats {
 	}
 	for _, c := range all {
 		bs := metrics.BackendStats{
-			Name:       c.name,
-			Solved:     c.solved,
-			Errors:     c.errors,
-			BusyMicros: c.busyMicros,
+			Name:          c.name,
+			Solved:        c.solved,
+			Errors:        c.errors,
+			BusyMicros:    c.busyMicros,
+			SpendMicroUSD: c.spendMicroUSD,
+			EnergyMilliJ:  c.energyMilliJ,
 		}
 		if wallMicros > 0 {
 			bs.Utilization = c.busyMicros / wallMicros
@@ -762,12 +873,12 @@ func (s *Scheduler) Stats() metrics.PoolStats {
 func (s *Scheduler) String() string {
 	names := make([]string, len(s.cfg.Pool))
 	for i, be := range s.cfg.Pool {
-		names[i] = be.Name()
+		names[i] = describe(be).Name
 	}
 	fb := "none"
 	if s.fallback != nil {
-		fb = s.fallback.Name()
+		fb = describe(s.fallback).Name
 	}
-	return fmt.Sprintf("sched: pool=%v fallback=%s default-deadline=%s batch=%t planner=%t",
-		names, fb, s.cfg.DefaultDeadline, !s.cfg.DisableBatch, s.cfg.Planner != nil)
+	return fmt.Sprintf("sched: pool=%v fallback=%s default-deadline=%s batch=%t planner=%t cost-aware=%t",
+		names, fb, s.cfg.DefaultDeadline, !s.cfg.DisableBatch, s.cfg.Planner != nil, s.cfg.CostAware)
 }

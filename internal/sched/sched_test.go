@@ -22,6 +22,7 @@ import (
 type fakeBackend struct {
 	name  string
 	est   float64
+	cost  backend.CostModel
 	delay time.Duration
 	gate  chan struct{} // when non-nil, each Solve first receives from it
 
@@ -29,8 +30,13 @@ type fakeBackend struct {
 	order []*backend.Problem
 }
 
-func (f *fakeBackend) Name() string                              { return f.name }
-func (f *fakeBackend) EstimateMicros(p *backend.Problem) float64 { return f.est }
+func (f *fakeBackend) Describe() *backend.Capabilities {
+	return &backend.Capabilities{
+		Name:    f.name,
+		Latency: func(p *backend.Problem) float64 { return f.est },
+		Cost:    f.cost,
+	}
+}
 func (f *fakeBackend) record(p *backend.Problem) {
 	f.mu.Lock()
 	f.order = append(f.order, p)
@@ -197,7 +203,7 @@ func TestDeadlineFallbackWithRealAnnealer(t *testing.T) {
 	p, in := testProblem(t, 300, modulation.QPSK, 4)
 	// Annealer service time is Na·(Ta+Tp) = 200 µs even with an empty queue;
 	// a 50 µs deadline is unmeetable on the QPU.
-	if est := qpu.EstimateMicros(p); est < 200 {
+	if est := qpu.Describe().PredictMicros(p); est < 200 {
 		t.Fatalf("annealer estimate %g µs, expected 200", est)
 	}
 	res, err := s.Dispatch(context.Background(), p, 50*time.Microsecond)
@@ -816,4 +822,94 @@ func TestCoherentGatherFillsLeftoverSlots(t *testing.T) {
 		t.Fatalf("batched runs %v, want one run of 3", batches)
 	}
 	assertReconciled(t, s)
+}
+
+// Cost-aware dispatch must minimize spend through the capability
+// descriptors' cost models without ever trading away a deadline or a BER
+// target: easy (or best-effort) decodes divert to a strictly cheaper
+// fallback, hard SNR classes keep their QPU reads, and a fallback that is
+// pricier or too slow never wins.
+func TestCostAwareDispatch(t *testing.T) {
+	pricey := backend.CostModel{MicroUSDPerDeviceSecond: 3e6, PowerWatts: 500}
+	cases := []struct {
+		name      string
+		costAware bool
+		fbCost    backend.CostModel
+		fbEst     float64
+		deadline  time.Duration
+		targetBER float64
+		want      string
+	}{
+		{"cost-aware off stays on pool", false, backend.DefaultClassicalCostModel, 50, 0, 0, "qpu"},
+		{"best-effort diverts to cheaper fallback", true, backend.DefaultClassicalCostModel, 50, 0, 0, "fb"},
+		{"pricier fallback stays on pool", true, pricey, 50, 0, 0, "qpu"},
+		{"fallback too slow for deadline stays on pool", true, backend.DefaultClassicalCostModel, 5000, time.Millisecond, 0, "qpu"},
+		{"easy BER class diverts (planned reads ≤ easy bound)", true, backend.DefaultClassicalCostModel, 50, 0, 1e-3, "fb"},
+		{"hard BER class keeps its QPU reads", true, backend.DefaultClassicalCostModel, 50, 0, 1e-9, "qpu"},
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			pl, err := qos.NewPlanner(plannerTable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := &fakeBackend{name: "qpu", est: 100, cost: backend.DefaultQPUCostModel}
+			fb := &fakeBackend{name: "fb", est: c.fbEst, cost: c.fbCost}
+			s, err := New(Config{
+				Pool: []backend.Backend{pool}, Fallback: fb,
+				Planner: pl, CostAware: c.costAware,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			// Noise-free 4-user QPSK clamps to the table's 30 dB point:
+			// (0.5)^Na·0.1 ≤ target prices 1e-3 at 7 reads (easy, under
+			// DefaultCostEasyReads) and 1e-9 at 27 (hard, over it).
+			p, _ := testProblem(t, int64(950+i), modulation.QPSK, 4)
+			p.TargetBER = c.targetBER
+			res, err := s.Dispatch(context.Background(), p, c.deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Backend != c.want {
+				t.Fatalf("decode served by %q, want %q", res.Backend, c.want)
+			}
+			st := s.Stats()
+			if c.want == "fb" {
+				if st.FallbackDispatches != 1 || st.PlannerClassical != 0 {
+					t.Fatalf("cost divert accounting: fallback=%d planner=%d",
+						st.FallbackDispatches, st.PlannerClassical)
+				}
+			} else if st.FallbackDispatches != 0 {
+				t.Fatalf("unexpected fallback dispatch (%d)", st.FallbackDispatches)
+			}
+			assertReconciled(t, s)
+		})
+	}
+}
+
+// Completed work must charge spend and energy against the serving backend
+// through its descriptor's cost model.
+func TestStatsAccountSpendAndEnergy(t *testing.T) {
+	f := &fakeBackend{name: "qpu", est: 100, cost: backend.DefaultQPUCostModel, delay: time.Millisecond}
+	s, err := New(Config{Pool: []backend.Backend{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := testProblem(t, 970, modulation.BPSK, 2)
+	if _, err := s.Dispatch(context.Background(), p, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	be := s.Stats().Backends[0]
+	// ≥ 1 ms at 555,555 µUSD/s and 25 kW: at least ~555 µUSD and 25 J.
+	if be.SpendMicroUSD < 500 {
+		t.Fatalf("SpendMicroUSD = %g, want ≥ 500 for a ≥1 ms QPU solve", be.SpendMicroUSD)
+	}
+	if be.EnergyMilliJ < 20_000 {
+		t.Fatalf("EnergyMilliJ = %g, want ≥ 20000 for a ≥1 ms 25 kW solve", be.EnergyMilliJ)
+	}
 }

@@ -106,6 +106,8 @@ func WritePrometheus(w io.Writer, sn *Snapshot, pool *metrics.PoolStats) {
 			writeCounterL(w, "quamax_backend_solved_total", "Problems solved per backend.", label, float64(be.Solved), first)
 			writeCounterL(w, "quamax_backend_errors_total", "Problems failed per backend.", label, float64(be.Errors), first)
 			writeCounterL(w, "quamax_backend_busy_micros_total", "Cumulative Solve wall time per backend.", label, be.BusyMicros, first)
+			writeCounterL(w, "quamax_backend_spend_microusd_total", "Cumulative solve spend per backend in micro-USD.", label, be.SpendMicroUSD, first)
+			writeCounterL(w, "quamax_backend_energy_millij_total", "Cumulative solve energy per backend in millijoules.", label, be.EnergyMilliJ, first)
 			if first {
 				fmt.Fprintf(w, "# HELP quamax_backend_utilization Busy time over scheduler lifetime per backend.\n# TYPE quamax_backend_utilization gauge\n")
 			}

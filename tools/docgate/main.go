@@ -7,7 +7,7 @@
 //     (internal/backend, internal/sched, internal/metrics, internal/qos,
 //     internal/reduction, internal/core, internal/precoding,
 //     internal/softout, internal/telemetry, internal/anneal,
-//     internal/router) lacks a doc
+//     internal/router, cmd/fleetsim) lacks a doc
 //     comment.
 //
 // Run it from the repository root:
@@ -30,8 +30,9 @@ import (
 // fullDocPackages are the directories where every exported identifier must
 // carry a doc comment (ISSUE 2's godoc gate, extended to the compile/execute
 // split's home packages by ISSUE 3, to the downlink precoding subsystem by
-// ISSUE 4, to the telemetry plane by ISSUE 6, and to the anneal engine by
-// ISSUE 7).
+// ISSUE 4, to the telemetry plane by ISSUE 6, to the anneal engine by
+// ISSUE 7, and to the capability-descriptor surface and the fleet capacity
+// planner by ISSUE 9).
 var fullDocPackages = []string{
 	"internal/backend",
 	"internal/sched",
@@ -44,6 +45,7 @@ var fullDocPackages = []string{
 	"internal/telemetry",
 	"internal/anneal",
 	"internal/router",
+	"cmd/fleetsim",
 }
 
 func main() {
