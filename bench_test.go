@@ -25,6 +25,7 @@ import (
 	"quamax/internal/detector"
 	"quamax/internal/embedding"
 	"quamax/internal/experiments"
+	"quamax/internal/health"
 	"quamax/internal/linalg"
 	"quamax/internal/metrics"
 	"quamax/internal/mimo"
@@ -1223,6 +1224,130 @@ func BenchmarkCostAwareDispatch(b *testing.B) {
 			b.ReportMetric(spend/decodes, "µUSD/decode")
 			b.ReportMetric(st.MissRate(), "missrate")
 			b.ReportMetric(float64(bitErrs)/float64(bitTotal), "ber")
+		})
+	}
+}
+
+// benchHealthBackend busy-waits a fixed wall duration per solve — the same
+// pacing argument as benchTelemetryBackend: run-to-run solver jitter would
+// swamp a 5% overhead gate, so the denominator is pinned by construction —
+// and reports a stable anneal-quality signature (deep −50 energies at 2%
+// chain breaks per 100 reads) for the health tracker's reference window.
+// Canary probes are recognizable as the plane's fixed BPSK instance (bench
+// traffic is QPSK) and answered at the ground anchor, so an unarmed backend
+// always passes re-admission.
+type benchHealthBackend struct{ name string }
+
+func (bb *benchHealthBackend) Describe() *backend.Capabilities {
+	return &backend.Capabilities{
+		Name:    bb.name,
+		Latency: func(*backend.Problem) float64 { return benchSolveMicros },
+	}
+}
+
+func (bb *benchHealthBackend) Solve(ctx context.Context, p *backend.Problem, src *rng.Source) (*backend.Result, error) {
+	start := time.Now()
+	for time.Since(start) < benchSolveMicros*time.Microsecond {
+	}
+	if p.Mod == modulation.BPSK { // canary probe
+		return &backend.Result{Bits: []byte{0}, Backend: bb.name, Batched: 1, Energy: 0, Reads: 100}, nil
+	}
+	return &backend.Result{
+		Bits: []byte{0}, Backend: bb.name, Batched: 1,
+		Energy: -50, Reads: 100, BrokenChains: 2,
+	}, nil
+}
+
+// BenchmarkHealthGatedServe prices the solver-health plane under the fault it
+// exists for: a five-member pool serves a fixed deadline-bearing load while
+// one member is degraded by an armed backend.Degrader — its solves stall just
+// past the deadline and its anneal quality drifts (energy lift + chain-break
+// storm). The same injected degradation is replayed twice: health=off (the
+// scheduler keeps feeding the sick member, every solve it claims misses its
+// deadline) and health=on (the drift detector quarantines it off the
+// baseline it learned during the unarmed warmup, traffic reroutes, and armed
+// canary probes keep it out). Both modes report decodes/s and the
+// deadline-miss rate over the armed region only. tools/benchjson -check
+// (BENCH_PR10.json) holds health-on throughput within 5% of health-off —
+// quarantining a member may only cost its capacity share, not stall the pool
+// — and requires a strictly lower health-on missrate: the plane must convert
+// detection into fewer client-visible deadline misses, or it is overhead.
+func BenchmarkHealthGatedServe(b *testing.B) {
+	const (
+		healthyMembers = 4
+		concurrency    = 10
+		warmup         = 200
+		deadline       = 2 * time.Millisecond
+		// sickStall pushes the sick member's solves just past the deadline:
+		// far enough that every solve it claims misses, close enough that the
+		// slow worker still pulls a measurable share of the FIFO queue in the
+		// health=off mode.
+		sickStall = 2300 * time.Microsecond
+	)
+	src := rng.New(31)
+	in, err := mimo.Generate(src, mimo.Config{
+		Mod: modulation.QPSK, Nt: 4, Nr: 4,
+		Channel: channel.RandomPhase{}, SNRdB: 28,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &backend.Problem{Mod: in.Mod, H: in.H, Y: in.Y}
+
+	for _, mode := range []string{"off", "on"} {
+		b.Run("health="+mode, func(b *testing.B) {
+			sick := backend.NewDegrader(&benchHealthBackend{name: "sick"}, backend.DegraderFaults{
+				ExtraLatency:   sickStall,
+				ChainBreakRate: 0.5, // 2% → ~52% broken chains per read
+				EnergyDrift:    0.5, // −50 → −25 best energy; canary 0 → +0.5
+			})
+			pool := []backend.Backend{sick}
+			for i := 0; i < healthyMembers; i++ {
+				pool = append(pool, &benchHealthBackend{name: fmt.Sprintf("ok%d", i)})
+			}
+			cfg := sched.Config{Pool: pool, DisableBatch: true, Seed: 1}
+			if mode == "on" {
+				cfg.Health = health.NewTracker(health.Config{})
+				cfg.Burn = health.NewBurnTracker(1, health.SLOConfig{})
+				cfg.CanarySeed = 7
+			}
+			s, err := sched.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			serve := func(n int) {
+				sem := make(chan struct{}, concurrency)
+				var wg sync.WaitGroup
+				for j := 0; j < n; j++ {
+					sem <- struct{}{}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						if _, err := s.Dispatch(ctx, prob, deadline); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			// Unarmed warmup: the tracker learns the healthy signature before
+			// the fault lands, exactly as a production pool would have.
+			serve(warmup)
+			sick.SetDegraded(true)
+			pre := s.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serve(benchDispatchesPerOp)
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(float64(benchDispatchesPerOp*b.N)/b.Elapsed().Seconds(), "decodes/s")
+			completed := st.Completed - pre.Completed
+			misses := st.DeadlineMisses - pre.DeadlineMisses
+			b.ReportMetric(float64(misses)/float64(completed), "missrate")
 		})
 	}
 }

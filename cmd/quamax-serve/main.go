@@ -58,6 +58,16 @@
 // deadline-miss EWMA climbs past it. -pipeline-depth bounds the per-connection
 // in-flight window of the protocol-v8 pipelined fronthaul (0 = default).
 // Per-shard PoolStats ride the stats frame and the shutdown report.
+//
+// -health arms the solver-health plane (internal/health): every solve feeds
+// per-backend × per-class anneal-quality baselines, a Page–Hinkley drift
+// detector scores each backend Healthy/Degraded/Quarantined, the scheduler
+// skips quarantined members and re-admits them through known-ground-state
+// canary probes, and a per-shard SLO burn-rate tracker (deadline-miss and
+// BER budgets, set by -slo-miss-budget/-slo-ber-budget, fast+slow window
+// alerting) folds into the router's shed decision. The health view rides the
+// protocol-v9 stats frame (`quamax -top`) and the Prometheus export
+// (quamax_backend_health, quamax_slo_burn_rate).
 package main
 
 import (
@@ -76,6 +86,7 @@ import (
 	"quamax/internal/anneal"
 	"quamax/internal/backend"
 	"quamax/internal/fronthaul"
+	"quamax/internal/health"
 	"quamax/internal/metrics"
 	"quamax/internal/qos"
 	"quamax/internal/router"
@@ -122,6 +133,10 @@ func main() {
 
 		costAware     = flag.Bool("cost-aware", false, "divert planner-sized easy requests to the cheapest backend by $/solve (capability descriptors) when QPU reads buy no extra QoS")
 		costEasyReads = flag.Int("cost-easy-reads", 0, "largest planner anneal budget still considered classically easy for cost diversion (0 = default)")
+
+		healthOn      = flag.Bool("health", false, "enable the solver-health plane: per-backend anneal-quality drift detection, quarantine gating with canary re-admission probes, and per-shard SLO burn-rate tracking")
+		sloMissBudget = flag.Float64("slo-miss-budget", 0, "per-shard deadline-miss SLO budget the burn rates are normalized against (0 = default)")
+		sloBERBudget  = flag.Float64("slo-ber-budget", 0, "per-shard BER-risk SLO budget the burn rates are normalized against (0 = default)")
 
 		planner   = flag.Bool("planner", true, "plan per-request anneal budgets from the TTS model")
 		targetBER = flag.Float64("target-ber", 0, "default per-request target BER when the AP sends none (0 = none)")
@@ -270,6 +285,19 @@ func main() {
 		budgetPlanner = p
 	}
 
+	// The solver-health plane: one drift tracker and one burn tracker span
+	// the whole fleet — backend names are already namespaced per shard, and
+	// the burn tracker indexes by shard internally.
+	var healthTracker *health.Tracker
+	var burn *health.BurnTracker
+	if *healthOn {
+		healthTracker = health.NewTracker(health.Config{})
+		burn = health.NewBurnTracker(*shardsN, health.SLOConfig{
+			MissBudget: *sloMissBudget,
+			BERBudget:  *sloBERBudget,
+		})
+	}
+
 	// The shard fleet: one scheduler pool per shard (the planner, with its own
 	// internal lock, and the telemetry recorder are shared — traces carry the
 	// shard index).
@@ -293,6 +321,8 @@ func main() {
 			Seed:             *seed + int64(i),
 			ShardID:          i,
 			Telemetry:        rec,
+			Health:           healthTracker,
+			Burn:             burn,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -309,6 +339,7 @@ func main() {
 			Shards:        shards,
 			ShedThreshold: *shedThreshold,
 			Seed:          *seed,
+			Burn:          burn,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -319,6 +350,28 @@ func main() {
 		statsFn = r.Stats
 	}
 
+	// healthFn assembles the stats-frame / Prometheus view of the health
+	// plane: drift snapshots from the tracker, burn windows from the burn
+	// tracker, with the router's shed counters and miss EWMAs overlaid on
+	// the matching shard entries (the burn tracker never sees sheds — shed
+	// requests are turned away before any scheduler observes them).
+	var healthFn func() metrics.HealthStats
+	if *healthOn {
+		healthFn = func() metrics.HealthStats {
+			hs := metrics.HealthStats{
+				Backends: healthTracker.Snapshot(),
+				Shards:   burn.Snapshot(),
+			}
+			if rt != nil {
+				for i := range hs.Shards {
+					hs.Shards[i].Sheds = rt.ShedCount(i)
+					hs.Shards[i].MissEWMA = rt.MissEWMA(i)
+				}
+			}
+			return hs
+		}
+	}
+
 	srv := fronthaul.NewPoolServer(disp)
 	srv.PipelineDepth = *pipeDepth
 	srv.Logf = log.Printf
@@ -327,6 +380,7 @@ func main() {
 	srv.DisableSoft = !*soft
 	srv.LLRClamp = *llrClamp
 	srv.Telemetry = rec
+	srv.Health = healthFn
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -336,7 +390,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mux := telemetry.Mux(rec, func() (metrics.PoolStats, bool) { return statsFn(), true })
+		mux := telemetry.Mux(rec, func() (metrics.PoolStats, bool) { return statsFn(), true }, healthFn)
 		go func() {
 			if err := http.Serve(tl, mux); err != nil {
 				log.Printf("quamax-serve: telemetry server: %v", err)

@@ -3,15 +3,19 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"quamax/internal/fronthaul"
+	"quamax/internal/metrics"
 	"quamax/internal/telemetry"
 )
 
-// runTop polls a serving data center's protocol-v7 stats frame and renders
-// the live serving picture: pool counters, per-stage latency quantiles,
+// runTop polls a serving data center's stats frame and renders the live
+// serving picture: pool counters (with per-backend health verdicts when the
+// v9 health block rides the frame), the per-shard breakdown with shed counts
+// and deadline-miss EWMAs, SLO burn rates, per-stage latency quantiles,
 // deadline slack and per-class anneal quality. interval 0 means one shot;
 // otherwise the table redraws every interval until interrupted.
 func runTop(addr string, interval time.Duration) error {
@@ -73,6 +77,53 @@ func fmtMilliJ(v float64) string {
 	return fmt.Sprintf("%.1fmJ", v)
 }
 
+// fmtHealth renders one backend's drift verdict: the state, the drift score
+// behind it, and — while quarantined — the canary probe tally that decides
+// re-admission.
+func fmtHealth(bh metrics.BackendHealth) string {
+	switch bh.State {
+	case metrics.HealthQuarantined:
+		return fmt.Sprintf("QUARANTINED(%.2f canary %d/%d)", bh.Score, bh.CanaryPass, bh.CanaryPass+bh.CanaryFail)
+	case metrics.HealthDegraded:
+		return fmt.Sprintf("degraded(%.2f)", bh.Score)
+	}
+	return "ok"
+}
+
+// printShards writes the per-shard breakdown: the pool counters each shard
+// contributed plus — when the health block rides the frame — its shed count,
+// deadline-miss EWMA and SLO burn rates.
+func printShards(stats *fronthaul.StatsResponse) {
+	if len(stats.Shards) == 0 && (stats.Health == nil || len(stats.Health.Shards) == 0) {
+		return
+	}
+	n := len(stats.Shards)
+	var burns []metrics.ShardBurn
+	if stats.Health != nil {
+		burns = stats.Health.Shards
+		if len(burns) > n {
+			n = len(burns)
+		}
+	}
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf("  shard %d:", i)
+		if i < len(stats.Shards) {
+			sp := &stats.Shards[i]
+			line += fmt.Sprintf(" submitted=%d completed=%d failed=%d misses=%d",
+				sp.Submitted, sp.Completed, sp.Failed, sp.DeadlineMisses)
+		}
+		if i < len(burns) {
+			b := burns[i]
+			line += fmt.Sprintf(" sheds=%d miss-ewma=%.1f%% burn miss=%.2f/%.2f ber=%.2f/%.2f",
+				b.Sheds, 100*b.MissEWMA, b.FastMissRate, b.SlowMissRate, b.FastBERRate, b.SlowBERRate)
+			if b.Alerting {
+				line += " ALERT"
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
 // printStats writes one stats frame as the -top table.
 func printStats(addr string, stats *fronthaul.StatsResponse) {
 	p := &stats.Pool
@@ -85,16 +136,31 @@ func printStats(addr string, stats *fronthaul.StatsResponse) {
 	if cc := p.ChannelCache; cc.Hits+cc.Misses+cc.Evictions > 0 {
 		fmt.Printf("  channel cache: %d hits / %d misses / %d evictions\n", cc.Hits, cc.Misses, cc.Evictions)
 	}
+	// The health block's per-backend verdicts, keyed for the backend line.
+	healthBy := map[string]metrics.BackendHealth{}
+	if stats.Health != nil {
+		for _, bh := range stats.Health.Backends {
+			healthBy[bh.Name] = bh
+		}
+	}
 	if len(p.Backends) > 0 {
-		parts := make([]string, len(p.Backends))
-		for i, be := range p.Backends {
+		// Sort a copy by name so successive redraws keep a stable column
+		// order regardless of map-iteration order server-side.
+		backends := append([]metrics.BackendStats(nil), p.Backends...)
+		sort.Slice(backends, func(i, j int) bool { return backends[i].Name < backends[j].Name })
+		parts := make([]string, len(backends))
+		for i, be := range backends {
 			parts[i] = fmt.Sprintf("%s solved=%d errors=%d util=%.1f%%", be.Name, be.Solved, be.Errors, 100*be.Utilization)
 			if be.SpendMicroUSD > 0 || be.EnergyMilliJ > 0 {
 				parts[i] += fmt.Sprintf(" spend=%s energy=%s", fmtMicroUSD(be.SpendMicroUSD), fmtMilliJ(be.EnergyMilliJ))
 			}
+			if bh, ok := healthBy[be.Name]; ok {
+				parts[i] += " health=" + fmtHealth(bh)
+			}
 		}
 		fmt.Printf("  backends: %s\n", strings.Join(parts, "  |  "))
 	}
+	printShards(stats)
 
 	sn := stats.Telemetry
 	if sn == nil {

@@ -244,5 +244,7 @@ func (a *Annealer) result(out *core.Outcome, params anneal.Params, batched int) 
 		Batched:       batched,
 		LLRs:          out.LLRs,
 		LLRSaturated:  out.LLRSaturated,
+		Reads:         params.NumAnneals,
+		BrokenChains:  out.BrokenChains,
 	}
 }

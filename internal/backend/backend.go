@@ -111,6 +111,13 @@ type Result struct {
 	// plane's StageCompile span.
 	CompileMicros float64
 	CacheHit      bool
+	// Reads is the run's read budget (anneal count) and BrokenChains the
+	// total broken logical chains across those reads — the per-solve
+	// anneal-quality sample the scheduler replays into the solver-health
+	// plane (internal/health) with backend attribution. Classical backends
+	// leave both zero (no chains to break).
+	Reads        int
+	BrokenChains int
 }
 
 // Backend is a pluggable solver. Implementations must be safe for concurrent

@@ -1,0 +1,161 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"quamax/internal/rng"
+)
+
+// ErrInjectedFault is the error a Degrader returns for solves it fails on
+// command (DegraderFaults.FailEvery).
+var ErrInjectedFault = errors.New("backend: injected fault")
+
+// DegraderFaults describes the quality degradation a Degrader injects while
+// armed. Zero fields inject nothing of that kind.
+type DegraderFaults struct {
+	// ChainBreakRate adds this many broken chains per read to every result —
+	// the signature of a device whose ferromagnetic chains lost margin
+	// (miscalibrated |J_F|, rising ICE noise).
+	ChainBreakRate float64
+	// EnergyDrift lifts the reported best energy by drift·max(|E|, 1) — a
+	// device that keeps landing in excited states a gap above ground. QuAMax
+	// ground energies are ≤ 0, so the lift is a strictly worse ML metric,
+	// and the floor of 1 keeps the lift visible on near-zero ground states
+	// (noise-free instances reduce with the offset folded in), which is what
+	// lets an armed Degrader fail the health plane's canary probes.
+	EnergyDrift float64
+	// FailEvery, when ≥ 1, fails every FailEvery-th solve with
+	// ErrInjectedFault (1 = every solve fails).
+	FailEvery int
+	// ExtraLatency stalls every solve by this much wall time, so the
+	// degradation also shows up as deadline pressure, not just quality.
+	ExtraLatency time.Duration
+}
+
+// Degrader is the health plane's fault-injection harness: a Backend wrapper
+// that degrades its delegate's anneal quality on command. Healthy (unarmed)
+// it is a transparent pass-through; armed (SetDegraded(true)) it rewrites
+// results per its DegraderFaults. It exists to prove the
+// detection → quarantine → recovery loop end to end: internal/health's
+// drift detector must flag the armed wrapper, the scheduler must quarantine
+// and reroute, and after SetDegraded(false) canary probes must re-admit it.
+//
+// Describe follows the wrapper-composition rule: the descriptor copies the
+// delegate's and keeps its latency model, so deadline projection and stats
+// attribution see the true device.
+type Degrader struct {
+	inner  Backend
+	faults DegraderFaults
+	caps   *Capabilities
+
+	degraded atomic.Bool
+	solves   atomic.Uint64
+}
+
+// NewDegrader wraps inner with the given fault profile, initially unarmed.
+func NewDegrader(inner Backend, faults DegraderFaults) *Degrader {
+	caps := *inner.Describe() // copy-and-extend: identity and latency stay the delegate's
+	return &Degrader{inner: inner, faults: faults, caps: &caps}
+}
+
+// SetDegraded arms (true) or heals (false) the injected faults.
+func (d *Degrader) SetDegraded(v bool) { d.degraded.Store(v) }
+
+// Degraded reports whether the faults are armed.
+func (d *Degrader) Degraded() bool { return d.degraded.Load() }
+
+// Describe implements Backend with the delegate's copied descriptor.
+func (d *Degrader) Describe() *Capabilities { return d.caps }
+
+// Solve implements Backend: delegate, then (when armed) degrade the result.
+func (d *Degrader) Solve(ctx context.Context, p *Problem, src *rng.Source) (*Result, error) {
+	if err := d.stall(ctx); err != nil {
+		return nil, err
+	}
+	res, err := d.inner.Solve(ctx, p, src)
+	if err != nil {
+		return nil, err
+	}
+	return d.degrade(res)
+}
+
+// BatchSlots implements BatchBackend when the delegate does (1 otherwise).
+func (d *Degrader) BatchSlots(p *Problem) int {
+	if bb, ok := d.inner.(BatchBackend); ok {
+		return bb.BatchSlots(p)
+	}
+	return 1
+}
+
+// SolveBatch implements BatchBackend when the delegate does; a non-batching
+// delegate solves the problems sequentially.
+func (d *Degrader) SolveBatch(ctx context.Context, ps []*Problem, src *rng.Source) ([]*Result, error) {
+	if err := d.stall(ctx); err != nil {
+		return nil, err
+	}
+	var results []*Result
+	if bb, ok := d.inner.(BatchBackend); ok {
+		rs, err := bb.SolveBatch(ctx, ps, src)
+		if err != nil {
+			return nil, err
+		}
+		results = rs
+	} else {
+		results = make([]*Result, len(ps))
+		for i, p := range ps {
+			r, err := d.inner.Solve(ctx, p, src)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+	}
+	for i, r := range results {
+		dr, err := d.degrade(r)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = dr
+	}
+	return results, nil
+}
+
+// stall applies the armed ExtraLatency, honoring ctx.
+func (d *Degrader) stall(ctx context.Context) error {
+	if !d.degraded.Load() || d.faults.ExtraLatency <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d.faults.ExtraLatency):
+		return nil
+	}
+}
+
+// degrade rewrites one result per the armed fault profile.
+func (d *Degrader) degrade(res *Result) (*Result, error) {
+	if !d.degraded.Load() {
+		return res, nil
+	}
+	n := d.solves.Add(1)
+	if fe := d.faults.FailEvery; fe >= 1 && n%uint64(fe) == 0 {
+		return nil, ErrInjectedFault
+	}
+	out := *res
+	if d.faults.ChainBreakRate > 0 {
+		reads := out.Reads
+		if reads < 1 {
+			reads = 1
+		}
+		out.BrokenChains += int(d.faults.ChainBreakRate * float64(reads))
+	}
+	if drift := d.faults.EnergyDrift; drift > 0 {
+		out.Energy += drift * math.Max(math.Abs(out.Energy), 1)
+	}
+	return &out, nil
+}

@@ -16,7 +16,8 @@ import (
 // fuzzStatsResponse builds a fully populated stats response: pool counters
 // with two backends (both carrying spend/energy economics), a telemetry
 // snapshot whose histograms span first, middle and last buckets and whose
-// quality map holds two classes, and a v8 per-shard breakdown.
+// quality map holds two classes, a v8 per-shard breakdown, and a v9 health
+// block covering every state and the burn/alert fields.
 func fuzzStatsResponse() *StatsResponse {
 	hist := func(idx ...int) telemetry.Hist {
 		h := telemetry.Hist{Counts: make([]uint64, telemetry.NumBuckets), Min: 0.3, Max: 9000, Sum: 12345}
@@ -67,18 +68,34 @@ func fuzzStatsResponse() *StatsResponse {
 				ChannelCache: metrics.ChannelCacheStats{Hits: 10, Misses: 4, Evictions: 2},
 			},
 		},
+		Health: &metrics.HealthStats{
+			Backends: []metrics.BackendHealth{
+				{Name: "qpu0", State: metrics.HealthQuarantined, Score: 4.25, Observations: 900,
+					ChainBreakEWMA: 0.31, EnergyEWMA: 12.5, FailureEWMA: 0.05, ReadsPerSolve: 48,
+					CanaryPass: 2, CanaryFail: 7},
+				{Name: "qpu1", State: metrics.HealthDegraded, Score: 1.5, Observations: 850,
+					ChainBreakEWMA: 0.11, EnergyEWMA: 14.0, ReadsPerSolve: 50},
+				{Name: "sa", State: metrics.HealthHealthy, Observations: 400, EnergyEWMA: 13.9},
+			},
+			Shards: []metrics.ShardBurn{
+				{FastMissRate: 0.2, SlowMissRate: 0.08, FastBERRate: 0.12, SlowBERRate: 0.11,
+					Samples: 640, Alerting: true, Sheds: 12, MissEWMA: 0.19},
+				{SlowMissRate: 0.002, Samples: 500},
+			},
+		},
 	}
 }
 
 // fuzzSeedFrames builds one valid payload per frame type of every protocol
-// generation still accepted on the wire (v2–v7), so the fuzzer starts from
+// generation still accepted on the wire (v2–v9), so the fuzzer starts from
 // the real grammar instead of random bytes: self-contained decode requests
 // with (v3+) and without (v2) the target-BER field, the v4 coherence frames,
 // the v5 precode frames, the v6 soft-decode frames (including truncated LLR
 // payloads and zero-length LLR lists), the v7 stats frames (including a
 // truncated histogram payload, an all-empty-histogram snapshot, a
-// telemetry-less response, and the flag-gated trailing economics block with
-// its non-canonical all-zero form), and every response shape, plus an
+// telemetry-less response, the flag-gated trailing economics block with its
+// non-canonical all-zero form, and the v9 health block with its truncated
+// and non-canonical empty forms), and every response shape, plus an
 // unknown-version frame type a newer peer might emit.
 func fuzzSeedFrames(tb testing.TB) [][]byte {
 	tb.Helper()
@@ -213,6 +230,16 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	seeds = append(seeds, frame(msgStatsResponse, zeroEcon, nil))
 	// A stats response truncated inside the trailing economics block.
 	seeds = append(seeds, append([]byte{msgStatsResponse}, statsFull[:len(statsFull)-9]...))
+	// The v9 health grammar's non-canonical form: the health flag set over an
+	// empty block (zero backends, zero shards) — a re-encode would drop the
+	// flag, so the decoder rejects it.
+	zeroHealth := append([]byte(nil), statsBare...)
+	zeroHealth[len(zeroHealth)-1] |= statsRespHealth
+	zeroHealth = append(zeroHealth, 0, 0, 0, 0)
+	seeds = append(seeds, frame(msgStatsResponse, zeroHealth, nil))
+	// A stats response truncated inside the v9 health block (statsFull ends
+	// with it: cutting 20 bytes lands mid-shard-burn entry).
+	seeds = append(seeds, append([]byte{msgStatsResponse}, statsFull[:len(statsFull)-20]...))
 	// The v8 pipelined streams: a connection's read loop sees many frames
 	// back to back, responses returning out of order and interleaved across
 	// request classes, and teardown can truncate the stream mid-frame. These

@@ -65,10 +65,19 @@ import (
 // stats response grows an optional per-shard PoolStats breakdown behind a new
 // flags bit for servers fronting a sharded router; v7 payloads (flag absent)
 // still decode.
+// Version 9 adds the solver-health plane to the stats response: behind a new
+// flags bit, the frame carries per-backend health entries (drift-detector
+// state and score, baseline EWMAs, canary-probe counts; name-sorted — the
+// canonical order, enforced on decode) and per-shard SLO burn entries
+// (deadline-miss and BER-risk burn rates over fast/slow windows, the
+// multi-window alerting verdict, and the router's shed counters). Like the
+// shards and economics bits, the flag rides only when the block carries
+// data, so an empty health plane re-encodes byte-identically to a v8 frame
+// and v2–v8 payloads all still decode.
 // Peers speaking a newer version may emit frame types this
 // implementation does not know; the client surfaces those as protocol errors
 // rather than discarding them silently.
-const ProtocolVersion = 8
+const ProtocolVersion = 9
 
 // Message types.
 const (

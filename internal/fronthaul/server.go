@@ -69,6 +69,12 @@ type Server struct {
 	// sees its writes stall. 0 = DefaultPipelineDepth. Set before Serve.
 	PipelineDepth int
 
+	// Health, when non-nil, supplies the solver-health plane snapshot for v9
+	// stats responses (the serving binary assembles it from the health
+	// tracker, burn tracker and router shed counters). The health block rides
+	// the frame only when the snapshot carries data. Set before Serve.
+	Health func() metrics.HealthStats
+
 	precodeOnce     sync.Once
 	precodePrograms *precoding.Cache
 }
@@ -454,6 +460,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			if s.Telemetry != nil {
 				resp.Telemetry = s.Telemetry.Snapshot()
 				resp.UptimeMicros = resp.Telemetry.UptimeMicros
+			}
+			if s.Health != nil {
+				if h := s.Health(); !h.Empty() {
+					resp.Health = &h
+				}
 			}
 			b, err := encodeStatsResponse(resp)
 			if err != nil {

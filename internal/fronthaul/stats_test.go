@@ -84,6 +84,60 @@ func TestStatsCodecRejectsCorruption(t *testing.T) {
 		t.Fatal("economics flag with all-zero counters accepted")
 	}
 
+	// The v9 health block is flag-gated and canonical the same way: the flag
+	// over an empty block (a re-encode would drop it) is rejected, as are
+	// blocks that violate the health grammar itself.
+	zeroHealth := append([]byte(nil), bare...)
+	zeroHealth[len(zeroHealth)-1] |= statsRespHealth
+	zeroHealth = append(zeroHealth, 0, 0, 0, 0)
+	if _, err := decodeStatsResponse(zeroHealth); err == nil {
+		t.Fatal("health flag with empty block accepted")
+	}
+	healthEntry := func(name string, state byte) []byte {
+		b := appendU16(nil, uint16(len(name)))
+		b = append(b, name...)
+		b = append(b, state)
+		b = appendF64(b, 1.5)    // score
+		b = appendU64(b, 10)     // observations
+		for i := 0; i < 4; i++ { // chain-break / energy / failure / reads EWMAs
+			b = appendF64(b, 0.25)
+		}
+		b = appendU64(b, 2) // canary pass
+		b = appendU64(b, 1) // canary fail
+		return b
+	}
+	mustRejectHealth := func(name string, raw []byte) {
+		t.Helper()
+		r := &reader{b: raw}
+		if _, err := readHealth(r, raw); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	noShards := appendU16(nil, 0)
+	two := func(a, b []byte) []byte {
+		out := appendU16(nil, 2)
+		out = append(out, a...)
+		out = append(out, b...)
+		return append(out, noShards...)
+	}
+	one := func(e []byte) []byte {
+		return append(append(appendU16(nil, 1), e...), noShards...)
+	}
+	mustRejectHealth("out-of-order backend names", two(healthEntry("b", 0), healthEntry("a", 0)))
+	mustRejectHealth("duplicate backend name", two(healthEntry("a", 1), healthEntry("a", 1)))
+	mustRejectHealth("unknown health state", one(healthEntry("a", 3)))
+	mustRejectHealth("backend count past payload", append(appendU16(nil, 9), healthEntry("a", 0)...))
+	mustRejectHealth("truncated backend entry", append(appendU16(nil, 1), healthEntry("a", 0)[:20]...))
+	badAlert := append(appendU16(nil, 0), appendU16(nil, 1)...)
+	for i := 0; i < 4; i++ {
+		badAlert = appendF64(badAlert, 0.1) // fast/slow miss + BER rates
+	}
+	badAlert = appendU64(badAlert, 5) // samples
+	badAlert = append(badAlert, 2)    // non-boolean alert byte
+	badAlert = appendU64(badAlert, 0) // sheds
+	badAlert = appendF64(badAlert, 0) // miss EWMA
+	mustRejectHealth("non-boolean alert byte", badAlert)
+
 	// The histogram grammar is canonical: out-of-order or repeated bucket
 	// indexes, zero counts and oversized entry counts are all rejected.
 	mustRejectHist := func(name string, raw []byte) {

@@ -32,6 +32,11 @@ type StatsResponse struct {
 	// order; nil when the server runs a single pool. Pool remains the merged
 	// aggregate, so v7 consumers lose only the breakdown, not the totals.
 	Shards []metrics.PoolStats
+	// Health is the solver-health plane snapshot (protocol v9): per-backend
+	// drift verdicts and per-shard SLO burn rates. Nil (or Empty) when the
+	// server runs without a health plane; its flag bit rides the frame iff
+	// the snapshot carries data, so v8 consumers lose only the health view.
+	Health *metrics.HealthStats
 }
 
 // encodeStatsRequest serializes a StatsRequest payload.
@@ -123,13 +128,15 @@ func readHist(r *reader) (telemetry.Hist, error) {
 // statsRespTelemetry is the flags bit marking a telemetry block;
 // statsRespShards the per-shard PoolStats breakdown block (protocol v8);
 // statsRespEconomics the trailing spend/energy block (one f64 pair per
-// backend entry, aggregate then shards — PR 9's fleet-economics counters).
-// Like the shards bit, each flag rides only when its block carries data, so
-// pre-economics decodes stay byte-compatible.
+// backend entry, aggregate then shards — PR 9's fleet-economics counters);
+// statsRespHealth the solver-health block (protocol v9: per-backend drift
+// verdicts, per-shard SLO burn rates). Each flag rides only when its block
+// carries data, so older decodes stay byte-compatible.
 const (
 	statsRespTelemetry = 1 << 0
 	statsRespShards    = 1 << 1
 	statsRespEconomics = 1 << 2
+	statsRespHealth    = 1 << 3
 )
 
 // appendPoolStats encodes one PoolStats block (the aggregate and each
@@ -232,6 +239,9 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 	if econ {
 		flags |= statsRespEconomics
 	}
+	if !resp.Health.Empty() {
+		flags |= statsRespHealth
+	}
 	b = append(b, flags)
 	if sn := resp.Telemetry; sn != nil {
 		b = appendF64(b, sn.UptimeMicros)
@@ -283,7 +293,143 @@ func encodeStatsResponse(resp *StatsResponse) ([]byte, error) {
 			b = appendEconomics(b, &resp.Shards[i])
 		}
 	}
+	if !resp.Health.Empty() {
+		if b, err = appendHealth(b, resp.Health); err != nil {
+			return nil, err
+		}
+	}
 	return b, nil
+}
+
+// appendHealth encodes the v9 solver-health block: per-backend drift entries
+// in canonical (name-sorted) order, then per-shard burn entries in index
+// order.
+func appendHealth(b []byte, h *metrics.HealthStats) ([]byte, error) {
+	if len(h.Backends) > 0xffff || len(h.Shards) > 0xffff {
+		return nil, errors.New("fronthaul: health stats out of wire range")
+	}
+	backends := append([]metrics.BackendHealth(nil), h.Backends...)
+	(&metrics.HealthStats{Backends: backends}).SortBackends()
+	b = appendU16(b, uint16(len(backends)))
+	for _, be := range backends {
+		if len(be.Name) > 0xffff {
+			return nil, errors.New("fronthaul: oversized backend name")
+		}
+		if be.State > metrics.HealthQuarantined {
+			return nil, fmt.Errorf("fronthaul: unknown health state %d", be.State)
+		}
+		b = appendU16(b, uint16(len(be.Name)))
+		b = append(b, be.Name...)
+		b = append(b, byte(be.State))
+		b = appendF64(b, be.Score)
+		b = appendU64(b, be.Observations)
+		b = appendF64(b, be.ChainBreakEWMA)
+		b = appendF64(b, be.EnergyEWMA)
+		b = appendF64(b, be.FailureEWMA)
+		b = appendF64(b, be.ReadsPerSolve)
+		b = appendU64(b, be.CanaryPass)
+		b = appendU64(b, be.CanaryFail)
+	}
+	b = appendU16(b, uint16(len(h.Shards)))
+	for _, s := range h.Shards {
+		b = appendF64(b, s.FastMissRate)
+		b = appendF64(b, s.SlowMissRate)
+		b = appendF64(b, s.FastBERRate)
+		b = appendF64(b, s.SlowBERRate)
+		b = appendU64(b, s.Samples)
+		alert := byte(0)
+		if s.Alerting {
+			alert = 1
+		}
+		b = append(b, alert)
+		b = appendU64(b, s.Sheds)
+		b = appendF64(b, s.MissEWMA)
+	}
+	return b, nil
+}
+
+// readHealth decodes the v9 solver-health block, enforcing the canonical
+// form: strictly name-sorted backend entries, known state bytes, a boolean
+// alerting byte, and at least one entry overall (a flagged-but-empty block
+// would re-encode without the flag, breaking decode∘encode identity).
+func readHealth(r *reader, payload []byte) (*metrics.HealthStats, error) {
+	h := &metrics.HealthStats{}
+	nBackends := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each backend entry is at least 67 bytes (2 name len + 1 state + 8
+	// score + 8 observations + 4·8 EWMAs + 2·8 canary counts).
+	if nBackends > (len(payload)-r.off)/67 {
+		return nil, errors.New("fronthaul: health backend count exceeds payload")
+	}
+	prevName := ""
+	for i := 0; i < nBackends; i++ {
+		nameLen := int(r.u16())
+		if r.err == nil && nameLen > len(payload)-r.off {
+			return nil, errShort
+		}
+		be := metrics.BackendHealth{Name: string(r.bytes(nameLen))}
+		stateB := r.bytes(1)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if stateB[0] > byte(metrics.HealthQuarantined) {
+			return nil, fmt.Errorf("fronthaul: unknown health state %d", stateB[0])
+		}
+		be.State = metrics.HealthState(stateB[0])
+		be.Score = r.f64()
+		be.Observations = r.u64()
+		be.ChainBreakEWMA = r.f64()
+		be.EnergyEWMA = r.f64()
+		be.FailureEWMA = r.f64()
+		be.ReadsPerSolve = r.f64()
+		be.CanaryPass = r.u64()
+		be.CanaryFail = r.u64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if i > 0 && be.Name <= prevName {
+			return nil, fmt.Errorf("fronthaul: health backend %q out of order", be.Name)
+		}
+		prevName = be.Name
+		h.Backends = append(h.Backends, be)
+	}
+	nShards := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each shard entry is exactly 57 bytes (4·8 rates + 8 samples + 1
+	// alerting + 8 sheds + 8 miss EWMA).
+	if nShards > (len(payload)-r.off)/57 {
+		return nil, errors.New("fronthaul: health shard count exceeds payload")
+	}
+	for i := 0; i < nShards; i++ {
+		var s metrics.ShardBurn
+		s.FastMissRate = r.f64()
+		s.SlowMissRate = r.f64()
+		s.FastBERRate = r.f64()
+		s.SlowBERRate = r.f64()
+		s.Samples = r.u64()
+		alertB := r.bytes(1)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if alertB[0] > 1 {
+			return nil, fmt.Errorf("fronthaul: non-boolean health alert byte %d", alertB[0])
+		}
+		s.Alerting = alertB[0] == 1
+		s.Sheds = r.u64()
+		s.MissEWMA = r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		h.Shards = append(h.Shards, s)
+	}
+	if h.Empty() {
+		return nil, errors.New("fronthaul: health flag set with empty block")
+	}
+	return h, nil
 }
 
 // economicsPresent reports whether any backend entry carries nonzero spend
@@ -337,7 +483,7 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 		return nil, r.err
 	}
 	flags := flagsB[0]
-	if flags&^byte(statsRespTelemetry|statsRespShards|statsRespEconomics) != 0 {
+	if flags&^byte(statsRespTelemetry|statsRespShards|statsRespEconomics|statsRespHealth) != 0 {
 		return nil, fmt.Errorf("fronthaul: unknown stats flags %#x", flags)
 	}
 	if flags&statsRespTelemetry != 0 {
@@ -452,6 +598,13 @@ func decodeStatsResponse(payload []byte) (*StatsResponse, error) {
 		if !economicsPresent(resp) {
 			return nil, errors.New("fronthaul: economics flag set with zero counters")
 		}
+	}
+	if flags&statsRespHealth != 0 {
+		h, err := readHealth(r, payload)
+		if err != nil {
+			return nil, err
+		}
+		resp.Health = h
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -1,0 +1,74 @@
+package health
+
+import (
+	"math"
+
+	"quamax/internal/backend"
+	"quamax/internal/channel"
+	"quamax/internal/mimo"
+	"quamax/internal/modulation"
+	"quamax/internal/qubo"
+	"quamax/internal/reduction"
+	"quamax/internal/rng"
+)
+
+// CanaryUsers is the canary instance size: small enough that the reduced
+// Ising problem (CanaryUsers spins under BPSK) sits well inside
+// qubo.MaxBruteForceN, so the ground truth is an exact brute-force anchor,
+// and large enough that a drifted annealer actually fails it.
+const CanaryUsers = 8
+
+// DefaultCanaryTolerance is the relative energy slack a probe result may
+// sit above the brute-forced ground state and still pass.
+const DefaultCanaryTolerance = 0.02
+
+// Canary is one fixed known-ground-state decode instance a quarantined
+// backend must solve to earn re-admission. The instance is a noise-free
+// BPSK channel use (the §5.3 annealer-noise-only methodology): the received
+// vector is exactly H·v̄, so the reduced Ising problem's brute-forced ground
+// energy is the unique correctness anchor and any miss is the device's own
+// doing, never the channel's.
+type Canary struct {
+	// Problem is the probe decode (read-only; hand it to Backend.Solve).
+	Problem *backend.Problem
+	// GroundEnergy is the exact brute-forced ground-state energy of the
+	// reduced Ising problem.
+	GroundEnergy float64
+	// Tolerance is the relative slack above GroundEnergy that still passes
+	// (DefaultCanaryTolerance when built by NewCanary).
+	Tolerance float64
+}
+
+// NewCanary builds the deterministic canary instance for a seed. Equal seeds
+// give byte-identical instances, so every worker probing a backend asks the
+// same question.
+func NewCanary(seed int64) (*Canary, error) {
+	src := rng.New(seed)
+	inst, err := mimo.Generate(src, mimo.Config{
+		Mod:     modulation.BPSK,
+		Nt:      CanaryUsers,
+		Nr:      CanaryUsers,
+		Channel: channel.Rayleigh{},
+		SNRdB:   math.Inf(1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, ground := qubo.BruteForceIsing(reduction.ReduceToIsing(inst.Mod, inst.H, inst.Y))
+	return &Canary{
+		Problem:      &backend.Problem{Mod: inst.Mod, H: inst.H, Y: inst.Y},
+		GroundEnergy: ground,
+		Tolerance:    DefaultCanaryTolerance,
+	}, nil
+}
+
+// Check judges one probe outcome: the solve must succeed and land within
+// Tolerance·|ground| (at least a small absolute slack) of the brute-forced
+// ground energy.
+func (c *Canary) Check(res *backend.Result, err error) bool {
+	if err != nil || res == nil {
+		return false
+	}
+	slack := math.Max(c.Tolerance*math.Abs(c.GroundEnergy), 1e-9)
+	return res.Energy <= c.GroundEnergy+slack
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import "sort"
+
+// HealthState classifies one backend on the solver-health plane
+// (internal/health): Healthy serves normally, Degraded serves under watch
+// (its drift score crossed the detection threshold), Quarantined is pulled
+// from regular dispatch and earns re-admission through canary probes.
+type HealthState uint8
+
+// Backend health states, ordered by severity. The numeric values ride the
+// protocol-v9 stats frame and the Prometheus gauge, so they are wire format:
+// never renumber.
+const (
+	HealthHealthy HealthState = iota
+	HealthDegraded
+	HealthQuarantined
+)
+
+// String renders the state for `quamax -top` and log output.
+func (s HealthState) String() string {
+	switch s {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}
+
+// BackendHealth is one backend's point-in-time view on the health plane:
+// its drift-detector verdict plus the rolling baselines the verdict was
+// scored against.
+type BackendHealth struct {
+	// Name is the backend's descriptor name (Capabilities.Name).
+	Name string
+	// State is the drift detector's verdict.
+	State HealthState
+	// Score is the current Page–Hinkley cumulative-deviation statistic:
+	// ~0 while the backend tracks its own baselines, growing with sustained
+	// quality drift. Compare against the tracker's configured thresholds.
+	Score float64
+	// Observations counts the quality samples scored so far.
+	Observations uint64
+	// ChainBreakEWMA is the rolling per-read chain-break rate baseline.
+	ChainBreakEWMA float64
+	// EnergyEWMA is the rolling |best energy| baseline (class-normalized).
+	EnergyEWMA float64
+	// FailureEWMA is the rolling solve-failure rate.
+	FailureEWMA float64
+	// ReadsPerSolve is the rolling read budget per solve — the TTS proxy:
+	// a planner compensating a sick device shows up here before BER does.
+	ReadsPerSolve float64
+	// CanaryPass and CanaryFail count canary-probe outcomes while the
+	// backend was quarantined (cumulative over its lifetime).
+	CanaryPass, CanaryFail uint64
+}
+
+// ShardBurn is one shard's SLO burn-rate view: deadline-miss and BER-proxy
+// budget consumption over a fast and a slow window (Google-SRE-style
+// multi-window burn alerting), plus the router-side shed counters that act
+// on it.
+type ShardBurn struct {
+	// FastMissRate and SlowMissRate are the deadline-miss rates over the
+	// fast and slow EWMA windows.
+	FastMissRate, SlowMissRate float64
+	// FastBERRate and SlowBERRate are the BER-risk event rates (soft
+	// saturation or planner denial of a target-carrying request) over the
+	// same two windows.
+	FastBERRate, SlowBERRate float64
+	// Samples counts the requests observed.
+	Samples uint64
+	// Alerting reports the multi-window verdict: both windows burning
+	// faster than budget.
+	Alerting bool
+	// Sheds counts requests the router refused for this shard.
+	Sheds uint64
+	// MissEWMA is the router's shed-decision deadline-miss EWMA.
+	MissEWMA float64
+}
+
+// HealthStats is the health plane's exportable snapshot: per-backend drift
+// verdicts plus per-shard SLO burn rates. It rides the protocol-v9 stats
+// frame and feeds the Prometheus exporter and `quamax -top`.
+type HealthStats struct {
+	// Backends is sorted by name (the canonical wire order).
+	Backends []BackendHealth
+	// Shards is indexed by shard number.
+	Shards []ShardBurn
+}
+
+// Empty reports whether the snapshot carries no data — the protocol-v9
+// health flag rides the stats frame iff this is false.
+func (h *HealthStats) Empty() bool {
+	return h == nil || (len(h.Backends) == 0 && len(h.Shards) == 0)
+}
+
+// SortBackends puts the backend entries into canonical (name-sorted) order.
+func (h *HealthStats) SortBackends() {
+	sort.Slice(h.Backends, func(i, j int) bool { return h.Backends[i].Name < h.Backends[j].Name })
+}

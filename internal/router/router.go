@@ -27,7 +27,10 @@
 //     *ShedError (errors.Is(err, ErrShed)) carrying the shard index and the
 //     observed miss rate, so access points can distinguish "the data center
 //     is overloaded, back off" from a decode failure. Un-keyed traffic
-//     simply avoids shed shards while any remain healthy.
+//     simply avoids shed shards while any remain healthy. With Config.Burn
+//     set, a shard also sheds while its SLO burn tracker (internal/health)
+//     is multi-window alerting — budget burn fires earlier than the raw
+//     miss EWMA when degradation is sharp.
 //
 // The router implements fronthaul.Dispatcher, so it drops in wherever a
 // single scheduler served before; Stats() reports the PoolStats.Merge
@@ -47,6 +50,7 @@ import (
 
 	"quamax/internal/backend"
 	"quamax/internal/core"
+	"quamax/internal/health"
 	"quamax/internal/metrics"
 	"quamax/internal/rng"
 )
@@ -110,6 +114,13 @@ type Config struct {
 	// ShedMinSamples gates the EWMA until a shard has completed this many
 	// deadline-carrying dispatches (0 = DefaultShedMinSamples).
 	ShedMinSamples int
+	// Burn, when set, folds per-shard SLO burn rates into the shed decision:
+	// a shard whose burn tracker is multi-window alerting (fast AND slow
+	// windows burning error budget past threshold) sheds exactly like one
+	// over the deadline-miss EWMA, independent of ShedThreshold. The tracker
+	// is fed by the shard schedulers (sched.Config.Burn); the router only
+	// reads it.
+	Burn *health.BurnTracker
 	// Seed drives the power-of-two-choices sampling.
 	Seed int64
 }
@@ -142,6 +153,7 @@ type Router struct {
 	threshold  float64
 	alpha      float64
 	minSamples int
+	burn       *health.BurnTracker
 
 	srcMu sync.Mutex
 	src   *rng.Source
@@ -169,6 +181,7 @@ func New(cfg Config) (*Router, error) {
 		threshold:  cfg.ShedThreshold,
 		alpha:      alpha,
 		minSamples: minSamples,
+		burn:       cfg.Burn,
 		src:        rng.New(cfg.Seed),
 	}
 	for range cfg.Shards {
@@ -238,20 +251,28 @@ func (r *Router) pickTwo() (int, int) {
 	return a, b
 }
 
-// shedding reports whether a shard's deadline-miss EWMA is over the
-// threshold (always false when shedding is disabled or the shard has not
-// completed enough deadline-carrying work to trust the estimate).
+// shedding reports whether a shard should refuse new work: its deadline-miss
+// EWMA is over the threshold (false while shedding is disabled or the shard
+// has not completed enough deadline-carrying work to trust the estimate), or
+// its SLO burn tracker is multi-window alerting — the shard is burning error
+// budget fast enough that both the fast and slow windows agree, which fires
+// well before the raw miss EWMA crosses a fixed line.
 func (r *Router) shedding(shard int) (float64, bool) {
-	if r.threshold <= 0 {
-		return 0, false
+	var ewma float64
+	if r.threshold > 0 {
+		st := r.state[shard]
+		st.mu.Lock()
+		ewma = st.missEWMA
+		over := st.samples >= uint64(r.minSamples) && ewma > r.threshold
+		st.mu.Unlock()
+		if over {
+			return ewma, true
+		}
 	}
-	st := r.state[shard]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.samples < uint64(r.minSamples) || st.missEWMA <= r.threshold {
-		return st.missEWMA, false
+	if r.burn.Alerting(shard) {
+		return ewma, true
 	}
-	return st.missEWMA, true
+	return ewma, false
 }
 
 // observe folds one completed dispatch's deadline outcome into the shard's

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"quamax/internal/backend"
+	"quamax/internal/health"
 	"quamax/internal/metrics"
 	"quamax/internal/qos"
 	"quamax/internal/rng"
@@ -114,6 +115,24 @@ type Config struct {
 	// span count reconciles exactly with Stats. Nil disables tracing with
 	// no overhead on the dispatch path.
 	Telemetry *telemetry.Recorder
+	// Health, when set, gates dispatch on the solver-health plane: every
+	// completed solve's quality sample and outcome feed the tracker with
+	// backend attribution, workers stop pulling regular work for backends
+	// the tracker quarantines (unless the whole pool is quarantined — a
+	// degraded answer beats none), and quarantined backends receive
+	// periodic canary probes (fixed known-ground-state instances) to earn
+	// re-admission. Deadline projection and pool estimates skip
+	// quarantined members. Nil disables health gating entirely.
+	Health *health.Tracker
+	// CanarySeed fixes the canary instance's generator stream (0 derives
+	// one from Seed). All workers probe with the same instance.
+	CanarySeed int64
+	// Burn, when set, receives one (deadline-miss, BER-risk) observation
+	// per terminal request under this scheduler's ShardID — the per-shard
+	// SLO burn-rate feed the router folds into its shed decision. A
+	// BER-risk event is a soft decode whose LLRs saturated or a
+	// target-carrying request the planner denied to classical.
+	Burn *health.BurnTracker
 	// ShardID stamps every trace this scheduler emits when one Recorder is
 	// shared across a sharded router, attributing queue/gather spans to the
 	// pool that served them. Zero for a single-pool deployment.
@@ -127,10 +146,12 @@ type Config struct {
 // Scheduler is a deadline-aware FIFO pool scheduler. It is safe for
 // concurrent Dispatch calls.
 type Scheduler struct {
-	cfg      Config
-	now      func() time.Time
-	start    time.Time
-	fallback backend.Backend
+	cfg       Config
+	now       func() time.Time
+	start     time.Time
+	fallback  backend.Backend
+	canary    *health.Canary // set iff cfg.Health is
+	poolNames []string       // descriptor names, pool order
 
 	mu             sync.Mutex
 	cond           *sync.Cond
@@ -211,6 +232,18 @@ func New(cfg Config) (*Scheduler, error) {
 	for _, be := range cfg.Pool {
 		caps := describe(be)
 		s.perBackend = append(s.perBackend, &backendCounters{caps: caps, name: caps.Name})
+		s.poolNames = append(s.poolNames, caps.Name)
+	}
+	if cfg.Health != nil {
+		seed := cfg.CanarySeed
+		if seed == 0 {
+			seed = cfg.Seed ^ 0x6ca17a5e
+		}
+		canary, err := health.NewCanary(seed)
+		if err != nil {
+			return nil, fmt.Errorf("sched: building canary instance: %w", err)
+		}
+		s.canary = canary
 	}
 	if cfg.Fallback != nil {
 		// A fallback that also serves in the pool shares its counters, so
@@ -249,14 +282,53 @@ func describe(be backend.Backend) *backend.Capabilities {
 	return &backend.Capabilities{}
 }
 
+// gated reports whether the pool backend at index i is pulled from regular
+// dispatch by the health tracker. A quarantined member is only gated while
+// some other pool member still serves: when the whole pool is quarantined
+// the scheduler keeps serving on it (a degraded answer beats none), which
+// also keeps the queue from deadlocking.
+func (s *Scheduler) gated(i int) bool {
+	h := s.cfg.Health
+	if h == nil {
+		return false
+	}
+	return h.State(s.poolNames[i]) == metrics.HealthQuarantined && h.AnyServing(s.poolNames)
+}
+
+// servingWorkers counts the pool workers currently accepting regular work
+// (all of them when health gating is off or the whole pool is quarantined).
+func (s *Scheduler) servingWorkers() int {
+	if s.cfg.Health == nil {
+		return len(s.cfg.Pool)
+	}
+	n := 0
+	for i := range s.cfg.Pool {
+		if !s.gated(i) {
+			n++
+		}
+	}
+	if n == 0 {
+		return len(s.cfg.Pool)
+	}
+	return n
+}
+
 // poolEstimate is the best-case pool service time for p: the minimum
-// predicted latency over the pool backends' capability descriptors.
+// predicted latency over the pool backends' capability descriptors,
+// skipping health-quarantined members (they take no regular work, so their
+// estimate is unearnable).
 func (s *Scheduler) poolEstimate(p *backend.Problem) float64 {
-	est := describe(s.cfg.Pool[0]).PredictMicros(p)
-	for _, be := range s.cfg.Pool[1:] {
+	est := math.Inf(1)
+	for i, be := range s.cfg.Pool {
+		if s.gated(i) {
+			continue
+		}
 		if e := describe(be).PredictMicros(p); e < est {
 			est = e
 		}
+	}
+	if math.IsInf(est, 1) {
+		est = describe(s.cfg.Pool[0]).PredictMicros(p)
 	}
 	return est
 }
@@ -419,7 +491,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 			tr.Fallback, tr.PlannerDenied = true, true
 			tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
 		}
-		return s.runFallback(ctx, p, deadline, tr, t0)
+		return s.runFallback(ctx, p, deadline, tr, t0, true)
 	}
 
 	// Cost-aware dispatch: the fallback solves this decode strictly cheaper
@@ -434,7 +506,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 			tr.Fallback = true
 			tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
 		}
-		return s.runFallback(ctx, p, deadline, tr, t0)
+		return s.runFallback(ctx, p, deadline, tr, t0, false)
 	}
 
 	// Hybrid dispatch: if the projected pool completion time blows the
@@ -448,7 +520,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 	// tighten this later.
 	if deadline > 0 && s.fallback != nil {
 		deadlineMicros := float64(deadline) / float64(time.Microsecond)
-		waitMicros := (s.queuedMicros + s.inflightMicros) / float64(len(s.cfg.Pool))
+		waitMicros := (s.queuedMicros + s.inflightMicros) / float64(s.servingWorkers())
 		if waitMicros+est > deadlineMicros {
 			s.fallbackDispatches++
 			// Registered under mu, before the closed flag can flip: Close
@@ -460,7 +532,7 @@ func (s *Scheduler) Dispatch(ctx context.Context, p *backend.Problem, deadline t
 				tr.Fallback = true
 				tr.Stages[telemetry.StageAdmit] = admitSpan(s.now().Sub(t0), tr)
 			}
-			return s.runFallback(ctx, p, deadline, tr, t0)
+			return s.runFallback(ctx, p, deadline, tr, t0, false)
 		}
 	}
 
@@ -497,9 +569,42 @@ func admitSpan(sinceEntry time.Duration, tr *telemetry.Trace) float64 {
 	return a
 }
 
+// observeSolve replays one terminal solve into the solver-health plane with
+// backend attribution: the outcome always, and the anneal-quality sample on
+// success (the decoder-level quality stream has no backend identity, so the
+// scheduler is the attribution point). No-op without Config.Health.
+func (s *Scheduler) observeSolve(name string, p *backend.Problem, res *backend.Result, failed bool) {
+	h := s.cfg.Health
+	if h == nil {
+		return
+	}
+	h.ObserveOutcome(name, failed)
+	if failed || res == nil {
+		return
+	}
+	h.ObserveQuality(name, telemetry.Class(p.Mod.String(), p.Users()), telemetry.QualityObservation{
+		BestEnergy:   res.Energy,
+		Reads:        res.Reads,
+		ChainBreaks:  res.BrokenChains,
+		LLRBits:      len(res.LLRs),
+		LLRSaturated: res.LLRSaturated,
+	})
+}
+
+// observeBurn feeds one terminal request's SLO bits to the shard burn
+// tracker under this scheduler's ShardID. No-op without Config.Burn.
+func (s *Scheduler) observeBurn(missed, berMiss bool) {
+	if b := s.cfg.Burn; b != nil {
+		b.Observe(s.cfg.ShardID, missed, berMiss)
+	}
+}
+
 // runFallback solves p on the fallback backend, on the caller's goroutine.
-// tr/t0 carry the request's telemetry trace when tracing is enabled.
-func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadline time.Duration, tr *telemetry.Trace, t0 time.Time) (*backend.Result, error) {
+// tr/t0 carry the request's telemetry trace when tracing is enabled. denied
+// marks a planner denial: the request carried a BER target the annealer
+// could not meet, so its classical answer counts as a BER-risk event in the
+// shard's SLO burn feed.
+func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadline time.Duration, tr *telemetry.Trace, t0 time.Time, denied bool) (*backend.Result, error) {
 	started := s.now()
 	res, err := s.fallback.Solve(ctx, p, s.splitSource())
 	solveEnd := s.now()
@@ -530,6 +635,9 @@ func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadlin
 	if err != nil {
 		s.fallbackCounters.errors++
 		s.failed++
+		s.observeSolve(s.fallbackCounters.name, p, nil, true)
+		// A failed request blew its SLO whatever the clock says.
+		s.observeBurn(true, denied)
 		return nil, err
 	}
 	s.fallbackCounters.solved++
@@ -538,10 +646,48 @@ func (s *Scheduler) runFallback(ctx context.Context, p *backend.Problem, deadlin
 		s.softSolved++
 		s.llrSaturations += uint64(res.LLRSaturated)
 	}
-	if deadline > 0 && s.now().After(started.Add(deadline)) {
+	missed := deadline > 0 && s.now().After(started.Add(deadline))
+	if missed {
 		s.misses++
 	}
+	s.observeSolve(s.fallbackCounters.name, p, res, false)
+	s.observeBurn(missed, denied || (p.Soft && res.LLRSaturated > 0))
 	return res, nil
+}
+
+// gateWorker holds a quarantined worker out of regular dispatch, probing
+// its backend with the canary instance on the tracker's schedule. It spins
+// in ~1ms quanta so re-admission (or the rest of the pool going down, which
+// un-gates everyone) is picked up promptly. Returns false when the
+// scheduler closed with an empty queue — the worker should exit — and true
+// when the worker may pull regular work again.
+func (s *Scheduler) gateWorker(idx int, be backend.Backend, ctr *backendCounters, src *rng.Source) bool {
+	h := s.cfg.Health
+	for s.gated(idx) {
+		s.mu.Lock()
+		done := s.closed && len(s.queue) == 0
+		s.mu.Unlock()
+		if done {
+			return false
+		}
+		if h.CanaryDue(ctr.name) {
+			// Probe on a background context: the canary is the scheduler's
+			// own request and must not inherit any client deadline. Device
+			// time still bills the backend — a quarantined chip is busy
+			// proving itself, and hiding that would flatter its utilization.
+			started := s.now()
+			res, err := be.Solve(context.Background(), s.canary.Problem, src)
+			elapsed := micros(s.now().Sub(started))
+			s.mu.Lock()
+			ctr.busyMicros += elapsed
+			ctr.charge(elapsed)
+			s.mu.Unlock()
+			h.RecordCanary(ctr.name, s.canary.Check(res, err))
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
 }
 
 // worker runs one pool backend: pop the queue head, optionally gather a
@@ -551,6 +697,9 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 	src := s.splitSource()
 	ctr := s.perBackend[idx]
 	for {
+		if s.cfg.Health != nil && !s.gateWorker(idx, be, ctr, src) {
+			return
+		}
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.closed {
 			s.cond.Wait()
@@ -558,6 +707,13 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 		if len(s.queue) == 0 && s.closed {
 			s.mu.Unlock()
 			return
+		}
+		if s.cfg.Health != nil && s.gated(idx) {
+			// The verdict may have flipped while this worker was parked in
+			// Wait — re-gate before touching the queue so a freshly
+			// quarantined backend never pulls one more job.
+			s.mu.Unlock()
+			continue
 		}
 		// Pop the head under the lock, but resolve the backend's batch
 		// capacity outside it: the first BatchSlots call for a new problem
@@ -638,6 +794,9 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 			if err != nil {
 				ctr.errors++
 				s.failed++
+				s.observeSolve(ctr.name, j.p, nil, true)
+				// A failed request blew its SLO whatever the clock says.
+				s.observeBurn(true, false)
 				s.finishPoolTrace(j, nil, err, ctr.name, elapsed, solveEnd, len(live))
 				j.done <- jobResult{err: err}
 				continue
@@ -648,9 +807,12 @@ func (s *Scheduler) worker(idx int, be backend.Backend) {
 				s.softSolved++
 				s.llrSaturations += uint64(results[i].LLRSaturated)
 			}
-			if !j.deadline.IsZero() && s.now().After(j.deadline) {
+			missed := !j.deadline.IsZero() && s.now().After(j.deadline)
+			if missed {
 				s.misses++
 			}
+			s.observeSolve(ctr.name, j.p, results[i], false)
+			s.observeBurn(missed, j.p.Soft && results[i].LLRSaturated > 0)
 			s.finishPoolTrace(j, results[i], nil, ctr.name, elapsed, solveEnd, len(live))
 			j.done <- jobResult{res: results[i]}
 		}

@@ -55,6 +55,10 @@ type Dump struct {
 	// Traces is the retained ring, oldest first (capped at the ring size;
 	// Snapshot.Traces counts all spans ever finished).
 	Traces []Trace `json:"traces"`
+	// Exemplars are the pinned worst-slack traces (see exemplar.go), worst
+	// first — the named requests behind the tail, which survive even after
+	// the ring has overwritten them.
+	Exemplars []Trace `json:"exemplars,omitempty"`
 }
 
 // BuildDump assembles a Dump from a recorder and an optional pool snapshot.
@@ -72,6 +76,7 @@ func BuildDump(r *Recorder, pool *metrics.PoolStats) *Dump {
 		SlackMissed: Summarize(sn.SlackMissed),
 		Pool:        pool,
 		Traces:      r.Traces(),
+		Exemplars:   r.Exemplars(),
 	}
 	for i := range sn.Stages {
 		d.Stages[Stage(i).String()] = Summarize(sn.Stages[i])

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// finishWithSlack completes one deadline-bearing trace with the given slack.
+func finishWithSlack(r *Recorder, class string, slack float64) {
+	r.FinishTrace(Trace{
+		Class:          class,
+		DeadlineMicros: 1000,
+		SlackMicros:    slack,
+		Stages:         [NumStages]float64{StageE2E: 1000 - slack},
+	})
+}
+
+// The recorder pins the worst-slack traces of each window, worst first, and
+// caps the set at the configured count.
+func TestExemplarsWorstN(t *testing.T) {
+	r := New(Config{RingSize: 8, ExemplarCount: 3, ExemplarWindow: 100, Now: testClock(time.Unix(0, 0))})
+	slacks := []float64{500, -30, 200, -900, 100, -5, 700, 42}
+	for _, s := range slacks {
+		finishWithSlack(r, "QPSK/4", s)
+	}
+	ex := r.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("pinned %d exemplars, want 3", len(ex))
+	}
+	want := []float64{-900, -30, -5}
+	for i, s := range want {
+		if ex[i].SlackMicros != s {
+			t.Fatalf("exemplar %d has slack %g, want %g (got %+v)", i, ex[i].SlackMicros, s, ex)
+		}
+	}
+}
+
+// Deadline-free traces rank by end-to-end latency: the slowest requests are
+// the exemplars.
+func TestExemplarsLatencyFallback(t *testing.T) {
+	r := New(Config{RingSize: 8, ExemplarCount: 2, Now: testClock(time.Unix(0, 0))})
+	for _, e2e := range []float64{10, 5000, 40, 900, 120} {
+		r.FinishTrace(Trace{Class: "QPSK/4", Stages: [NumStages]float64{StageE2E: e2e}})
+	}
+	ex := r.Exemplars()
+	if len(ex) != 2 || ex[0].Stages[StageE2E] != 5000 || ex[1].Stages[StageE2E] != 900 {
+		t.Fatalf("latency exemplars wrong: %+v", ex)
+	}
+}
+
+// On the window boundary the current set is promoted to pinned and a fresh
+// window starts; Exemplars reports both, so a regression spotted late in the
+// previous window is still named while the new window fills.
+func TestExemplarWindowRotation(t *testing.T) {
+	r := New(Config{RingSize: 4, ExemplarCount: 2, ExemplarWindow: 4, Now: testClock(time.Unix(0, 0))})
+	for _, s := range []float64{100, -777, 300, 200} { // window 1 (seq 1..4)
+		finishWithSlack(r, "QPSK/4", s)
+	}
+	for _, s := range []float64{50, -42} { // window 2 in progress
+		finishWithSlack(r, "QPSK/4", s)
+	}
+	ex := r.Exemplars()
+	if len(ex) != 4 {
+		t.Fatalf("%d exemplars across windows, want 2 pinned + 2 current", len(ex))
+	}
+	if ex[0].SlackMicros != -777 || ex[1].SlackMicros != -42 {
+		t.Fatalf("worst-first order lost across windows: %+v", ex)
+	}
+}
+
+// The pinned set survives ring wrap-around — that is its purpose: the ring
+// holds the most recent traces, the exemplars hold the worst ones.
+func TestExemplarsSurviveRingWrap(t *testing.T) {
+	r := New(Config{RingSize: 4, ExemplarCount: 1, ExemplarWindow: 1000, Now: testClock(time.Unix(0, 0))})
+	finishWithSlack(r, "QPSK/4", -12345) // the regression
+	for i := 0; i < 20; i++ {            // wraps the 4-slot ring many times over
+		finishWithSlack(r, "QPSK/4", 100)
+	}
+	for _, tr := range r.Traces() {
+		if tr.SlackMicros == -12345 {
+			t.Fatal("setup: ring still holds the regression trace")
+		}
+	}
+	ex := r.Exemplars()
+	if len(ex) != 1 || ex[0].SlackMicros != -12345 {
+		t.Fatalf("regression trace lost after ring wrap: %+v", ex)
+	}
+}
+
+// A negative ExemplarCount disables pinning; zero takes the default; the
+// nil recorder stays safe.
+func TestExemplarConfig(t *testing.T) {
+	off := New(Config{RingSize: 4, ExemplarCount: -1, Now: testClock(time.Unix(0, 0))})
+	finishWithSlack(off, "QPSK/4", -999)
+	if got := off.Exemplars(); len(got) != 0 {
+		t.Fatalf("disabled recorder pinned %d exemplars", len(got))
+	}
+	def := New(Config{RingSize: 4, Now: testClock(time.Unix(0, 0))})
+	if def.exCount != DefaultExemplarCount || def.exWindow != DefaultExemplarWindow {
+		t.Fatalf("defaults not applied: count=%d window=%d", def.exCount, def.exWindow)
+	}
+	var nilRec *Recorder
+	if nilRec.Exemplars() != nil {
+		t.Fatal("nil recorder returned exemplars")
+	}
+}
+
+// The shutdown dump carries the exemplars alongside the ring.
+func TestDumpCarriesExemplars(t *testing.T) {
+	r := New(Config{RingSize: 2, ExemplarCount: 1, ExemplarWindow: 100, Now: testClock(time.Unix(0, 0))})
+	finishWithSlack(r, "QPSK/4", -77)
+	finishWithSlack(r, "QPSK/4", 10)
+	finishWithSlack(r, "QPSK/4", 20)
+	d := BuildDump(r, nil)
+	if len(d.Exemplars) != 1 || d.Exemplars[0].SlackMicros != -77 {
+		t.Fatalf("dump exemplars: %+v", d.Exemplars)
+	}
+}

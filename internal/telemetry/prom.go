@@ -17,11 +17,18 @@ import (
 // pool is attached (library-only recorders) and pool metrics are omitted.
 type PoolStatsFunc func() (metrics.PoolStats, bool)
 
+// HealthStatsFunc supplies the solver-health plane's view for export; an
+// Empty() result means no health plane is attached and health metrics are
+// omitted.
+type HealthStatsFunc func() metrics.HealthStats
+
 // Mux returns the telemetry HTTP handler quamax-serve mounts on
 // -telemetry-addr: Prometheus text exposition at /metrics, the runtime
 // profiler under /debug/pprof/, and the retained trace ring as JSON at
-// /traces. pool may be nil.
-func Mux(r *Recorder, pool PoolStatsFunc) *http.ServeMux {
+// /traces (?exemplars=1 returns the pinned worst-slack exemplars instead —
+// the requests behind the p99, which survive ring wrap-around). pool and
+// health may be nil.
+func Mux(r *Recorder, pool PoolStatsFunc, health HealthStatsFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -31,12 +38,22 @@ func Mux(r *Recorder, pool PoolStatsFunc) *http.ServeMux {
 				ps = &s
 			}
 		}
-		WritePrometheus(w, r.Snapshot(), ps)
+		var hs *metrics.HealthStats
+		if health != nil {
+			if h := health(); !h.Empty() {
+				hs = &h
+			}
+		}
+		WritePrometheus(w, r.Snapshot(), ps, hs)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if req.URL.Query().Get("exemplars") == "1" {
+			_ = enc.Encode(r.Exemplars())
+			return
+		}
 		_ = enc.Encode(r.Traces())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -47,11 +64,13 @@ func Mux(r *Recorder, pool PoolStatsFunc) *http.ServeMux {
 	return mux
 }
 
-// WritePrometheus renders a Snapshot (and optionally PoolStats) in the
-// Prometheus text exposition format, version 0.0.4: HELP/TYPE headers,
-// cumulative le-labeled histogram buckets ending at +Inf, and _sum/_count
-// series. sn may be nil (nothing telemetry-side is written); pool may be nil.
-func WritePrometheus(w io.Writer, sn *Snapshot, pool *metrics.PoolStats) {
+// WritePrometheus renders a Snapshot (and optionally PoolStats and
+// HealthStats) in the Prometheus text exposition format, version 0.0.4:
+// HELP/TYPE headers, cumulative le-labeled histogram buckets ending at +Inf,
+// and _sum/_count series. sn may be nil (nothing telemetry-side is written);
+// pool and health may be nil. Every labeled family is emitted in sorted
+// label order so successive scrapes diff cleanly.
+func WritePrometheus(w io.Writer, sn *Snapshot, pool *metrics.PoolStats, health *metrics.HealthStats) {
 	if sn != nil {
 		writeGauge(w, "quamax_uptime_seconds", "Seconds since the telemetry recorder was created.", sn.UptimeMicros/1e6)
 		writeCounter(w, "quamax_traces_finished_total", "Requests traced to completion, by outcome.",
@@ -100,7 +119,13 @@ func WritePrometheus(w io.Writer, sn *Snapshot, pool *metrics.PoolStats) {
 			series{`event="hit"`, float64(pool.ChannelCache.Hits)},
 			series{`event="miss"`, float64(pool.ChannelCache.Misses)},
 			series{`event="eviction"`, float64(pool.ChannelCache.Evictions)})
-		for i, be := range pool.Backends {
+		// Sort per-backend series by name: PoolStats carries them in pool
+		// order, which varies across deployments; sorted emission keeps
+		// successive scrapes (and scrapes of different shard layouts)
+		// diffable.
+		backends := append([]metrics.BackendStats(nil), pool.Backends...)
+		sort.Slice(backends, func(i, j int) bool { return backends[i].Name < backends[j].Name })
+		for i, be := range backends {
 			label := fmt.Sprintf("backend=%q", be.Name)
 			first := i == 0
 			writeCounterL(w, "quamax_backend_solved_total", "Problems solved per backend.", label, float64(be.Solved), first)
@@ -113,6 +138,63 @@ func WritePrometheus(w io.Writer, sn *Snapshot, pool *metrics.PoolStats) {
 			}
 			fmt.Fprintf(w, "quamax_backend_utilization{%s} %s\n", label, promFloat(be.Utilization))
 		}
+	}
+	if health != nil {
+		writeHealth(w, health)
+	}
+}
+
+// writeHealth renders the solver-health plane: one state gauge and one
+// drift-score gauge per backend (name-sorted), and the per-shard SLO burn
+// rates with their alerting verdicts.
+func writeHealth(w io.Writer, hs *metrics.HealthStats) {
+	backends := append([]metrics.BackendHealth(nil), hs.Backends...)
+	sort.Slice(backends, func(i, j int) bool { return backends[i].Name < backends[j].Name })
+	for i, b := range backends {
+		label := fmt.Sprintf("backend=%q", b.Name)
+		if i == 0 {
+			fmt.Fprintf(w, "# HELP quamax_backend_health Backend health state: 0 healthy, 1 degraded, 2 quarantined.\n# TYPE quamax_backend_health gauge\n")
+		}
+		fmt.Fprintf(w, "quamax_backend_health{%s} %d\n", label, b.State)
+	}
+	for i, b := range backends {
+		label := fmt.Sprintf("backend=%q", b.Name)
+		if i == 0 {
+			fmt.Fprintf(w, "# HELP quamax_backend_health_score Page-Hinkley drift score per backend.\n# TYPE quamax_backend_health_score gauge\n")
+		}
+		fmt.Fprintf(w, "quamax_backend_health_score{%s} %s\n", label, promFloat(b.Score))
+	}
+	for i, b := range backends {
+		label := fmt.Sprintf("backend=%q", b.Name)
+		first := i == 0
+		writeCounterL(w, "quamax_backend_canary_total", "Canary probe outcomes per backend.",
+			label+`,result="pass"`, float64(b.CanaryPass), first)
+		writeCounterL(w, "quamax_backend_canary_total", "", label+`,result="fail"`, float64(b.CanaryFail), false)
+	}
+	for i, s := range hs.Shards {
+		shard := fmt.Sprintf("shard=%q", strconv.Itoa(i))
+		if i == 0 {
+			fmt.Fprintf(w, "# HELP quamax_slo_burn_rate Per-shard SLO burn rate (raw event rate) by budget and window.\n# TYPE quamax_slo_burn_rate gauge\n")
+		}
+		fmt.Fprintf(w, "quamax_slo_burn_rate{%s,slo=\"miss\",window=\"fast\"} %s\n", shard, promFloat(s.FastMissRate))
+		fmt.Fprintf(w, "quamax_slo_burn_rate{%s,slo=\"miss\",window=\"slow\"} %s\n", shard, promFloat(s.SlowMissRate))
+		fmt.Fprintf(w, "quamax_slo_burn_rate{%s,slo=\"ber\",window=\"fast\"} %s\n", shard, promFloat(s.FastBERRate))
+		fmt.Fprintf(w, "quamax_slo_burn_rate{%s,slo=\"ber\",window=\"slow\"} %s\n", shard, promFloat(s.SlowBERRate))
+	}
+	for i, s := range hs.Shards {
+		shard := fmt.Sprintf("shard=%q", strconv.Itoa(i))
+		if i == 0 {
+			fmt.Fprintf(w, "# HELP quamax_slo_alerting Multi-window burn-rate alert per shard (1 = shedding-eligible).\n# TYPE quamax_slo_alerting gauge\n")
+		}
+		alert := 0
+		if s.Alerting {
+			alert = 1
+		}
+		fmt.Fprintf(w, "quamax_slo_alerting{%s} %d\n", shard, alert)
+	}
+	for i, s := range hs.Shards {
+		shard := fmt.Sprintf("shard=%q", strconv.Itoa(i))
+		writeCounterL(w, "quamax_shard_sheds_total", "Dispatches refused under backpressure per shard.", shard, float64(s.Sheds), i == 0)
 	}
 }
 

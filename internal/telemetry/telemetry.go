@@ -189,6 +189,12 @@ type Config struct {
 	// RingSize caps the retained trace ring (DefaultRingSize when 0; older
 	// traces are overwritten, histograms and counters never drop).
 	RingSize int
+	// ExemplarCount is the number of worst-slack traces pinned per exemplar
+	// window (0 = DefaultExemplarCount, negative disables pinning);
+	// ExemplarWindow is the window length in completed traces
+	// (0 = DefaultExemplarWindow). See exemplar.go.
+	ExemplarCount  int
+	ExemplarWindow int
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
 }
@@ -217,6 +223,12 @@ type Recorder struct {
 	ring     []Trace
 	ringSeq  uint64 // total traces ever finished (next Seq)
 	ringSize int
+
+	// Exemplar pinning (guarded by ringMu; see exemplar.go).
+	exCount  int
+	exWindow int
+	exCur    []Trace // current window's worst-N, score-ascending
+	exPinned []Trace // last completed window's worst-N
 }
 
 // New returns a Recorder with the given configuration.
@@ -227,11 +239,19 @@ func New(cfg Config) *Recorder {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.ExemplarCount == 0 {
+		cfg.ExemplarCount = DefaultExemplarCount
+	}
+	if cfg.ExemplarWindow <= 0 {
+		cfg.ExemplarWindow = DefaultExemplarWindow
+	}
 	return &Recorder{
 		now:      cfg.Now,
 		start:    cfg.Now(),
 		quality:  make(map[string]*qualityCell),
 		ringSize: cfg.RingSize,
+		exCount:  cfg.ExemplarCount,
+		exWindow: cfg.ExemplarWindow,
 	}
 }
 
@@ -284,6 +304,7 @@ func (r *Recorder) FinishTrace(t Trace) {
 	} else {
 		r.ring[(t.Seq-1)%uint64(r.ringSize)] = t
 	}
+	r.pinExemplarLocked(t)
 	r.ringMu.Unlock()
 }
 

@@ -284,7 +284,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 		Backends: []metrics.BackendStats{{Name: "qpu0", Solved: 1, BusyMicros: 300, Utilization: 0.5}},
 	}
 	var b strings.Builder
-	WritePrometheus(&b, r.Snapshot(), pool)
+	WritePrometheus(&b, r.Snapshot(), pool, &metrics.HealthStats{
+		Backends: []metrics.BackendHealth{{Name: "qpu0", State: metrics.HealthDegraded, Score: 1.5}},
+		Shards:   []metrics.ShardBurn{{FastMissRate: 0.25, SlowMissRate: 0.1, Samples: 64, Alerting: true, Sheds: 3}},
+	})
 	out := b.String()
 	for _, want := range []string{
 		"# TYPE quamax_stage_latency_micros histogram",
@@ -296,6 +299,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"quamax_fronthaul_wire_micros_count 1",
 		"quamax_pool_submitted_total 1",
 		`quamax_backend_solved_total{backend="qpu0"} 1`,
+		`quamax_backend_health{backend="qpu0"} 1`,
+		`quamax_backend_health_score{backend="qpu0"} 1.5`,
+		`quamax_slo_burn_rate{shard="0",slo="miss",window="fast"} 0.25`,
+		`quamax_slo_alerting{shard="0"} 1`,
+		`quamax_shard_sheds_total{shard="0"} 3`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q in:\n%s", want, out)

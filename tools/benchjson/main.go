@@ -27,7 +27,9 @@
 //     (BenchmarkShardedServe/shards=1 and /shards=4, decodes/s + missrate +
 //     cachehit), and the fleet-economics acceptance rows
 //     (BenchmarkCostAwareDispatch/mode=latency and /mode=cost, µUSD/decode +
-//     missrate + ber);
+//     missrate + ber), and the solver-health acceptance rows
+//     (BenchmarkHealthGatedServe/health=off and /health=on, decodes/s +
+//     missrate);
 //   - within the newest snapshot, compiled-mode throughput must be at least
 //     2× the per-symbol recompile mode at every window size W ≥ 14, the
 //     precode benchmark's mean gamma must agree between modes (the
@@ -45,7 +47,11 @@
 //     shattering cache affinity does not count either), and the cost-aware
 //     dispatch mode must record at most 75% of the latency-only mode's
 //     per-decode spend at an equal deadline-miss rate with no BER giveback
-//     (spend saved by serving QoS classes worse does not count);
+//     (spend saved by serving QoS classes worse does not count), and the
+//     health-gated serving mode must stay within 5% of the ungated
+//     throughput while recording a strictly lower deadline-miss rate under
+//     the same injected degradation (a health plane that doesn't convert
+//     detection into fewer misses is pure overhead);
 //   - across snapshots recorded on the same goos/goarch, no headline
 //     throughput metric (any metric ending in "/s" on a compiled-mode
 //     gated-window row or a non-window benchmark) may regress more than
@@ -70,8 +76,10 @@
 // With -traces, benchjson ingests a telemetry trace dump (the JSON written
 // by quamax-serve/examples/tracedriven -trace-out) instead of running
 // benchmarks, and emits one BENCH row per pipeline stage with
-// p50/p95/p99/mean/max latency columns — the per-stage distributions join
-// the same machine-readable trajectory the throughput rows live in:
+// p50/p95/p99/mean/max latency columns, plus one TraceExemplar row per
+// pinned worst-slack trace — the per-stage distributions and the named
+// worst requests join the same machine-readable trajectory the throughput
+// rows live in:
 //
 //	go run ./tools/benchjson -traces dump.json -out TRACES.json
 package main
@@ -96,7 +104,7 @@ import (
 // defaultBench selects the benchmarks the perf trajectory tracks: the two
 // compile/execute acceptance benchmarks (uplink coherence windows, downlink
 // precode windows) plus the micro-benchmarks of the stages they amortize.
-const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkSchedulerPlanner|BenchmarkShardedServe|BenchmarkCostAwareDispatch|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
+const defaultBench = "BenchmarkCoherenceWindow|BenchmarkPrecodeWindow|BenchmarkSoftDecode|BenchmarkSchedulerPlanner|BenchmarkShardedServe|BenchmarkCostAwareDispatch|BenchmarkHealthGatedServe|BenchmarkReduceToIsing$|BenchmarkEmbedIsing$|BenchmarkAnneal48BPSK$|BenchmarkDecodeEndToEnd$"
 
 // maxRegression is the fractional headline-throughput loss tolerated against
 // the best committed snapshot (after median-drift correction) before -check
@@ -165,6 +173,13 @@ const maxCostSpendShare = 0.75
 // mode against latency-only dispatch on the same load: spend saved by
 // serving requests worse than their QoS class does not count.
 const maxCostBERLoss = 0.005
+
+// maxHealthOverhead is the tolerated serving-path slowdown with the
+// solver-health plane attached on BenchmarkHealthGatedServe's injected
+// degradation: health=on decodes/s must be at least off/maxHealthOverhead.
+// Quarantining the degraded member may cost its capacity share and the
+// tracker's per-solve bookkeeping, but must not stall the pool.
+const maxHealthOverhead = 1.05
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -331,6 +346,24 @@ func ingestTraces(path, out string) error {
 	row("TraceWire", d.Wire)
 	row("TraceSlack/met", d.SlackMet)
 	row("TraceSlack/missed", d.SlackMissed)
+	// Exemplar rows name the pinned worst-slack traces individually (worst
+	// first — index 0 is the window's worst request): the per-stage summaries
+	// above say how bad the tail is, these say which requests it was made of.
+	// Latency/slack units, so they never enter the throughput gate either.
+	for i, ex := range d.Exemplars {
+		metrics := map[string]float64{
+			"e2e-µs": ex.Stages[telemetry.StageE2E],
+		}
+		if ex.DeadlineMicros > 0 {
+			metrics["deadline-µs"] = ex.DeadlineMicros
+			metrics["slack-µs"] = ex.SlackMicros
+		}
+		report.Results = append(report.Results, Result{
+			Name:       fmt.Sprintf("TraceExemplar/%d", i),
+			Iterations: 1,
+			Metrics:    metrics,
+		})
+	}
 	if len(report.Results) == 0 {
 		return fmt.Errorf("%s: dump holds no observations", path)
 	}
@@ -551,6 +584,30 @@ func checkHistory(dir string) error {
 		if costBER > latBER+maxCostBERLoss {
 			problemf("%s: cost-aware ber %.4f more than %g above latency-only %.4f",
 				newest.path, costBER, maxCostBERLoss, latBER)
+		}
+	}
+
+	// 1g. The solver-health acceptance rows (introduced with the health
+	// plane): health=off and health=on present with decodes/s and missrate
+	// under the same injected degradation; the gated mode within
+	// maxHealthOverhead of the ungated throughput, and a strictly lower
+	// deadline-miss rate — detection must buy fewer client-visible misses,
+	// or the plane is pure overhead.
+	hOffRate, hOffRateOK := newest.metric("BenchmarkHealthGatedServe/health=off", "decodes/s")
+	hOnRate, hOnRateOK := newest.metric("BenchmarkHealthGatedServe/health=on", "decodes/s")
+	hOffMiss, hOffMissOK := newest.metric("BenchmarkHealthGatedServe/health=off", "missrate")
+	hOnMiss, hOnMissOK := newest.metric("BenchmarkHealthGatedServe/health=on", "missrate")
+	switch {
+	case !hOffRateOK || !hOnRateOK || !hOffMissOK || !hOnMissOK:
+		problemf("%s: missing BenchmarkHealthGatedServe health=off/health=on rows with \"decodes/s\" and \"missrate\"", newest.path)
+	default:
+		if !(hOnRate*maxHealthOverhead >= hOffRate) {
+			problemf("%s: health-gated serving %.1f decodes/s more than %g%% below ungated %.1f",
+				newest.path, hOnRate, 100*(maxHealthOverhead-1), hOffRate)
+		}
+		if !(hOnMiss < hOffMiss) {
+			problemf("%s: health-gated missrate %.4f not strictly below ungated %.4f under the same injected degradation",
+				newest.path, hOnMiss, hOffMiss)
 		}
 	}
 

@@ -31,8 +31,8 @@ import (
 // carry a doc comment (ISSUE 2's godoc gate, extended to the compile/execute
 // split's home packages by ISSUE 3, to the downlink precoding subsystem by
 // ISSUE 4, to the telemetry plane by ISSUE 6, to the anneal engine by
-// ISSUE 7, and to the capability-descriptor surface and the fleet capacity
-// planner by ISSUE 9).
+// ISSUE 7, to the capability-descriptor surface and the fleet capacity
+// planner by ISSUE 9, and to the solver-health plane by ISSUE 10).
 var fullDocPackages = []string{
 	"internal/backend",
 	"internal/sched",
@@ -45,6 +45,7 @@ var fullDocPackages = []string{
 	"internal/telemetry",
 	"internal/anneal",
 	"internal/router",
+	"internal/health",
 	"cmd/fleetsim",
 }
 
